@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: offload-path comparison for the long-prompt workload.
+ *
+ * Pits AQUA's explicit, staged NVLink transfers against (a) the DRAM
+ * baseline, (b) AQUA without gather/scatter staging (naive per-chunk
+ * NVLink copies — the negative result of §2.3 that motivated the
+ * custom kernels), and (c) a CUDA-UVM-style fault-driven pager (the
+ * §9 related-work alternative).
+ */
+
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "exp/experiments.hh"
+#include "exp/testbed.hh"
+#include "serve/flexgen_engine.hh"
+#include "serve/uvm_backend.hh"
+#include "workload/generator.hh"
+
+using namespace aqua;
+
+namespace {
+
+std::uint64_t
+runPath(const char *path)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    serve::OffloadBackend *backend = nullptr;
+    std::unique_ptr<serve::UvmBackend> uvm;
+    std::string name = path;
+    if (name == "dram") {
+        backend = &tb.makeDramBackend(0);
+    } else if (name == "uvm") {
+        uvm = std::make_unique<serve::UvmBackend>(tb.server(), 0);
+        backend = uvm.get();
+    } else {
+        core::AquaLibConfig cfg;
+        cfg.useStaging = name != "aqua-unstaged";
+        core::AquaLib &lib = tb.makeAquaLib(0, nullptr, cfg);
+        tb.assign(0, 1);
+        tb.coordinator().lease(1, std::uint64_t(40) << 30);
+        backend = &tb.makeAquaBackend(lib);
+    }
+    serve::FlexGenEngine engine(tb.server(), 0, model::opt30b(),
+                                *backend);
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+    for (int i = 0; i < 20; ++i)
+        engine.submit(traces.longPrompt(8000, 2000));
+    tb.sim().runUntil(sim::secToTicks(600.0));
+    return engine.totalTokens();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablation: offload paths",
+                  "OPT-30B long prompts, tokens in 10 min per "
+                  "offload mechanism");
+    stats::Table table({"path", "tokens/10min", "vs dram"});
+    std::uint64_t base = 0;
+    for (const char *path : {"dram", "uvm", "aqua-unstaged",
+                             "aqua"}) {
+        std::uint64_t tokens = runPath(path);
+        if (std::string(path) == "dram")
+            base = tokens;
+        table.newRow()
+            .cell(path)
+            .cell(tokens)
+            .cell(static_cast<double>(tokens) /
+                      static_cast<double>(base),
+                  2);
+    }
+    bench::show(table);
+    std::printf("note: FlexGen moves its context as one large tensor "
+                "per step, so staging is moot there (aqua == "
+                "aqua-unstaged). Staging matters when the payload is "
+                "scattered, as with per-layer LoRA tensors:\n\n");
+
+    stats::Table lora({"path", "rct_p50_s", "rct_p95_s"});
+    for (exp::OffloadMode mode : {exp::OffloadMode::Dram,
+                                  exp::OffloadMode::AquaUnstaged,
+                                  exp::OffloadMode::Aqua}) {
+        exp::LoraExperimentConfig cfg;
+        cfg.mode = mode;
+        cfg.ratePerSec = 2.0;
+        cfg.numRequests = 150;
+        exp::LoraExperimentResult r = exp::runLoraExperiment(cfg);
+        stats::Summary rct = bench::rctSummary(r.metrics);
+        lora.newRow()
+            .cell(exp::offloadModeName(mode))
+            .cell(rct.median(), 2)
+            .cell(rct.p95(), 2);
+    }
+    bench::show(lora);
+    std::printf("takeaways: fault-driven UVM paging is no better "
+                "than explicit DRAM offload (page-granular PCIe plus "
+                "fault stalls); unstaged NVLink placement helps, but "
+                "gathering the scattered per-layer tensors into one "
+                "large transfer (AQUA's custom kernels, §5) is "
+                "what realizes the full NVLink advantage.\n");
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Ablation: preemption mechanism under the completely fair scheduler.
+ *
+ * vLLM can resolve preemption by recomputation (drop the KV and
+ * re-prefill) instead of swapping. Recompute burns FLOPs
+ * proportional to the context every slice; swapping burns link
+ * bandwidth. This sweep shows where each loses and that AQUA's cheap
+ * swaps dominate both — the quantitative case for paging context
+ * over NVLink rather than regenerating it.
+ */
+
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "exp/testbed.hh"
+#include "serve/vllm_engine.hh"
+#include "workload/generator.hh"
+
+using namespace aqua;
+
+namespace {
+
+struct Outcome
+{
+    double rctP50 = 0.0;
+    double ttftP95 = 0.0;
+    std::uint64_t swaps = 0;
+    std::uint64_t recomputes = 0;
+};
+
+Outcome
+run(serve::PreemptionMode mode, bool useAqua)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    serve::OffloadBackend *backend = nullptr;
+    if (useAqua) {
+        core::AquaLib &lib = tb.makeAquaLib(0);
+        tb.assign(0, 1);
+        tb.coordinator().lease(1, std::uint64_t(55) << 30);
+        backend = &tb.makeAquaBackend(lib);
+    } else {
+        backend = &tb.makeDramBackend(0);
+    }
+    serve::VllmEngineConfig cfg;
+    cfg.preemption = mode;
+    serve::VllmEngine engine(tb.server(), 0, model::codellama34b(),
+                             std::make_unique<serve::CfsPolicy>(),
+                             *backend, cfg);
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+    exp::driveTrace(tb.sim(), engine, traces.codeSummary(5.0, 100));
+    tb.sim().runUntil(sim::secToTicks(4000.0));
+
+    Outcome out;
+    out.rctP50 = bench::rctSummary(engine.finished()).median();
+    out.ttftP95 = bench::ttftSummary(engine.finished()).p95();
+    out.swaps = engine.swapOutCount();
+    out.recomputes = engine.recomputeCount();
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Ablation: preemption mechanism",
+                  "CFS on Codellama-34B at 5 req/s: recompute vs "
+                  "swap-PCIe vs swap-NVLink");
+    stats::Table table({"mechanism", "rct_p50_s", "ttft_p95_s",
+                        "swaps", "recomputes"});
+    struct Case
+    {
+        const char *name;
+        serve::PreemptionMode mode;
+        bool aqua;
+    };
+    const Case cases[] = {
+        {"recompute", serve::PreemptionMode::Recompute, false},
+        {"swap (PCIe/DRAM)", serve::PreemptionMode::Swap, false},
+        {"swap (NVLink/AQUA)", serve::PreemptionMode::Swap, true},
+    };
+    for (const Case &c : cases) {
+        Outcome out = run(c.mode, c.aqua);
+        table.newRow()
+            .cell(c.name)
+            .cell(out.rctP50, 2)
+            .cell(out.ttftP95, 2)
+            .cell(out.swaps)
+            .cell(out.recomputes);
+    }
+    bench::show(table);
+    std::printf("takeaway: fair scheduling needs cheap context "
+                "switches; regenerating context or paging it over "
+                "PCIe both inflate RCT, while NVLink swaps keep the "
+                "CFS overhead small (§5).\n");
+    return 0;
+}

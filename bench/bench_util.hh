@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark harnesses.
+ *
+ * Every bench binary regenerates one table or figure from the paper's
+ * evaluation: it prints the same rows/series the paper reports, plus a
+ * short "paper vs measured" note. Absolute numbers come from a
+ * simulated substrate; the shapes are what must (and do) match.
+ */
+
+#ifndef AQUA_BENCH_BENCH_UTIL_HH
+#define AQUA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "workload/request.hh"
+
+namespace aqua::bench {
+
+/** Print a figure banner. */
+inline void
+banner(const std::string &figure, const std::string &caption)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+    std::printf("==============================================="
+                "=================\n");
+}
+
+/** Print a table. */
+inline void
+show(const stats::Table &table)
+{
+    std::printf("%s\n", table.render().c_str());
+}
+
+/** TTFT summary over finished requests (seconds). */
+inline stats::Summary
+ttftSummary(const std::vector<workload::RequestMetrics> &metrics)
+{
+    stats::Summary s;
+    for (const auto &m : metrics) {
+        if (m.started())
+            s.add(m.ttftSec());
+    }
+    return s;
+}
+
+/** RCT summary over finished requests (seconds). */
+inline stats::Summary
+rctSummary(const std::vector<workload::RequestMetrics> &metrics)
+{
+    stats::Summary s;
+    for (const auto &m : metrics) {
+        if (m.finished())
+            s.add(m.rctSec());
+    }
+    return s;
+}
+
+/** Sorted RCTs in seconds (the paper's Fig. 8/11/12 x-axis). */
+inline std::vector<double>
+sortedRcts(const std::vector<workload::RequestMetrics> &metrics)
+{
+    stats::Summary s = rctSummary(metrics);
+    return s.sorted();
+}
+
+/**
+ * Responsiveness SLO attainment: the fraction of requests whose
+ * first token arrived within @p ttftDeadlineSec (unstarted requests
+ * count as misses).
+ */
+inline double
+sloAttainment(const std::vector<workload::RequestMetrics> &metrics,
+              double ttftDeadlineSec)
+{
+    if (metrics.empty())
+        return 0.0;
+    std::size_t hits = 0;
+    for (const auto &m : metrics) {
+        if (m.started() && m.ttftSec() <= ttftDeadlineSec)
+            ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(metrics.size());
+}
+
+} // namespace aqua::bench
+
+#endif // AQUA_BENCH_BENCH_UTIL_HH

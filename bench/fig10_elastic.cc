@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 10 + Figure 11: elastic AQUA TENSORS under dynamic load.
+ *
+ * A Llama-2-13B producer and an OPT-30B long-prompt consumer share a
+ * 2-GPU server. The producer starts idle and donates its KV pool
+ * (keeping 5 GB); at ~150 s the consumer starts and the producer gets
+ * 100 requests at 1 req/s; at ~400 s a burst of 250 requests at
+ * 5 req/s makes AQUA-LIB reclaim the donation, dropping the consumer
+ * to the DRAM path until the burst drains and the lease returns.
+ *
+ * Fig. 10a: free memory on the producer GPU over time.
+ * Fig. 10b: consumer long-prompt throughput over time (6X when the
+ *           lease is active).
+ * Fig. 11:  sorted producer RCTs with and without AQUA (donating is
+ *           nearly free at low load; the reclaim pause is visible).
+ */
+
+#include "bench/bench_util.hh"
+#include "exp/experiments.hh"
+
+using namespace aqua;
+
+int
+main()
+{
+    bench::banner("Figure 10/11", "dynamic memory sharing: "
+                                  "Llama-2-13B producer + OPT-30B "
+                                  "long-prompt consumer");
+
+    exp::ElasticExperimentConfig cfg;
+    cfg.withAqua = true;
+    exp::ElasticExperimentResult aqua = exp::runElasticExperiment(cfg);
+
+    cfg.withAqua = false;
+    exp::ElasticExperimentResult baseline =
+        exp::runElasticExperiment(cfg);
+
+    std::printf("--- Fig. 10a/10b: timeline (20 s buckets) ---\n");
+    stats::Table timeline({"t_s", "producer_free_gb",
+                           "consumer_tok_per_s"});
+    for (std::size_t i = 0; i + 1 < aqua.producerFreeMemory.size();
+         i += 2) {
+        double freeGb =
+            (aqua.producerFreeMemory[i].value +
+             aqua.producerFreeMemory[i + 1].value) / 2.0 / 1e9;
+        double tput = 0.0;
+        if (i + 1 < aqua.consumerThroughput.size()) {
+            tput = (aqua.consumerThroughput[i].value +
+                    aqua.consumerThroughput[i + 1].value) / 20.0;
+        }
+        timeline.newRow()
+            .cell(static_cast<std::uint64_t>(
+                sim::ticksToSec(aqua.producerFreeMemory[i].when)))
+            .cell(freeGb, 1)
+            .cell(tput, 1);
+    }
+    bench::show(timeline);
+    std::printf("consumer tokens total: %llu\n\n",
+                static_cast<unsigned long long>(aqua.consumerTokens));
+
+    std::printf("--- Fig. 11: producer RCTs, sorted (s) ---\n");
+    std::vector<double> withAqua = bench::sortedRcts(
+        aqua.producerMetrics);
+    std::vector<double> withoutAqua = bench::sortedRcts(
+        baseline.producerMetrics);
+    stats::Table rcts({"percentile", "baseline_s", "aqua_s"});
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+        stats::Summary a;
+        a.add(withoutAqua);
+        stats::Summary b;
+        b.add(withAqua);
+        rcts.newRow()
+            .cell(p, 0)
+            .cell(a.percentile(p), 2)
+            .cell(b.percentile(p), 2);
+    }
+    bench::show(rcts);
+    std::printf("paper: donating costs the producer little at 1 req/s;"
+                " at 5 req/s AQUA pauses briefly to reclaim, then "
+                "matches the baseline. Consumer throughput improves "
+                "6X while the lease is active.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Related work (§9): FlexGen vs DeepSpeed-ZeRO-Inference offloading,
+ * with and without AQUA.
+ *
+ * "Deepspeed-zero is another engine like FlexGen that can execute
+ * models with offloading... FlexGen evaluated Deepspeed and showed
+ * that they perform better because of their more efficient offloading
+ * strategy. Since AQUA can improve FlexGen's performance, similar
+ * benefits can extend to Deepspeed."
+ *
+ * ZeRO streams the whole weight set through the GPU each iteration
+ * (so even >HBM models run); FlexGen keeps weights resident and
+ * offloads only the KV context. Both are offload-bound, so both gain
+ * from routing their traffic over NVLink.
+ */
+
+#include <memory>
+
+#include "bench/bench_util.hh"
+#include "exp/testbed.hh"
+#include "serve/flexgen_engine.hh"
+#include "workload/generator.hh"
+
+using namespace aqua;
+
+namespace {
+
+std::uint64_t
+run(const model::ModelSpec &spec, bool zero, bool useAqua)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    serve::OffloadBackend *backend = nullptr;
+    if (useAqua) {
+        core::AquaLib &lib = tb.makeAquaLib(0);
+        tb.assign(0, 1);
+        // ZeRO parks the full weight set plus KV on the producer.
+        tb.coordinator().lease(1, std::uint64_t(76) << 30);
+        backend = &tb.makeAquaBackend(lib);
+    } else {
+        backend = &tb.makeDramBackend(0);
+    }
+    serve::FlexGenConfig cfg;
+    cfg.streamWeights = zero;
+    serve::FlexGenEngine engine(tb.server(), 0, spec, *backend,
+                                cfg);
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+    for (int i = 0; i < 20; ++i)
+        engine.submit(traces.longPrompt(8000, 2000));
+    tb.sim().runUntil(sim::secToTicks(600.0));
+    return engine.totalTokens();
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Related work (§9)",
+                  "FlexGen (KV offload) vs DeepSpeed-ZeRO (weights "
+                  "stream too), OPT-30B long prompts, 10 min");
+    stats::Table table({"model", "engine", "offload",
+                        "tokens/10min"});
+    model::ModelSpec opt = model::opt30b();
+    table.newRow().cell("OPT-30B").cell("FlexGen").cell("dram")
+        .cell(run(opt, false, false));
+    table.newRow().cell("OPT-30B").cell("FlexGen").cell("aqua")
+        .cell(run(opt, false, true));
+    table.newRow().cell("OPT-30B").cell("DeepSpeed-ZeRO")
+        .cell("dram").cell(run(opt, true, false));
+    table.newRow().cell("OPT-30B").cell("DeepSpeed-ZeRO")
+        .cell("aqua").cell(run(opt, true, true));
+    // Mixtral-8x7B's 93 GB of fp16 weights do not fit an A100-80G:
+    // only weight streaming can serve it at all.
+    model::ModelSpec moe = model::mixtral8x7b();
+    table.newRow().cell("Mixtral-8x7B").cell("DeepSpeed-ZeRO")
+        .cell("dram").cell(run(moe, true, false));
+    table.newRow().cell("Mixtral-8x7B").cell("DeepSpeed-ZeRO")
+        .cell("aqua").cell(run(moe, true, true));
+    bench::show(table);
+    std::printf("paper: FlexGen's KV-only offloading beats ZeRO's "
+                "weight streaming (as FlexGen reported), and AQUA "
+                "lifts both — 'similar benefits can extend to "
+                "Deepspeed'. Mixtral (93 GB fp16) exceeds the GPU's "
+                "HBM entirely, so only weight streaming can serve "
+                "it at all — but 93 GB also exceeds what any single "
+                "producer can lease, so its weights stay on the "
+                "DRAM path: a concrete limit of the paper's "
+                "one-producer-per-consumer design.\n");
+    return 0;
+}

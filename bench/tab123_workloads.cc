@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tables 1-3: the evaluation's model zoo, workloads and serving
+ * engines, annotated with the memory geometry our substrate derives
+ * (weight bytes, KV bytes/token, and the R_m requirement
+ * AQUA-PLACER consumes).
+ */
+
+#include "bench/bench_util.hh"
+#include "exp/experiments.hh"
+#include "model/model_spec.hh"
+
+using namespace aqua;
+
+namespace {
+
+struct RowSpec
+{
+    const char *model;
+    const char *workload;
+    const char *engine;
+    bool producer;
+};
+
+void
+printTable(const char *title, const std::vector<RowSpec> &rows)
+{
+    std::printf("--- %s ---\n", title);
+    stats::Table table({"model", "workload", "serving engine",
+                        "modality", "weights_gb", "kv_kb_per_tok",
+                        "R_m_gb"});
+    for (const RowSpec &r : rows) {
+        model::ModelSpec spec = model::presetByName(r.model);
+        table.newRow()
+            .cell(r.model)
+            .cell(r.workload)
+            .cell(r.engine)
+            .cell(model::modalityName(spec.modality))
+            .cell(static_cast<double>(spec.weightBytes()) / 1e9, 1)
+            .cell(static_cast<double>(spec.kvBytesPerToken()) /
+                      1024.0, 1)
+            .cell(static_cast<double>(exp::modelMemoryRequirement(
+                      r.model, r.producer)) / 1e9, 1);
+    }
+    bench::show(table);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    bench::banner("Tables 1-3", "evaluation workloads and roles");
+    printTable("Table 1: LLM jobs with GPU memory deficit "
+               "(consumers)",
+               {{"OPT-30B", "Long-prompt inference", "FlexGen",
+                 false},
+                {"Mistral-7B", "LoRA adapters", "vLLM", false},
+                {"Codellama-34B", "Code summary", "vLLM + CFS",
+                 false}});
+    printTable("Table 2: LLM jobs with excess memory (producers)",
+               {{"Mistral-7B", "ShareGPT", "vLLM", true},
+                {"Llama-2-13B", "ShareGPT", "vLLM", true}});
+    printTable("Table 3: image and audio jobs (producers)",
+               {{"StableDiffusion", "Parti prompts", "Diffusers",
+                 true},
+                {"StableDiffusion-XL", "Parti prompts", "Diffusers",
+                 true},
+                {"Kandinsky", "Parti prompts", "Diffusers", true},
+                {"MusicGen", "Audio descriptions", "PyTorch", true},
+                {"AudioGen", "Audio descriptions", "PyTorch",
+                 true}});
+    return 0;
+}

@@ -1,0 +1,356 @@
+#include "aqua/aqua_lib.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace aqua::core {
+
+using namespace aqua::sim;
+using json::Value;
+
+AquaLib::AquaLib(hw::Server &server, hw::GpuId gpu,
+                 CoordinatorRestService &service, AquaLibConfig config,
+                 std::unique_ptr<Informer> informer)
+    : server(server), myGpu(gpu), service(service), cfg(config),
+      policy(std::move(informer)),
+      staging(server.gpu(gpu).spec())
+{
+}
+
+AquaLib::~AquaLib()
+{
+    // Free local backing resources; coordinator-side state is dropped
+    // with the coordinator itself at teardown.
+    for (auto &[id, t] : tensors) {
+        if (t.dramRegion)
+            server.dram().allocator().free(*t.dramRegion);
+    }
+    if (stagingRegion)
+        server.gpu(myGpu).hbm().free(*stagingRegion);
+    if (leaseRegion)
+        server.gpu(myGpu).hbm().free(*leaseRegion);
+}
+
+void
+AquaLib::traceEvent(const char *category, Value fields)
+{
+    if (!tracer)
+        return;
+    fields["gpu"] = myGpu;
+    tracer->emit(server.simulation().now(), category,
+                 std::move(fields));
+}
+
+Value
+AquaLib::call(const std::string &route, Value body)
+{
+    ++counters.restCalls;
+    RestResponse resp = service.router().dispatch(route, body);
+    if (!resp.ok()) {
+        panic("AquaLib(gpu%d): %s failed: %s", myGpu, route.c_str(),
+              resp.body.dump().c_str());
+    }
+    return std::move(resp.body);
+}
+
+std::optional<aqua::mem::Region>
+AquaLib::allocDram(std::uint64_t bytes)
+{
+    return server.dram().allocator().allocate(bytes);
+}
+
+const AquaLib::TensorRec &
+AquaLib::rec(TensorId id) const
+{
+    auto it = tensors.find(id);
+    if (it == tensors.end())
+        panic("AquaLib(gpu%d): unknown tensor %llu", myGpu,
+              static_cast<unsigned long long>(id));
+    return it->second;
+}
+
+AquaLib::TensorRec &
+AquaLib::rec(TensorId id)
+{
+    return const_cast<TensorRec &>(
+        static_cast<const AquaLib *>(this)->rec(id));
+}
+
+std::optional<TensorId>
+AquaLib::allocateTensor(std::uint64_t bytes)
+{
+    Value req;
+    req["gpu"] = myGpu;
+    req["bytes"] = static_cast<std::int64_t>(bytes);
+    Value resp = call("POST /allocate", std::move(req));
+
+    TensorRec t;
+    t.bytes = bytes;
+    TensorId id = static_cast<TensorId>(resp.getInt("tensor", 0));
+    if (resp.getString("placement", "dram") == "peer") {
+        t.location.placement = Placement::PeerGpu;
+        t.location.gpu = static_cast<hw::GpuId>(
+            resp.getInt("peer", hw::hostDramId));
+    } else {
+        t.location.placement = Placement::HostDram;
+        t.location.gpu = hw::hostDramId;
+        t.dramRegion = allocDram(bytes);
+        if (!t.dramRegion) {
+            // Even the fallback is exhausted; undo the allocation.
+            Value freeReq;
+            freeReq["tensor"] = static_cast<std::int64_t>(id);
+            call("POST /free", std::move(freeReq));
+            return std::nullopt;
+        }
+    }
+    tensors[id] = t;
+    ++counters.tensorsAllocated;
+    {
+        Value ev;
+        ev["tensor"] = static_cast<std::int64_t>(id);
+        ev["bytes"] = static_cast<std::int64_t>(bytes);
+        ev["location"] = t.location.describe();
+        traceEvent("allocate", std::move(ev));
+    }
+    return id;
+}
+
+void
+AquaLib::freeTensor(TensorId id)
+{
+    TensorRec &t = rec(id);
+    if (t.dramRegion)
+        server.dram().allocator().free(*t.dramRegion);
+    tensors.erase(id);
+    Value req;
+    req["tensor"] = static_cast<std::int64_t>(id);
+    call("POST /free", std::move(req));
+    Value ev;
+    ev["tensor"] = static_cast<std::int64_t>(id);
+    traceEvent("free", std::move(ev));
+}
+
+hw::TransferTiming
+AquaLib::transferOut(const TensorRec &t, std::uint64_t bytes,
+                     std::uint64_t nChunks, Tick earliest)
+{
+    hw::Gpu &gpu = server.gpu(myGpu);
+    hw::Topology &topo = server.topology();
+    hw::GpuId dst = t.location.placement == Placement::PeerGpu
+                        ? t.location.gpu : hw::hostDramId;
+    if (cfg.useStaging && nChunks > 1) {
+        if (!stagingRegion)
+            stagingRegion = gpu.hbm().allocate(cfg.stagingBytes);
+        // Gather the scattered chunks on-device, then one big copy.
+        Tick gathered = gpu.submitComputeAfter(
+            earliest, staging.gatherTime(bytes));
+        return topo.copy(myGpu, dst, bytes, {}, gathered);
+    }
+    if (nChunks <= 1)
+        return topo.copy(myGpu, dst, bytes, {}, earliest);
+    std::uint64_t chunk = bytes / nChunks;
+    if (chunk == 0)
+        chunk = 1;
+    return topo.copyChunked(myGpu, dst, chunk, nChunks, {}, earliest);
+}
+
+hw::TransferTiming
+AquaLib::transferIn(const TensorRec &t, std::uint64_t bytes,
+                    std::uint64_t nChunks, Tick earliest)
+{
+    hw::Gpu &gpu = server.gpu(myGpu);
+    hw::Topology &topo = server.topology();
+    hw::GpuId src = t.location.placement == Placement::PeerGpu
+                        ? t.location.gpu : hw::hostDramId;
+    if (cfg.useStaging && nChunks > 1) {
+        if (!stagingRegion)
+            stagingRegion = gpu.hbm().allocate(cfg.stagingBytes);
+        hw::TransferTiming copy = topo.copy(src, myGpu, bytes, {},
+                                            earliest);
+        // Scatter the staged payload into place after it lands.
+        Tick done = gpu.submitComputeAfter(copy.complete,
+                                           staging.scatterTime(bytes));
+        return hw::TransferTiming{copy.start, done};
+    }
+    if (nChunks <= 1)
+        return topo.copy(src, myGpu, bytes, {}, earliest);
+    std::uint64_t chunk = bytes / nChunks;
+    if (chunk == 0)
+        chunk = 1;
+    return topo.copyChunked(src, myGpu, chunk, nChunks, {}, earliest);
+}
+
+hw::TransferTiming
+AquaLib::writeTensor(TensorId id, std::uint64_t bytes,
+                     std::uint64_t nChunks, Tick earliest)
+{
+    const TensorRec &t = rec(id);
+    if (bytes > t.bytes)
+        panic("AquaLib::writeTensor: write of %llu exceeds tensor "
+              "size %llu", static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(t.bytes));
+    if (t.location.placement == Placement::PeerGpu)
+        counters.bytesToPeer += bytes;
+    else
+        counters.bytesToDram += bytes;
+    return transferOut(t, bytes, nChunks, earliest);
+}
+
+hw::TransferTiming
+AquaLib::readTensor(TensorId id, std::uint64_t bytes,
+                    std::uint64_t nChunks, Tick earliest)
+{
+    const TensorRec &t = rec(id);
+    if (bytes > t.bytes)
+        panic("AquaLib::readTensor: read of %llu exceeds tensor size "
+              "%llu", static_cast<unsigned long long>(bytes),
+              static_cast<unsigned long long>(t.bytes));
+    if (t.location.placement == Placement::PeerGpu)
+        counters.bytesFromPeer += bytes;
+    else
+        counters.bytesFromDram += bytes;
+    return transferIn(t, bytes, nChunks, earliest);
+}
+
+Tick
+AquaLib::respond()
+{
+    Value req;
+    req["gpu"] = myGpu;
+    Value resp = call("POST /respond", std::move(req));
+    Tick blocked = server.simulation().now() + cfg.restLatency;
+
+    const Value *orders = resp.find("orders");
+    if (!orders || !orders->isArray())
+        return blocked;
+    for (const Value &entry : orders->asArray()) {
+        MigrationOrder order = orderFromJson(entry);
+        TensorRec &t = rec(order.tensor);
+        hw::Topology &topo = server.topology();
+        hw::TransferTiming timing;
+        if (order.to.placement == Placement::HostDram) {
+            // Evacuation: producer GPU -> DRAM over the producer's
+            // PCIe; the consumer blocks while releasing memory (§B).
+            auto region = allocDram(order.bytes);
+            if (!region) {
+                panic("AquaLib(gpu%d): DRAM exhausted during reclaim",
+                      myGpu);
+            }
+            timing = topo.copy(order.from.gpu, hw::hostDramId,
+                               order.bytes);
+            t.dramRegion = region;
+        } else {
+            // Promotion: DRAM -> producer lease over the producer's
+            // PCIe ingress.
+            timing = topo.copy(hw::hostDramId, order.to.gpu,
+                               order.bytes);
+            if (t.dramRegion) {
+                server.dram().allocator().free(*t.dramRegion);
+                t.dramRegion.reset();
+            }
+        }
+        t.location = order.to;
+        ++t.generation;
+        ++counters.migrations;
+        if (timing.complete > blocked)
+            blocked = timing.complete;
+        call("POST /done_moving", orderToJson(order));
+        Value ev;
+        ev["tensor"] = static_cast<std::int64_t>(order.tensor);
+        ev["bytes"] = static_cast<std::int64_t>(order.bytes);
+        ev["from"] = order.from.describe();
+        ev["to"] = order.to.describe();
+        traceEvent("migrate", std::move(ev));
+    }
+    return blocked;
+}
+
+Location
+AquaLib::tensorLocation(TensorId id) const
+{
+    return rec(id).location;
+}
+
+std::uint64_t
+AquaLib::tensorGeneration(TensorId id) const
+{
+    return rec(id).generation;
+}
+
+std::int64_t
+AquaLib::informStats(const EngineStats &stats)
+{
+    if (!policy)
+        return 0;
+
+    if (reclaiming) {
+        // Poll /reclaim_status until the consumers have vacated.
+        Value req;
+        req["gpu"] = myGpu;
+        Value resp = call("GET /reclaim_status", std::move(req));
+        if (!resp.getBool("complete", false))
+            return 0;
+        Value rel;
+        rel["gpu"] = myGpu;
+        call("POST /release_lease", std::move(rel));
+        if (leaseRegion) {
+            server.gpu(myGpu).hbm().free(*leaseRegion);
+            leaseRegion.reset();
+        }
+        std::int64_t granted = static_cast<std::int64_t>(leaseBytes);
+        leaseBytes = 0;
+        donated = false;
+        reclaiming = false;
+        Value ev;
+        ev["bytes"] = granted;
+        traceEvent("reclaim_complete", std::move(ev));
+        return granted;
+    }
+
+    InformerDecision decision = policy->evaluate(stats, donated);
+    switch (decision.action) {
+      case InformerDecision::Action::None:
+        return 0;
+      case InformerDecision::Action::Donate:
+        pendingDonate = decision.donateBytes;
+        return -static_cast<std::int64_t>(decision.donateBytes);
+      case InformerDecision::Action::Reclaim: {
+        Value req;
+        req["gpu"] = myGpu;
+        call("POST /reclaim_request", std::move(req));
+        reclaiming = true;
+        traceEvent("reclaim_request", Value(json::Object{}));
+        return 0;
+      }
+    }
+    return 0;
+}
+
+void
+AquaLib::confirmDonate(std::uint64_t bytes)
+{
+    if (bytes == 0) {
+        pendingDonate = 0;
+        return;
+    }
+    auto region = server.gpu(myGpu).hbm().allocate(bytes);
+    if (!region) {
+        panic("AquaLib(gpu%d): confirmDonate(%llu) but HBM has no "
+              "such free region", myGpu,
+              static_cast<unsigned long long>(bytes));
+    }
+    leaseRegion = region;
+    leaseBytes = bytes;
+    donated = true;
+    pendingDonate = 0;
+    Value req;
+    req["gpu"] = myGpu;
+    req["bytes"] = static_cast<std::int64_t>(bytes);
+    call("POST /lease", std::move(req));
+    Value ev;
+    ev["bytes"] = static_cast<std::int64_t>(bytes);
+    traceEvent("lease", std::move(ev));
+}
+
+} // namespace aqua::core

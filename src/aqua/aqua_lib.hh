@@ -1,0 +1,248 @@
+/**
+ * @file
+ * AQUA-LIB: the per-GPU memory-management library (§3, §B).
+ *
+ * One AquaLib instance runs on each GPU of a multi-GPU server.
+ *
+ *  - The *northbound* interface faces the serving engine:
+ *    informStats() feeds engine-level workload insights to the control
+ *    loop; its return value tells the engine how much to grow (+) or
+ *    shrink (-) its reserved context pool. confirmDonate() completes a
+ *    donation after the engine has shrunk its pool.
+ *  - The *southbound* interface talks to the central coordinator via
+ *    the REST endpoints (we dispatch real JSON payloads through the
+ *    same routes the paper names).
+ *  - The *consumer control loop* manages AQUA TENSORS: allocation
+ *    (placement decided by the coordinator: assigned producer's lease
+ *    or the host-DRAM fallback), reads and writes (with gather/scatter
+ *    staging to keep NVLink transfers large), and respond(), which the
+ *    engine calls at iteration boundaries to let in-flight migrations
+ *    settle — the paper's aqua.respond().
+ *  - The *producer control loop* donates spare HBM and reclaims it
+ *    when the informer says the workload needs it back.
+ */
+
+#ifndef AQUA_AQUA_AQUA_LIB_HH
+#define AQUA_AQUA_AQUA_LIB_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "aqua/informer.hh"
+#include "aqua/rest.hh"
+#include "aqua/staging.hh"
+#include "aqua/types.hh"
+#include "hw/server.hh"
+#include "mem/region_allocator.hh"
+#include "sim/ticks.hh"
+#include "trace/trace.hh"
+
+namespace aqua::core {
+
+/** Tunables of one AquaLib instance. */
+struct AquaLibConfig
+{
+    /** Modelled latency of one coordinator REST round trip. */
+    aqua::sim::Tick restLatency = 200 * aqua::sim::nsPerUs;
+    /** Staging buffer carved from local HBM for gather/scatter. */
+    std::uint64_t stagingBytes = std::uint64_t(512) << 20;
+    /**
+     * Whether to gather scattered chunks into one large transfer
+     * (AQUA's custom kernels) or naively issue per-chunk copies.
+     * Disabling this reproduces the paper's negative result that
+     * naive NVLink offloads beat PCIe only marginally (§2.3).
+     */
+    bool useStaging = true;
+};
+
+/** Counters exposed for benches and tests. */
+struct AquaLibStats
+{
+    std::uint64_t bytesToPeer = 0;
+    std::uint64_t bytesToDram = 0;
+    std::uint64_t bytesFromPeer = 0;
+    std::uint64_t bytesFromDram = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t restCalls = 0;
+    std::uint64_t tensorsAllocated = 0;
+};
+
+/**
+ * Per-GPU AQUA-LIB instance.
+ */
+class AquaLib
+{
+  public:
+    /**
+     * @param server The multi-GPU server this GPU belongs to.
+     * @param gpu This instance's GPU.
+     * @param service The server's coordinator REST service.
+     * @param config Tunables.
+     * @param informer Producer policy; nullptr for pure consumers.
+     */
+    AquaLib(hw::Server &server, hw::GpuId gpu,
+            CoordinatorRestService &service, AquaLibConfig config = {},
+            std::unique_ptr<Informer> informer = nullptr);
+
+    AquaLib(const AquaLib &) = delete;
+    AquaLib &operator=(const AquaLib &) = delete;
+    ~AquaLib();
+
+    hw::GpuId gpuId() const { return myGpu; }
+    const AquaLibStats &stats() const { return counters; }
+    const AquaLibConfig &config() const { return cfg; }
+
+    /**
+     * Attach a control-plane audit log; every allocation, lease,
+     * migration and reclaim this instance performs is recorded.
+     * Pass nullptr to detach. Not owned.
+     */
+    void setTraceLog(trace::TraceLog *log) { tracer = log; }
+
+    //
+    // Consumer control loop.
+    //
+
+    /**
+     * Allocate an AQUA TENSOR of @p bytes. Placement (peer lease or
+     * DRAM fallback) is the coordinator's call.
+     *
+     * @return Tensor id, or nullopt when even the DRAM fallback is
+     *         exhausted.
+     */
+    std::optional<TensorId> allocateTensor(std::uint64_t bytes);
+
+    /** Free an AQUA TENSOR. */
+    void freeTensor(TensorId id);
+
+    /**
+     * Write @p bytes of data, scattered across @p nChunks pieces on the
+     * local GPU, into the tensor's backing store. With staging enabled
+     * the chunks are gathered by a kernel and shipped as one transfer;
+     * otherwise each chunk is copied individually.
+     *
+     * @param earliest Data available no sooner than this tick; 0=now.
+     * @return Transfer timing; the caller blocks until .complete.
+     */
+    hw::TransferTiming writeTensor(TensorId id, std::uint64_t bytes,
+                                   std::uint64_t nChunks,
+                                   aqua::sim::Tick earliest = 0);
+
+    /** Read back @p bytes into @p nChunks scattered local pieces. */
+    hw::TransferTiming readTensor(TensorId id, std::uint64_t bytes,
+                                  std::uint64_t nChunks,
+                                  aqua::sim::Tick earliest = 0);
+
+    /**
+     * aqua.respond(): called by the engine at iteration boundaries.
+     * Executes pending migration orders (reclaim evacuations and
+     * opportunistic promotions).
+     *
+     * @return Tick until which the inference loop is blocked.
+     */
+    aqua::sim::Tick respond();
+
+    /** Current physical location of a tensor. */
+    Location tensorLocation(TensorId id) const;
+
+    /**
+     * Generation counter of a tensor; bumped on every migration. A
+     * reference captured before a migration is stale — dereferencing
+     * it would be the "segmentation fault" hazard §B describes.
+     */
+    std::uint64_t tensorGeneration(TensorId id) const;
+
+    /** Number of tensors this instance currently owns. */
+    std::size_t ownedTensors() const { return tensors.size(); }
+
+    //
+    // Producer control loop (northbound interface).
+    //
+
+    /**
+     * inform_stats(...): digest engine insights.
+     *
+     * @return Pool-size delta for the engine: negative asks the engine
+     *         to shrink (donate), positive grants it memory back after
+     *         a completed reclaim, zero means no change.
+     */
+    std::int64_t informStats(const EngineStats &stats);
+
+    /**
+     * The engine confirms it shrank its pool by @p bytes; AquaLib
+     * allocates the freed HBM as the lease region and registers the
+     * offer with the coordinator.
+     */
+    void confirmDonate(std::uint64_t bytes);
+
+    /** Whether a lease is currently outstanding. */
+    bool hasDonated() const { return donated; }
+
+    /** Whether a reclaim is in flight. */
+    bool reclaimInProgress() const { return reclaiming; }
+
+    /** Bytes currently leased out by this GPU. */
+    std::uint64_t leasedBytes() const { return leaseBytes; }
+
+    /** The informer, if any (exposed for tests). */
+    Informer *informer() { return policy.get(); }
+
+  private:
+    struct TensorRec
+    {
+        std::uint64_t bytes = 0;
+        std::uint64_t generation = 0;
+        Location location;
+        /** Backing DRAM region while in HostDram. */
+        std::optional<aqua::mem::Region> dramRegion;
+    };
+
+    /** Dispatch a coordinator call and panic on non-OK status. */
+    json::Value call(const std::string &route, json::Value body);
+
+    /** Emit an audit event if a trace log is attached. */
+    void traceEvent(const char *category, json::Value fields);
+
+    /** Allocate DRAM backing for a tensor; nullopt when DRAM full. */
+    std::optional<aqua::mem::Region> allocDram(std::uint64_t bytes);
+
+    const TensorRec &rec(TensorId id) const;
+    TensorRec &rec(TensorId id);
+
+    hw::TransferTiming transferOut(const TensorRec &t,
+                                   std::uint64_t bytes,
+                                   std::uint64_t nChunks,
+                                   aqua::sim::Tick earliest);
+    hw::TransferTiming transferIn(const TensorRec &t,
+                                  std::uint64_t bytes,
+                                  std::uint64_t nChunks,
+                                  aqua::sim::Tick earliest);
+
+    hw::Server &server;
+    hw::GpuId myGpu;
+    CoordinatorRestService &service;
+    AquaLibConfig cfg;
+    std::unique_ptr<Informer> policy;
+    StagingModel staging;
+    /** Staging buffer region on local HBM (allocated lazily). */
+    std::optional<aqua::mem::Region> stagingRegion;
+
+    std::map<TensorId, TensorRec> tensors;
+
+    // Producer state.
+    bool donated = false;
+    bool reclaiming = false;
+    std::uint64_t leaseBytes = 0;
+    std::optional<aqua::mem::Region> leaseRegion;
+    std::uint64_t pendingDonate = 0;
+
+    AquaLibStats counters;
+    trace::TraceLog *tracer = nullptr;
+};
+
+} // namespace aqua::core
+
+#endif // AQUA_AQUA_AQUA_LIB_HH

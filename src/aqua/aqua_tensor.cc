@@ -1,0 +1,88 @@
+#include "aqua/aqua_tensor.hh"
+
+#include "sim/logging.hh"
+
+namespace aqua::core {
+
+using aqua::sim::panic;
+
+AquaTensor::AquaTensor(AquaLib &lib, std::uint64_t bytes)
+    : lib(&lib), _bytes(bytes)
+{
+    auto id = lib.allocateTensor(bytes);
+    if (!id) {
+        panic("AquaTensor: allocation of %llu bytes failed even with "
+              "the DRAM fallback",
+              static_cast<unsigned long long>(bytes));
+    }
+    _id = *id;
+}
+
+AquaTensor::AquaTensor(AquaTensor &&other) noexcept
+    : lib(other.lib), _id(other._id), _bytes(other._bytes)
+{
+    other.lib = nullptr;
+    other._id = invalidTensor;
+}
+
+AquaTensor &
+AquaTensor::operator=(AquaTensor &&other) noexcept
+{
+    if (this != &other) {
+        if (lib && _id != invalidTensor)
+            lib->freeTensor(_id);
+        lib = other.lib;
+        _id = other._id;
+        _bytes = other._bytes;
+        other.lib = nullptr;
+        other._id = invalidTensor;
+    }
+    return *this;
+}
+
+AquaTensor::~AquaTensor()
+{
+    if (lib && _id != invalidTensor)
+        lib->freeTensor(_id);
+}
+
+AquaTensor::Ref
+AquaTensor::resolve() const
+{
+    Ref ref;
+    ref.location = lib->tensorLocation(_id);
+    ref.generation = lib->tensorGeneration(_id);
+    return ref;
+}
+
+bool
+AquaTensor::valid(const Ref &ref) const
+{
+    return ref.generation == lib->tensorGeneration(_id);
+}
+
+void
+AquaTensor::checkAccess(const Ref &ref) const
+{
+    if (!valid(ref)) {
+        panic("AquaTensor %llu: access through a stale reference "
+              "(tensor migrated %s since resolve); call resolve() "
+              "after aqua.respond()",
+              static_cast<unsigned long long>(_id),
+              lib->tensorLocation(_id).describe().c_str());
+    }
+}
+
+hw::TransferTiming
+AquaTensor::write(std::uint64_t bytes, std::uint64_t nChunks)
+{
+    return lib->writeTensor(_id, bytes, nChunks);
+}
+
+hw::TransferTiming
+AquaTensor::read(std::uint64_t bytes, std::uint64_t nChunks)
+{
+    return lib->readTensor(_id, bytes, nChunks);
+}
+
+} // namespace aqua::core

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * AQUA TENSOR: the migratable offloaded-tensor abstraction (§3, §B).
+ *
+ * The paper wraps PyTorch tensors so their physical location can
+ * change without the model holding a dangling pointer:
+ * to_responsive_tensor() wraps an existing tensor, to_torch_tensor()
+ * returns the *current* pointer, and aqua.respond() at iteration
+ * boundaries is the only point where locations may change. Here the
+ * wrapper is an RAII handle over AquaLib with the same contract:
+ * resolve() hands out a reference stamped with a generation counter,
+ * and using a reference issued before a migration is detected as a
+ * stale access (the "segmentation fault" hazard of §B).
+ */
+
+#ifndef AQUA_AQUA_AQUA_TENSOR_HH
+#define AQUA_AQUA_AQUA_TENSOR_HH
+
+#include <cstdint>
+
+#include "aqua/aqua_lib.hh"
+#include "aqua/types.hh"
+
+namespace aqua::core {
+
+/**
+ * RAII handle over an offloaded AQUA TENSOR.
+ */
+class AquaTensor
+{
+  public:
+    /**
+     * A resolved reference, as returned by to_torch_tensor(): the
+     * tensor's location at resolution time plus the generation stamp
+     * that validates it.
+     */
+    struct Ref
+    {
+        Location location;
+        std::uint64_t generation = 0;
+    };
+
+    /**
+     * to_responsive_tensor(): allocate an offloaded tensor of
+     * @p bytes. Panics if even the DRAM fallback is exhausted.
+     */
+    AquaTensor(AquaLib &lib, std::uint64_t bytes);
+
+    AquaTensor(const AquaTensor &) = delete;
+    AquaTensor &operator=(const AquaTensor &) = delete;
+    AquaTensor(AquaTensor &&other) noexcept;
+    AquaTensor &operator=(AquaTensor &&other) noexcept;
+
+    /** Frees the offloaded storage. */
+    ~AquaTensor();
+
+    TensorId id() const { return _id; }
+    std::uint64_t bytes() const { return _bytes; }
+
+    /** to_torch_tensor(): resolve the current location. */
+    Ref resolve() const;
+
+    /** Whether a previously resolved reference is still valid. */
+    bool valid(const Ref &ref) const;
+
+    /**
+     * Access the tensor through a resolved reference; panics when the
+     * reference is stale (a migration happened since resolve()).
+     */
+    void checkAccess(const Ref &ref) const;
+
+    /** Write @p bytes (in @p nChunks scattered pieces) to the tensor. */
+    hw::TransferTiming write(std::uint64_t bytes,
+                             std::uint64_t nChunks = 1);
+
+    /** Read @p bytes back to the owning GPU. */
+    hw::TransferTiming read(std::uint64_t bytes,
+                            std::uint64_t nChunks = 1);
+
+  private:
+    AquaLib *lib = nullptr;
+    TensorId _id = invalidTensor;
+    std::uint64_t _bytes = 0;
+};
+
+} // namespace aqua::core
+
+#endif // AQUA_AQUA_AQUA_TENSOR_HH

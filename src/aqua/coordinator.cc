@@ -1,0 +1,251 @@
+#include "aqua/coordinator.hh"
+
+#include "sim/logging.hh"
+
+namespace aqua::core {
+
+using aqua::sim::panic;
+
+void
+Coordinator::assignProducer(hw::GpuId consumer, hw::GpuId producer)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    assignments[consumer] = producer;
+}
+
+std::optional<hw::GpuId>
+Coordinator::producerFor(hw::GpuId consumer) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = assignments.find(consumer);
+    if (it == assignments.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+Coordinator::lease(hw::GpuId producer, std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    ProducerState &p = producers[producer];
+    p.leasedBytes += bytes;
+    p.reclaimRequested = false;
+}
+
+void
+Coordinator::requestReclaim(hw::GpuId producer)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = producers.find(producer);
+    if (it == producers.end())
+        panic("Coordinator::requestReclaim: unknown producer %d",
+              producer);
+    it->second.reclaimRequested = true;
+}
+
+bool
+Coordinator::reclaimComplete(hw::GpuId producer) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = producers.find(producer);
+    if (it == producers.end())
+        return true;
+    return it->second.usedBytes == 0;
+}
+
+void
+Coordinator::releaseLease(hw::GpuId producer)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = producers.find(producer);
+    if (it == producers.end())
+        return;
+    if (it->second.usedBytes != 0)
+        panic("Coordinator::releaseLease: producer %d still holds "
+              "%llu tensor bytes", producer,
+              static_cast<unsigned long long>(it->second.usedBytes));
+    producers.erase(it);
+}
+
+ProducerState
+Coordinator::producerState(hw::GpuId producer) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = producers.find(producer);
+    if (it == producers.end())
+        return ProducerState{};
+    return it->second;
+}
+
+Coordinator::Allocation
+Coordinator::allocateLocked(hw::GpuId consumer, std::uint64_t bytes)
+{
+    Location loc;
+    auto assigned = assignments.find(consumer);
+    if (assigned != assignments.end()) {
+        auto pit = producers.find(assigned->second);
+        if (pit != producers.end() && !pit->second.reclaimRequested &&
+            pit->second.usedBytes + bytes <= pit->second.leasedBytes) {
+            loc.placement = Placement::PeerGpu;
+            loc.gpu = assigned->second;
+            pit->second.usedBytes += bytes;
+        }
+    }
+    // Fallback: host DRAM, "just like previous work" (§3).
+    TensorState state;
+    state.id = nextTensor++;
+    state.consumer = consumer;
+    state.bytes = bytes;
+    state.location = loc;
+    tensors[state.id] = state;
+    return Allocation{state.id, loc};
+}
+
+Coordinator::Allocation
+Coordinator::allocate(hw::GpuId consumer, std::uint64_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return allocateLocked(consumer, bytes);
+}
+
+void
+Coordinator::free(TensorId id)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = tensors.find(id);
+    if (it == tensors.end())
+        panic("Coordinator::free: unknown tensor %llu",
+              static_cast<unsigned long long>(id));
+    const TensorState &t = it->second;
+    if (t.migratingTo)
+        panic("Coordinator::free: tensor %llu is mid-migration",
+              static_cast<unsigned long long>(id));
+    if (t.location.placement == Placement::PeerGpu) {
+        auto pit = producers.find(t.location.gpu);
+        if (pit == producers.end())
+            panic("Coordinator::free: tensor on unknown producer");
+        pit->second.usedBytes -= t.bytes;
+    }
+    tensors.erase(it);
+}
+
+std::vector<MigrationOrder>
+Coordinator::respond(hw::GpuId consumer)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::vector<MigrationOrder> orders;
+
+    // Pass 1: evacuate tensors sitting on reclaiming producers.
+    for (auto &[id, t] : tensors) {
+        if (t.consumer != consumer || t.migratingTo)
+            continue;
+        if (t.location.placement != Placement::PeerGpu)
+            continue;
+        auto pit = producers.find(t.location.gpu);
+        if (pit == producers.end() || !pit->second.reclaimRequested)
+            continue;
+        MigrationOrder order;
+        order.tensor = id;
+        order.bytes = t.bytes;
+        order.from = t.location;
+        order.to = Location{Placement::HostDram, hw::hostDramId};
+        t.migratingTo = order.to;
+        orders.push_back(order);
+    }
+
+    // Pass 2: promote DRAM tensors back onto the assigned producer's
+    // lease while it has room.
+    auto assigned = assignments.find(consumer);
+    if (assigned != assignments.end()) {
+        auto pit = producers.find(assigned->second);
+        if (pit != producers.end() && !pit->second.reclaimRequested) {
+            ProducerState &p = pit->second;
+            for (auto &[id, t] : tensors) {
+                if (t.consumer != consumer || t.migratingTo)
+                    continue;
+                if (t.location.placement != Placement::HostDram)
+                    continue;
+                if (p.usedBytes + t.bytes > p.leasedBytes)
+                    continue;
+                MigrationOrder order;
+                order.tensor = id;
+                order.bytes = t.bytes;
+                order.from = t.location;
+                order.to =
+                    Location{Placement::PeerGpu, assigned->second};
+                // Reserve destination space immediately so concurrent
+                // allocations cannot oversubscribe the lease.
+                p.usedBytes += t.bytes;
+                t.migratingTo = order.to;
+                orders.push_back(order);
+            }
+        }
+    }
+    return orders;
+}
+
+void
+Coordinator::doneMoving(const MigrationOrder &order)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = tensors.find(order.tensor);
+    if (it == tensors.end())
+        panic("Coordinator::doneMoving: unknown tensor %llu",
+              static_cast<unsigned long long>(order.tensor));
+    TensorState &t = it->second;
+    if (!t.migratingTo || !(*t.migratingTo == order.to))
+        panic("Coordinator::doneMoving: order does not match the "
+              "in-flight migration");
+    // Release the source's lease bytes if it was on a producer.
+    if (t.location.placement == Placement::PeerGpu) {
+        auto pit = producers.find(t.location.gpu);
+        if (pit == producers.end())
+            panic("Coordinator::doneMoving: unknown source producer");
+        pit->second.usedBytes -= t.bytes;
+    }
+    t.location = order.to;
+    t.migratingTo.reset();
+}
+
+Location
+Coordinator::tensorLocation(TensorId id) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = tensors.find(id);
+    if (it == tensors.end())
+        panic("Coordinator::tensorLocation: unknown tensor %llu",
+              static_cast<unsigned long long>(id));
+    return it->second.location;
+}
+
+std::size_t
+Coordinator::liveTensors() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return tensors.size();
+}
+
+std::uint64_t
+Coordinator::bytesOnProducers() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::uint64_t total = 0;
+    for (const auto &[gpu, p] : producers)
+        total += p.usedBytes;
+    return total;
+}
+
+std::uint64_t
+Coordinator::bytesInDram() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    std::uint64_t total = 0;
+    for (const auto &[id, t] : tensors) {
+        if (t.location.placement == Placement::HostDram &&
+            !t.migratingTo)
+            total += t.bytes;
+    }
+    return total;
+}
+
+} // namespace aqua::core

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The AQUA central coordinator (§3).
+ *
+ * One coordinator runs per fast inter-GPU domain (server). It keeps a
+ * thread-safe registry of HBM producers (GPUs that leased out spare
+ * memory), consumers, and the AQUA TENSORS allocated against those
+ * leases. Per §4, the placer assigns each consumer exactly one
+ * producer, so allocation never shares a producer's NVLink bandwidth
+ * across consumers.
+ *
+ * The coordinator exposes the same endpoints as the paper's REST API
+ * (/lease, /allocate, /free, /respond, /reclaim_request,
+ * /reclaim_status) via aqua::core::RestRouter; this header is the
+ * direct (in-process) interface underneath those endpoints.
+ */
+
+#ifndef AQUA_AQUA_COORDINATOR_HH
+#define AQUA_AQUA_COORDINATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "aqua/types.hh"
+#include "hw/gpu.hh"
+
+namespace aqua::core {
+
+/** One migration order returned by respond(). */
+struct MigrationOrder
+{
+    TensorId tensor = invalidTensor;
+    std::uint64_t bytes = 0;
+    Location from;
+    Location to;
+};
+
+/** A producer's lease book-keeping, as tracked by the coordinator. */
+struct ProducerState
+{
+    std::uint64_t leasedBytes = 0;
+    std::uint64_t usedBytes = 0;
+    bool reclaimRequested = false;
+};
+
+/**
+ * Central thread-safe datastore for memory offers, requests and tensor
+ * placement.
+ */
+class Coordinator
+{
+  public:
+    Coordinator() = default;
+
+    Coordinator(const Coordinator &) = delete;
+    Coordinator &operator=(const Coordinator &) = delete;
+
+    //
+    // Placement wiring (done by AQUA-PLACER before models start, §4).
+    //
+
+    /** Statically pair @p consumer with @p producer. */
+    void assignProducer(hw::GpuId consumer, hw::GpuId producer);
+
+    /** Producer assigned to @p consumer, if any. */
+    std::optional<hw::GpuId> producerFor(hw::GpuId consumer) const;
+
+    //
+    // Producer endpoints.
+    //
+
+    /**
+     * /lease: a producer offers @p bytes of its HBM.
+     * Offers accumulate; reclaim clears them.
+     */
+    void lease(hw::GpuId producer, std::uint64_t bytes);
+
+    /**
+     * /reclaim_request: producer wants its memory back. Consumers see
+     * migration orders on their next /respond.
+     */
+    void requestReclaim(hw::GpuId producer);
+
+    /**
+     * /reclaim_status: true once no tensor occupies the producer's
+     * lease any more (the producer may then release the region).
+     */
+    bool reclaimComplete(hw::GpuId producer) const;
+
+    /**
+     * Producer releases its lease after a completed reclaim (or when
+     * shutting down with no tensors resident). Panics if still used.
+     */
+    void releaseLease(hw::GpuId producer);
+
+    /** Current lease state of a producer (zeroes when unknown). */
+    ProducerState producerState(hw::GpuId producer) const;
+
+    //
+    // Consumer endpoints.
+    //
+
+    /**
+     * /allocate: place a new AQUA TENSOR for @p consumer.
+     *
+     * Placement policy (§3): the assigned producer's lease if it has
+     * room and is not reclaiming; host DRAM otherwise.
+     *
+     * @return Tensor id and chosen location.
+     */
+    struct Allocation
+    {
+        TensorId id;
+        Location location;
+    };
+    Allocation allocate(hw::GpuId consumer, std::uint64_t bytes);
+
+    /** /free: drop a tensor and return its lease bytes. */
+    void free(TensorId id);
+
+    /**
+     * /respond: migration orders pending for @p consumer.
+     *
+     * Orders move tensors off reclaiming producers to DRAM, and
+     * opportunistically promote DRAM tensors back onto the assigned
+     * producer's lease when space is available (§B, get_tensors_to_move
+     * "selectively invokes /allocate ... to move it to a faster
+     * interconnected GPU").
+     *
+     * Issuing an order reserves its destination; the consumer must call
+     * doneMoving() for each order when the copy completes.
+     */
+    std::vector<MigrationOrder> respond(hw::GpuId consumer);
+
+    /** Consumer reports one migration order's copy as complete. */
+    void doneMoving(const MigrationOrder &order);
+
+    /** Location of a live tensor. */
+    Location tensorLocation(TensorId id) const;
+
+    /** Number of live tensors. */
+    std::size_t liveTensors() const;
+
+    /** Total bytes currently placed on producers / in DRAM. */
+    std::uint64_t bytesOnProducers() const;
+    std::uint64_t bytesInDram() const;
+
+  private:
+    struct TensorState
+    {
+        TensorId id = invalidTensor;
+        hw::GpuId consumer = hw::hostDramId;
+        std::uint64_t bytes = 0;
+        Location location;
+        /** In-flight migration destination, if any. */
+        std::optional<Location> migratingTo;
+    };
+
+    Allocation allocateLocked(hw::GpuId consumer, std::uint64_t bytes);
+
+    mutable std::mutex mtx;
+    TensorId nextTensor = 1;
+    std::map<hw::GpuId, ProducerState> producers;
+    std::map<hw::GpuId, hw::GpuId> assignments;
+    std::map<TensorId, TensorState> tensors;
+};
+
+} // namespace aqua::core
+
+#endif // AQUA_AQUA_COORDINATOR_HH

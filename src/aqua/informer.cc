@@ -1,0 +1,75 @@
+#include "aqua/informer.hh"
+
+namespace aqua::core {
+
+using namespace aqua::sim;
+
+LlmInformer::LlmInformer(LlmInformerConfig config) : cfg(config) {}
+
+InformerDecision
+LlmInformer::evaluate(const EngineStats &stats, bool donated)
+{
+    // Maintain the arrival window and derive the request rate. Each
+    // report covers the interval since the previous one, so the
+    // window's effective span is min(window, elapsed time).
+    history.emplace_back(stats.now, stats.arrivalsSinceLast);
+    Tick horizon = stats.now > cfg.window ? stats.now - cfg.window : 0;
+    while (!history.empty() && history.front().first < horizon)
+        history.pop_front();
+    std::uint64_t arrivals = 0;
+    for (const auto &[when, n] : history)
+        arrivals += n;
+    Tick span = stats.now < cfg.window ? stats.now : cfg.window;
+    if (span == 0)
+        span = 1;
+    rate = static_cast<double>(arrivals) / ticksToSec(span);
+
+    InformerDecision decision;
+    if (donated) {
+        // Reclaim when the queue builds up in the window (§B): either
+        // the rate crossed the threshold or requests are piling up.
+        if (rate > cfg.reclaimRateThreshold ||
+            stats.pendingRequests >= cfg.reclaimQueueThreshold) {
+            decision.action = InformerDecision::Action::Reclaim;
+        }
+        return decision;
+    }
+    if (rate < cfg.donateRateThreshold &&
+        stats.pendingRequests == 0) {
+        // Retain only keepBytes of context; donate the remainder of
+        // the reserved pool (bounded by what is actually free).
+        std::uint64_t used =
+            stats.reservedPoolBytes - stats.freePoolBytes;
+        std::uint64_t keep = cfg.keepBytes > used ? cfg.keepBytes : used;
+        if (stats.reservedPoolBytes > keep) {
+            std::uint64_t spare = stats.reservedPoolBytes - keep;
+            if (spare > stats.freePoolBytes)
+                spare = stats.freePoolBytes;
+            if (spare >= cfg.minDonateBytes) {
+                decision.action = InformerDecision::Action::Donate;
+                decision.donateBytes = spare;
+            }
+        }
+    }
+    return decision;
+}
+
+BatchInformer::BatchInformer(BatchInformerConfig config) : cfg(config) {}
+
+InformerDecision
+BatchInformer::evaluate(const EngineStats &stats, bool donated)
+{
+    InformerDecision decision;
+    if (donated)
+        return decision;
+    if (stats.freePoolBytes <= cfg.marginBytes)
+        return decision;
+    std::uint64_t spare = stats.freePoolBytes - cfg.marginBytes;
+    if (spare < cfg.minDonateBytes)
+        return decision;
+    decision.action = InformerDecision::Action::Donate;
+    decision.donateBytes = spare;
+    return decision;
+}
+
+} // namespace aqua::core

@@ -1,0 +1,208 @@
+#include "aqua/rest.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace aqua::core {
+
+using json::Value;
+
+void
+RestRouter::route(const std::string &methodAndPath, Handler handler)
+{
+    handlers[methodAndPath] = std::move(handler);
+}
+
+RestResponse
+RestRouter::dispatch(const std::string &methodAndPath,
+                     const Value &body) const
+{
+    auto it = handlers.find(methodAndPath);
+    if (it == handlers.end()) {
+        RestResponse resp;
+        resp.status = RestStatus::NotFound;
+        resp.body["error"] = "no such route: " + methodAndPath;
+        return resp;
+    }
+    return it->second(body);
+}
+
+RestResponse
+RestRouter::dispatchRaw(const std::string &methodAndPath,
+                        const std::string &rawBody) const
+{
+    json::ParseResult parsed = json::parse(rawBody);
+    if (!parsed.ok) {
+        RestResponse resp;
+        resp.status = RestStatus::BadRequest;
+        resp.body["error"] = "bad json: " + parsed.error;
+        return resp;
+    }
+    return dispatch(methodAndPath, parsed.value);
+}
+
+std::vector<std::string>
+RestRouter::routes() const
+{
+    std::vector<std::string> out;
+    out.reserve(handlers.size());
+    for (const auto &[name, handler] : handlers)
+        out.push_back(name);
+    return out;
+}
+
+Value
+orderToJson(const MigrationOrder &order)
+{
+    Value v;
+    v["tensor"] = static_cast<std::int64_t>(order.tensor);
+    v["bytes"] = static_cast<std::int64_t>(order.bytes);
+    v["from"] = order.from.describe();
+    v["from_gpu"] = order.from.gpu;
+    v["to"] = order.to.describe();
+    v["to_gpu"] = order.to.gpu;
+    return v;
+}
+
+MigrationOrder
+orderFromJson(const Value &v)
+{
+    MigrationOrder order;
+    order.tensor = static_cast<TensorId>(v.getInt("tensor", 0));
+    order.bytes = static_cast<std::uint64_t>(v.getInt("bytes", 0));
+    auto parseLoc = [&](const std::string &key,
+                        const std::string &gpuKey) {
+        Location loc;
+        if (v.getString(key, "dram") == "dram") {
+            loc.placement = Placement::HostDram;
+            loc.gpu = hw::hostDramId;
+        } else {
+            loc.placement = Placement::PeerGpu;
+            loc.gpu = static_cast<hw::GpuId>(
+                v.getInt(gpuKey, hw::hostDramId));
+        }
+        return loc;
+    };
+    order.from = parseLoc("from", "from_gpu");
+    order.to = parseLoc("to", "to_gpu");
+    return order;
+}
+
+namespace {
+
+RestResponse
+okBody(Value body = Value())
+{
+    RestResponse resp;
+    resp.status = RestStatus::Ok;
+    resp.body = std::move(body);
+    return resp;
+}
+
+RestResponse
+badRequest(const std::string &why)
+{
+    RestResponse resp;
+    resp.status = RestStatus::BadRequest;
+    resp.body["error"] = why;
+    return resp;
+}
+
+} // anonymous namespace
+
+CoordinatorRestService::CoordinatorRestService(Coordinator &coordinator)
+    : coord(coordinator)
+{
+    _router.route("POST /lease", [this](const Value &req) {
+        std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
+        std::int64_t bytes = req.getInt("bytes", -1);
+        if (gpu < 0 || bytes < 0)
+            return badRequest("lease needs gpu and bytes");
+        coord.lease(static_cast<hw::GpuId>(gpu),
+                    static_cast<std::uint64_t>(bytes));
+        return okBody();
+    });
+
+    _router.route("POST /allocate", [this](const Value &req) {
+        std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
+        std::int64_t bytes = req.getInt("bytes", -1);
+        if (gpu < 0 || bytes < 0)
+            return badRequest("allocate needs gpu and bytes");
+        Coordinator::Allocation alloc =
+            coord.allocate(static_cast<hw::GpuId>(gpu),
+                           static_cast<std::uint64_t>(bytes));
+        Value body;
+        body["tensor"] = static_cast<std::int64_t>(alloc.id);
+        body["placement"] =
+            alloc.location.placement == Placement::PeerGpu
+                ? "peer" : "dram";
+        body["peer"] = alloc.location.gpu;
+        return okBody(std::move(body));
+    });
+
+    _router.route("POST /free", [this](const Value &req) {
+        std::int64_t tensor = req.getInt("tensor", 0);
+        if (tensor <= 0)
+            return badRequest("free needs tensor");
+        coord.free(static_cast<TensorId>(tensor));
+        return okBody();
+    });
+
+    _router.route("POST /respond", [this](const Value &req) {
+        std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
+        if (gpu < 0)
+            return badRequest("respond needs gpu");
+        std::vector<MigrationOrder> orders =
+            coord.respond(static_cast<hw::GpuId>(gpu));
+        json::Array arr;
+        for (const MigrationOrder &order : orders)
+            arr.push_back(orderToJson(order));
+        Value body;
+        body["orders"] = Value(std::move(arr));
+        return okBody(std::move(body));
+    });
+
+    _router.route("POST /done_moving", [this](const Value &req) {
+        coord.doneMoving(orderFromJson(req));
+        return okBody();
+    });
+
+    _router.route("POST /reclaim_request", [this](const Value &req) {
+        std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
+        if (gpu < 0)
+            return badRequest("reclaim_request needs gpu");
+        coord.requestReclaim(static_cast<hw::GpuId>(gpu));
+        return okBody();
+    });
+
+    _router.route("GET /reclaim_status", [this](const Value &req) {
+        std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
+        if (gpu < 0)
+            return badRequest("reclaim_status needs gpu");
+        Value body;
+        body["complete"] =
+            coord.reclaimComplete(static_cast<hw::GpuId>(gpu));
+        return okBody(std::move(body));
+    });
+
+    _router.route("POST /release_lease", [this](const Value &req) {
+        std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
+        if (gpu < 0)
+            return badRequest("release_lease needs gpu");
+        coord.releaseLease(static_cast<hw::GpuId>(gpu));
+        return okBody();
+    });
+
+    _router.route("POST /assign", [this](const Value &req) {
+        std::int64_t consumer = req.getInt("consumer", hw::hostDramId);
+        std::int64_t producer = req.getInt("producer", hw::hostDramId);
+        if (consumer < 0 || producer < 0)
+            return badRequest("assign needs consumer and producer");
+        coord.assignProducer(static_cast<hw::GpuId>(consumer),
+                             static_cast<hw::GpuId>(producer));
+        return okBody();
+    });
+}
+
+} // namespace aqua::core

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * REST-style endpoint layer over the coordinator.
+ *
+ * The paper's coordinator "exposes a set of REST endpoints" that
+ * AQUA-LIB's southbound interface calls (§3, §B): /lease, /allocate,
+ * /free, /respond, /reclaim_request, /reclaim_status. We keep the same
+ * surface — JSON request and response bodies dispatched by route — so
+ * the protocol and its bookkeeping are exercised end to end, while the
+ * transport itself is an in-process call (the wire is irrelevant to
+ * the results; the call latency is modelled by AquaLib's restLatency).
+ */
+
+#ifndef AQUA_AQUA_REST_HH
+#define AQUA_AQUA_REST_HH
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "aqua/coordinator.hh"
+#include "json/json.hh"
+
+namespace aqua::core {
+
+/** An HTTP-ish status code. */
+enum class RestStatus { Ok = 200, BadRequest = 400, NotFound = 404 };
+
+/** A routed response. */
+struct RestResponse
+{
+    RestStatus status = RestStatus::Ok;
+    json::Value body;
+
+    bool ok() const { return status == RestStatus::Ok; }
+};
+
+/**
+ * Dispatches "METHOD /path" routes to JSON handlers.
+ */
+class RestRouter
+{
+  public:
+    using Handler = std::function<RestResponse(const json::Value &)>;
+
+    /** Register a handler for e.g. "POST /lease". */
+    void route(const std::string &methodAndPath, Handler handler);
+
+    /**
+     * Dispatch a request.
+     *
+     * @param methodAndPath e.g. "POST /allocate".
+     * @param body Request body (JSON value; may be null).
+     * @return Handler response, or 404 for unknown routes.
+     */
+    RestResponse dispatch(const std::string &methodAndPath,
+                          const json::Value &body) const;
+
+    /** Dispatch with a raw JSON string body; 400 on parse errors. */
+    RestResponse dispatchRaw(const std::string &methodAndPath,
+                             const std::string &rawBody) const;
+
+    /** Registered route names (sorted). */
+    std::vector<std::string> routes() const;
+
+  private:
+    std::map<std::string, Handler> handlers;
+};
+
+/**
+ * Binds a Coordinator's operations to the paper's endpoints.
+ *
+ * Endpoints and bodies:
+ *  - POST /lease            {"gpu": id, "bytes": n}
+ *  - POST /allocate         {"gpu": id, "bytes": n}
+ *        -> {"tensor": id, "placement": "peer"|"dram", "peer": id}
+ *  - POST /free             {"tensor": id}
+ *  - POST /respond          {"gpu": id}
+ *        -> {"orders": [{"tensor", "bytes", "from", "to", ...}]}
+ *  - POST /done_moving      one order object from /respond
+ *  - POST /reclaim_request  {"gpu": id}
+ *  - GET  /reclaim_status   {"gpu": id} -> {"complete": bool}
+ *  - POST /release_lease    {"gpu": id}
+ *  - POST /assign           {"consumer": id, "producer": id}
+ */
+class CoordinatorRestService
+{
+  public:
+    explicit CoordinatorRestService(Coordinator &coordinator);
+
+    RestRouter &router() { return _router; }
+    const RestRouter &router() const { return _router; }
+
+  private:
+    Coordinator &coord;
+    RestRouter _router;
+};
+
+/** Serialize a migration order to its JSON wire form. */
+json::Value orderToJson(const MigrationOrder &order);
+
+/** Parse a migration order from its JSON wire form. */
+MigrationOrder orderFromJson(const json::Value &v);
+
+} // namespace aqua::core
+
+#endif // AQUA_AQUA_REST_HH

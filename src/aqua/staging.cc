@@ -1,0 +1,16 @@
+#include "aqua/staging.hh"
+
+namespace aqua::core {
+
+using namespace aqua::sim;
+
+Tick
+StagingModel::gatherTime(std::uint64_t bytes) const
+{
+    // The kernel reads each byte once and writes it once; both sides
+    // hit HBM, halving effective bandwidth for the copy.
+    double sec = 2.0 * static_cast<double>(bytes) / spec.hbmBandwidth;
+    return spec.kernelLaunchOverhead + secToTicks(sec);
+}
+
+} // namespace aqua::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Scatter/gather staging model.
+ *
+ * §5 ("Small transfers are slow over NVlinks"): a sequence's KV blocks
+ * are scattered across vLLM's paged layout, so a naive swap issues many
+ * small copies — exactly the regime where NVLink bandwidth collapses
+ * (Fig. 3a). AQUA instead gathers the scattered blocks into one
+ * temporary staging tensor with a custom CUDA kernel and ships a single
+ * large transfer; the receive side scatters symmetrically.
+ *
+ * This module prices the gather/scatter kernels: one kernel launch plus
+ * a round trip of the payload through HBM at the device's bandwidth.
+ */
+
+#ifndef AQUA_AQUA_STAGING_HH
+#define AQUA_AQUA_STAGING_HH
+
+#include <cstdint>
+
+#include "hw/gpu_spec.hh"
+#include "sim/ticks.hh"
+
+namespace aqua::core {
+
+/**
+ * Prices staging operations for a given GPU.
+ */
+class StagingModel
+{
+  public:
+    explicit StagingModel(const hw::GpuSpec &spec) : spec(spec) {}
+
+    /**
+     * Time for the gather kernel: read @p bytes from scattered blocks
+     * and write them contiguously into the staging buffer (HBM round
+     * trip), plus one kernel launch.
+     */
+    aqua::sim::Tick gatherTime(std::uint64_t bytes) const;
+
+    /** Scatter is symmetric with gather. */
+    aqua::sim::Tick
+    scatterTime(std::uint64_t bytes) const
+    {
+        return gatherTime(bytes);
+    }
+
+  private:
+    hw::GpuSpec spec;
+};
+
+} // namespace aqua::core
+
+#endif // AQUA_AQUA_STAGING_HH

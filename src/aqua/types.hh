@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared AQUA identifiers and locations.
+ */
+
+#ifndef AQUA_AQUA_TYPES_HH
+#define AQUA_AQUA_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+#include "hw/gpu.hh"
+
+namespace aqua::core {
+
+/** Identifier of an AQUA TENSOR, unique within one coordinator. */
+using TensorId = std::uint64_t;
+
+/** Sentinel meaning "no tensor". */
+constexpr TensorId invalidTensor = 0;
+
+/** Where an AQUA TENSOR's bytes physically live. */
+enum class Placement
+{
+    /** On a peer GPU's HBM, reached over NVLink. */
+    PeerGpu,
+    /** In host DRAM, reached over PCIe (the fallback, §3). */
+    HostDram,
+};
+
+/** A concrete tensor location. */
+struct Location
+{
+    Placement placement = Placement::HostDram;
+    /** Peer GPU id when placement == PeerGpu. */
+    hw::GpuId gpu = hw::hostDramId;
+
+    bool
+    operator==(const Location &other) const
+    {
+        return placement == other.placement && gpu == other.gpu;
+    }
+
+    std::string
+    describe() const
+    {
+        if (placement == Placement::HostDram)
+            return "dram";
+        return "gpu" + std::to_string(gpu);
+    }
+};
+
+} // namespace aqua::core
+
+#endif // AQUA_AQUA_TYPES_HH

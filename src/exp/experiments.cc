@@ -1,0 +1,811 @@
+#include "exp/experiments.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "exp/testbed.hh"
+#include "model/perf_model.hh"
+#include "serve/batch_engine.hh"
+#include "serve/flexgen_engine.hh"
+#include "serve/vllm_engine.hh"
+#include "sim/logging.hh"
+#include "workload/generator.hh"
+
+namespace aqua::exp {
+
+using namespace aqua::sim;
+using model::ModelSpec;
+using model::presetByName;
+
+const char *
+serveModeName(ServeMode mode)
+{
+    switch (mode) {
+      case ServeMode::VllmBaseline: return "vllm";
+      case ServeMode::CfsDram: return "vllm+cfs";
+      case ServeMode::CfsAqua: return "aqua";
+    }
+    return "?";
+}
+
+const char *
+offloadModeName(OffloadMode mode)
+{
+    switch (mode) {
+      case OffloadMode::Dram: return "dram";
+      case OffloadMode::Aqua: return "aqua";
+      case OffloadMode::AquaUnstaged: return "aqua-unstaged";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Run the queue in slices until @p done or the cap is reached. */
+template <typename DonePredicate>
+void
+runUntilDone(Simulation &sim, double maxSimSeconds, DonePredicate done)
+{
+    Tick cap = secToTicks(maxSimSeconds);
+    Tick slice = secToTicks(5.0);
+    while (sim.now() < cap && !done())
+        sim.runUntil(std::min(cap, sim.now() + slice));
+}
+
+/**
+ * A producer workload generator and engine bundle: either a
+ * compute-bound image/audio engine fed Parti-style arrivals, or an
+ * LLM producer serving a light ShareGPT load (Table 2).
+ */
+struct Producer
+{
+    std::unique_ptr<serve::BatchEngine> batch;
+    std::unique_ptr<serve::VllmEngine> llm;
+    std::vector<workload::Request> trace;
+
+    double
+    throughput() const
+    {
+        return batch ? batch->throughput() : 0.0;
+    }
+};
+
+Producer
+makeProducer(Testbed &tb, hw::GpuId gpu, const std::string &name,
+             double ratePerSec, double horizonSec,
+             core::AquaLib *lib)
+{
+    Producer p;
+    ModelSpec spec = presetByName(name);
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+    auto count = static_cast<std::size_t>(horizonSec * ratePerSec);
+    if (spec.isText()) {
+        serve::VllmEngineConfig cfg;
+        cfg.informEveryIters = 4;
+        auto &backend = tb.makeDramBackend(gpu);
+        p.llm = std::make_unique<serve::VllmEngine>(
+            tb.server(), gpu, spec,
+            std::make_unique<serve::FcfsPolicy>(), backend, cfg);
+        if (lib)
+            p.llm->attachAquaLib(lib);
+        p.trace = traces.interactive(ratePerSec, count);
+        driveTrace(tb.sim(), *p.llm, p.trace);
+    } else {
+        p.batch = std::make_unique<serve::BatchEngine>(tb.server(),
+                                                       gpu, spec);
+        if (lib)
+            p.batch->attachAquaLib(lib);
+        p.trace = traces.interactive(ratePerSec, count);
+        driveTrace(tb.sim(), *p.batch, p.trace);
+    }
+    return p;
+}
+
+std::unique_ptr<core::Informer>
+makeInformerFor(const ModelSpec &spec)
+{
+    if (spec.isText())
+        return std::make_unique<core::LlmInformer>();
+    return std::make_unique<core::BatchInformer>();
+}
+
+/** Sort metrics by request id (arrival/issue order). */
+void
+sortById(std::vector<workload::RequestMetrics> &metrics)
+{
+    std::sort(metrics.begin(), metrics.end(),
+              [](const auto &a, const auto &b) { return a.id < b.id; });
+}
+
+} // anonymous namespace
+
+CfsExperimentResult
+runCfsExperiment(const CfsExperimentConfig &cfg)
+{
+    Testbed tb(2, hw::TopologyKind::DirectP2P, cfg.seed);
+    constexpr hw::GpuId consumerGpu = 0;
+    constexpr hw::GpuId producerGpu = 1;
+
+    ModelSpec consumerSpec = presetByName(cfg.consumerModel);
+    ModelSpec producerSpec = presetByName(cfg.producerModel);
+
+    core::AquaLib *consumerLib = nullptr;
+    core::AquaLib *producerLib = nullptr;
+    serve::OffloadBackend *backend = nullptr;
+    if (cfg.mode == ServeMode::CfsAqua) {
+        producerLib = &tb.makeAquaLib(producerGpu,
+                                      makeInformerFor(producerSpec));
+        consumerLib = &tb.makeAquaLib(consumerGpu);
+        tb.assign(consumerGpu, producerGpu);
+        backend = &tb.makeAquaBackend(*consumerLib);
+    } else {
+        backend = &tb.makeDramBackend(consumerGpu);
+    }
+
+    std::unique_ptr<serve::SchedulerPolicy> policy;
+    if (cfg.mode == ServeMode::VllmBaseline)
+        policy = std::make_unique<serve::FcfsPolicy>();
+    else
+        policy = std::make_unique<serve::CfsPolicy>();
+
+    serve::VllmEngineConfig engineCfg;
+    engineCfg.cfsSliceTokens = cfg.sliceTokens;
+    serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
+                               std::move(policy), *backend, engineCfg);
+
+    Producer producer = makeProducer(tb, producerGpu,
+                                     cfg.producerModel, 1.0,
+                                     cfg.maxSimSeconds, producerLib);
+
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+    std::vector<workload::Request> trace =
+        traces.codeSummary(cfg.ratePerSec, cfg.numRequests);
+    driveTrace(tb.sim(), consumer, trace);
+
+    runUntilDone(tb.sim(), cfg.maxSimSeconds, [&] {
+        return consumer.finished().size() == cfg.numRequests;
+    });
+
+    CfsExperimentResult result;
+    result.metrics = consumer.finished();
+    sortById(result.metrics);
+    result.producerThroughput = producer.throughput();
+    result.consumerSwapOuts = consumer.swapOutCount();
+    result.consumerSwapIns = consumer.swapInCount();
+    return result;
+}
+
+LongPromptResult
+runLongPrompt(const LongPromptConfig &cfg)
+{
+    std::size_t gpus = 2 * cfg.pairs;
+    hw::TopologyKind kind = cfg.pairs > 1
+                                ? hw::TopologyKind::NvSwitch
+                                : hw::TopologyKind::DirectP2P;
+    Testbed tb(gpus, kind, cfg.seed);
+
+    ModelSpec consumerSpec = presetByName(cfg.consumerModel);
+    ModelSpec producerSpec = presetByName(cfg.producerModel);
+
+    std::vector<std::unique_ptr<serve::FlexGenEngine>> consumers;
+    std::vector<Producer> producers;
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+
+    for (std::size_t i = 0; i < cfg.pairs; ++i) {
+        auto consumerGpu = static_cast<hw::GpuId>(2 * i);
+        auto producerGpu = static_cast<hw::GpuId>(2 * i + 1);
+
+        serve::OffloadBackend *backend = nullptr;
+        core::AquaLib *producerLib = nullptr;
+        if (cfg.mode != OffloadMode::Dram) {
+            core::AquaLibConfig libCfg;
+            libCfg.useStaging = cfg.mode != OffloadMode::AquaUnstaged;
+            producerLib = &tb.makeAquaLib(
+                producerGpu, makeInformerFor(producerSpec), libCfg);
+            core::AquaLib &consumerLib =
+                tb.makeAquaLib(consumerGpu, nullptr, libCfg);
+            hw::GpuId target = cfg.sharedProducer
+                                   ? static_cast<hw::GpuId>(1)
+                                   : producerGpu;
+            tb.assign(consumerGpu, target);
+            backend = &tb.makeAquaBackend(consumerLib);
+        } else {
+            backend = &tb.makeDramBackend(consumerGpu);
+        }
+
+        producers.push_back(makeProducer(tb, producerGpu,
+                                         cfg.producerModel, 1.0,
+                                         cfg.durationSec,
+                                         producerLib));
+
+        consumers.push_back(std::make_unique<serve::FlexGenEngine>(
+            tb.server(), consumerGpu, consumerSpec, *backend));
+        // Queue enough prompts to outlast the measurement window.
+        for (int n = 0; n < 40; ++n) {
+            workload::Request r =
+                traces.longPrompt(cfg.promptTokens, 2000);
+            tb.sim().queue().schedule(r.arrival, [&, r,
+                                                  i] {
+                consumers[i]->submit(r);
+            });
+        }
+    }
+
+    tb.sim().runUntil(secToTicks(cfg.durationSec));
+
+    LongPromptResult result;
+    for (auto &consumer : consumers) {
+        result.tokensPerConsumer.push_back(consumer->totalTokens());
+        result.totalTokens += consumer->totalTokens();
+    }
+    return result;
+}
+
+LoraExperimentResult
+runLoraExperiment(const LoraExperimentConfig &cfg)
+{
+    Testbed tb(2, hw::TopologyKind::DirectP2P, cfg.seed);
+    constexpr hw::GpuId consumerGpu = 0;
+    constexpr hw::GpuId producerGpu = 1;
+
+    ModelSpec consumerSpec = presetByName(cfg.baseModel);
+    ModelSpec producerSpec = presetByName(cfg.producerModel);
+
+    core::AquaLib *producerLib = nullptr;
+    serve::OffloadBackend *backend = nullptr;
+    if (cfg.mode != OffloadMode::Dram) {
+        core::AquaLibConfig libCfg;
+        libCfg.useStaging = cfg.mode != OffloadMode::AquaUnstaged;
+        producerLib = &tb.makeAquaLib(producerGpu,
+                                      makeInformerFor(producerSpec),
+                                      libCfg);
+        core::AquaLib &consumerLib =
+            tb.makeAquaLib(consumerGpu, nullptr, libCfg);
+        tb.assign(consumerGpu, producerGpu);
+        backend = &tb.makeAquaBackend(consumerLib);
+    } else {
+        backend = &tb.makeDramBackend(consumerGpu);
+    }
+
+    // Give the producer a head start so its donation is in place
+    // before the adapter store is populated.
+    Producer producer = makeProducer(tb, producerGpu,
+                                     cfg.producerModel, 1.0,
+                                     cfg.maxSimSeconds, producerLib);
+    tb.sim().runUntil(secToTicks(1.0));
+
+    serve::VllmEngineConfig engineCfg;
+    serve::LoraCacheConfig loraCfg;
+    loraCfg.capacityBytes = cfg.cacheBytes;
+    engineCfg.lora = loraCfg;
+    serve::VllmEngine consumer(
+        tb.server(), consumerGpu, consumerSpec,
+        std::make_unique<serve::FcfsPolicy>(), *backend, engineCfg,
+        model::synthesizeAdapters("lora", cfg.adapterBytes,
+                                  cfg.numAdapters));
+
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+    std::vector<workload::Request> trace =
+        traces.lora(cfg.ratePerSec, cfg.numRequests, cfg.numAdapters,
+                    tb.sim().now());
+    driveTrace(tb.sim(), consumer, trace);
+
+    runUntilDone(tb.sim(), cfg.maxSimSeconds, [&] {
+        return consumer.finished().size() == cfg.numRequests;
+    });
+
+    LoraExperimentResult result;
+    result.metrics = consumer.finished();
+    sortById(result.metrics);
+    if (consumer.loraCache()) {
+        result.cacheHits = consumer.loraCache()->hits();
+        result.cacheMisses = consumer.loraCache()->misses();
+    }
+    return result;
+}
+
+ElasticExperimentResult
+runElasticExperiment(const ElasticExperimentConfig &cfg)
+{
+    Testbed tb(2, hw::TopologyKind::DirectP2P, cfg.seed);
+    constexpr hw::GpuId consumerGpu = 0;
+    constexpr hw::GpuId producerGpu = 1;
+
+    ModelSpec producerSpec = presetByName(cfg.producerModel);
+    ModelSpec consumerSpec = presetByName(cfg.consumerModel);
+
+    core::AquaLib *producerLib = nullptr;
+    if (cfg.withAqua) {
+        producerLib =
+            &tb.makeAquaLib(producerGpu,
+                            std::make_unique<core::LlmInformer>());
+    }
+
+    // The producer LLM serves the interactive load.
+    serve::VllmEngineConfig prodCfg;
+    prodCfg.informEveryIters = 4;
+    auto &prodBackend = tb.makeDramBackend(producerGpu);
+    serve::VllmEngine producer(tb.server(), producerGpu, producerSpec,
+                               std::make_unique<serve::FcfsPolicy>(),
+                               prodBackend, prodCfg);
+    if (producerLib)
+        producer.attachAquaLib(producerLib);
+
+    // Producer traffic: 100 requests at 1 req/s from the consumer
+    // start; 250 requests at 5 req/s from phase 2.
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+    std::vector<workload::Request> phase1 = traces.interactive(
+        1.0, 100, secToTicks(cfg.consumerStartSec));
+    std::vector<workload::Request> phase2 = traces.interactive(
+        5.0, 250, secToTicks(cfg.phase2StartSec));
+    driveTrace(tb.sim(), producer, phase1);
+    driveTrace(tb.sim(), producer, phase2);
+
+    // The consumer runs long-prompt inference with AQUA only.
+    std::unique_ptr<serve::FlexGenEngine> consumer;
+    if (cfg.withAqua) {
+        core::AquaLib &consumerLib = tb.makeAquaLib(consumerGpu);
+        tb.assign(consumerGpu, producerGpu);
+        auto &backend = tb.makeAquaBackend(consumerLib);
+        consumer = std::make_unique<serve::FlexGenEngine>(
+            tb.server(), consumerGpu, consumerSpec, backend);
+        for (int n = 0; n < 40; ++n) {
+            workload::Request r = traces.longPrompt(
+                8000, 2000, secToTicks(cfg.consumerStartSec));
+            tb.sim().queue().schedule(r.arrival, [&, r] {
+                consumer->submit(r);
+            });
+        }
+    }
+
+    tb.sim().runUntil(secToTicks(cfg.durationSec));
+
+    ElasticExperimentResult result;
+    Tick bucket = secToTicks(10.0);
+    result.producerFreeMemory = producer.freeMemorySeries()
+        .resampleMean(bucket, 0, secToTicks(cfg.durationSec));
+    if (consumer) {
+        result.consumerThroughput = consumer->tokenSeries()
+            .resampleSum(bucket, 0, secToTicks(cfg.durationSec));
+        result.consumerTokens = consumer->totalTokens();
+    }
+    result.producerMetrics = producer.finished();
+    sortById(result.producerMetrics);
+    return result;
+}
+
+std::vector<ContentionPoint>
+contentionSweep(const std::string &modelName,
+                const std::vector<std::uint32_t> &batchSizes)
+{
+    ModelSpec spec = presetByName(modelName);
+    hw::GpuSpec gpu = hw::a100_80g();
+    model::PerfModel pm(spec, gpu);
+
+    std::vector<ContentionPoint> out;
+    for (std::uint32_t batch : batchSizes) {
+        ContentionPoint point;
+        point.batchSize = batch;
+        if (spec.isText()) {
+            // Each sequence holds a mid-generation context (~1k
+            // tokens, ShareGPT-scale prompt plus output).
+            std::uint64_t kvPerSeq = spec.kvBytes(1024);
+            std::uint64_t kvTotal = kvPerSeq * batch;
+            std::uint64_t footprint = pm.memoryFootprint(batch, kvTotal);
+            std::uint64_t resident = kvTotal;
+            double penalty_sec = 0.0;
+            if (footprint > gpu.hbmBytes) {
+                // Overcommitted KV spills to DRAM and streams back
+                // over PCIe every iteration: throughput collapses.
+                std::uint64_t excess = footprint - gpu.hbmBytes;
+                penalty_sec = static_cast<double>(excess) /
+                              gpu.pcieBandwidth;
+                resident = kvTotal > excess ? kvTotal - excess : 0;
+                point.freeMemoryGb = 0.0;
+            } else {
+                point.freeMemoryGb =
+                    static_cast<double>(gpu.hbmBytes - footprint) /
+                    1e9;
+            }
+            Tick iter = pm.decodeStepTime(batch, resident) +
+                        secToTicks(penalty_sec);
+            point.throughput =
+                static_cast<double>(batch) / ticksToSec(iter);
+        } else {
+            std::uint64_t footprint = pm.memoryFootprint(batch, 0);
+            point.freeMemoryGb = footprint > gpu.hbmBytes
+                ? 0.0
+                : static_cast<double>(gpu.hbmBytes - footprint) / 1e9;
+            point.throughput = pm.batchThroughput(batch);
+        }
+        out.push_back(point);
+    }
+    return out;
+}
+
+ChatbotResult
+runChatbot(const ChatbotConfig &cfg)
+{
+    Testbed tb(2, hw::TopologyKind::DirectP2P, cfg.seed);
+    constexpr hw::GpuId consumerGpu = 0;
+    constexpr hw::GpuId producerGpu = 1;
+
+    ModelSpec consumerSpec = presetByName(cfg.consumerModel);
+    ModelSpec producerSpec = presetByName(cfg.producerModel);
+
+    core::AquaLib *producerLib = nullptr;
+    serve::OffloadBackend *backend = nullptr;
+    if (cfg.mode == ServeMode::CfsAqua) {
+        producerLib = &tb.makeAquaLib(producerGpu,
+                                      makeInformerFor(producerSpec));
+        core::AquaLib &consumerLib = tb.makeAquaLib(consumerGpu);
+        tb.assign(consumerGpu, producerGpu);
+        backend = &tb.makeAquaBackend(consumerLib);
+    } else {
+        backend = &tb.makeDramBackend(consumerGpu);
+    }
+
+    std::unique_ptr<serve::SchedulerPolicy> policy;
+    if (cfg.mode == ServeMode::VllmBaseline)
+        policy = std::make_unique<serve::FcfsPolicy>();
+    else
+        policy = std::make_unique<serve::CfsPolicy>();
+
+    serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
+                               std::move(policy), *backend);
+    Producer producer = makeProducer(tb, producerGpu,
+                                     cfg.producerModel, 1.0,
+                                     cfg.maxSimSeconds, producerLib);
+
+    // The chatbot driver: each user re-issues a prompt after the
+    // response to the previous one arrives (§8).
+    auto traces = std::make_shared<workload::TraceBuilder>(
+        tb.sim().makeRandom());
+    auto turnOf = std::make_shared<std::map<std::uint64_t,
+                                            std::uint32_t>>();
+    auto userOf = std::make_shared<std::map<std::uint64_t,
+                                            std::uint32_t>>();
+    auto promptOf = std::make_shared<std::map<std::uint64_t,
+                                              std::uint32_t>>();
+
+    std::vector<workload::Request> first =
+        traces->chatbotFirstTurn(cfg.users);
+    for (const workload::Request &r : first) {
+        (*turnOf)[r.id] = 0;
+        (*userOf)[r.id] = r.userId;
+        (*promptOf)[r.id] = r.promptTokens;
+    }
+    driveTrace(tb.sim(), consumer, first);
+
+    std::uint32_t turns = cfg.turns;
+    consumer.onComplete([&, traces, turnOf, userOf,
+                         promptOf](const workload::RequestMetrics &m) {
+        std::uint32_t turn = (*turnOf)[m.id];
+        std::uint32_t user = (*userOf)[m.id];
+        if (turn + 1 >= turns)
+            return;
+        // The next turn carries the whole conversation as history.
+        std::uint32_t history = (*promptOf)[m.id] + m.tokensGenerated;
+        workload::Request next = traces->chatbotFollowUp(
+            user, turn + 1, tb.sim().now(), history);
+        (*turnOf)[next.id] = turn + 1;
+        (*userOf)[next.id] = user;
+        (*promptOf)[next.id] = next.promptTokens;
+        tb.sim().queue().schedule(next.arrival, [&consumer, next] {
+            consumer.submit(next);
+        });
+    });
+
+    std::size_t expected = std::size_t(cfg.users) * cfg.turns;
+    runUntilDone(tb.sim(), cfg.maxSimSeconds, [&] {
+        return consumer.finished().size() == expected;
+    });
+
+    ChatbotResult result;
+    for (const workload::RequestMetrics &m : consumer.finished()) {
+        ChatbotResult::TurnMetric tm;
+        tm.turn = (*turnOf)[m.id];
+        tm.metrics = m;
+        result.metrics.push_back(tm);
+    }
+    std::sort(result.metrics.begin(), result.metrics.end(),
+              [](const auto &a, const auto &b) {
+                  return a.metrics.id < b.metrics.id;
+              });
+    return result;
+}
+
+std::int64_t
+modelMemoryRequirement(const std::string &modelName, bool asProducer)
+{
+    ModelSpec spec = presetByName(modelName);
+    hw::GpuSpec gpu = hw::a100_80g();
+    model::PerfModel pm(spec, gpu);
+    constexpr std::int64_t gb = 1000 * 1000 * 1000;
+
+    if (!spec.isText()) {
+        // Producers: spare HBM at the peak-throughput batch, minus
+        // the batch-informer's safety margin.
+        std::uint64_t footprint =
+            pm.memoryFootprint(spec.maxUsefulBatch, 0);
+        std::int64_t spare =
+            static_cast<std::int64_t>(gpu.hbmBytes) -
+            static_cast<std::int64_t>(footprint) - 2 * gb;
+        return spare > 0 ? spare : 0;
+    }
+    if (asProducer) {
+        // An LLM under light load keeps 5 GB of context and donates
+        // the rest of its pool (§B llm-informer).
+        std::int64_t pool =
+            static_cast<std::int64_t>(gpu.hbmBytes) -
+            static_cast<std::int64_t>(spec.weightBytes() +
+                                      spec.runtimeOverheadBytes);
+        std::int64_t spare = pool - 5 * gb;
+        return spare > 0 ? spare : 0;
+    }
+    // Consumers: workload-derived deficits (§6.1 Table 1).
+    if (spec.name == "OPT-30B") {
+        // An 8k-token prompt's context minus the post-weights HBM.
+        return -static_cast<std::int64_t>(spec.kvBytes(10000));
+    }
+    if (spec.name == "Codellama-34B") {
+        // CFS keeps ~100 interactive contexts pageable.
+        return -20 * gb;
+    }
+    // Mistral with LoRA adapters: 20 uncached 320 MB adapters plus
+    // interactive context.
+    return -8 * gb;
+}
+
+EndToEndResult
+runEndToEnd(const EndToEndConfig &cfg)
+{
+    placer::PlacementInput input = makeClusterInput(
+        cfg.numServers, cfg.gpusPerServer, cfg.split, cfg.seed);
+    opt::MilpOptions milpOpt;
+    milpOpt.maxSeconds = 3.0;
+    placer::Placement placement =
+        placer::AquaPlacer(milpOpt).place(input);
+    if (!placement.valid())
+        panic("runEndToEnd: placement infeasible");
+
+    EndToEndResult result;
+    for (const placer::ModelToPlace &m : input.models)
+        result.totalConsumers += m.isConsumer();
+    result.pairedConsumers = placement.pairs.size();
+
+    // Evaluate each server independently and sequentially (§6,
+    // "we use these servers as building blocks").
+    for (std::size_t s = 0; s < cfg.numServers; ++s) {
+        // Models on this server, in index order -> local GPU ids.
+        std::vector<int> members;
+        for (std::size_t m = 0; m < input.models.size(); ++m) {
+            if (placement.server[m] == static_cast<int>(s))
+                members.push_back(static_cast<int>(m));
+        }
+        if (members.empty())
+            continue;
+        auto localGpu = [&](int modelIdx) {
+            for (std::size_t i = 0; i < members.size(); ++i) {
+                if (members[i] == modelIdx)
+                    return static_cast<hw::GpuId>(i);
+            }
+            panic("runEndToEnd: model not on server");
+        };
+
+        Testbed tb(std::max<std::size_t>(members.size(), 1),
+                   hw::TopologyKind::DirectP2P, cfg.seed + s);
+        workload::TraceBuilder traces(tb.sim().makeRandom());
+
+        // Wire AQUA pairings for this server.
+        std::map<int, core::AquaLib *> consumerLibs;
+        if (cfg.withAqua) {
+            for (const placer::Pairing &pair : placement.pairs) {
+                if (pair.server != static_cast<int>(s))
+                    continue;
+                tb.assign(localGpu(pair.consumerModel),
+                          localGpu(pair.producerModel));
+            }
+        }
+
+        // Engines; keep them alive until the run completes.
+        std::vector<std::unique_ptr<serve::BatchEngine>> batches;
+        std::vector<std::unique_ptr<serve::VllmEngine>> llms;
+        std::vector<std::unique_ptr<serve::FlexGenEngine>> flexes;
+        std::vector<serve::FlexGenEngine *> longPrompts;
+        std::vector<serve::VllmEngine *> loraEngines;
+        std::vector<serve::VllmEngine *> cfsEngines;
+
+        for (int modelIdx : members) {
+            const placer::ModelToPlace &m = input.models[modelIdx];
+            hw::GpuId gpu = localGpu(modelIdx);
+            model::ModelSpec spec = presetByName(m.name);
+
+            if (m.isProducer()) {
+                core::AquaLib *lib = nullptr;
+                if (cfg.withAqua) {
+                    lib = &tb.makeAquaLib(gpu,
+                                          makeInformerFor(spec));
+                }
+                if (spec.isText()) {
+                    serve::VllmEngineConfig ecfg;
+                    ecfg.informEveryIters = 4;
+                    auto &backend = tb.makeDramBackend(gpu);
+                    auto engine =
+                        std::make_unique<serve::VllmEngine>(
+                            tb.server(), gpu, spec,
+                            std::make_unique<serve::FcfsPolicy>(),
+                            backend, ecfg);
+                    if (lib)
+                        engine->attachAquaLib(lib);
+                    driveTrace(tb.sim(), *engine,
+                               traces.interactive(
+                                   1.0,
+                                   static_cast<std::size_t>(
+                                       cfg.durationSec)));
+                    llms.push_back(std::move(engine));
+                } else {
+                    auto engine =
+                        std::make_unique<serve::BatchEngine>(
+                            tb.server(), gpu, spec);
+                    if (lib)
+                        engine->attachAquaLib(lib);
+                    driveTrace(tb.sim(), *engine,
+                               traces.interactive(
+                                   1.0,
+                                   static_cast<std::size_t>(
+                                       cfg.durationSec)));
+                    batches.push_back(std::move(engine));
+                }
+                continue;
+            }
+
+            // Consumers: workload depends on the model (Table 1).
+            serve::OffloadBackend *backend = nullptr;
+            if (cfg.withAqua) {
+                core::AquaLib &lib = tb.makeAquaLib(gpu);
+                backend = &tb.makeAquaBackend(lib);
+            } else {
+                backend = &tb.makeDramBackend(gpu);
+            }
+            if (spec.name == "OPT-30B") {
+                auto engine =
+                    std::make_unique<serve::FlexGenEngine>(
+                        tb.server(), gpu, spec, *backend);
+                for (int n = 0; n < 20; ++n)
+                    engine->submit(traces.longPrompt(8000, 2000));
+                longPrompts.push_back(engine.get());
+                flexes.push_back(std::move(engine));
+            } else if (spec.name == "Codellama-34B") {
+                serve::VllmEngineConfig ecfg;
+                auto engine = std::make_unique<serve::VllmEngine>(
+                    tb.server(), gpu, spec,
+                    std::make_unique<serve::CfsPolicy>(), *backend,
+                    ecfg);
+                driveTrace(tb.sim(), *engine,
+                           traces.codeSummary(2.0, 200));
+                cfsEngines.push_back(engine.get());
+                llms.push_back(std::move(engine));
+            } else {
+                // Mistral with LoRA adapters.
+                serve::VllmEngineConfig ecfg;
+                serve::LoraCacheConfig loraCfg;
+                loraCfg.capacityBytes =
+                    std::uint64_t(10) * (320 << 20);
+                ecfg.lora = loraCfg;
+                auto engine = std::make_unique<serve::VllmEngine>(
+                    tb.server(), gpu, spec,
+                    std::make_unique<serve::FcfsPolicy>(), *backend,
+                    ecfg,
+                    model::synthesizeAdapters(
+                        "lora", std::uint64_t(320) << 20, 30));
+                driveTrace(tb.sim(), *engine,
+                           traces.lora(2.0, 200, 30));
+                loraEngines.push_back(engine.get());
+                llms.push_back(std::move(engine));
+            }
+        }
+
+        tb.sim().runUntil(secToTicks(cfg.durationSec));
+
+        for (serve::FlexGenEngine *engine : longPrompts) {
+            result.longPromptTokens += engine->totalTokens();
+            ++result.longPromptConsumers;
+        }
+        for (serve::VllmEngine *engine : loraEngines) {
+            for (const auto &m : engine->finished())
+                result.loraMetrics.push_back(m);
+        }
+        for (serve::VllmEngine *engine : cfsEngines) {
+            for (const auto &m : engine->finished())
+                result.cfsMetrics.push_back(m);
+        }
+        for (const auto &engine : batches)
+            result.producerItems += engine->itemsGenerated();
+    }
+    return result;
+}
+
+placer::PlacementInput
+makeClusterInput(std::size_t numServers, std::size_t gpusPerServer,
+                 const std::string &split, std::uint64_t seed)
+{
+    placer::PlacementInput input;
+    input.numServers = numServers;
+    input.gpusPerServer = gpusPerServer;
+    input.gpuMemBytes = hw::a100_80g().hbmBytes;
+
+    Random rng(seed);
+    std::size_t slots = numServers * gpusPerServer;
+
+    struct Choice
+    {
+        const char *name;
+        bool producer;
+    };
+    std::vector<Choice> palette;
+    if (split == "balanced") {
+        // Equal thirds image / audio / language (§6.1); the image and
+        // audio models are producers, the LLM jobs are consumers.
+        palette = {
+            {"StableDiffusion", true}, {"StableDiffusion-XL", true},
+            {"Kandinsky", true},       {"AudioGen", true},
+            {"MusicGen", true},        {"OPT-30B", false},
+            {"Codellama-34B", false},  {"Mistral-7B", false},
+        };
+        for (std::size_t i = 0; i < slots; ++i) {
+            // Cycle modality: image, audio, text.
+            std::size_t modality = i % 3;
+            const Choice *pick = nullptr;
+            switch (modality) {
+              case 0: {
+                static const std::size_t imgs[] = {0, 1, 2};
+                pick = &palette[imgs[rng.uniformInt(0, 2)]];
+                break;
+              }
+              case 1: {
+                static const std::size_t auds[] = {3, 4};
+                pick = &palette[auds[rng.uniformInt(0, 1)]];
+                break;
+              }
+              default: {
+                static const std::size_t txts[] = {5, 6, 7};
+                pick = &palette[txts[rng.uniformInt(0, 2)]];
+                break;
+              }
+            }
+            placer::ModelToPlace m;
+            m.name = pick->name;
+            m.memBytes =
+                modelMemoryRequirement(pick->name, pick->producer);
+            input.models.push_back(m);
+        }
+    } else if (split == "llm-heavy") {
+        // All LLMs: half light-load producers, half consumers.
+        static const Choice producers[] = {
+            {"Mistral-7B", true}, {"Llama-2-13B", true},
+        };
+        static const Choice consumers[] = {
+            {"OPT-30B", false}, {"Codellama-34B", false},
+            {"Mistral-7B", false},
+        };
+        for (std::size_t i = 0; i < slots; ++i) {
+            const Choice *pick;
+            if (i % 2 == 0)
+                pick = &producers[rng.uniformInt(0, 1)];
+            else
+                pick = &consumers[rng.uniformInt(0, 2)];
+            placer::ModelToPlace m;
+            m.name = pick->name;
+            m.memBytes =
+                modelMemoryRequirement(pick->name, pick->producer);
+            input.models.push_back(m);
+        }
+    } else {
+        panic("makeClusterInput: unknown split '%s'", split.c_str());
+    }
+    return input;
+}
+
+} // namespace aqua::exp

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * End-to-end experiment runners reproducing the paper's evaluation
+ * (§6-§8, appendix A): each function assembles a testbed, places
+ * models, drives the workload, and returns the series the
+ * corresponding figure plots. Shared by bench/ binaries, examples and
+ * the integration tests.
+ */
+
+#ifndef AQUA_EXP_EXPERIMENTS_HH
+#define AQUA_EXP_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model_spec.hh"
+#include "placer/placer.hh"
+#include "stats/timeseries.hh"
+#include "workload/request.hh"
+
+namespace aqua::exp {
+
+/** How the consumer engine schedules and offloads. */
+enum class ServeMode
+{
+    /** vLLM default: FCFS batching, DRAM offload. */
+    VllmBaseline,
+    /** CFS scheduling, still DRAM offload ("vLLM + CFS"). */
+    CfsDram,
+    /** CFS scheduling with AQUA TENSORS on a peer GPU. */
+    CfsAqua,
+};
+
+/** Offload path for backends without a scheduling dimension. */
+enum class OffloadMode
+{
+    Dram,
+    Aqua,
+    /** AQUA placement but naive per-chunk copies (no staging). */
+    AquaUnstaged,
+};
+
+const char *serveModeName(ServeMode mode);
+const char *offloadModeName(OffloadMode mode);
+
+//
+// CFS responsiveness (Fig. 1, Fig. 9, Fig. 15, Fig. 16).
+//
+
+struct CfsExperimentConfig
+{
+    ServeMode mode = ServeMode::VllmBaseline;
+    double ratePerSec = 5.0;
+    std::size_t numRequests = 100;
+    /** Consumer LLM (Codellama-34B in §6.1). */
+    std::string consumerModel = "Codellama-34B";
+    /** Producer model sharing the server (Kandinsky in §6.1). */
+    std::string producerModel = "Kandinsky";
+    std::uint32_t sliceTokens = 5;
+    std::uint64_t seed = 1;
+    /** Hard stop (simulated); generous by default. */
+    double maxSimSeconds = 4000.0;
+};
+
+struct CfsExperimentResult
+{
+    /** Per-request metrics, arrival order. */
+    std::vector<workload::RequestMetrics> metrics;
+    /** Producer items/s over the run (image/audio producers). */
+    double producerThroughput = 0.0;
+    std::uint64_t consumerSwapOuts = 0;
+    std::uint64_t consumerSwapIns = 0;
+};
+
+CfsExperimentResult runCfsExperiment(const CfsExperimentConfig &cfg);
+
+//
+// Long-prompt throughput (Fig. 7, Fig. 18).
+//
+
+struct LongPromptConfig
+{
+    OffloadMode mode = OffloadMode::Dram;
+    std::string consumerModel = "OPT-30B";
+    std::string producerModel = "StableDiffusion";
+    std::uint32_t promptTokens = 8000;
+    double durationSec = 600.0; // "ten minutes"
+    /** Consumer/producer pairs; >1 uses the 8-GPU NVSwitch server. */
+    std::size_t pairs = 1;
+    /** Ablation: share one producer across all consumers. */
+    bool sharedProducer = false;
+    std::uint64_t seed = 1;
+};
+
+struct LongPromptResult
+{
+    /** Tokens generated per consumer within the duration. */
+    std::vector<std::uint64_t> tokensPerConsumer;
+    std::uint64_t totalTokens = 0;
+};
+
+LongPromptResult runLongPrompt(const LongPromptConfig &cfg);
+
+//
+// LoRA adapter offloading (Fig. 8, Fig. 12, §A.2).
+//
+
+struct LoraExperimentConfig
+{
+    OffloadMode mode = OffloadMode::Dram;
+    std::string baseModel = "Mistral-7B";
+    /** Producer co-located on the server ("" = text producer). */
+    std::string producerModel = "StableDiffusion";
+    std::uint32_t numAdapters = 30;
+    std::uint64_t adapterBytes = std::uint64_t(320) << 20;
+    /** GPU bytes reserved for caching adapters. */
+    std::uint64_t cacheBytes = std::uint64_t(10) * 320 << 20;
+    double ratePerSec = 2.0;
+    std::size_t numRequests = 200;
+    std::uint64_t seed = 1;
+    double maxSimSeconds = 7200.0;
+};
+
+struct LoraExperimentResult
+{
+    std::vector<workload::RequestMetrics> metrics;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+};
+
+LoraExperimentResult runLoraExperiment(const LoraExperimentConfig &cfg);
+
+//
+// Elastic donate/reclaim (Fig. 10, Fig. 11).
+//
+
+struct ElasticExperimentConfig
+{
+    /** false runs the producer alone without AQUA (Fig. 11 baseline). */
+    bool withAqua = true;
+    std::string producerModel = "Llama-2-13B";
+    std::string consumerModel = "OPT-30B";
+    /** Consumer long-prompt start (the paper's ~150 s mark). */
+    double consumerStartSec = 150.0;
+    /** First load phase: 100 requests at 1 req/s. */
+    double phase1RateGap = 150.0;
+    /** Second phase start (the paper's 400 s mark): 250 @ 5 req/s. */
+    double phase2StartSec = 400.0;
+    double durationSec = 700.0;
+    std::uint64_t seed = 1;
+};
+
+struct ElasticExperimentResult
+{
+    /** Producer-GPU free memory over time (donated counts as free). */
+    std::vector<stats::Point> producerFreeMemory;
+    /** Consumer tokens per 10 s bucket. */
+    std::vector<stats::Point> consumerThroughput;
+    /** Producer request metrics (for the Fig. 11 overhead view). */
+    std::vector<workload::RequestMetrics> producerMetrics;
+    std::uint64_t consumerTokens = 0;
+};
+
+ElasticExperimentResult
+runElasticExperiment(const ElasticExperimentConfig &cfg);
+
+//
+// Resource-contention sweeps (Fig. 2) — analytic, via PerfModel.
+//
+
+struct ContentionPoint
+{
+    std::uint32_t batchSize = 0;
+    double throughput = 0.0;
+    double freeMemoryGb = 0.0;
+};
+
+std::vector<ContentionPoint>
+contentionSweep(const std::string &modelName,
+                const std::vector<std::uint32_t> &batchSizes);
+
+//
+// Chatbot (Fig. 13).
+//
+
+struct ChatbotConfig
+{
+    ServeMode mode = ServeMode::VllmBaseline;
+    std::uint32_t users = 25;
+    std::uint32_t turns = 4;
+    std::string consumerModel = "Codellama-34B";
+    std::string producerModel = "Kandinsky";
+    std::uint64_t seed = 1;
+    double maxSimSeconds = 20000.0;
+};
+
+struct ChatbotResult
+{
+    /** All request metrics with the issuing turn attached. */
+    struct TurnMetric
+    {
+        std::uint32_t turn = 0;
+        workload::RequestMetrics metrics;
+    };
+    std::vector<TurnMetric> metrics;
+};
+
+ChatbotResult runChatbot(const ChatbotConfig &cfg);
+
+//
+// Placement inputs (§6.1, Fig. 4, Fig. 14).
+//
+
+/**
+ * Build the §6.1 cluster: @p numServers servers of @p gpusPerServer
+ * GPUs filled with models sampled (with replacement) from the given
+ * split.
+ *
+ * @param split "balanced" = equal thirds image/audio/text;
+ *              "llm-heavy" = all LLMs with varying workloads
+ *              (half producers, half consumers).
+ */
+placer::PlacementInput
+makeClusterInput(std::size_t numServers, std::size_t gpusPerServer,
+                 const std::string &split, std::uint64_t seed = 1);
+
+/**
+ * Memory requirement R_m of a model preset under its evaluation
+ * workload: positive surplus for producers, negative deficit for
+ * consumers (§4 "these inputs should be derived experimentally").
+ */
+std::int64_t modelMemoryRequirement(const std::string &modelName,
+                                    bool asProducer);
+
+//
+// End-to-end cluster evaluation (§6.1): place 16 models over 8x2-GPU
+// servers with AQUA-PLACER, then run every server's workload. As in
+// the paper, servers are evaluated "independently and sequentially"
+// using the 2-GPU testbed as the building block.
+//
+
+struct EndToEndConfig
+{
+    /** "balanced" or "llm-heavy" (§6.1). */
+    std::string split = "balanced";
+    /** false = all consumers offload to DRAM (the baseline). */
+    bool withAqua = true;
+    std::size_t numServers = 8;
+    std::size_t gpusPerServer = 2;
+    double durationSec = 300.0;
+    std::uint64_t seed = 1;
+};
+
+struct EndToEndResult
+{
+    /** Tokens generated by OPT-30B long-prompt consumers. */
+    std::uint64_t longPromptTokens = 0;
+    std::size_t longPromptConsumers = 0;
+    /** Finished metrics from Mistral LoRA consumers. */
+    std::vector<workload::RequestMetrics> loraMetrics;
+    /** Finished metrics from Codellama CFS consumers. */
+    std::vector<workload::RequestMetrics> cfsMetrics;
+    /** Items generated by image/audio producers. */
+    std::uint64_t producerItems = 0;
+    /** Consumers that got a producer pairing from the placer. */
+    std::size_t pairedConsumers = 0;
+    std::size_t totalConsumers = 0;
+};
+
+EndToEndResult runEndToEnd(const EndToEndConfig &cfg);
+
+} // namespace aqua::exp
+
+#endif // AQUA_EXP_EXPERIMENTS_HH

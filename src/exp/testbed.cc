@@ -1,0 +1,50 @@
+#include "exp/testbed.hh"
+
+namespace aqua::exp {
+
+using namespace aqua::sim;
+
+Testbed::Testbed(std::size_t numGpus, hw::TopologyKind kind,
+                 std::uint64_t seed)
+    : simulation(std::make_unique<Simulation>(seed))
+{
+    srv = std::make_unique<hw::Server>(*simulation, numGpus,
+                                       hw::a100_80g(), kind);
+    restService = std::make_unique<core::CoordinatorRestService>(coord);
+}
+
+core::AquaLib &
+Testbed::makeAquaLib(hw::GpuId gpu,
+                     std::unique_ptr<core::Informer> informer,
+                     core::AquaLibConfig config)
+{
+    libs.push_back(std::make_unique<core::AquaLib>(
+        *srv, gpu, *restService, config, std::move(informer)));
+    return *libs.back();
+}
+
+serve::DramBackend &
+Testbed::makeDramBackend(hw::GpuId gpu)
+{
+    auto backend = std::make_unique<serve::DramBackend>(*srv, gpu);
+    serve::DramBackend &ref = *backend;
+    backends.push_back(std::move(backend));
+    return ref;
+}
+
+serve::AquaBackend &
+Testbed::makeAquaBackend(core::AquaLib &lib)
+{
+    auto backend = std::make_unique<serve::AquaBackend>(lib);
+    serve::AquaBackend &ref = *backend;
+    backends.push_back(std::move(backend));
+    return ref;
+}
+
+void
+Testbed::assign(hw::GpuId consumer, hw::GpuId producer)
+{
+    coord.assignProducer(consumer, producer);
+}
+
+} // namespace aqua::exp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Reusable experiment testbeds mirroring the paper's hardware (§6):
+ * a 2-GPU A100 server with direct NVLinks and an 8-GPU A100 server
+ * with NVSwitch connectivity, both with 1 TB of host DRAM, plus the
+ * per-server AQUA control plane (coordinator + REST service) and
+ * factories for AquaLib instances and offload backends.
+ */
+
+#ifndef AQUA_EXP_TESTBED_HH
+#define AQUA_EXP_TESTBED_HH
+
+#include <memory>
+#include <vector>
+
+#include "aqua/aqua_lib.hh"
+#include "aqua/coordinator.hh"
+#include "aqua/informer.hh"
+#include "aqua/rest.hh"
+#include "hw/server.hh"
+#include "serve/offload_backend.hh"
+#include "sim/simulation.hh"
+#include "workload/request.hh"
+
+namespace aqua::exp {
+
+/**
+ * One simulated server with its AQUA control plane.
+ */
+class Testbed
+{
+  public:
+    /**
+     * @param numGpus GPU count (2 or 8 in the paper).
+     * @param kind DirectP2P for the 2-GPU server, NvSwitch for 8.
+     * @param seed Simulation seed.
+     */
+    Testbed(std::size_t numGpus, hw::TopologyKind kind,
+            std::uint64_t seed = 1);
+
+    aqua::sim::Simulation &sim() { return *simulation; }
+    hw::Server &server() { return *srv; }
+    core::Coordinator &coordinator() { return coord; }
+    core::CoordinatorRestService &rest() { return *restService; }
+
+    /**
+     * Create (and own) an AquaLib instance for a GPU.
+     *
+     * @param gpu The GPU.
+     * @param informer Producer policy; nullptr for consumers.
+     * @param config Library tunables.
+     */
+    core::AquaLib &
+    makeAquaLib(hw::GpuId gpu,
+                std::unique_ptr<core::Informer> informer = nullptr,
+                core::AquaLibConfig config = {});
+
+    /** Create (and own) a DRAM offload backend for a GPU. */
+    serve::DramBackend &makeDramBackend(hw::GpuId gpu);
+
+    /** Create (and own) an AQUA offload backend over a library. */
+    serve::AquaBackend &makeAquaBackend(core::AquaLib &lib);
+
+    /** Statically pair a consumer GPU with a producer GPU. */
+    void assign(hw::GpuId consumer, hw::GpuId producer);
+
+  private:
+    std::unique_ptr<aqua::sim::Simulation> simulation;
+    std::unique_ptr<hw::Server> srv;
+    core::Coordinator coord;
+    std::unique_ptr<core::CoordinatorRestService> restService;
+    std::vector<std::unique_ptr<core::AquaLib>> libs;
+    std::vector<std::unique_ptr<serve::OffloadBackend>> backends;
+};
+
+/**
+ * Schedule a trace of requests into any engine exposing submit().
+ */
+template <typename Engine>
+void
+driveTrace(aqua::sim::Simulation &sim, Engine &engine,
+           const std::vector<workload::Request> &trace)
+{
+    for (const workload::Request &r : trace) {
+        sim.queue().schedule(r.arrival, [&engine, r] {
+            engine.submit(r);
+        });
+    }
+}
+
+} // namespace aqua::exp
+
+#endif // AQUA_EXP_TESTBED_HH

@@ -1,0 +1,42 @@
+#include "hw/gpu.hh"
+
+namespace aqua::hw {
+
+using namespace aqua::sim;
+
+Gpu::Gpu(Simulation &sim, GpuId id, const GpuSpec &spec)
+    : sim(sim), _id(id), _spec(spec),
+      _name(spec.name + "#" + std::to_string(id)),
+      _hbm(spec.hbmBytes),
+      compute(_name + ".compute"),
+      _nvlinkTx(_name + ".nvlink.tx"),
+      _nvlinkRx(_name + ".nvlink.rx"),
+      _pcieTx(_name + ".pcie.tx"),
+      _pcieRx(_name + ".pcie.rx")
+{
+}
+
+Tick
+Gpu::submitCompute(Tick duration)
+{
+    return submitComputeAfter(0, duration);
+}
+
+Tick
+Gpu::submitComputeAfter(Tick earliest, Tick duration)
+{
+    Tick now = sim.now();
+    if (earliest > now)
+        now = earliest;
+    Tick effective = duration;
+    // Peer copies steal a small fraction of SM cycles on the GPUs they
+    // traverse; the paper measures the impact at < 5% (Fig. 3b).
+    if (_nvlinkTx.busyAt(now) || _nvlinkRx.busyAt(now)) {
+        effective = static_cast<Tick>(
+            static_cast<double>(duration) *
+            (1.0 + _spec.copyComputeTax));
+    }
+    return compute.occupy(now, effective);
+}
+
+} // namespace aqua::hw

@@ -1,0 +1,33 @@
+#include "hw/gpu_spec.hh"
+
+namespace aqua::hw {
+
+using namespace aqua::sim;
+
+GpuSpec
+a100_80g()
+{
+    GpuSpec spec;
+    spec.name = "A100-80G";
+    spec.hbmBytes = 80 * gib;
+    // 2.0 TB/s datasheet, ~80% achievable on large reads.
+    spec.hbmBandwidth = 1.6e12;
+    // 312 TFLOPS fp16 dense, ~60% achieved on transformer kernels.
+    spec.fp16Flops = 187e12;
+    // PCIe gen4 x16: 32 GB/s raw, ~25 GB/s effective.
+    spec.pcieBandwidth = 25e9;
+    spec.pcieLatency = usToTicks(2.0);
+    spec.pcieRampBytes = 256 * kib;
+    // Fig. 3a: 250 GB/s peak for this A100 generation.
+    spec.nvlinkBandwidth = 250e9;
+    spec.nvlinkLatency = usToTicks(1.0);
+    // Fig. 3a: 100 GB/s at 2 MiB => half-speed point at 3 MiB.
+    spec.nvlinkRampBytes = 3 * mib;
+    // NVSwitch gives each A100 600 GB/s of aggregate port bandwidth.
+    spec.nvswitchPortBandwidth = 600e9;
+    spec.kernelLaunchOverhead = usToTicks(8.0);
+    spec.copyComputeTax = 0.03;
+    return spec;
+}
+
+} // namespace aqua::hw

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Static hardware description of a GPU and its attachment points.
+ *
+ * Calibration targets the paper's testbed: Nvidia A100-80G with NVLink
+ * pairs (250 GB/s peak per Fig. 3a, ramping with transfer size) and
+ * PCIe gen4 x16 to the host (~25 GB/s effective).
+ */
+
+#ifndef AQUA_HW_GPU_SPEC_HH
+#define AQUA_HW_GPU_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace aqua::hw {
+
+/**
+ * Immutable GPU hardware parameters.
+ *
+ * Bandwidths are effective (already derated from datasheet peaks), so
+ * the performance model can use them directly.
+ */
+struct GpuSpec
+{
+    std::string name;
+
+    /** HBM capacity in bytes. */
+    std::uint64_t hbmBytes = 0;
+
+    /** Effective HBM bandwidth in bytes/second. */
+    double hbmBandwidth = 0.0;
+
+    /** Effective dense fp16 throughput in FLOP/s. */
+    double fp16Flops = 0.0;
+
+    /** Effective PCIe bandwidth to host DRAM, bytes/second/direction. */
+    double pcieBandwidth = 0.0;
+
+    /** PCIe one-way latency. */
+    aqua::sim::Tick pcieLatency = 0;
+
+    /** Transfer size at which PCIe reaches ~half its peak bandwidth. */
+    std::uint64_t pcieRampBytes = 0;
+
+    /** NVLink peak bandwidth between a GPU pair, bytes/second. */
+    double nvlinkBandwidth = 0.0;
+
+    /** NVLink one-way latency. */
+    aqua::sim::Tick nvlinkLatency = 0;
+
+    /**
+     * Transfer size at which NVLink reaches half its peak bandwidth.
+     * Fig. 3a: ~100 GB/s at 2 MiB with a 250 GB/s peak => 3 MiB.
+     */
+    std::uint64_t nvlinkRampBytes = 0;
+
+    /** Per-GPU aggregate NVSwitch port bandwidth cap, bytes/second. */
+    double nvswitchPortBandwidth = 0.0;
+
+    /** Fixed overhead of launching one kernel. */
+    aqua::sim::Tick kernelLaunchOverhead = 0;
+
+    /**
+     * Fractional compute slowdown on a GPU while it sources or sinks a
+     * peer-to-peer copy (paper measures < 5%; Fig. 3b, Fig. 11).
+     */
+    double copyComputeTax = 0.0;
+};
+
+/** The paper's A100-80G calibration. */
+GpuSpec a100_80g();
+
+} // namespace aqua::hw
+
+#endif // AQUA_HW_GPU_SPEC_HH

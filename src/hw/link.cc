@@ -1,0 +1,47 @@
+#include "hw/link.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace aqua::hw {
+
+using namespace aqua::sim;
+
+Link::Link(std::string name, double peakBandwidth,
+           std::uint64_t rampBytes, Tick latency)
+    : _name(std::move(name)), peak(peakBandwidth), ramp(rampBytes),
+      lat(latency)
+{
+    if (peak <= 0.0)
+        panic("Link %s: non-positive bandwidth", _name.c_str());
+}
+
+double
+Link::effectiveBandwidth(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return 0.0;
+    double b = static_cast<double>(bytes);
+    return peak * b / (b + static_cast<double>(ramp));
+}
+
+Tick
+Link::transferTime(std::uint64_t bytes) const
+{
+    if (bytes == 0)
+        return lat;
+    double seconds =
+        (static_cast<double>(bytes) + static_cast<double>(ramp)) / peak;
+    return lat + secToTicks(seconds);
+}
+
+Tick
+Link::transferTimeChunked(std::uint64_t bytes, std::uint64_t count) const
+{
+    if (count == 0)
+        return 0;
+    return transferTime(bytes) * count;
+}
+
+} // namespace aqua::hw

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytic link model with size-dependent effective bandwidth.
+ *
+ * Fig. 3a of the paper shows that NVLink bandwidth between two A100s is
+ * "very low for smaller buffer sizes and increases only at higher
+ * buffer sizes, e.g. it reaches 100 GB/s at 2 MB" with a 250 GB/s peak.
+ * We model transfer time as
+ *
+ *     time(bytes) = latency + (bytes + ramp) / peak
+ *
+ * which yields an effective bandwidth of peak * bytes / (bytes + ramp):
+ * half the peak at the ramp size, asymptotically approaching the peak.
+ * This single curve reproduces both the small-transfer penalty that
+ * motivates AQUA's scatter/gather staging and the large-transfer
+ * advantage of NVLink over PCIe.
+ */
+
+#ifndef AQUA_HW_LINK_HH
+#define AQUA_HW_LINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/ticks.hh"
+
+namespace aqua::hw {
+
+/**
+ * A unidirectional point-to-point transport (one NVLink direction, one
+ * PCIe direction, or one NVSwitch port direction).
+ */
+class Link
+{
+  public:
+    /**
+     * @param name Diagnostic name.
+     * @param peakBandwidth Asymptotic bandwidth in bytes/second.
+     * @param rampBytes Transfer size achieving half the peak.
+     * @param latency Fixed per-transfer latency.
+     */
+    Link(std::string name, double peakBandwidth,
+         std::uint64_t rampBytes, aqua::sim::Tick latency);
+
+    const std::string &name() const { return _name; }
+    double peakBandwidth() const { return peak; }
+    std::uint64_t rampBytes() const { return ramp; }
+    aqua::sim::Tick latency() const { return lat; }
+
+    /** Effective bandwidth (bytes/second) for a transfer of @p bytes. */
+    double effectiveBandwidth(std::uint64_t bytes) const;
+
+    /** Occupancy time of one transfer of @p bytes (includes latency). */
+    aqua::sim::Tick transferTime(std::uint64_t bytes) const;
+
+    /**
+     * Occupancy time of @p count back-to-back transfers of @p bytes
+     * each — the cost of naively copying many scattered chunks, which
+     * AQUA's staging avoids.
+     */
+    aqua::sim::Tick transferTimeChunked(std::uint64_t bytes,
+                                        std::uint64_t count) const;
+
+  private:
+    std::string _name;
+    double peak;
+    std::uint64_t ramp;
+    aqua::sim::Tick lat;
+};
+
+} // namespace aqua::hw
+
+#endif // AQUA_HW_LINK_HH

@@ -1,0 +1,36 @@
+#include "hw/server.hh"
+
+#include "sim/logging.hh"
+
+namespace aqua::hw {
+
+using namespace aqua::sim;
+
+Server::Server(Simulation &sim, std::size_t numGpus, const GpuSpec &spec,
+               TopologyKind kind, std::uint64_t dramBytes)
+    : sim(sim), _dram(dramBytes)
+{
+    if (numGpus == 0)
+        panic("Server: need at least one GPU");
+    std::vector<Gpu *> raw;
+    raw.reserve(numGpus);
+    for (std::size_t i = 0; i < numGpus; ++i) {
+        _gpus.push_back(
+            std::make_unique<Gpu>(sim, static_cast<GpuId>(i), spec));
+        raw.push_back(_gpus.back().get());
+    }
+    topo = std::make_unique<Topology>(sim, std::move(raw), kind);
+}
+
+Cluster::Cluster(Simulation &sim, std::size_t numServers,
+                 std::size_t gpusPerServer, const GpuSpec &spec,
+                 TopologyKind kind)
+    : perServer(gpusPerServer)
+{
+    for (std::size_t s = 0; s < numServers; ++s) {
+        servers.push_back(
+            std::make_unique<Server>(sim, gpusPerServer, spec, kind));
+    }
+}
+
+} // namespace aqua::hw

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Multi-GPU server and cluster containers.
+ */
+
+#ifndef AQUA_HW_SERVER_HH
+#define AQUA_HW_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/gpu.hh"
+#include "hw/topology.hh"
+#include "mem/region_allocator.hh"
+#include "sim/simulation.hh"
+
+namespace aqua::hw {
+
+/** Host DRAM: capacity behind the PCIe links. */
+class HostDram
+{
+  public:
+    explicit HostDram(std::uint64_t capacity) : alloc(capacity) {}
+
+    aqua::mem::RegionAllocator &allocator() { return alloc; }
+    std::uint64_t capacity() const { return alloc.capacity(); }
+    std::uint64_t freeBytes() const { return alloc.freeBytes(); }
+
+  private:
+    aqua::mem::RegionAllocator alloc;
+};
+
+/**
+ * One multi-GPU server: GPUs, host DRAM, and the interconnect.
+ *
+ * Mirrors the paper's testbeds: makeServer(sim, 2, DirectP2P) is the
+ * 2×A100 server; makeServer(sim, 8, NvSwitch) is the 8×A100 NVSwitch
+ * server; both have 1 TB of DRAM.
+ */
+class Server
+{
+  public:
+    /**
+     * @param sim Shared simulation.
+     * @param numGpus GPU count.
+     * @param spec Per-GPU hardware spec (homogeneous, as in §4).
+     * @param kind Interconnect flavour.
+     * @param dramBytes Host DRAM capacity.
+     */
+    Server(aqua::sim::Simulation &sim, std::size_t numGpus,
+           const GpuSpec &spec, TopologyKind kind,
+           std::uint64_t dramBytes = std::uint64_t(1024) << 30);
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    std::size_t numGpus() const { return _gpus.size(); }
+    Gpu &gpu(GpuId id) { return *_gpus.at(static_cast<std::size_t>(id)); }
+    const Gpu &gpu(GpuId id) const
+    {
+        return *_gpus.at(static_cast<std::size_t>(id));
+    }
+
+    Topology &topology() { return *topo; }
+    const Topology &topology() const { return *topo; }
+
+    HostDram &dram() { return _dram; }
+
+    aqua::sim::Simulation &simulation() { return sim; }
+
+  private:
+    aqua::sim::Simulation &sim;
+    std::vector<std::unique_ptr<Gpu>> _gpus;
+    HostDram _dram;
+    std::unique_ptr<Topology> topo;
+};
+
+/**
+ * A cluster of identical servers, the unit AQUA-PLACER plans over.
+ */
+class Cluster
+{
+  public:
+    /**
+     * @param sim Shared simulation.
+     * @param numServers Server count.
+     * @param gpusPerServer GPUs per server.
+     * @param spec Per-GPU spec.
+     * @param kind Per-server interconnect flavour.
+     */
+    Cluster(aqua::sim::Simulation &sim, std::size_t numServers,
+            std::size_t gpusPerServer, const GpuSpec &spec,
+            TopologyKind kind);
+
+    std::size_t numServers() const { return servers.size(); }
+    std::size_t gpusPerServer() const { return perServer; }
+    std::size_t totalGpus() const { return servers.size() * perServer; }
+
+    Server &server(std::size_t idx) { return *servers.at(idx); }
+
+  private:
+    std::size_t perServer;
+    std::vector<std::unique_ptr<Server>> servers;
+};
+
+} // namespace aqua::hw
+
+#endif // AQUA_HW_SERVER_HH

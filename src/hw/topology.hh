@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Intra-server interconnect: NVLink (direct pairs or NVSwitch) between
+ * GPUs and PCIe between each GPU and host DRAM.
+ *
+ * The paper's two testbeds map onto the two topology kinds:
+ *  - a 2-GPU server with direct point-to-point NVLinks, and
+ *  - an 8-GPU server where GPUs reach each other through NVSwitches.
+ */
+
+#ifndef AQUA_HW_TOPOLOGY_HH
+#define AQUA_HW_TOPOLOGY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/gpu.hh"
+#include "hw/link.hh"
+#include "sim/simulation.hh"
+
+namespace aqua::hw {
+
+/** Interconnect flavour between GPUs on one server. */
+enum class TopologyKind
+{
+    /** Every GPU pair connected by dedicated NVLinks. */
+    DirectP2P,
+    /** All GPUs attached to an NVSwitch fabric. */
+    NvSwitch,
+};
+
+/** Completion callback for an asynchronous transfer. */
+using TransferCallback = std::function<void()>;
+
+/** Result of issuing a transfer: when it starts and completes. */
+struct TransferTiming
+{
+    aqua::sim::Tick start;
+    aqua::sim::Tick complete;
+};
+
+/**
+ * Routes and times data movement within one server.
+ *
+ * Transfers are analytic: each occupies the source's egress port and
+ * the destination's ingress port for the link-model duration; the
+ * caller receives a completion callback at the finish time. Port
+ * serialization is what makes a producer GPU shared by multiple
+ * consumers a bottleneck — the behaviour AQUA-PLACER's
+ * one-producer-per-consumer rule avoids (§4).
+ */
+class Topology
+{
+  public:
+    /**
+     * @param sim Shared simulation.
+     * @param gpus The server's GPUs (non-owning; must outlive this).
+     * @param kind Interconnect flavour.
+     */
+    Topology(aqua::sim::Simulation &sim, std::vector<Gpu *> gpus,
+             TopologyKind kind);
+
+    TopologyKind kind() const { return _kind; }
+    std::size_t numGpus() const { return gpus.size(); }
+
+    /** The NVLink link model between two distinct GPUs. */
+    const Link &peerLink() const { return nvlink; }
+
+    /** The PCIe link model between a GPU and host DRAM. */
+    const Link &hostLink() const { return pcie; }
+
+    /**
+     * Pure timing query: duration of a single peer copy of @p bytes,
+     * ignoring contention.
+     */
+    aqua::sim::Tick peerTransferDuration(std::uint64_t bytes) const;
+
+    /** Pure timing query for a host (PCIe) copy. */
+    aqua::sim::Tick hostTransferDuration(std::uint64_t bytes) const;
+
+    /**
+     * Issue an asynchronous copy between two GPUs (peer) or between a
+     * GPU and host DRAM (use hostDramId as one endpoint).
+     *
+     * @param src Source endpoint (GpuId or hostDramId).
+     * @param dst Destination endpoint (GpuId or hostDramId).
+     * @param bytes Transfer size.
+     * @param cb Invoked at completion (may be empty).
+     * @param earliest Do not start before this tick (e.g. a staging
+     *                 gather must finish first); 0 means "now".
+     * @return Timing of the reserved transfer.
+     */
+    TransferTiming copy(GpuId src, GpuId dst, std::uint64_t bytes,
+                        TransferCallback cb = {},
+                        aqua::sim::Tick earliest = 0);
+
+    /**
+     * Issue @p count back-to-back copies of @p chunkBytes each over the
+     * same route — the unstaged scattered-copy pattern whose cost
+     * motivates AQUA's gather/scatter kernels (§5).
+     */
+    TransferTiming copyChunked(GpuId src, GpuId dst,
+                               std::uint64_t chunkBytes,
+                               std::uint64_t count,
+                               TransferCallback cb = {},
+                               aqua::sim::Tick earliest = 0);
+
+    /** Total bytes moved over NVLink routes. */
+    std::uint64_t peerBytesMoved() const { return _peerBytes; }
+
+    /** Total bytes moved over PCIe routes. */
+    std::uint64_t hostBytesMoved() const { return _hostBytes; }
+
+  private:
+    /** Validate an endpoint id; panics on garbage. */
+    void checkEndpoint(GpuId id) const;
+
+    TransferTiming route(GpuId src, GpuId dst, std::uint64_t bytes,
+                         aqua::sim::Tick duration, TransferCallback cb,
+                         aqua::sim::Tick earliest);
+
+    aqua::sim::Simulation &sim;
+    std::vector<Gpu *> gpus;
+    TopologyKind _kind;
+    Link nvlink;
+    Link pcie;
+    std::uint64_t _peerBytes = 0;
+    std::uint64_t _hostBytes = 0;
+};
+
+} // namespace aqua::hw
+
+#endif // AQUA_HW_TOPOLOGY_HH

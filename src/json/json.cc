@@ -1,0 +1,723 @@
+#include "json/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace aqua::json {
+
+using aqua::sim::panic;
+
+//
+// Object
+//
+
+bool
+Object::contains(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+Value &
+Object::operator[](const std::string &key)
+{
+    if (Value *v = find(key))
+        return *v;
+    items.emplace_back(key, Value());
+    return items.back().second;
+}
+
+const Value *
+Object::find(const std::string &key) const
+{
+    for (const auto &[k, v] : items) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+Value *
+Object::find(const std::string &key)
+{
+    for (auto &[k, v] : items) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+bool
+Object::erase(const std::string &key)
+{
+    for (auto it = items.begin(); it != items.end(); ++it) {
+        if (it->first == key) {
+            items.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Object::operator==(const Object &other) const
+{
+    if (items.size() != other.items.size())
+        return false;
+    // Order-insensitive comparison: same keys, equal values.
+    for (const auto &[k, v] : items) {
+        const Value *o = other.find(k);
+        if (!o || !(*o == v))
+            return false;
+    }
+    return true;
+}
+
+//
+// Value
+//
+
+Type
+Value::type() const
+{
+    switch (data.index()) {
+      case 0: return Type::Null;
+      case 1: return Type::Bool;
+      case 2: return Type::Int;
+      case 3: return Type::Double;
+      case 4: return Type::String;
+      case 5: return Type::Array;
+      default: return Type::Object;
+    }
+}
+
+bool
+Value::asBool() const
+{
+    if (!isBool())
+        panic("json: asBool on non-bool value");
+    return std::get<bool>(data);
+}
+
+std::int64_t
+Value::asInt() const
+{
+    if (isDouble()) {
+        double d = std::get<double>(data);
+        if (d == std::floor(d))
+            return static_cast<std::int64_t>(d);
+        panic("json: asInt on non-integral double");
+    }
+    if (!isInt())
+        panic("json: asInt on non-number value");
+    return std::get<std::int64_t>(data);
+}
+
+double
+Value::asDouble() const
+{
+    if (isInt())
+        return static_cast<double>(std::get<std::int64_t>(data));
+    if (!isDouble())
+        panic("json: asDouble on non-number value");
+    return std::get<double>(data);
+}
+
+const std::string &
+Value::asString() const
+{
+    if (!isString())
+        panic("json: asString on non-string value");
+    return std::get<std::string>(data);
+}
+
+const Array &
+Value::asArray() const
+{
+    if (!isArray())
+        panic("json: asArray on non-array value");
+    return std::get<Array>(data);
+}
+
+Array &
+Value::asArray()
+{
+    if (!isArray())
+        panic("json: asArray on non-array value");
+    return std::get<Array>(data);
+}
+
+const Object &
+Value::asObject() const
+{
+    if (!isObject())
+        panic("json: asObject on non-object value");
+    return std::get<Object>(data);
+}
+
+Object &
+Value::asObject()
+{
+    if (!isObject())
+        panic("json: asObject on non-object value");
+    return std::get<Object>(data);
+}
+
+Value &
+Value::operator[](const std::string &key)
+{
+    if (isNull())
+        data = Object();
+    return asObject()[key];
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (!isObject())
+        return nullptr;
+    return asObject().find(key);
+}
+
+std::int64_t
+Value::getInt(const std::string &key, std::int64_t dflt) const
+{
+    const Value *v = find(key);
+    return v && v->isNumber() ? v->asInt() : dflt;
+}
+
+double
+Value::getDouble(const std::string &key, double dflt) const
+{
+    const Value *v = find(key);
+    return v && v->isNumber() ? v->asDouble() : dflt;
+}
+
+bool
+Value::getBool(const std::string &key, bool dflt) const
+{
+    const Value *v = find(key);
+    return v && v->isBool() ? v->asBool() : dflt;
+}
+
+std::string
+Value::getString(const std::string &key, const std::string &dflt) const
+{
+    const Value *v = find(key);
+    return v && v->isString() ? v->asString() : dflt;
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (isNumber() && other.isNumber() && type() != other.type())
+        return asDouble() == other.asDouble();
+    return data == other.data;
+}
+
+//
+// Writer
+//
+
+namespace {
+
+void
+escapeString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+newlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // anonymous namespace
+
+void
+Value::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (type()) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += std::get<bool>(data) ? "true" : "false";
+        break;
+      case Type::Int:
+        out += std::to_string(std::get<std::int64_t>(data));
+        break;
+      case Type::Double: {
+        double d = std::get<double>(data);
+        if (std::isnan(d) || std::isinf(d)) {
+            out += "null"; // JSON has no NaN/Inf
+            break;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        out += buf;
+        break;
+      }
+      case Type::String:
+        escapeString(out, std::get<std::string>(data));
+        break;
+      case Type::Array: {
+        const Array &arr = std::get<Array>(data);
+        if (arr.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        bool first = true;
+        for (const Value &v : arr) {
+            if (!first)
+                out += indent > 0 ? "," : ",";
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            v.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      }
+      case Type::Object: {
+        const Object &obj = std::get<Object>(data);
+        if (obj.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        bool first = true;
+        for (const auto &[k, v] : obj) {
+            if (!first)
+                out += ",";
+            first = false;
+            newlineIndent(out, indent, depth + 1);
+            escapeString(out, k);
+            out += indent > 0 ? ": " : ":";
+            v.dumpTo(out, indent, depth + 1);
+        }
+        newlineIndent(out, indent, depth);
+        out += '}';
+        break;
+      }
+    }
+}
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+//
+// Parser
+//
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text(text) {}
+
+    ParseResult
+    run()
+    {
+        ParseResult result;
+        skipWs();
+        if (!parseValue(result.value)) {
+            result.ok = false;
+            result.error = errorMsg;
+            result.line = errLine;
+            result.column = errCol;
+            return result;
+        }
+        skipWs();
+        if (pos != text.size()) {
+            fail("trailing content after JSON document");
+            result.ok = false;
+            result.error = errorMsg;
+            result.line = errLine;
+            result.column = errCol;
+            return result;
+        }
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    void
+    locate(std::size_t at, std::size_t &line, std::size_t &col) const
+    {
+        line = 1;
+        col = 1;
+        for (std::size_t i = 0; i < at && i < text.size(); ++i) {
+            if (text[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (errorMsg.empty()) {
+            errorMsg = msg;
+            locate(pos, errLine, errCol);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos;
+            else
+                break;
+        }
+    }
+
+    bool
+    expect(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        if (++depth > maxDepth)
+            return fail("nesting too deep");
+        bool ok = parseValueInner(out);
+        --depth;
+        return ok;
+    }
+
+    bool
+    parseValueInner(Value &out)
+    {
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        char c = text[pos];
+        switch (c) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value(std::move(s));
+            return true;
+          }
+          case 't': return parseLiteral("true", Value(true), out);
+          case 'f': return parseLiteral("false", Value(false), out);
+          case 'n': return parseLiteral("null", Value(nullptr), out);
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return parseNumber(out);
+            return fail("unexpected character");
+        }
+    }
+
+    bool
+    parseLiteral(const char *lit, Value value, Value &out)
+    {
+        std::size_t len = std::string(lit).size();
+        if (text.compare(pos, len, lit) != 0)
+            return fail(std::string("invalid literal, expected ") + lit);
+        pos += len;
+        out = std::move(value);
+        return true;
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        std::size_t start = pos;
+        bool isDouble = false;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9')
+            ++pos;
+        if (pos < text.size() && text[pos] == '.') {
+            isDouble = true;
+            ++pos;
+            while (pos < text.size() &&
+                   text[pos] >= '0' && text[pos] <= '9')
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            isDouble = true;
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            while (pos < text.size() &&
+                   text[pos] >= '0' && text[pos] <= '9')
+                ++pos;
+        }
+        std::string token = text.substr(start, pos - start);
+        if (token.empty() || token == "-")
+            return fail("invalid number");
+        if (!isDouble) {
+            errno = 0;
+            char *end = nullptr;
+            long long v = std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end && *end == '\0') {
+                out = Value(static_cast<std::int64_t>(v));
+                return true;
+            }
+            // Fall through to double for out-of-range integers.
+        }
+        char *end = nullptr;
+        double d = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("invalid number");
+        out = Value(d);
+        return true;
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (pos + 4 > text.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text[pos++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("invalid \\u escape");
+        }
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xc0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xe0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            s += static_cast<char>(0xf0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return fail("truncated escape");
+            char esc = text[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp;
+                if (!parseHex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: require a following \uXXXX low.
+                    if (pos + 1 < text.size() && text[pos] == '\\' &&
+                        text[pos + 1] == 'u') {
+                        pos += 2;
+                        unsigned lo;
+                        if (!parseHex4(lo))
+                            return false;
+                        if (lo < 0xdc00 || lo > 0xdfff)
+                            return fail("invalid low surrogate");
+                        cp = 0x10000 +
+                             ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                    } else {
+                        return fail("lone high surrogate");
+                    }
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    return fail("lone low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("invalid escape character");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        if (!expect('['))
+            return false;
+        Array arr;
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+            ++pos;
+            out = Value(std::move(arr));
+            return true;
+        }
+        for (;;) {
+            Value element;
+            skipWs();
+            if (!parseValue(element))
+                return false;
+            arr.push_back(std::move(element));
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated array");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == ']') {
+                ++pos;
+                out = Value(std::move(arr));
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        if (!expect('{'))
+            return false;
+        Object obj;
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+            ++pos;
+            out = Value(std::move(obj));
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            skipWs();
+            Value member;
+            if (!parseValue(member))
+                return false;
+            obj[key] = std::move(member);
+            skipWs();
+            if (pos >= text.size())
+                return fail("unterminated object");
+            if (text[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (text[pos] == '}') {
+                ++pos;
+                out = Value(std::move(obj));
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    const std::string &text;
+    std::size_t pos = 0;
+    int depth = 0;
+    static constexpr int maxDepth = 256;
+    std::string errorMsg;
+    std::size_t errLine = 0;
+    std::size_t errCol = 0;
+};
+
+} // anonymous namespace
+
+ParseResult
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+Value
+parseOrDie(const std::string &text)
+{
+    ParseResult r = parse(text);
+    if (!r.ok) {
+        panic("json parse error at %zu:%zu: %s",
+              r.line, r.column, r.error.c_str());
+    }
+    return std::move(r.value);
+}
+
+} // namespace aqua::json

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Minimal JSON value model, parser and writer.
+ *
+ * Used by the AQUA coordinator's REST-style endpoints (request and
+ * response bodies are JSON, as in the paper's implementation) and by
+ * benchmark harnesses that emit machine-readable series.
+ *
+ * The object type preserves insertion order so serialized payloads are
+ * deterministic and diffable.
+ */
+
+#ifndef AQUA_JSON_JSON_HH
+#define AQUA_JSON_JSON_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace aqua::json {
+
+class Value;
+
+/** Array of JSON values. */
+using Array = std::vector<Value>;
+
+/**
+ * Insertion-ordered string-keyed map.
+ *
+ * A vector of pairs plus linear lookup; coordinator payloads are tiny
+ * (< 10 keys) so ordering and simplicity beat asymptotics here.
+ */
+class Object
+{
+  public:
+    using Item = std::pair<std::string, Value>;
+
+    Object() = default;
+
+    /** Number of members. */
+    std::size_t size() const { return items.size(); }
+    bool empty() const { return items.empty(); }
+
+    /** Whether a key is present. */
+    bool contains(const std::string &key) const;
+
+    /**
+     * Access or create a member.
+     * Creates a null member when @p key is absent.
+     */
+    Value &operator[](const std::string &key);
+
+    /** Find a member. @return nullptr when absent. */
+    const Value *find(const std::string &key) const;
+    Value *find(const std::string &key);
+
+    /** Remove a member. @return true when it existed. */
+    bool erase(const std::string &key);
+
+    std::vector<Item>::const_iterator begin() const { return items.begin(); }
+    std::vector<Item>::const_iterator end() const { return items.end(); }
+
+    bool operator==(const Object &other) const;
+
+  private:
+    std::vector<Item> items;
+};
+
+/** Discriminator for Value contents. */
+enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+/**
+ * A JSON value.
+ *
+ * Integers and doubles are kept distinct so ids and byte counts
+ * round-trip exactly; asDouble() transparently widens integers.
+ */
+class Value
+{
+  public:
+    Value() : data(std::monostate{}) {}
+    Value(std::nullptr_t) : data(std::monostate{}) {}
+    Value(bool b) : data(b) {}
+    Value(int v) : data(static_cast<std::int64_t>(v)) {}
+    Value(unsigned v) : data(static_cast<std::int64_t>(v)) {}
+    Value(std::int64_t v) : data(v) {}
+    Value(std::uint64_t v) : data(static_cast<std::int64_t>(v)) {}
+    Value(double v) : data(v) {}
+    Value(const char *s) : data(std::string(s)) {}
+    Value(std::string s) : data(std::move(s)) {}
+    Value(Array a) : data(std::move(a)) {}
+    Value(Object o) : data(std::move(o)) {}
+
+    /** Kind of value held. */
+    Type type() const;
+
+    bool isNull() const { return type() == Type::Null; }
+    bool isBool() const { return type() == Type::Bool; }
+    bool isInt() const { return type() == Type::Int; }
+    bool isDouble() const { return type() == Type::Double; }
+    bool isNumber() const { return isInt() || isDouble(); }
+    bool isString() const { return type() == Type::String; }
+    bool isArray() const { return type() == Type::Array; }
+    bool isObject() const { return type() == Type::Object; }
+
+    /** Checked accessors; panic on type mismatch. */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    double asDouble() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    Array &asArray();
+    const Object &asObject() const;
+    Object &asObject();
+
+    /** Convenience: member access on an object value. */
+    Value &operator[](const std::string &key);
+    /** Convenience: member lookup; nullptr when absent or not object. */
+    const Value *find(const std::string &key) const;
+
+    /** Typed member lookup with default. */
+    std::int64_t getInt(const std::string &key, std::int64_t dflt) const;
+    double getDouble(const std::string &key, double dflt) const;
+    bool getBool(const std::string &key, bool dflt) const;
+    std::string getString(const std::string &key,
+                          const std::string &dflt) const;
+
+    bool operator==(const Value &other) const;
+
+    /**
+     * Serialize.
+     *
+     * @param indent Spaces per level; 0 emits a compact single line.
+     */
+    std::string dump(int indent = 0) const;
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    std::variant<std::monostate, bool, std::int64_t, double,
+                 std::string, Array, Object> data;
+};
+
+/** Outcome of parsing. */
+struct ParseResult
+{
+    /** Parsed value; meaningful only when ok. */
+    Value value;
+    bool ok = false;
+    /** Error description with 1-based line and column when !ok. */
+    std::string error;
+    std::size_t line = 0;
+    std::size_t column = 0;
+};
+
+/**
+ * Parse a JSON document.
+ *
+ * Trailing non-whitespace content is an error. The parser accepts the
+ * full JSON grammar including \uXXXX escapes (encoded to UTF-8).
+ */
+ParseResult parse(const std::string &text);
+
+/** Parse, panicking on error — for trusted internal payloads. */
+Value parseOrDie(const std::string &text);
+
+} // namespace aqua::json
+
+#endif // AQUA_JSON_JSON_HH

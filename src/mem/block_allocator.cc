@@ -1,0 +1,136 @@
+#include "mem/block_allocator.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace aqua::mem {
+
+using aqua::sim::panic;
+
+BlockAllocator::BlockAllocator(std::uint64_t totalBytes,
+                               std::uint64_t blockBytes)
+    : blockBytes(blockBytes)
+{
+    if (blockBytes == 0)
+        panic("BlockAllocator: zero block size");
+    numBlocks = static_cast<std::size_t>(totalBytes / blockBytes);
+    allocated.assign(numBlocks, false);
+    freeList.reserve(numBlocks);
+    // Push in reverse so blocks are handed out in ascending order.
+    for (std::size_t i = numBlocks; i-- > 0;)
+        freeList.push_back(static_cast<BlockId>(i));
+}
+
+std::size_t
+BlockAllocator::blocksFor(std::uint64_t bytes) const
+{
+    return static_cast<std::size_t>((bytes + blockBytes - 1) / blockBytes);
+}
+
+bool
+BlockAllocator::canAllocate(std::size_t count) const
+{
+    return freeList.size() >= count;
+}
+
+std::optional<BlockId>
+BlockAllocator::allocate()
+{
+    if (freeList.empty())
+        return std::nullopt;
+    BlockId id = freeList.back();
+    freeList.pop_back();
+    allocated[id] = true;
+    return id;
+}
+
+std::optional<std::vector<BlockId>>
+BlockAllocator::allocateMany(std::size_t count)
+{
+    if (!canAllocate(count))
+        return std::nullopt;
+    std::vector<BlockId> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        BlockId id = freeList.back();
+        freeList.pop_back();
+        allocated[id] = true;
+        out.push_back(id);
+    }
+    return out;
+}
+
+void
+BlockAllocator::free(BlockId id)
+{
+    if (id >= numBlocks)
+        panic("BlockAllocator::free: bad block id %u", id);
+    if (!allocated[id])
+        panic("BlockAllocator::free: double free of block %u", id);
+    allocated[id] = false;
+    freeList.push_back(id);
+}
+
+void
+BlockAllocator::freeMany(const std::vector<BlockId> &ids)
+{
+    for (BlockId id : ids)
+        free(id);
+}
+
+std::size_t
+BlockAllocator::retire(std::size_t count)
+{
+    std::size_t retired = 0;
+    while (retired < count && !freeList.empty()) {
+        retiredList.push_back(freeList.back());
+        freeList.pop_back();
+        ++retired;
+    }
+    return retired;
+}
+
+std::size_t
+BlockAllocator::restore(std::size_t count)
+{
+    std::size_t restored = 0;
+    while (restored < count && !retiredList.empty()) {
+        freeList.push_back(retiredList.back());
+        retiredList.pop_back();
+        ++restored;
+    }
+    return restored;
+}
+
+bool
+BlockAllocator::resize(std::size_t newTotalBlocks)
+{
+    if (newTotalBlocks >= numBlocks) {
+        // Grow: append fresh blocks to the pool and free list.
+        allocated.resize(newTotalBlocks, false);
+        for (std::size_t i = numBlocks; i < newTotalBlocks; ++i)
+            freeList.push_back(static_cast<BlockId>(i));
+        numBlocks = newTotalBlocks;
+        return true;
+    }
+    // Shrink: the removed tail must consist entirely of free blocks.
+    std::size_t removing = numBlocks - newTotalBlocks;
+    if (freeList.size() < removing)
+        return false;
+    // The free list is unordered; verify the specific tail blocks are
+    // free (the donated region must be a contiguous tail so the engine
+    // can hand one region to AQUA, mirroring the paper's defrag copy).
+    for (std::size_t i = newTotalBlocks; i < numBlocks; ++i) {
+        if (allocated[i])
+            return false;
+    }
+    std::erase_if(freeList, [&](BlockId id) {
+        return id >= newTotalBlocks;
+    });
+    allocated.resize(newTotalBlocks);
+    numBlocks = newTotalBlocks;
+    return true;
+}
+
+} // namespace aqua::mem

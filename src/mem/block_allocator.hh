@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Fixed-size block allocator, modelling vLLM's paged KV-cache pool.
+ *
+ * The KV cache of each sequence is a list of fixed-size blocks (pages);
+ * paged allocation is what lets vLLM admit sequences without reserving
+ * worst-case contiguous memory, and what AQUA's scatter/gather staging
+ * must cope with (many small scattered blocks per sequence).
+ */
+
+#ifndef AQUA_MEM_BLOCK_ALLOCATOR_HH
+#define AQUA_MEM_BLOCK_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace aqua::mem {
+
+/** Index of a block within a BlockAllocator's pool. */
+using BlockId = std::uint32_t;
+
+/**
+ * Pool of equal-size blocks with O(1) allocate/free.
+ */
+class BlockAllocator
+{
+  public:
+    /**
+     * @param totalBytes Bytes managed by the pool.
+     * @param blockBytes Size of one block; must divide into >= 1 block.
+     */
+    BlockAllocator(std::uint64_t totalBytes, std::uint64_t blockBytes);
+
+    std::uint64_t blockSize() const { return blockBytes; }
+
+    /** Live pool size: configured blocks minus retired ones. */
+    std::size_t
+    totalBlocks() const
+    {
+        return numBlocks - retiredList.size();
+    }
+
+    std::size_t freeBlocks() const { return freeList.size(); }
+
+    std::size_t
+    usedBlocks() const
+    {
+        return totalBlocks() - freeList.size();
+    }
+    std::uint64_t freeBytes() const { return freeBlocks() * blockBytes; }
+    std::uint64_t usedBytes() const { return usedBlocks() * blockBytes; }
+
+    /** Blocks needed to hold @p bytes. */
+    std::size_t blocksFor(std::uint64_t bytes) const;
+
+    /** Whether @p count blocks can be allocated right now. */
+    bool canAllocate(std::size_t count) const;
+
+    /** Allocate one block. @return nullopt when exhausted. */
+    std::optional<BlockId> allocate();
+
+    /**
+     * Allocate @p count blocks atomically: all or nothing.
+     *
+     * @return The block ids, or nullopt if fewer than @p count are free.
+     */
+    std::optional<std::vector<BlockId>> allocateMany(std::size_t count);
+
+    /** Free one block; panics on double free / bad id. */
+    void free(BlockId id);
+
+    /** Free a batch of blocks. */
+    void freeMany(const std::vector<BlockId> &ids);
+
+    /**
+     * Shrink or grow the pool (AQUA producers donate KV-pool memory by
+     * shrinking; they reclaim by growing back). Shrinking requires the
+     * removed blocks to be free.
+     *
+     * @param newTotalBlocks Desired pool size in blocks.
+     * @retval true Resize succeeded.
+     * @retval false Not enough free blocks to shrink that far.
+     */
+    bool resize(std::size_t newTotalBlocks);
+
+    /**
+     * Retire up to @p count free blocks from the pool, regardless of
+     * their position — the serving engine is assumed to compact live
+     * blocks first ("copying the scattered allocated blocks to a
+     * temporary location to free up the reserved memory", §B.1).
+     * Retired blocks can be brought back with restore().
+     *
+     * @return Blocks actually retired (bounded by freeBlocks()).
+     */
+    std::size_t retire(std::size_t count);
+
+    /**
+     * Return up to @p count previously retired blocks to the pool.
+     *
+     * @return Blocks actually restored.
+     */
+    std::size_t restore(std::size_t count);
+
+    /** Number of currently retired blocks. */
+    std::size_t retiredBlocks() const { return retiredList.size(); }
+
+  private:
+    std::uint64_t blockBytes;
+    std::size_t numBlocks;
+    std::vector<BlockId> freeList;
+    std::vector<BlockId> retiredList;
+    std::vector<bool> allocated;
+};
+
+} // namespace aqua::mem
+
+#endif // AQUA_MEM_BLOCK_ALLOCATOR_HH

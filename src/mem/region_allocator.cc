@@ -1,0 +1,102 @@
+#include "mem/region_allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace aqua::mem {
+
+using aqua::sim::panic;
+
+RegionAllocator::RegionAllocator(std::uint64_t capacity,
+                                 std::uint64_t alignment)
+    : cap(capacity), align(alignment)
+{
+    if (align == 0 || (align & (align - 1)) != 0)
+        panic("RegionAllocator: alignment must be a power of two");
+    if (cap > 0)
+        freeRanges[0] = cap;
+}
+
+std::uint64_t
+RegionAllocator::roundUp(std::uint64_t size) const
+{
+    if (size == 0)
+        size = 1;
+    return (size + align - 1) & ~(align - 1);
+}
+
+std::optional<Region>
+RegionAllocator::allocate(std::uint64_t size)
+{
+    std::uint64_t need = roundUp(size);
+    for (auto it = freeRanges.begin(); it != freeRanges.end(); ++it) {
+        if (it->second < need)
+            continue;
+        std::uint64_t addr = it->first;
+        std::uint64_t remaining = it->second - need;
+        freeRanges.erase(it);
+        if (remaining > 0)
+            freeRanges[addr + need] = remaining;
+        live[addr] = need;
+        used += need;
+        return Region{addr, need};
+    }
+    return std::nullopt;
+}
+
+void
+RegionAllocator::free(const Region &region)
+{
+    free(region.addr);
+}
+
+void
+RegionAllocator::free(std::uint64_t addr)
+{
+    auto it = live.find(addr);
+    if (it == live.end())
+        panic("RegionAllocator::free: unknown address %llu "
+              "(double free?)", static_cast<unsigned long long>(addr));
+    std::uint64_t size = it->second;
+    live.erase(it);
+    used -= size;
+
+    // Insert and coalesce with neighbours.
+    auto [pos, inserted] = freeRanges.emplace(addr, size);
+    if (!inserted)
+        panic("RegionAllocator::free: free range already present");
+    // Merge with the next range.
+    auto next = std::next(pos);
+    if (next != freeRanges.end() && pos->first + pos->second == next->first) {
+        pos->second += next->second;
+        freeRanges.erase(next);
+    }
+    // Merge with the previous range.
+    if (pos != freeRanges.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->first + prev->second == pos->first) {
+            prev->second += pos->second;
+            freeRanges.erase(pos);
+        }
+    }
+}
+
+std::uint64_t
+RegionAllocator::largestFreeRange() const
+{
+    std::uint64_t best = 0;
+    for (const auto &[addr, size] : freeRanges)
+        best = size > best ? size : best;
+    return best;
+}
+
+double
+RegionAllocator::fragmentation() const
+{
+    std::uint64_t free_total = freeBytes();
+    if (free_total == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(largestFreeRange()) /
+                 static_cast<double>(free_total);
+}
+
+} // namespace aqua::mem

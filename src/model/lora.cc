@@ -1,0 +1,58 @@
+#include "model/lora.hh"
+
+#include "sim/ticks.hh"
+
+namespace aqua::model {
+
+using aqua::sim::mib;
+
+std::uint64_t
+loraBytesForRank(const ModelSpec &base, std::uint32_t rank)
+{
+    // Four adapted projections (q, k, v, o) per layer; each carries an
+    // A (d_model x r) and a B (r x d_model) matrix.
+    std::uint64_t per_proj =
+        std::uint64_t(2) * base.dModel * rank * base.bytesPerParam;
+    return std::uint64_t(4) * base.nLayers * per_proj;
+}
+
+std::vector<LoraAdapter>
+synthesizeAdapters(const std::string &baseName, std::uint64_t bytes,
+                   std::uint32_t count)
+{
+    std::vector<LoraAdapter> out;
+    out.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        LoraAdapter a;
+        a.id = i;
+        a.name = baseName + "-" + std::to_string(i);
+        a.bytes = bytes;
+        a.rank = 0; // synthesized by size, not rank
+        out.push_back(a);
+    }
+    return out;
+}
+
+LoraAdapter
+zephyrAdapter()
+{
+    LoraAdapter a;
+    a.id = 0;
+    a.name = "zephyr-7b-beta-lora";
+    a.rank = 256;
+    a.bytes = 320 * mib;
+    return a;
+}
+
+LoraAdapter
+mtebAdapter()
+{
+    LoraAdapter a;
+    a.id = 1;
+    a.name = "e5-mistral-7b-mteb-lora";
+    a.rank = 128;
+    a.bytes = 160 * mib;
+    return a;
+}
+
+} // namespace aqua::model

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Low-rank adaptation (LoRA) adapters: per-request fine-tuning weights
+ * that must reside in GPU memory during inference (§2.2).
+ *
+ * The paper's LoRA workloads use the Zephyr (~320 MB) and Mteb
+ * (~160 MB) Mistral adapters and synthesize more by copying them.
+ */
+
+#ifndef AQUA_MODEL_LORA_HH
+#define AQUA_MODEL_LORA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model_spec.hh"
+#include "sim/ticks.hh"
+
+namespace aqua::model {
+
+/** Identifier of a LoRA adapter within a serving engine. */
+using LoraId = std::uint32_t;
+
+/** Sentinel meaning "no adapter". */
+constexpr LoraId noLora = ~LoraId(0);
+
+/**
+ * One LoRA adapter.
+ */
+struct LoraAdapter
+{
+    LoraId id = noLora;
+    std::string name;
+    /** Adapter rank; higher rank => more weights (§2.2). */
+    std::uint32_t rank = 0;
+    /** Bytes of adapter weights resident on the GPU when active. */
+    std::uint64_t bytes = 0;
+};
+
+/**
+ * Bytes of a LoRA adapter of a given rank for a base model: two
+ * low-rank matrices (d_model x r and r x d_model) per adapted
+ * projection, for the usual four attention projections per layer.
+ */
+std::uint64_t loraBytesForRank(const ModelSpec &base, std::uint32_t rank);
+
+/**
+ * Synthesize @p count adapters of identical size, mirroring the
+ * paper's "we also synthesize more adapters by copying these" (§6).
+ *
+ * @param baseName Name prefix for the adapters.
+ * @param bytes Adapter size (e.g. 160 MB or 320 MB).
+ */
+std::vector<LoraAdapter> synthesizeAdapters(const std::string &baseName,
+                                            std::uint64_t bytes,
+                                            std::uint32_t count);
+
+/** The ~320 MB Zephyr adapter for Mistral. */
+LoraAdapter zephyrAdapter();
+
+/** The ~160 MB Mteb adapter for Mistral. */
+LoraAdapter mtebAdapter();
+
+} // namespace aqua::model
+
+#endif // AQUA_MODEL_LORA_HH

@@ -1,0 +1,223 @@
+#include "model/model_spec.hh"
+
+#include "sim/logging.hh"
+#include "sim/ticks.hh"
+
+namespace aqua::model {
+
+using aqua::sim::gib;
+using aqua::sim::mib;
+using aqua::sim::panic;
+
+const char *
+modalityName(Modality m)
+{
+    switch (m) {
+      case Modality::Text: return "text";
+      case Modality::Image: return "image";
+      case Modality::Audio: return "audio";
+    }
+    return "?";
+}
+
+std::uint64_t
+ModelSpec::weightBytes() const
+{
+    return static_cast<std::uint64_t>(nParams) * bytesPerParam;
+}
+
+double
+ModelSpec::effectiveParams() const
+{
+    return activeParams > 0.0 ? activeParams : nParams;
+}
+
+std::uint64_t
+ModelSpec::activeWeightBytes() const
+{
+    return static_cast<std::uint64_t>(effectiveParams()) *
+           bytesPerParam;
+}
+
+std::uint64_t
+ModelSpec::kvBytesPerToken() const
+{
+    if (!isText())
+        return 0;
+    return std::uint64_t(2) * nLayers * nKvHeads * headDim * bytesPerParam;
+}
+
+std::uint64_t
+ModelSpec::kvBytes(std::uint64_t tokens) const
+{
+    return kvBytesPerToken() * tokens;
+}
+
+std::uint64_t
+ModelSpec::attentionWorkspaceBytes(std::uint64_t seqLen) const
+{
+    if (!isText())
+        return 0;
+    return std::uint64_t(nHeads) * seqLen * seqLen * bytesPerParam;
+}
+
+namespace {
+
+ModelSpec
+textModel(std::string name, double params, std::uint32_t layers,
+          std::uint32_t d_model, std::uint32_t heads,
+          std::uint32_t kv_heads, std::uint32_t max_seq)
+{
+    ModelSpec spec;
+    spec.name = std::move(name);
+    spec.modality = Modality::Text;
+    spec.nParams = params;
+    spec.nLayers = layers;
+    spec.dModel = d_model;
+    spec.nHeads = heads;
+    spec.nKvHeads = kv_heads;
+    spec.headDim = d_model / heads;
+    spec.maxSeqLen = max_seq;
+    // CUDA context + framework activations/workspace.
+    spec.runtimeOverheadBytes = 6 * gib;
+    return spec;
+}
+
+ModelSpec
+batchModel(std::string name, Modality modality, double params,
+           double item_time, double fixed_time,
+           std::uint64_t act_bytes, std::uint32_t max_batch)
+{
+    ModelSpec spec;
+    spec.name = std::move(name);
+    spec.modality = modality;
+    spec.nParams = params;
+    spec.itemTimeSec = item_time;
+    spec.fixedIterTimeSec = fixed_time;
+    spec.activationBytesPerItem = act_bytes;
+    spec.maxUsefulBatch = max_batch;
+    spec.runtimeOverheadBytes = 4 * gib;
+    return spec;
+}
+
+} // anonymous namespace
+
+ModelSpec
+opt30b()
+{
+    // OPT-30B: 48 layers, d_model 7168, 56 heads, full multi-head
+    // attention => 1.3 MiB of KV per token; weights 60 GB fp16. The
+    // only model FlexGen serves in the paper's long-prompt workload.
+    return textModel("OPT-30B", 30e9, 48, 7168, 56, 56, 2048);
+}
+
+ModelSpec
+mistral7b()
+{
+    // Mistral-7B: GQA with 8 KV heads => 128 KiB of KV per token.
+    return textModel("Mistral-7B", 7.24e9, 32, 4096, 32, 8, 32768);
+}
+
+ModelSpec
+mixtral8x7b()
+{
+    // Mixtral 8x7B: 46.7B total parameters, but each token routes
+    // through 2 of 8 experts (~12.9B active). GQA with 8 KV heads.
+    // The fp16 weights (~93 GB) exceed one A100-80G's HBM: the model
+    // is only servable with weight offloading (rw_deepspeed).
+    ModelSpec spec =
+        textModel("Mixtral-8x7B", 46.7e9, 32, 4096, 32, 8, 32768);
+    spec.activeParams = 12.9e9;
+    return spec;
+}
+
+ModelSpec
+llama2_13b()
+{
+    // Llama-2-13B: 40 layers, MHA => 800 KiB of KV per token.
+    return textModel("Llama-2-13B", 13e9, 40, 5120, 40, 40, 4096);
+}
+
+ModelSpec
+codellama34b()
+{
+    // CodeLlama-34B: 48 layers, d_model 8192, GQA with 8 KV heads.
+    return textModel("Codellama-34B", 34e9, 48, 8192, 64, 8, 16384);
+}
+
+ModelSpec
+stableDiffusion()
+{
+    // ~1 image/s asymptotically on an A100; throughput plateaus around
+    // batch 12-16 with tens of GB of HBM to spare (Fig. 2b).
+    return batchModel("StableDiffusion", Modality::Image, 1.07e9,
+                      0.90, 2.5, 700 * mib, 16);
+}
+
+ModelSpec
+stableDiffusionXl()
+{
+    return batchModel("StableDiffusion-XL", Modality::Image, 3.5e9,
+                      2.2, 4.0, 1200 * mib, 12);
+}
+
+ModelSpec
+kandinsky()
+{
+    return batchModel("Kandinsky", Modality::Image, 3.3e9,
+                      1.8, 3.5, 1100 * mib, 12);
+}
+
+ModelSpec
+audiogen()
+{
+    // Fig. 2a: AudioGen plateaus with ~20 GB consumed at peak batch.
+    return batchModel("AudioGen", Modality::Audio, 1.5e9,
+                      1.4, 3.0, 900 * mib, 14);
+}
+
+ModelSpec
+musicgen()
+{
+    return batchModel("MusicGen", Modality::Audio, 3.3e9,
+                      2.0, 3.2, 1000 * mib, 12);
+}
+
+const std::vector<std::string> &
+presetNames()
+{
+    static const std::vector<std::string> names = {
+        "OPT-30B", "Mistral-7B", "Mixtral-8x7B", "Llama-2-13B",
+        "Codellama-34B", "StableDiffusion", "StableDiffusion-XL",
+        "Kandinsky", "AudioGen", "MusicGen",
+    };
+    return names;
+}
+
+ModelSpec
+presetByName(const std::string &name)
+{
+    if (name == "OPT-30B")
+        return opt30b();
+    if (name == "Mistral-7B")
+        return mistral7b();
+    if (name == "Mixtral-8x7B")
+        return mixtral8x7b();
+    if (name == "Llama-2-13B")
+        return llama2_13b();
+    if (name == "Codellama-34B")
+        return codellama34b();
+    if (name == "StableDiffusion")
+        return stableDiffusion();
+    if (name == "StableDiffusion-XL")
+        return stableDiffusionXl();
+    if (name == "Kandinsky")
+        return kandinsky();
+    if (name == "AudioGen")
+        return audiogen();
+    if (name == "MusicGen")
+        return musicgen();
+    panic("unknown model preset: %s", name.c_str());
+}
+
+} // namespace aqua::model

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Generative-model descriptions: geometry, memory footprint, and the
+ * parameters feeding the roofline performance model.
+ *
+ * Presets cover the eight models the paper serves (§6, Tables 1-3):
+ * OPT-30B, Mistral-7B, Llama-2-13B, CodeLlama-34B (text);
+ * StableDiffusion, SD-XL, Kandinsky (image); AudioGen, MusicGen
+ * (audio). Text models carry real layer/head geometry so KV-cache
+ * bytes per token are exact; image/audio models carry calibrated
+ * compute profiles since only their compute-bound behaviour and spare
+ * memory matter to AQUA.
+ */
+
+#ifndef AQUA_MODEL_MODEL_SPEC_HH
+#define AQUA_MODEL_MODEL_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqua::model {
+
+/** Output modality of a generative model. */
+enum class Modality { Text, Image, Audio };
+
+/** Human-readable modality name. */
+const char *modalityName(Modality m);
+
+/**
+ * Static description of one generative model.
+ */
+struct ModelSpec
+{
+    std::string name;
+    Modality modality = Modality::Text;
+
+    /** Total parameters. */
+    double nParams = 0.0;
+
+    /**
+     * Parameters active per token for mixture-of-experts models
+     * (e.g. Mixtral routes each token through 2 of 8 experts);
+     * 0 means dense (all parameters active).
+     */
+    double activeParams = 0.0;
+
+    /** Bytes per parameter (2 = fp16). */
+    std::uint32_t bytesPerParam = 2;
+
+    //
+    // Transformer geometry (meaningful for Modality::Text).
+    //
+    std::uint32_t nLayers = 0;
+    std::uint32_t dModel = 0;
+    std::uint32_t nHeads = 0;
+    /** Key/value heads; < nHeads under grouped-query attention. */
+    std::uint32_t nKvHeads = 0;
+    std::uint32_t headDim = 0;
+    std::uint32_t maxSeqLen = 0;
+
+    //
+    // Compute profile (meaningful for Image/Audio).
+    //
+    /** Asymptotic per-item generation time on the reference GPU (s). */
+    double itemTimeSec = 0.0;
+    /** Fixed per-iteration overhead independent of batch size (s). */
+    double fixedIterTimeSec = 0.0;
+    /** Activation bytes consumed per in-flight batch item. */
+    std::uint64_t activationBytesPerItem = 0;
+    /** Batch size beyond which throughput gains vanish. */
+    std::uint32_t maxUsefulBatch = 0;
+
+    /** Fixed runtime overhead (CUDA context, framework buffers). */
+    std::uint64_t runtimeOverheadBytes = 0;
+
+    /** Bytes of model weights. */
+    std::uint64_t weightBytes() const;
+
+    /** Parameters doing FLOPs per token (MoE-aware). */
+    double effectiveParams() const;
+
+    /** Bytes of the weights one token's forward pass touches. */
+    std::uint64_t activeWeightBytes() const;
+
+    /**
+     * KV-cache bytes per token: 2 (K and V) x layers x kvHeads x
+     * headDim x bytesPerParam. Zero for non-text models.
+     */
+    std::uint64_t kvBytesPerToken() const;
+
+    /** KV-cache bytes of a sequence of @p tokens tokens. */
+    std::uint64_t kvBytes(std::uint64_t tokens) const;
+
+    /**
+     * Transient attention workspace during prefill of a @p seqLen
+     * sequence: one layer's materialized score matrix
+     * (heads x L x L x bytes). FlexGen's HF backend does not use
+     * flash attention, so this peak is real and is part of why an
+     * 8k-token prompt cannot be inferred in-HBM on OPT-30B (§6).
+     */
+    std::uint64_t attentionWorkspaceBytes(std::uint64_t seqLen) const;
+
+    /** Whether the model is a transformer LLM. */
+    bool isText() const { return modality == Modality::Text; }
+};
+
+//
+// Preset factory functions: the paper's model zoo.
+//
+
+ModelSpec opt30b();
+ModelSpec mistral7b();
+ModelSpec mixtral8x7b();
+ModelSpec llama2_13b();
+ModelSpec codellama34b();
+ModelSpec stableDiffusion();
+ModelSpec stableDiffusionXl();
+ModelSpec kandinsky();
+ModelSpec audiogen();
+ModelSpec musicgen();
+
+/** Look up a preset by name; panics on unknown names. */
+ModelSpec presetByName(const std::string &name);
+
+/** Names of all presets, in Tables 1-3 order. */
+const std::vector<std::string> &presetNames();
+
+} // namespace aqua::model
+
+#endif // AQUA_MODEL_MODEL_SPEC_HH

@@ -1,0 +1,102 @@
+#include "model/perf_model.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace aqua::model {
+
+using namespace aqua::sim;
+
+namespace {
+
+/** Reference fp16 throughput the batch-model profiles are tied to. */
+constexpr double referenceFlops = 187e12;
+
+} // anonymous namespace
+
+PerfModel::PerfModel(const ModelSpec &model, const hw::GpuSpec &gpu)
+    : spec(model), gpu(gpu)
+{
+    if (gpu.fp16Flops <= 0.0 || gpu.hbmBandwidth <= 0.0)
+        panic("PerfModel: GPU spec missing compute/bandwidth");
+    computeScale = referenceFlops / gpu.fp16Flops;
+}
+
+Tick
+PerfModel::prefillTime(std::uint64_t promptTokens) const
+{
+    if (!spec.isText())
+        panic("prefillTime on non-text model %s", spec.name.c_str());
+    // MoE models only spend FLOPs on their active experts.
+    double flops = 2.0 * spec.effectiveParams() *
+                   static_cast<double>(promptTokens);
+    double compute_sec = flops / gpu.fp16Flops;
+    // Weights still stream through HBM once (a long prompt's tokens
+    // collectively touch every expert).
+    double memory_sec =
+        static_cast<double>(spec.weightBytes()) / gpu.hbmBandwidth;
+    return gpu.kernelLaunchOverhead +
+           secToTicks(std::max(compute_sec, memory_sec));
+}
+
+Tick
+PerfModel::decodeStepTime(std::uint64_t batchSize,
+                          std::uint64_t kvBytesResident) const
+{
+    if (!spec.isText())
+        panic("decodeStepTime on non-text model %s", spec.name.c_str());
+    if (batchSize == 0)
+        return 0;
+    double flops =
+        2.0 * spec.effectiveParams() * static_cast<double>(batchSize);
+    double compute_sec = flops / gpu.fp16Flops;
+    // Dense models stream all weights per iteration. MoE models
+    // stream only the experts the batch routes through — every
+    // expert once the batch is large enough.
+    double weight_traffic = std::min(
+        static_cast<double>(spec.weightBytes()),
+        static_cast<double>(spec.activeWeightBytes()) *
+            static_cast<double>(batchSize));
+    double bytes =
+        weight_traffic + static_cast<double>(kvBytesResident);
+    double memory_sec = bytes / gpu.hbmBandwidth;
+    return gpu.kernelLaunchOverhead +
+           secToTicks(std::max(compute_sec, memory_sec));
+}
+
+Tick
+PerfModel::batchIterTime(std::uint64_t batchSize) const
+{
+    if (spec.isText())
+        panic("batchIterTime on text model %s", spec.name.c_str());
+    if (batchSize == 0)
+        return 0;
+    double sec = (spec.fixedIterTimeSec +
+                  spec.itemTimeSec * static_cast<double>(batchSize)) *
+                 computeScale;
+    return gpu.kernelLaunchOverhead + secToTicks(sec);
+}
+
+double
+PerfModel::batchThroughput(std::uint64_t batchSize) const
+{
+    if (batchSize == 0)
+        return 0.0;
+    Tick iter = batchIterTime(batchSize);
+    return static_cast<double>(batchSize) / ticksToSec(iter);
+}
+
+std::uint64_t
+PerfModel::memoryFootprint(std::uint64_t batchSize,
+                           std::uint64_t kvBytes) const
+{
+    std::uint64_t bytes = spec.weightBytes() + spec.runtimeOverheadBytes;
+    if (spec.isText())
+        bytes += kvBytes;
+    else
+        bytes += spec.activationBytesPerItem * batchSize;
+    return bytes;
+}
+
+} // namespace aqua::model

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Roofline performance model for inference iterations.
+ *
+ * The paper's empirical §2.1 findings are the contract here:
+ *  - LLM decode is memory-bound: every decode step streams the full
+ *    weight matrix plus the KV cache of every batched sequence through
+ *    HBM, so iteration time ~ bytes / HBM bandwidth (Fig. 2c).
+ *  - LLM prefill is compute-bound: ~2 * params FLOPs per token.
+ *  - Image/audio generation is compute-bound with a fixed overhead per
+ *    iteration, so throughput plateaus while HBM stays mostly free
+ *    (Fig. 2a, 2b).
+ */
+
+#ifndef AQUA_MODEL_PERF_MODEL_HH
+#define AQUA_MODEL_PERF_MODEL_HH
+
+#include <cstdint>
+
+#include "hw/gpu_spec.hh"
+#include "model/model_spec.hh"
+#include "sim/ticks.hh"
+
+namespace aqua::model {
+
+/**
+ * Computes iteration durations for a (model, GPU) pair.
+ */
+class PerfModel
+{
+  public:
+    PerfModel(const ModelSpec &model, const hw::GpuSpec &gpu);
+
+    const ModelSpec &model() const { return spec; }
+
+    /**
+     * Prefill (prompt-processing) time for @p promptTokens tokens,
+     * compute-bound at 2 FLOPs per parameter per token.
+     */
+    aqua::sim::Tick prefillTime(std::uint64_t promptTokens) const;
+
+    /**
+     * One decode iteration generating one token for each of
+     * @p batchSize sequences whose KV caches total @p kvBytesResident
+     * bytes. Memory-bound: weights plus resident KV stream through HBM
+     * once per iteration; compute is the floor.
+     */
+    aqua::sim::Tick decodeStepTime(std::uint64_t batchSize,
+                                   std::uint64_t kvBytesResident) const;
+
+    /**
+     * One full generation iteration of a compute-bound image/audio
+     * model over @p batchSize items (e.g. one diffusion run).
+     */
+    aqua::sim::Tick batchIterTime(std::uint64_t batchSize) const;
+
+    /**
+     * Throughput in items/second of the compute-bound model when run
+     * at a steady batch size (convenience for Fig. 2 sweeps).
+     */
+    double batchThroughput(std::uint64_t batchSize) const;
+
+    /**
+     * HBM bytes needed to run the model at the given load:
+     * weights + runtime overhead + per-item activations (compute-bound)
+     * or + KV bytes (text).
+     */
+    std::uint64_t memoryFootprint(std::uint64_t batchSize,
+                                  std::uint64_t kvBytes) const;
+
+  private:
+    ModelSpec spec;
+    hw::GpuSpec gpu;
+    /** Scale from the reference A100 to this GPU's compute. */
+    double computeScale;
+};
+
+} // namespace aqua::model
+
+#endif // AQUA_MODEL_PERF_MODEL_HH

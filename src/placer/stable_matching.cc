@@ -1,0 +1,108 @@
+#include "placer/stable_matching.hh"
+
+#include <deque>
+
+namespace aqua::placer {
+
+namespace {
+
+/** rank[a][p] = position of p in a's list, or -1 if unranked. */
+std::vector<std::vector<int>>
+buildRanks(const std::vector<std::vector<int>> &prefs,
+           std::size_t numOthers)
+{
+    std::vector<std::vector<int>> rank(
+        prefs.size(), std::vector<int>(numOthers, -1));
+    for (std::size_t i = 0; i < prefs.size(); ++i) {
+        for (std::size_t pos = 0; pos < prefs[i].size(); ++pos)
+            rank[i][prefs[i][pos]] = static_cast<int>(pos);
+    }
+    return rank;
+}
+
+} // anonymous namespace
+
+std::vector<int>
+stableMatch(const std::vector<std::vector<int>> &proposerPrefs,
+            const std::vector<std::vector<int>> &acceptorPrefs,
+            std::size_t numAcceptors)
+{
+    std::size_t numProposers = proposerPrefs.size();
+    std::vector<std::vector<int>> acceptorRank =
+        buildRanks(acceptorPrefs, numProposers);
+
+    std::vector<int> match(numProposers, -1);
+    std::vector<int> acceptorMatch(numAcceptors, -1);
+    std::vector<std::size_t> nextChoice(numProposers, 0);
+
+    std::deque<int> freeProposers;
+    for (std::size_t p = 0; p < numProposers; ++p)
+        freeProposers.push_back(static_cast<int>(p));
+
+    while (!freeProposers.empty()) {
+        int p = freeProposers.front();
+        freeProposers.pop_front();
+        bool matched = false;
+        while (nextChoice[p] < proposerPrefs[p].size()) {
+            int a = proposerPrefs[p][nextChoice[p]++];
+            if (acceptorRank[a][p] < 0)
+                continue; // a finds p unacceptable
+            int current = acceptorMatch[a];
+            if (current < 0) {
+                acceptorMatch[a] = p;
+                match[p] = a;
+                matched = true;
+                break;
+            }
+            if (acceptorRank[a][p] < acceptorRank[a][current]) {
+                // a trades up; current becomes free again.
+                match[current] = -1;
+                freeProposers.push_back(current);
+                acceptorMatch[a] = p;
+                match[p] = a;
+                matched = true;
+                break;
+            }
+        }
+        (void)matched;
+    }
+    return match;
+}
+
+bool
+isStableMatching(const std::vector<std::vector<int>> &proposerPrefs,
+                 const std::vector<std::vector<int>> &acceptorPrefs,
+                 const std::vector<int> &match,
+                 std::size_t numAcceptors)
+{
+    std::size_t numProposers = proposerPrefs.size();
+    std::vector<std::vector<int>> acceptorRank =
+        buildRanks(acceptorPrefs, numProposers);
+    std::vector<std::vector<int>> proposerRank =
+        buildRanks(proposerPrefs, numAcceptors);
+
+    std::vector<int> acceptorMatch(numAcceptors, -1);
+    for (std::size_t p = 0; p < numProposers; ++p) {
+        if (match[p] >= 0)
+            acceptorMatch[match[p]] = static_cast<int>(p);
+    }
+
+    for (std::size_t p = 0; p < numProposers; ++p) {
+        for (int a : proposerPrefs[p]) {
+            if (acceptorRank[a][p] < 0)
+                continue;
+            bool p_prefers_a =
+                match[p] < 0 ||
+                proposerRank[p][a] < proposerRank[p][match[p]];
+            int current = acceptorMatch[a];
+            bool a_prefers_p =
+                current < 0 ||
+                acceptorRank[a][p] < acceptorRank[a][current];
+            if (p_prefers_a && a_prefers_p)
+                return false; // blocking pair
+        }
+    }
+    return true;
+}
+
+} // namespace aqua::placer

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Gale-Shapley stable matching.
+ *
+ * Within one server, AQUA-PLACER pairs producer GPUs with consumer
+ * GPUs "using simple stable matching" (§4). The classic deferred-
+ * acceptance algorithm runs proposer-optimal in O(n^2).
+ */
+
+#ifndef AQUA_PLACER_STABLE_MATCHING_HH
+#define AQUA_PLACER_STABLE_MATCHING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace aqua::placer {
+
+/**
+ * Compute a stable matching.
+ *
+ * @param proposerPrefs proposerPrefs[p] lists acceptor indices in
+ *        p's preference order (most preferred first). Proposers may
+ *        rank a subset; unranked acceptors are unacceptable to them.
+ * @param acceptorPrefs acceptorPrefs[a] likewise ranks proposers.
+ * @param numAcceptors Total acceptor count.
+ * @return match[p] = acceptor matched to proposer p, or -1.
+ */
+std::vector<int>
+stableMatch(const std::vector<std::vector<int>> &proposerPrefs,
+            const std::vector<std::vector<int>> &acceptorPrefs,
+            std::size_t numAcceptors);
+
+/**
+ * Verify stability: no proposer/acceptor pair prefers each other to
+ * their assigned partners. Exposed for property tests.
+ */
+bool
+isStableMatching(const std::vector<std::vector<int>> &proposerPrefs,
+                 const std::vector<std::vector<int>> &acceptorPrefs,
+                 const std::vector<int> &match,
+                 std::size_t numAcceptors);
+
+} // namespace aqua::placer
+
+#endif // AQUA_PLACER_STABLE_MATCHING_HH

@@ -1,0 +1,110 @@
+#include "serve/kv_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace aqua::serve {
+
+using aqua::sim::panic;
+
+namespace {
+
+std::uint64_t
+blockBytesFor(const model::ModelSpec &model, std::uint32_t blockTokens)
+{
+    if (!model.isText())
+        panic("KvCache: %s is not a text model", model.name.c_str());
+    return static_cast<std::uint64_t>(blockTokens) *
+           model.kvBytesPerToken();
+}
+
+} // anonymous namespace
+
+KvCache::KvCache(hw::Gpu &gpu, const model::ModelSpec &model,
+                 std::uint64_t poolBytes, std::uint32_t blockTokens)
+    : gpu(gpu), blockTokens(blockTokens), reservedBytes(poolBytes),
+      blocks(poolBytes, blockBytesFor(model, blockTokens))
+{
+    region = gpu.hbm().allocate(poolBytes);
+    if (!region) {
+        panic("KvCache: cannot reserve %llu bytes of HBM on %s",
+              static_cast<unsigned long long>(poolBytes),
+              gpu.name().c_str());
+    }
+}
+
+KvCache::~KvCache()
+{
+    if (region)
+        gpu.hbm().free(*region);
+}
+
+std::size_t
+KvCache::blocksForTokens(std::uint64_t tokens) const
+{
+    return (tokens + blockTokens - 1) / blockTokens;
+}
+
+std::uint64_t
+KvCache::kvBytes(std::uint64_t tokens) const
+{
+    return tokens * (blocks.blockSize() / blockTokens);
+}
+
+std::optional<std::vector<aqua::mem::BlockId>>
+KvCache::allocateBlocks(std::size_t count)
+{
+    return blocks.allocateMany(count);
+}
+
+void
+KvCache::freeBlocks(const std::vector<aqua::mem::BlockId> &ids)
+{
+    blocks.freeMany(ids);
+}
+
+void
+KvCache::reacquireRegion(std::uint64_t newBytes)
+{
+    // Addresses are simulated, so "moving" the pool is free; what
+    // matters is that the HBM allocator sees the right reservation.
+    if (region)
+        gpu.hbm().free(*region);
+    region.reset();
+    if (newBytes > 0) {
+        region = gpu.hbm().allocate(newBytes);
+        if (!region) {
+            panic("KvCache: failed to re-reserve %llu bytes on %s",
+                  static_cast<unsigned long long>(newBytes),
+                  gpu.name().c_str());
+        }
+    }
+    reservedBytes = newBytes;
+}
+
+std::uint64_t
+KvCache::shrink(std::uint64_t bytes)
+{
+    std::size_t want = static_cast<std::size_t>(bytes / blockBytes());
+    std::size_t got = blocks.retire(want);
+    if (got == 0)
+        return 0;
+    std::uint64_t released = got * blockBytes();
+    reacquireRegion(reservedBytes - released);
+    return released;
+}
+
+void
+KvCache::grow(std::uint64_t bytes)
+{
+    std::size_t count = static_cast<std::size_t>(bytes / blockBytes());
+    if (count == 0)
+        return;
+    std::size_t restored = blocks.restore(count);
+    if (restored < count) {
+        panic("KvCache::grow: asked for %zu blocks but only %zu were "
+              "donated away", count, restored);
+    }
+    reacquireRegion(reservedBytes + count * blockBytes());
+}
+
+} // namespace aqua::serve

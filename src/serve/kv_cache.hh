@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Paged KV-cache pool, vLLM style.
+ *
+ * The engine reserves (most of) the HBM left after weights as a pool
+ * of fixed-size blocks; sequences borrow blocks as their KV grows.
+ * AQUA producers donate by shrinking this pool — the engine copies
+ * scattered live blocks aside so a contiguous region can be handed to
+ * AQUA-LIB, mirroring §B.1's defragmentation trick — and grow it back
+ * after a reclaim.
+ */
+
+#ifndef AQUA_SERVE_KV_CACHE_HH
+#define AQUA_SERVE_KV_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/gpu.hh"
+#include "mem/block_allocator.hh"
+#include "model/model_spec.hh"
+
+namespace aqua::serve {
+
+/**
+ * Block-granular KV-cache pool bound to a GPU's HBM.
+ */
+class KvCache
+{
+  public:
+    /**
+     * @param gpu Owning GPU; the pool region is carved from its HBM.
+     * @param model The served model (defines KV bytes per token).
+     * @param poolBytes Bytes reserved for the pool.
+     * @param blockTokens Tokens per block (vLLM default 16).
+     */
+    KvCache(hw::Gpu &gpu, const model::ModelSpec &model,
+            std::uint64_t poolBytes, std::uint32_t blockTokens = 16);
+
+    KvCache(const KvCache &) = delete;
+    KvCache &operator=(const KvCache &) = delete;
+    ~KvCache();
+
+    std::uint64_t blockBytes() const { return blocks.blockSize(); }
+    std::uint32_t tokensPerBlock() const { return blockTokens; }
+
+    /** Current pool reservation in bytes. */
+    std::uint64_t poolBytes() const { return reservedBytes; }
+
+    std::uint64_t freeBytes() const { return blocks.freeBytes(); }
+    std::uint64_t usedBytes() const { return blocks.usedBytes(); }
+    std::size_t freeBlocks() const { return blocks.freeBlocks(); }
+    std::size_t totalBlocks() const { return blocks.totalBlocks(); }
+
+    /** Blocks needed to hold a sequence of @p tokens tokens. */
+    std::size_t blocksForTokens(std::uint64_t tokens) const;
+
+    /** KV bytes of a sequence of @p tokens tokens (exact, unpadded). */
+    std::uint64_t kvBytes(std::uint64_t tokens) const;
+
+    bool canAllocateBlocks(std::size_t count) const
+    {
+        return blocks.canAllocate(count);
+    }
+
+    /** Allocate @p count blocks; nullopt when the pool is exhausted. */
+    std::optional<std::vector<aqua::mem::BlockId>>
+    allocateBlocks(std::size_t count);
+
+    /** Return blocks to the pool. */
+    void freeBlocks(const std::vector<aqua::mem::BlockId> &ids);
+
+    /**
+     * Donate pool memory: shrink the reservation by up to @p bytes
+     * (rounded down to whole free blocks) and release the HBM.
+     *
+     * @return Bytes actually released.
+     */
+    std::uint64_t shrink(std::uint64_t bytes);
+
+    /**
+     * Grow the pool by @p bytes (e.g. after AQUA returns a lease).
+     * Panics if the HBM region cannot be re-acquired — the caller
+     * must release the lease region first.
+     */
+    void grow(std::uint64_t bytes);
+
+  private:
+    /** Re-acquire the backing HBM region for the current size. */
+    void reacquireRegion(std::uint64_t newBytes);
+
+    hw::Gpu &gpu;
+    std::uint32_t blockTokens;
+    std::uint64_t reservedBytes;
+    std::optional<aqua::mem::Region> region;
+    aqua::mem::BlockAllocator blocks;
+};
+
+} // namespace aqua::serve
+
+#endif // AQUA_SERVE_KV_CACHE_HH

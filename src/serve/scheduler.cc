@@ -1,0 +1,103 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+namespace aqua::serve {
+
+SchedulerDecision
+FcfsPolicy::schedule(const SchedulerInput &in)
+{
+    SchedulerDecision d;
+    std::size_t batch_room =
+        in.running.size() < in.maxBatch ? in.maxBatch - in.running.size()
+                                        : 0;
+    std::size_t free_blocks = in.kv->freeBlocks();
+
+    // Resume preempted sequences first (they hold admission priority
+    // in vLLM); do not admit new work while any remain swapped.
+    for (Sequence *s : in.swapped) {
+        if (batch_room == 0)
+            break;
+        std::size_t need =
+            in.kv->blocksForTokens(s->kvTokens() + in.slackTokens);
+        if (need > free_blocks)
+            break;
+        d.swapIn.push_back(s);
+        free_blocks -= need;
+        --batch_room;
+    }
+    if (!in.swapped.empty() && d.swapIn.size() < in.swapped.size())
+        return d;
+
+    for (Sequence *s : in.waiting) {
+        if (batch_room == 0)
+            break;
+        // kvTokens() covers recompute-preempted sequences, whose
+        // regenerated context spans prompt plus generated tokens.
+        std::size_t need = in.kv->blocksForTokens(
+            s->kvTokens() + in.slackTokens);
+        if (need > free_blocks)
+            break; // FIFO: later arrivals wait behind the blocked head
+        d.admit.push_back(s);
+        free_blocks -= need;
+        --batch_room;
+    }
+    return d;
+}
+
+SchedulerDecision
+CfsPolicy::schedule(const SchedulerInput &in)
+{
+    SchedulerDecision d;
+
+    // All live sequences compete; vruntime is tokens generated, ties
+    // broken by arrival so earlier prompts keep their edge.
+    std::vector<Sequence *> candidates;
+    candidates.reserve(in.waiting.size() + in.running.size() +
+                       in.swapped.size());
+    for (Sequence *s : in.running)
+        candidates.push_back(s);
+    for (Sequence *s : in.swapped)
+        candidates.push_back(s);
+    for (Sequence *s : in.waiting)
+        candidates.push_back(s);
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Sequence *a, const Sequence *b) {
+                         if (a->generated != b->generated)
+                             return a->generated < b->generated;
+                         return a->request.arrival < b->request.arrival;
+                     });
+
+    // Fill the slice: least-served first while blocks last. Every
+    // selected sequence needs room for its KV plus slice growth.
+    std::size_t budget = in.kv->totalBlocks();
+    std::vector<Sequence *> selected;
+    for (Sequence *s : candidates) {
+        if (selected.size() >= in.maxBatch)
+            break;
+        std::size_t need =
+            in.kv->blocksForTokens(s->kvTokens() + in.sliceTokens);
+        if (need > budget)
+            continue; // try a smaller sequence; fairness over packing
+        budget -= need;
+        selected.push_back(s);
+    }
+
+    auto contains = [&](const Sequence *s) {
+        return std::find(selected.begin(), selected.end(), s) !=
+               selected.end();
+    };
+    for (Sequence *s : in.running) {
+        if (!contains(s))
+            d.swapOut.push_back(s);
+    }
+    for (Sequence *s : selected) {
+        if (s->state == Sequence::State::Swapped)
+            d.swapIn.push_back(s);
+        else if (s->state == Sequence::State::Waiting)
+            d.admit.push_back(s);
+    }
+    return d;
+}
+
+} // namespace aqua::serve

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Iteration-level scheduling policies for LLM serving engines.
+ *
+ *  - FcfsPolicy reproduces vLLM's default continuous batching: admit
+ *    new sequences only when their context fits in GPU memory; later
+ *    arrivals queue (and starve under bursts — Fig. 1, Fig. 9).
+ *  - CfsPolicy is the paper's completely fair scheduler (§5): the
+ *    vruntime is tokens generated; every slice of k tokens the least-
+ *    served sequences get the GPU, and context switches page KV
+ *    caches through the offload backend.
+ */
+
+#ifndef AQUA_SERVE_SCHEDULER_HH
+#define AQUA_SERVE_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/kv_cache.hh"
+#include "serve/sequence.hh"
+
+namespace aqua::serve {
+
+/** What the engine shows the policy. */
+struct SchedulerInput
+{
+    /** Arrival order. */
+    std::vector<Sequence *> waiting;
+    std::vector<Sequence *> running;
+    /** Preemption order (oldest first). */
+    std::vector<Sequence *> swapped;
+    const KvCache *kv = nullptr;
+    std::uint32_t maxBatch = 0;
+    /** CFS slice length in tokens. */
+    std::uint32_t sliceTokens = 0;
+    /** Admission slack in tokens beyond the prompt. */
+    std::uint32_t slackTokens = 0;
+};
+
+/** State transitions the engine should perform this iteration. */
+struct SchedulerDecision
+{
+    /** Waiting -> Running (prefill needed). */
+    std::vector<Sequence *> admit;
+    /** Swapped -> Running (KV paged back in). */
+    std::vector<Sequence *> swapIn;
+    /** Running -> Swapped (KV paged out). */
+    std::vector<Sequence *> swapOut;
+
+    bool
+    empty() const
+    {
+        return admit.empty() && swapIn.empty() && swapOut.empty();
+    }
+};
+
+/**
+ * Scheduling policy interface.
+ */
+class SchedulerPolicy
+{
+  public:
+    virtual ~SchedulerPolicy() = default;
+
+    virtual SchedulerDecision schedule(const SchedulerInput &in) = 0;
+
+    /** Fair policies are re-evaluated at slice boundaries only. */
+    virtual bool isFair() const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/**
+ * vLLM's default scheduler: FIFO admission gated on free KV blocks;
+ * preempted sequences resume before new ones are admitted.
+ */
+class FcfsPolicy : public SchedulerPolicy
+{
+  public:
+    SchedulerDecision schedule(const SchedulerInput &in) override;
+    bool isFair() const override { return false; }
+    std::string name() const override { return "fcfs"; }
+};
+
+/**
+ * Completely fair scheduler over prompts (§5): every slice, run the
+ * sequences with the fewest generated tokens that fit in memory;
+ * page the rest out.
+ */
+class CfsPolicy : public SchedulerPolicy
+{
+  public:
+    SchedulerDecision schedule(const SchedulerInput &in) override;
+    bool isFair() const override { return true; }
+    std::string name() const override { return "cfs"; }
+};
+
+} // namespace aqua::serve
+
+#endif // AQUA_SERVE_SCHEDULER_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Sequence state tracked by LLM serving engines.
+ */
+
+#ifndef AQUA_SERVE_SEQUENCE_HH
+#define AQUA_SERVE_SEQUENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/block_allocator.hh"
+#include "serve/offload_backend.hh"
+#include "workload/request.hh"
+
+namespace aqua::serve {
+
+/**
+ * One in-flight request plus its KV-cache residency state.
+ */
+struct Sequence
+{
+    enum class State
+    {
+        /** Arrived, not yet scheduled onto the GPU. */
+        Waiting,
+        /** Resident; participates in iterations. */
+        Running,
+        /** Preempted; KV lives in the offload backend. */
+        Swapped,
+        /** Done; metrics are final. */
+        Finished,
+    };
+
+    workload::Request request;
+    State state = State::Waiting;
+
+    /** Whether the prompt's KV has been computed. */
+    bool prefilled = false;
+
+    /** Prompt tokens already prefilled (chunked prefill progress). */
+    std::uint32_t prefilledTokens = 0;
+
+    /** Tokens generated so far (the CFS vruntime, §5). */
+    std::uint32_t generated = 0;
+
+    /** Resident KV blocks (empty while swapped/waiting). */
+    std::vector<aqua::mem::BlockId> blocks;
+
+    /** Backing store handle while swapped. */
+    OffloadBackend::Handle swapHandle;
+
+    /** Whether the sequence holds a pin on its LoRA adapter. */
+    bool adapterHeld = false;
+
+    workload::RequestMetrics metrics;
+
+    /** Tokens whose KV the sequence holds (prompt + generated). */
+    std::uint64_t
+    kvTokens() const
+    {
+        return std::uint64_t(request.promptTokens) + generated;
+    }
+
+    /** Whether generation is complete. */
+    bool
+    done() const
+    {
+        return generated >= request.maxNewTokens;
+    }
+};
+
+} // namespace aqua::serve
+
+#endif // AQUA_SERVE_SEQUENCE_HH

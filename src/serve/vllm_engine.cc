@@ -1,0 +1,467 @@
+#include "serve/vllm_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace aqua::serve {
+
+using namespace aqua::sim;
+
+VllmEngine::VllmEngine(hw::Server &server, hw::GpuId gpu,
+                       const model::ModelSpec &modelSpec,
+                       std::unique_ptr<SchedulerPolicy> schedPolicy,
+                       OffloadBackend &backend, VllmEngineConfig config,
+                       std::vector<model::LoraAdapter> adapters)
+    : server(server), myGpu(gpu), spec(modelSpec),
+      perf(modelSpec, server.gpu(gpu).spec()), cfg(config),
+      policy(std::move(schedPolicy)), backend(backend),
+      tokens("tokens"), freeMem("free_memory")
+{
+    if (!spec.isText())
+        panic("VllmEngine: %s is not a text model", spec.name.c_str());
+    hw::Gpu &dev = server.gpu(gpu);
+
+    std::uint64_t base = spec.weightBytes() + spec.runtimeOverheadBytes;
+    weightsRegion = dev.hbm().allocate(base);
+    if (!weightsRegion) {
+        panic("VllmEngine: %s does not fit on %s (%llu bytes needed)",
+              spec.name.c_str(), dev.name().c_str(),
+              static_cast<unsigned long long>(base));
+    }
+
+    if (cfg.lora) {
+        if (adapters.empty())
+            panic("VllmEngine: LoRA cache enabled with no adapters");
+        lora = std::make_unique<LoraCache>(dev, backend,
+                                           std::move(adapters),
+                                           *cfg.lora);
+    }
+
+    std::uint64_t pool = cfg.kvPoolBytesOverride;
+    if (pool == 0) {
+        pool = static_cast<std::uint64_t>(
+            static_cast<double>(dev.hbm().freeBytes()) *
+            cfg.kvPoolFraction);
+    }
+    kv = std::make_unique<KvCache>(dev, spec, pool, cfg.blockTokens);
+}
+
+VllmEngine::~VllmEngine()
+{
+    // Release swapped sequences' backend storage.
+    for (auto &seq : all) {
+        if (seq->state == Sequence::State::Swapped &&
+            seq->swapHandle.valid())
+            backend.free(seq->swapHandle);
+    }
+    // kv and lora free their reservations before weightsRegion.
+    kv.reset();
+    lora.reset();
+    if (weightsRegion)
+        server.gpu(myGpu).hbm().free(*weightsRegion);
+}
+
+void
+VllmEngine::attachAquaLib(core::AquaLib *lib)
+{
+    aquaLib = lib;
+    // Kick the housekeeping loop so an idle producer still informs.
+    scheduleStep(server.simulation().now());
+}
+
+void
+VllmEngine::submit(const workload::Request &request)
+{
+    // Accept early submissions: the request only becomes visible to
+    // the scheduler at its arrival time.
+    if (request.arrival > server.simulation().now()) {
+        workload::Request r = request;
+        server.simulation().queue().schedule(r.arrival, [this, r] {
+            submit(r);
+        });
+        return;
+    }
+    auto seq = std::make_unique<Sequence>();
+    seq->request = request;
+    seq->metrics.id = request.id;
+    seq->metrics.arrival = request.arrival;
+    Sequence *raw = seq.get();
+    all.push_back(std::move(seq));
+    waiting.push_back(raw);
+    ++arrivalsSinceInform;
+    needResched = true;
+    scheduleStep(server.simulation().now());
+}
+
+void
+VllmEngine::scheduleStep(Tick when)
+{
+    EventQueue &q = server.simulation().queue();
+    if (when < q.now())
+        when = q.now();
+    if (stepPending)
+        return;
+    stepPending = true;
+    q.schedule(when, [this] {
+        stepPending = false;
+        step();
+    });
+}
+
+void
+VllmEngine::removeFrom(std::vector<Sequence *> &list, Sequence *s)
+{
+    auto it = std::find(list.begin(), list.end(), s);
+    if (it != list.end())
+        list.erase(it);
+}
+
+void
+VllmEngine::recordFreeMemory()
+{
+    Tick now = server.simulation().now();
+    std::uint64_t visible = server.gpu(myGpu).hbm().freeBytes();
+    if (aquaLib)
+        visible += aquaLib->leasedBytes();
+    freeMem.record(now, static_cast<double>(visible));
+}
+
+void
+VllmEngine::doInform()
+{
+    if (!aquaLib)
+        return;
+    core::EngineStats st;
+    st.now = server.simulation().now();
+    st.pendingRequests = waiting.size();
+    st.runningRequests = running.size() + swapped.size();
+    st.arrivalsSinceLast = arrivalsSinceInform;
+    st.freePoolBytes = kv->freeBytes();
+    st.reservedPoolBytes = kv->poolBytes();
+    arrivalsSinceInform = 0;
+
+    std::int64_t delta = aquaLib->informStats(st);
+    if (delta < 0) {
+        std::uint64_t released =
+            kv->shrink(static_cast<std::uint64_t>(-delta));
+        aquaLib->confirmDonate(released);
+    } else if (delta > 0) {
+        kv->grow(static_cast<std::uint64_t>(delta));
+    }
+}
+
+void
+VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
+{
+    if (cfg.preemption == PreemptionMode::Recompute ||
+        !s->prefilled) {
+        // vLLM's recompute policy: drop the KV; the sequence will
+        // re-prefill its whole context (prompt + generated) when it
+        // is scheduled again. No transfer, but FLOPs later. Also
+        // used for sequences caught mid-prefill: vLLM never swaps
+        // an unprefilled sequence.
+        kv->freeBlocks(s->blocks);
+        s->blocks.clear();
+        s->prefilled = false;
+        s->prefilledTokens = 0;
+        s->state = Sequence::State::Waiting;
+        removeFrom(running, s);
+        waiting.push_back(s);
+        ++nRecomputes;
+        needResched = true;
+        return;
+    }
+    std::uint64_t bytes = kv->kvBytes(s->kvTokens());
+    auto handle = backend.alloc(bytes);
+    if (!handle) {
+        panic("VllmEngine: offload backend exhausted swapping out "
+              "sequence %llu",
+              static_cast<unsigned long long>(s->request.id));
+    }
+    hw::TransferTiming t =
+        backend.write(*handle, bytes, s->blocks.size());
+    if (t.complete > transfersDone)
+        transfersDone = t.complete;
+    kv->freeBlocks(s->blocks);
+    s->blocks.clear();
+    s->swapHandle = *handle;
+    s->state = Sequence::State::Swapped;
+    removeFrom(running, s);
+    swapped.push_back(s);
+    ++nSwapOuts;
+}
+
+bool
+VllmEngine::swapInSeq(Sequence *s, Tick &transfersDone)
+{
+    std::size_t need = kv->blocksForTokens(s->kvTokens());
+    auto blocks = kv->allocateBlocks(need);
+    if (!blocks)
+        return false;
+    hw::TransferTiming t =
+        backend.read(s->swapHandle, s->swapHandle.bytes, need);
+    if (t.complete > transfersDone)
+        transfersDone = t.complete;
+    backend.free(s->swapHandle);
+    s->swapHandle = OffloadBackend::Handle{};
+    s->blocks = std::move(*blocks);
+    s->state = Sequence::State::Running;
+    removeFrom(swapped, s);
+    running.push_back(s);
+    ++nSwapIns;
+    return true;
+}
+
+bool
+VllmEngine::admitSeq(Sequence *s, Tick &transfersDone)
+{
+    // Adapter residency comes first: a missing adapter stalls the
+    // iteration for its load (vLLM loads adapters synchronously).
+    // Recompute-preempted sequences keep their pin across preemption.
+    if (s->request.adapter != model::noLora && !s->adapterHeld) {
+        if (!lora)
+            panic("VllmEngine: request %llu wants an adapter but the "
+                  "LoRA cache is disabled",
+                  static_cast<unsigned long long>(s->request.id));
+        Tick loaded = 0;
+        if (!lora->acquire(s->request.adapter, loaded))
+            return false;
+        s->adapterHeld = true;
+        if (loaded > transfersDone)
+            transfersDone = loaded;
+    }
+    // kvTokens() so a recompute-preempted sequence gets room for its
+    // whole regenerated context.
+    std::size_t need = kv->blocksForTokens(s->kvTokens());
+    auto blocks = kv->allocateBlocks(need);
+    if (!blocks) {
+        if (s->adapterHeld) {
+            lora->release(s->request.adapter);
+            s->adapterHeld = false;
+        }
+        return false;
+    }
+    s->blocks = std::move(*blocks);
+    s->state = Sequence::State::Running;
+    removeFrom(waiting, s);
+    running.push_back(s);
+    return true;
+}
+
+void
+VllmEngine::finishSeq(Sequence *s, Tick when)
+{
+    s->state = Sequence::State::Finished;
+    kv->freeBlocks(s->blocks);
+    s->blocks.clear();
+    if (s->adapterHeld) {
+        lora->release(s->request.adapter);
+        s->adapterHeld = false;
+    }
+    removeFrom(running, s);
+    s->metrics.finish = when;
+    s->metrics.tokensGenerated = s->generated;
+    finishedMetrics.push_back(s->metrics);
+    needResched = true;
+    if (completionCb) {
+        workload::RequestMetrics m = s->metrics;
+        server.simulation().queue().schedule(when, [this, m] {
+            completionCb(m);
+        });
+    }
+}
+
+void
+VllmEngine::step()
+{
+    Tick now = server.simulation().now();
+    Tick transfersDone = now;
+
+    // Northbound housekeeping.
+    if (aquaLib && ++itersSinceInform >= cfg.informEveryIters) {
+        itersSinceInform = 0;
+        doInform();
+    }
+    if (++itersSinceRespond >= cfg.respondEveryIters) {
+        itersSinceRespond = 0;
+        Tick blocked = backend.respond();
+        if (blocked > transfersDone)
+            transfersDone = blocked;
+    }
+
+    // Scheduling decision. Fair policies re-evaluate at slice
+    // boundaries (or when the run set changed); FCFS every iteration.
+    SchedulerInput in;
+    in.waiting = waiting;
+    in.running = running;
+    in.swapped = swapped;
+    in.kv = kv.get();
+    in.maxBatch = cfg.maxBatch;
+    in.sliceTokens = cfg.cfsSliceTokens;
+    in.slackTokens = cfg.slackTokens;
+
+    SchedulerDecision d;
+    bool evaluate = true;
+    if (policy->isFair()) {
+        evaluate = needResched || running.empty() ||
+                   tokensIntoSlice >= cfg.cfsSliceTokens;
+    }
+    if (evaluate) {
+        d = policy->schedule(in);
+        tokensIntoSlice = 0;
+        needResched = false;
+    }
+
+    bool didTransfers = false;
+    for (Sequence *s : d.swapOut) {
+        swapOutSeq(s, transfersDone);
+        didTransfers = true;
+    }
+    for (Sequence *s : d.swapIn)
+        didTransfers |= swapInSeq(s, transfersDone);
+    for (Sequence *s : d.admit)
+        didTransfers |= admitSeq(s, transfersDone);
+
+    // Pick this iteration's work: prefill first, then decode.
+    std::vector<Sequence *> prefillBatch;
+    for (Sequence *s : running) {
+        if (!s->prefilled)
+            prefillBatch.push_back(s);
+    }
+
+    Tick completion = transfersDone;
+    std::uint64_t produced = 0;
+    if (!prefillBatch.empty()) {
+        // Recompute-preempted sequences re-prefill their whole
+        // context (prompt + generated); for fresh ones kvTokens()
+        // is just the prompt. With chunked prefill, at most
+        // maxPrefillTokensPerIter tokens are processed and long
+        // prompts continue next iteration.
+        std::uint64_t budget =
+            cfg.maxPrefillTokensPerIter == 0
+                ? ~std::uint64_t(0)
+                : cfg.maxPrefillTokensPerIter;
+        std::vector<std::pair<Sequence *, std::uint64_t>> work;
+        std::uint64_t total = 0;
+        for (Sequence *s : prefillBatch) {
+            if (budget == 0)
+                break;
+            std::uint64_t remaining =
+                s->kvTokens() - s->prefilledTokens;
+            std::uint64_t chunk = std::min(remaining, budget);
+            work.emplace_back(s, chunk);
+            total += chunk;
+            budget -= chunk;
+        }
+        Tick t = perf.prefillTime(total);
+        completion = server.gpu(myGpu).submitComputeAfter(
+            transfersDone, t);
+        for (auto &[s, chunk] : work) {
+            s->prefilledTokens += chunk;
+            if (s->prefilledTokens < s->kvTokens())
+                continue; // more chunks next iteration
+            s->prefilled = true;
+            if (s->generated == 0) {
+                // Prefill emits the first output token.
+                s->generated = 1;
+                s->metrics.firstToken = completion;
+                ++produced;
+                if (s->done())
+                    finishSeq(s, completion);
+            }
+        }
+    } else if (!running.empty()) {
+        // Decode one token for every resident, prefilled sequence.
+        std::vector<Sequence *> batch = running;
+        // Grow each sequence's KV by one token, preempting the most-
+        // served sequences if the pool runs dry.
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Sequence *s = batch[i];
+            if (s->state != Sequence::State::Running)
+                continue;
+            std::size_t need = kv->blocksForTokens(s->kvTokens() + 1);
+            while (s->blocks.size() < need) {
+                auto block = kv->allocateBlocks(1);
+                if (block) {
+                    s->blocks.push_back((*block)[0]);
+                    continue;
+                }
+                // OOM: evict the running sequence with the most
+                // generated tokens (it is closest to done and cheapest
+                // to stall under CFS; under FCFS it is the newest).
+                Sequence *victim = nullptr;
+                for (Sequence *r : running) {
+                    if (r == s)
+                        continue;
+                    if (!victim || r->generated > victim->generated)
+                        victim = r;
+                }
+                if (!victim)
+                    victim = s;
+                swapOutSeq(victim, transfersDone);
+                didTransfers = true;
+                needResched = true;
+                if (victim == s)
+                    break;
+            }
+        }
+        batch.clear();
+        std::uint64_t residentKv = 0;
+        for (Sequence *s : running) {
+            batch.push_back(s);
+            residentKv += kv->kvBytes(s->kvTokens());
+        }
+        if (!batch.empty()) {
+            Tick t = perf.decodeStepTime(batch.size(), residentKv);
+            completion = server.gpu(myGpu).submitComputeAfter(
+                transfersDone, t);
+            if (iterationCb) {
+                std::vector<std::uint64_t> ids;
+                ids.reserve(batch.size());
+                for (Sequence *s : batch)
+                    ids.push_back(s->request.id);
+                iterationCb(completion, ids);
+            }
+            // finishSeq mutates `running`; iterate over the copy.
+            for (Sequence *s : batch) {
+                ++s->generated;
+                ++produced;
+                if (s->metrics.firstToken == 0)
+                    s->metrics.firstToken = completion;
+                if (s->done())
+                    finishSeq(s, completion);
+            }
+            ++tokensIntoSlice;
+        }
+    }
+
+    if (produced > 0) {
+        tokensTotal += produced;
+        tokens.record(completion, static_cast<double>(produced));
+    }
+    recordFreeMemory();
+    ++iterCount;
+
+    bool have_work = !running.empty() || !waiting.empty() ||
+                     !swapped.empty();
+    bool progressed = produced > 0 || didTransfers;
+    // Engines with AQUA duties keep a housekeeping heartbeat even when
+    // idle: producers must keep informing (to donate/settle reclaims)
+    // and consumers must answer /respond while they hold remote
+    // tensors. NOTE: such engines never drain the event queue — drive
+    // simulations with runUntil(), not run().
+    bool aqua_duties =
+        aquaLib != nullptr ||
+        (backend.name() == "aqua" && (lora || !swapped.empty()));
+    if (have_work && progressed) {
+        scheduleStep(std::max(completion, transfersDone));
+    } else if (have_work || aqua_duties) {
+        // Stalled (e.g. reclaim in progress) or idle with
+        // housekeeping duties: poll at the idle cadence.
+        scheduleStep(now + cfg.idleTickPeriod);
+    }
+    // Otherwise: fully idle; the next submit() wakes the engine.
+}
+
+} // namespace aqua::serve

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Continuous-batching LLM serving engine (vLLM-style), with pluggable
+ * scheduling policy and offload backend, plus the AQUA northbound
+ * integration to act as a memory producer (Table 2) or a memory
+ * consumer (Table 1).
+ *
+ * The engine is iteration-driven: each step() performs at most one
+ * inference iteration (a batched prefill or a batched decode) plus the
+ * context-switch transfers the policy decided on. Prompt (prefill)
+ * computation is prioritised over token generation, as the paper notes
+ * of production engines (§6.1). Per §B, AQUA-related migrations only
+ * settle at iteration boundaries via backend->respond().
+ */
+
+#ifndef AQUA_SERVE_VLLM_ENGINE_HH
+#define AQUA_SERVE_VLLM_ENGINE_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "aqua/aqua_lib.hh"
+#include "model/perf_model.hh"
+#include "serve/kv_cache.hh"
+#include "serve/lora_cache.hh"
+#include "serve/offload_backend.hh"
+#include "serve/scheduler.hh"
+#include "serve/sequence.hh"
+#include "stats/timeseries.hh"
+#include "workload/request.hh"
+
+namespace aqua::serve {
+
+/** How preempted sequences give up their KV cache. */
+enum class PreemptionMode
+{
+    /** Page the KV out to the offload backend and back (the paper's
+     *  CFS context switch; cost = transfer time). */
+    Swap,
+    /** Drop the KV and re-prefill prompt + generated tokens on
+     *  resume (vLLM's other policy; cost = recompute FLOPs). */
+    Recompute,
+};
+
+/** Engine tunables. */
+struct VllmEngineConfig
+{
+    /** Max sequences decoded per iteration. */
+    std::uint32_t maxBatch = 48;
+    /** Tokens per KV block (vLLM default). */
+    std::uint32_t blockTokens = 16;
+    /** Admission slack beyond the prompt, in tokens. */
+    std::uint32_t slackTokens = 32;
+    /**
+     * Chunked prefill: cap on prompt tokens processed per prefill
+     * iteration (0 = unlimited). Long prompts then prefill across
+     * several iterations instead of monopolizing one, which bounds
+     * the decode stall a giant admission causes.
+     */
+    std::uint32_t maxPrefillTokensPerIter = 0;
+    /** CFS slice length in generated tokens (Fig. 6 uses 5). */
+    std::uint32_t cfsSliceTokens = 5;
+    /** Call backend->respond() every this many iterations. */
+    std::uint32_t respondEveryIters = 4;
+    /** Call AQUA-LIB informStats() every this many iterations. */
+    std::uint32_t informEveryIters = 8;
+    /** Housekeeping cadence while idle. */
+    aqua::sim::Tick idleTickPeriod = 100 * aqua::sim::nsPerMs;
+    /** Fraction of post-weights free HBM reserved as the KV pool. */
+    double kvPoolFraction = 0.95;
+    /** Explicit KV pool size; overrides the fraction when nonzero. */
+    std::uint64_t kvPoolBytesOverride = 0;
+    /** LoRA cache configuration; nullopt disables adapter support. */
+    std::optional<LoraCacheConfig> lora;
+    /** What preemption costs: transfers (Swap) or FLOPs (Recompute). */
+    PreemptionMode preemption = PreemptionMode::Swap;
+};
+
+/**
+ * The serving engine.
+ */
+class VllmEngine
+{
+  public:
+    using CompletionCallback =
+        std::function<void(const workload::RequestMetrics &)>;
+
+    /**
+     * @param server Owning server.
+     * @param gpu GPU hosting the model.
+     * @param modelSpec Served model (must be text).
+     * @param policy Scheduling policy (owned).
+     * @param backend Offload backend for swaps and adapters.
+     * @param config Tunables.
+     * @param adapters LoRA pool; requires config.lora.
+     */
+    VllmEngine(hw::Server &server, hw::GpuId gpu,
+               const model::ModelSpec &modelSpec,
+               std::unique_ptr<SchedulerPolicy> policy,
+               OffloadBackend &backend, VllmEngineConfig config = {},
+               std::vector<model::LoraAdapter> adapters = {});
+
+    VllmEngine(const VllmEngine &) = delete;
+    VllmEngine &operator=(const VllmEngine &) = delete;
+    ~VllmEngine();
+
+    /**
+     * Attach an AQUA-LIB instance for the producer role: the engine
+     * will feed informStats() and honour donate/reclaim deltas.
+     */
+    void attachAquaLib(core::AquaLib *lib);
+
+    /** Submit a request (call at its arrival time). */
+    void submit(const workload::Request &request);
+
+    /** Register a completion hook (fires at the finish tick). */
+    void onComplete(CompletionCallback cb) { completionCb = std::move(cb); }
+
+    /**
+     * Observe every decode iteration: called with the iteration's
+     * completion tick and the request ids that generated a token.
+     * Used by the Fig. 6 timeline reproduction and by tests.
+     */
+    using IterationCallback = std::function<void(
+        aqua::sim::Tick, const std::vector<std::uint64_t> &)>;
+    void onIteration(IterationCallback cb)
+    {
+        iterationCb = std::move(cb);
+    }
+
+    //
+    // Introspection.
+    //
+
+    const model::ModelSpec &modelSpec() const { return spec; }
+    const KvCache &kvCache() const { return *kv; }
+    LoraCache *loraCache() { return lora.get(); }
+    hw::GpuId gpuId() const { return myGpu; }
+
+    std::size_t waitingCount() const { return waiting.size(); }
+    std::size_t runningCount() const { return running.size(); }
+    std::size_t swappedCount() const { return swapped.size(); }
+    std::uint64_t totalTokens() const { return tokensTotal; }
+    std::uint64_t iterations() const { return iterCount; }
+    std::uint64_t swapOutCount() const { return nSwapOuts; }
+    std::uint64_t swapInCount() const { return nSwapIns; }
+    /** Preemptions resolved by dropping KV (Recompute mode). */
+    std::uint64_t recomputeCount() const { return nRecomputes; }
+
+    /** Metrics of finished requests, completion order. */
+    const std::vector<workload::RequestMetrics> &
+    finished() const
+    {
+        return finishedMetrics;
+    }
+
+    /** (time, tokens) series: tokens produced per iteration. */
+    const stats::TimeSeries &tokenSeries() const { return tokens; }
+
+    /** (time, bytes) series: HBM not used by this engine. */
+    const stats::TimeSeries &freeMemorySeries() const { return freeMem; }
+
+  private:
+    void scheduleStep(aqua::sim::Tick when);
+    void step();
+
+    /** Feed AQUA-LIB's northbound interface; apply pool deltas. */
+    void doInform();
+
+    /** Record the engine-external free-memory view. */
+    void recordFreeMemory();
+
+    /** Page a running sequence's KV out to the backend. */
+    void swapOutSeq(Sequence *s, aqua::sim::Tick &transfersDone);
+
+    /** Page a swapped sequence back in. @return success. */
+    bool swapInSeq(Sequence *s, aqua::sim::Tick &transfersDone);
+
+    /** Move a waiting sequence to Running. @return success. */
+    bool admitSeq(Sequence *s, aqua::sim::Tick &transfersDone);
+
+    /** Finish bookkeeping for a sequence at @p when. */
+    void finishSeq(Sequence *s, aqua::sim::Tick when);
+
+    /** Remove a sequence pointer from a list. */
+    static void removeFrom(std::vector<Sequence *> &list, Sequence *s);
+
+    hw::Server &server;
+    hw::GpuId myGpu;
+    model::ModelSpec spec;
+    model::PerfModel perf;
+    VllmEngineConfig cfg;
+    std::unique_ptr<SchedulerPolicy> policy;
+    OffloadBackend &backend;
+    core::AquaLib *aquaLib = nullptr;
+
+    /** Weights + runtime overhead reservation. */
+    std::optional<aqua::mem::Region> weightsRegion;
+    std::unique_ptr<LoraCache> lora;
+    std::unique_ptr<KvCache> kv;
+
+    std::vector<std::unique_ptr<Sequence>> all;
+    std::vector<Sequence *> waiting;
+    std::vector<Sequence *> running;
+    std::vector<Sequence *> swapped;
+
+    CompletionCallback completionCb;
+    IterationCallback iterationCb;
+    std::vector<workload::RequestMetrics> finishedMetrics;
+
+    bool stepPending = false;
+    std::uint64_t iterCount = 0;
+    std::uint32_t itersSinceInform = 0;
+    std::uint32_t itersSinceRespond = 0;
+    std::uint32_t tokensIntoSlice = 0;
+    bool needResched = true;
+    std::uint64_t arrivalsSinceInform = 0;
+    std::uint64_t tokensTotal = 0;
+    std::uint64_t nSwapOuts = 0;
+    std::uint64_t nSwapIns = 0;
+    std::uint64_t nRecomputes = 0;
+
+    stats::TimeSeries tokens;
+    stats::TimeSeries freeMem;
+};
+
+} // namespace aqua::serve
+
+#endif // AQUA_SERVE_VLLM_ENGINE_HH

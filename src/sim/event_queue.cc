@@ -1,0 +1,94 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace aqua::sim {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < _now) {
+        panic("scheduling event in the past: when=%llu now=%llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(_now));
+    }
+    EventId id = nextId++;
+    if (cancelled.size() <= id)
+        cancelled.resize(id + 1, false);
+    heap.push(Entry{when, nextSeq++, id, std::move(cb)});
+    ++numPending;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    return schedule(_now + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    if (id == invalidEventId || id >= cancelled.size() || cancelled[id])
+        return false;
+    // We cannot remove from the middle of a binary heap; mark the id and
+    // drop the entry lazily when it reaches the top.
+    cancelled[id] = true;
+    if (numPending == 0)
+        return false;
+    --numPending;
+    return true;
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!heap.empty() && cancelled[heap.top().id])
+        heap.pop();
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap.empty())
+        return false;
+    Entry entry = heap.top();
+    heap.pop();
+    _now = entry.when;
+    --numPending;
+    ++numFired;
+    // Mark fired so a late cancel() of this id is a no-op.
+    cancelled[entry.id] = true;
+    entry.cb();
+    return true;
+}
+
+std::size_t
+EventQueue::run()
+{
+    std::size_t count = 0;
+    while (step())
+        ++count;
+    return count;
+}
+
+std::size_t
+EventQueue::runUntil(Tick limit)
+{
+    std::size_t count = 0;
+    for (;;) {
+        skipCancelled();
+        if (heap.empty() || heap.top().when > limit)
+            break;
+        step();
+        ++count;
+    }
+    if (_now < limit)
+        _now = limit;
+    return count;
+}
+
+} // namespace aqua::sim

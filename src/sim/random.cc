@@ -1,0 +1,136 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace aqua::sim {
+
+Random::Random(std::uint64_t seed)
+    : state(0), inc(0xda3e39cb94b95bdbULL)
+{
+    // Standard PCG32 seeding: advance once with the seed mixed in.
+    state = 0;
+    next32();
+    state += seed;
+    next32();
+}
+
+std::uint32_t
+Random::next32()
+{
+    std::uint64_t old = state;
+    state = old * 6364136223846793005ULL + inc;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint64_t
+Random::next64()
+{
+    return (static_cast<std::uint64_t>(next32()) << 32) | next32();
+}
+
+double
+Random::uniform()
+{
+    // 53-bit mantissa from a 64-bit draw.
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Random::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Random::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("uniformInt: lo > hi");
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next64());
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t limit = ~std::uint64_t(0) - (~std::uint64_t(0) % span);
+    std::uint64_t draw;
+    do {
+        draw = next64();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double
+Random::exponential(double rate)
+{
+    if (rate <= 0.0)
+        panic("exponential: rate must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u == 0.0);
+    return -std::log(u) / rate;
+}
+
+double
+Random::normal()
+{
+    if (haveSpareNormal) {
+        haveSpareNormal = false;
+        return spareNormal;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 == 0.0);
+    u2 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    spareNormal = radius * std::sin(theta);
+    haveSpareNormal = true;
+    return radius * std::cos(theta);
+}
+
+double
+Random::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Random::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t
+Random::poisson(double mean)
+{
+    if (mean < 0.0)
+        panic("poisson: mean must be non-negative");
+    if (mean < 30.0) {
+        // Knuth's multiplication method.
+        double limit = std::exp(-mean);
+        double product = uniform();
+        std::uint64_t count = 0;
+        while (product > limit) {
+            ++count;
+            product *= uniform();
+        }
+        return count;
+    }
+    // Normal approximation for large means.
+    double draw = normal(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+bool
+Random::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace aqua::sim

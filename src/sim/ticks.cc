@@ -1,0 +1,49 @@
+#include "sim/ticks.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace aqua::sim {
+
+std::string
+formatDuration(Tick t)
+{
+    char buf[64];
+    if (t >= nsPerSec) {
+        std::snprintf(buf, sizeof(buf), "%.3fs",
+                      static_cast<double>(t) / nsPerSec);
+    } else if (t >= nsPerMs) {
+        std::snprintf(buf, sizeof(buf), "%.3fms",
+                      static_cast<double>(t) / nsPerMs);
+    } else if (t >= nsPerUs) {
+        std::snprintf(buf, sizeof(buf), "%.3fus",
+                      static_cast<double>(t) / nsPerUs);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%lluns",
+                      static_cast<unsigned long long>(t));
+    }
+    return buf;
+}
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static const std::array<const char *, 5> units = {
+        "B", "KiB", "MiB", "GiB", "TiB"
+    };
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < units.size()) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buf[64];
+    if (unit == 0)
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f%s", value, units[unit]);
+    return buf;
+}
+
+} // namespace aqua::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Simulated time types and unit helpers.
+ *
+ * The simulator counts time in integer nanosecond ticks. All latency and
+ * bandwidth arithmetic is done in double-precision seconds and converted
+ * at the event-queue boundary, which keeps the hardware models readable
+ * while the event queue stays exactly ordered.
+ */
+
+#ifndef AQUA_SIM_TICKS_HH
+#define AQUA_SIM_TICKS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace aqua::sim {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick, used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+constexpr Tick nsPerUs = 1000;
+constexpr Tick nsPerMs = 1000 * 1000;
+constexpr Tick nsPerSec = 1000 * 1000 * 1000;
+
+/** Convert whole microseconds to ticks. */
+constexpr Tick
+usToTicks(double us)
+{
+    return static_cast<Tick>(us * nsPerUs + 0.5);
+}
+
+/** Convert whole milliseconds to ticks. */
+constexpr Tick
+msToTicks(double ms)
+{
+    return static_cast<Tick>(ms * nsPerMs + 0.5);
+}
+
+/** Convert seconds to ticks, rounding to the nearest nanosecond. */
+constexpr Tick
+secToTicks(double sec)
+{
+    return static_cast<Tick>(sec * nsPerSec + 0.5);
+}
+
+/** Convert ticks to seconds. */
+constexpr double
+ticksToSec(Tick t)
+{
+    return static_cast<double>(t) / nsPerSec;
+}
+
+/** Convert ticks to milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / nsPerMs;
+}
+
+/**
+ * Render a tick count as a human-readable duration, e.g. "12.5ms".
+ *
+ * @param t Duration in ticks.
+ * @return Formatted string with an auto-selected unit.
+ */
+std::string formatDuration(Tick t);
+
+/** Render a byte count as a human-readable size, e.g. "2.0MiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+constexpr std::uint64_t kib = 1024;
+constexpr std::uint64_t mib = 1024 * kib;
+constexpr std::uint64_t gib = 1024 * mib;
+
+} // namespace aqua::sim
+
+#endif // AQUA_SIM_TICKS_HH

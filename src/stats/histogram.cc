@@ -1,0 +1,81 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace aqua::stats {
+
+using aqua::sim::panic;
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo(lo), hi(hi), counts(bins, 0)
+{
+    if (bins == 0)
+        panic("Histogram: need at least one bin");
+    if (!(lo < hi))
+        panic("Histogram: lo must be < hi");
+}
+
+void
+Histogram::add(double v)
+{
+    ++total;
+    if (v < lo) {
+        ++below;
+        return;
+    }
+    if (v >= hi) {
+        ++above;
+        return;
+    }
+    double width = (hi - lo) / static_cast<double>(counts.size());
+    auto idx = static_cast<std::size_t>((v - lo) / width);
+    if (idx >= counts.size())
+        idx = counts.size() - 1; // guards fp rounding at the edge
+    ++counts[idx];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + width * static_cast<double>(i);
+}
+
+double
+Histogram::cumulativeFraction(std::size_t i) const
+{
+    std::uint64_t inRange = total - below - above;
+    if (inRange == 0)
+        return 0.0;
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b <= i && b < counts.size(); ++b)
+        acc += counts[b];
+    return static_cast<double>(acc) / static_cast<double>(inRange);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (std::uint64_t c : counts)
+        peak = std::max(peak, c);
+    std::string out;
+    char buf[96];
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        auto bar = static_cast<std::size_t>(
+            static_cast<double>(counts[i]) / static_cast<double>(peak) *
+            static_cast<double>(width));
+        std::snprintf(buf, sizeof(buf), "%12.4g | ", binLow(i));
+        out += buf;
+        out.append(bar, '#');
+        std::snprintf(buf, sizeof(buf), " %llu\n",
+                      static_cast<unsigned long long>(counts[i]));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace aqua::stats

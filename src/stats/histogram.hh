@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fixed-bin histogram for distribution summaries in benches and tests.
+ */
+
+#ifndef AQUA_STATS_HISTOGRAM_HH
+#define AQUA_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqua::stats {
+
+/**
+ * Linear-bin histogram over [lo, hi); out-of-range samples land in
+ * saturating underflow/overflow bins.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the first bin.
+     * @param hi Exclusive upper bound of the last bin.
+     * @param bins Number of equal-width bins (>= 1).
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double v);
+
+    std::uint64_t count() const { return total; }
+    std::uint64_t underflow() const { return below; }
+    std::uint64_t overflow() const { return above; }
+    std::size_t bins() const { return counts.size(); }
+
+    /** Count in bin @p i. */
+    std::uint64_t binCount(std::size_t i) const { return counts.at(i); }
+
+    /** Inclusive lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Fraction of in-range samples at or below the end of bin i. */
+    double cumulativeFraction(std::size_t i) const;
+
+    /** Render a small ASCII sketch, one bin per line. */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t below = 0;
+    std::uint64_t above = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace aqua::stats
+
+#endif // AQUA_STATS_HISTOGRAM_HH

@@ -1,0 +1,107 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace aqua::stats {
+
+using aqua::sim::panic;
+
+void
+Summary::add(double v)
+{
+    samples.push_back(v);
+    sortedValid = false;
+}
+
+void
+Summary::add(const std::vector<double> &vs)
+{
+    samples.insert(samples.end(), vs.begin(), vs.end());
+    sortedValid = false;
+}
+
+const std::vector<double> &
+Summary::sorted() const
+{
+    if (!sortedValid) {
+        sortedCache = samples;
+        std::sort(sortedCache.begin(), sortedCache.end());
+        sortedValid = true;
+    }
+    return sortedCache;
+}
+
+double
+Summary::min() const
+{
+    if (empty())
+        panic("Summary::min on empty summary");
+    return sorted().front();
+}
+
+double
+Summary::max() const
+{
+    if (empty())
+        panic("Summary::max on empty summary");
+    return sorted().back();
+}
+
+double
+Summary::sum() const
+{
+    double total = 0.0;
+    for (double v : samples)
+        total += v;
+    return total;
+}
+
+double
+Summary::mean() const
+{
+    if (empty())
+        panic("Summary::mean on empty summary");
+    return sum() / static_cast<double>(samples.size());
+}
+
+double
+Summary::stddev() const
+{
+    if (empty())
+        panic("Summary::stddev on empty summary");
+    double m = mean();
+    double acc = 0.0;
+    for (double v : samples)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(samples.size()));
+}
+
+double
+Summary::percentile(double p) const
+{
+    if (empty())
+        panic("Summary::percentile on empty summary");
+    if (p < 0.0 || p > 100.0)
+        panic("Summary::percentile: p out of range");
+    const std::vector<double> &s = sorted();
+    if (s.size() == 1)
+        return s.front();
+    double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    double frac = rank - static_cast<double>(lo);
+    return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+void
+Summary::clear()
+{
+    samples.clear();
+    sortedCache.clear();
+    sortedValid = false;
+}
+
+} // namespace aqua::stats

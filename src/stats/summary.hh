@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Sample accumulation with percentile and moment queries.
+ */
+
+#ifndef AQUA_STATS_SUMMARY_HH
+#define AQUA_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace aqua::stats {
+
+/**
+ * Collects double-valued samples and answers summary queries.
+ *
+ * Percentiles use linear interpolation between closest ranks, matching
+ * numpy's default, so values printed by benches are comparable with the
+ * paper's plotting pipeline.
+ */
+class Summary
+{
+  public:
+    /** Record one sample. */
+    void add(double v);
+
+    /** Record many samples. */
+    void add(const std::vector<double> &vs);
+
+    std::size_t count() const { return samples.size(); }
+    bool empty() const { return samples.empty(); }
+
+    double min() const;
+    double max() const;
+    double mean() const;
+    double sum() const;
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /**
+     * Interpolated percentile.
+     *
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    double median() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    /** All samples in insertion order. */
+    const std::vector<double> &values() const { return samples; }
+
+    /** Samples sorted ascending (cached; invalidated by add()). */
+    const std::vector<double> &sorted() const;
+
+    /** Drop all samples. */
+    void clear();
+
+  private:
+    std::vector<double> samples;
+    mutable std::vector<double> sortedCache;
+    mutable bool sortedValid = false;
+};
+
+} // namespace aqua::stats
+
+#endif // AQUA_STATS_SUMMARY_HH

@@ -1,0 +1,163 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace aqua::stats {
+
+using aqua::sim::panic;
+
+Table::Table(std::vector<std::string> header) : header(std::move(header))
+{
+    if (this->header.empty())
+        panic("Table: header must be non-empty");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    finishRow();
+    if (cells.size() != header.size())
+        panic("Table: row width %zu != header width %zu",
+              cells.size(), header.size());
+    body.push_back(std::move(cells));
+}
+
+void
+Table::finishRow()
+{
+    if (!building)
+        return;
+    building = false;
+    std::vector<std::string> row = std::move(current);
+    current.clear();
+    addRow(std::move(row));
+}
+
+Table &
+Table::newRow()
+{
+    finishRow();
+    building = true;
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &s)
+{
+    if (!building)
+        panic("Table::cell without newRow");
+    current.push_back(s);
+    return *this;
+}
+
+Table &
+Table::cell(const char *s)
+{
+    return cell(std::string(s));
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cell(std::int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(int v)
+{
+    return cell(std::to_string(v));
+}
+
+std::string
+Table::render() const
+{
+    // A const render must still flush a row under construction; copy.
+    Table copy = *this;
+    copy.finishRow();
+
+    std::vector<std::size_t> widths(copy.header.size(), 0);
+    for (std::size_t c = 0; c < copy.header.size(); ++c)
+        widths[c] = copy.header[c].size();
+    for (const auto &row : copy.body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                line += "  ";
+            line += row[c];
+            line.append(widths[c] - row[c].size(), ' ');
+        }
+        // Trim trailing spaces.
+        while (!line.empty() && line.back() == ' ')
+            line.pop_back();
+        return line + "\n";
+    };
+
+    std::string out = renderRow(copy.header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c > 0 ? 2 : 0);
+    out.append(total, '-');
+    out += "\n";
+    for (const auto &row : copy.body)
+        out += renderRow(row);
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    Table copy = *this;
+    copy.finishRow();
+
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                q += "\"\"";
+            else
+                q += ch;
+        }
+        q += "\"";
+        return q;
+    };
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c > 0)
+                line += ",";
+            line += quote(row[c]);
+        }
+        return line + "\n";
+    };
+
+    std::string out = renderRow(copy.header);
+    for (const auto &row : copy.body)
+        out += renderRow(row);
+    return out;
+}
+
+} // namespace aqua::stats

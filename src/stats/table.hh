@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Aligned console table printer used by the benchmark harnesses to
+ * emit the rows/series corresponding to the paper's tables and figures.
+ */
+
+#ifndef AQUA_STATS_TABLE_HH
+#define AQUA_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace aqua::stats {
+
+/**
+ * Simple column-aligned text table.
+ *
+ * Cells are strings; numeric convenience overloads format with a fixed
+ * precision. Rendering pads every column to its widest cell.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; its width must match the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Start a new row built cell-by-cell via cell(). */
+    Table &newRow();
+    Table &cell(const std::string &s);
+    Table &cell(const char *s);
+    Table &cell(double v, int precision = 3);
+    Table &cell(std::int64_t v);
+    Table &cell(std::uint64_t v);
+    Table &cell(int v);
+
+    std::size_t rows() const { return body.size(); }
+
+    /** Render with a separator under the header. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    std::string renderCsv() const;
+
+  private:
+    void finishRow();
+
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+    std::vector<std::string> current;
+    bool building = false;
+};
+
+} // namespace aqua::stats
+
+#endif // AQUA_STATS_TABLE_HH

@@ -1,0 +1,81 @@
+#include "stats/timeseries.hh"
+
+#include "sim/logging.hh"
+
+namespace aqua::stats {
+
+using aqua::sim::Tick;
+using aqua::sim::panic;
+
+void
+TimeSeries::record(Tick when, double value)
+{
+    if (!data.empty() && when < data.back().when)
+        panic("TimeSeries::record: time went backwards");
+    data.push_back(Point{when, value});
+}
+
+double
+TimeSeries::last() const
+{
+    if (data.empty())
+        panic("TimeSeries::last on empty series");
+    return data.back().value;
+}
+
+std::vector<Point>
+TimeSeries::resampleMean(Tick bucket, Tick from, Tick to) const
+{
+    if (bucket == 0)
+        panic("TimeSeries::resampleMean: zero bucket width");
+    std::vector<Point> out;
+    std::size_t idx = 0;
+    // Skip observations before the range but remember the latest one so
+    // the first empty bucket can hold its value.
+    double held = 0.0;
+    bool haveHeld = false;
+    while (idx < data.size() && data[idx].when < from) {
+        held = data[idx].value;
+        haveHeld = true;
+        ++idx;
+    }
+    for (Tick start = from; start < to; start += bucket) {
+        Tick end = start + bucket;
+        double sum = 0.0;
+        std::size_t n = 0;
+        while (idx < data.size() && data[idx].when < end) {
+            sum += data[idx].value;
+            ++n;
+            ++idx;
+        }
+        if (n > 0) {
+            held = sum / static_cast<double>(n);
+            haveHeld = true;
+        }
+        out.push_back(Point{start, haveHeld ? held : 0.0});
+    }
+    return out;
+}
+
+std::vector<Point>
+TimeSeries::resampleSum(Tick bucket, Tick from, Tick to) const
+{
+    if (bucket == 0)
+        panic("TimeSeries::resampleSum: zero bucket width");
+    std::vector<Point> out;
+    std::size_t idx = 0;
+    while (idx < data.size() && data[idx].when < from)
+        ++idx;
+    for (Tick start = from; start < to; start += bucket) {
+        Tick end = start + bucket;
+        double sum = 0.0;
+        while (idx < data.size() && data[idx].when < end) {
+            sum += data[idx].value;
+            ++idx;
+        }
+        out.push_back(Point{start, sum});
+    }
+    return out;
+}
+
+} // namespace aqua::stats

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Timestamped series for the figure harnesses (free-memory timelines,
+ * throughput-over-time plots, saw-tooth RCT traces).
+ */
+
+#ifndef AQUA_STATS_TIMESERIES_HH
+#define AQUA_STATS_TIMESERIES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/ticks.hh"
+
+namespace aqua::stats {
+
+/** One (time, value) observation. */
+struct Point
+{
+    aqua::sim::Tick when;
+    double value;
+};
+
+/**
+ * Append-only timestamped series.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(std::string name = "") : _name(std::move(name)) {}
+
+    const std::string &name() const { return _name; }
+
+    /** Record a value at a simulated time. */
+    void record(aqua::sim::Tick when, double value);
+
+    const std::vector<Point> &points() const { return data; }
+    std::size_t size() const { return data.size(); }
+    bool empty() const { return data.empty(); }
+
+    /** Last recorded value; panics when empty. */
+    double last() const;
+
+    /**
+     * Resample into fixed-width buckets by averaging the values that
+     * fall into each bucket. Buckets with no observations repeat the
+     * previous bucket's value (step-hold), which matches how the
+     * paper's timeline plots are drawn.
+     *
+     * @param bucket Bucket width in ticks.
+     * @param from Start of the first bucket.
+     * @param to End of the resampled range.
+     */
+    std::vector<Point> resampleMean(aqua::sim::Tick bucket,
+                                    aqua::sim::Tick from,
+                                    aqua::sim::Tick to) const;
+
+    /**
+     * Resample into fixed-width buckets by summing the values in each
+     * bucket (e.g. tokens generated per interval). Empty buckets are 0.
+     */
+    std::vector<Point> resampleSum(aqua::sim::Tick bucket,
+                                   aqua::sim::Tick from,
+                                   aqua::sim::Tick to) const;
+
+  private:
+    std::string _name;
+    std::vector<Point> data;
+};
+
+} // namespace aqua::stats
+
+#endif // AQUA_STATS_TIMESERIES_HH

@@ -1,0 +1,58 @@
+#include "trace/trace.hh"
+
+#include <utility>
+
+namespace aqua::trace {
+
+void
+TraceLog::emit(aqua::sim::Tick when, std::string category,
+               json::Value fields)
+{
+    Event e;
+    e.when = when;
+    e.category = std::move(category);
+    e.fields = std::move(fields);
+    log.push_back(std::move(e));
+}
+
+std::vector<Event>
+TraceLog::ofCategory(const std::string &category) const
+{
+    std::vector<Event> out;
+    for (const Event &e : log) {
+        if (e.category == category)
+            out.push_back(e);
+    }
+    return out;
+}
+
+std::size_t
+TraceLog::countCategory(const std::string &category) const
+{
+    std::size_t n = 0;
+    for (const Event &e : log)
+        n += e.category == category;
+    return n;
+}
+
+std::string
+TraceLog::toJsonl() const
+{
+    std::string out;
+    for (const Event &e : log) {
+        json::Value line;
+        line["t_ns"] = static_cast<std::int64_t>(e.when);
+        line["event"] = e.category;
+        if (e.fields.isObject()) {
+            for (const auto &[key, value] : e.fields.asObject())
+                line[key] = value;
+        } else if (!e.fields.isNull()) {
+            line["data"] = e.fields;
+        }
+        out += line.dump();
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace aqua::trace

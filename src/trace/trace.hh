@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Control-plane event tracing.
+ *
+ * AQUA's behaviour is a protocol between engines, AQUA-LIB instances
+ * and the coordinator; when something goes wrong the question is
+ * always "who leased/allocated/migrated what, when". TraceLog is an
+ * append-only, timestamped, JSON-structured audit log the control
+ * plane emits into; it renders as JSONL for offline analysis and
+ * supports simple in-process queries for tests.
+ */
+
+#ifndef AQUA_TRACE_TRACE_HH
+#define AQUA_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.hh"
+#include "sim/ticks.hh"
+
+namespace aqua::trace {
+
+/** One traced event. */
+struct Event
+{
+    aqua::sim::Tick when = 0;
+    /** Event category, e.g. "lease", "allocate", "migrate". */
+    std::string category;
+    /** Structured payload. */
+    json::Value fields;
+};
+
+/**
+ * Append-only event log.
+ */
+class TraceLog
+{
+  public:
+    /** Record an event at simulated time @p when. */
+    void emit(aqua::sim::Tick when, std::string category,
+              json::Value fields);
+
+    const std::vector<Event> &events() const { return log; }
+    std::size_t size() const { return log.size(); }
+    bool empty() const { return log.empty(); }
+
+    /** Events of one category, in order. */
+    std::vector<Event> ofCategory(const std::string &category) const;
+
+    /** Count of events in one category. */
+    std::size_t countCategory(const std::string &category) const;
+
+    /**
+     * Render as JSONL: one compact JSON object per line with
+     * "t_ns", "event" and the payload fields inlined.
+     */
+    std::string toJsonl() const;
+
+    /** Drop all events. */
+    void clear() { log.clear(); }
+
+  private:
+    std::vector<Event> log;
+};
+
+} // namespace aqua::trace
+
+#endif // AQUA_TRACE_TRACE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Inference requests and per-request outcome metrics.
+ */
+
+#ifndef AQUA_WORKLOAD_REQUEST_HH
+#define AQUA_WORKLOAD_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/lora.hh"
+#include "sim/ticks.hh"
+
+namespace aqua::workload {
+
+/** Identifier of a request within a run. */
+using RequestId = std::uint64_t;
+
+/**
+ * One inference query.
+ *
+ * Text requests carry a prompt length and a generation budget; image
+ * and audio requests are single-item generations whose duration the
+ * compute profile determines.
+ */
+struct Request
+{
+    RequestId id = 0;
+    /** Simulated arrival time. */
+    aqua::sim::Tick arrival = 0;
+    /** Prompt length in tokens (text models). */
+    std::uint32_t promptTokens = 0;
+    /** Number of tokens to generate before the request completes. */
+    std::uint32_t maxNewTokens = 0;
+    /** LoRA adapter to apply, or model::noLora. */
+    model::LoraId adapter = model::noLora;
+    /** Chat user issuing the request (multi-turn workloads). */
+    std::uint32_t userId = 0;
+    /** Conversation turn index (multi-turn workloads). */
+    std::uint32_t turn = 0;
+};
+
+/**
+ * Measured outcome of one request.
+ *
+ * The paper's two headline metrics (Fig. 1):
+ *  - TTFT (time to first token): responsiveness;
+ *  - RCT (request completion time): throughput.
+ */
+struct RequestMetrics
+{
+    RequestId id = 0;
+    aqua::sim::Tick arrival = 0;
+    /** When the first output token was produced; 0 if never. */
+    aqua::sim::Tick firstToken = 0;
+    /** When the request finished; 0 if unfinished. */
+    aqua::sim::Tick finish = 0;
+    std::uint32_t tokensGenerated = 0;
+
+    bool started() const { return firstToken != 0; }
+    bool finished() const { return finish != 0; }
+
+    /** Time to first token in seconds; requires started(). */
+    double ttftSec() const
+    {
+        return aqua::sim::ticksToSec(firstToken - arrival);
+    }
+
+    /** Request completion time in seconds; requires finished(). */
+    double rctSec() const
+    {
+        return aqua::sim::ticksToSec(finish - arrival);
+    }
+};
+
+} // namespace aqua::workload
+
+#endif // AQUA_WORKLOAD_REQUEST_HH

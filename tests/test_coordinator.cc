@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the AQUA coordinator: lease bookkeeping, tensor
+ * placement, the reclaim protocol, migration orders, and thread
+ * safety of the central datastore (§3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "aqua/coordinator.hh"
+
+using namespace aqua;
+using namespace aqua::core;
+
+namespace {
+
+constexpr std::uint64_t gb = std::uint64_t(1) << 30;
+
+} // anonymous namespace
+
+TEST(Coordinator, AllocateFallsBackToDramWithoutProducer)
+{
+    Coordinator c;
+    auto alloc = c.allocate(0, gb);
+    EXPECT_EQ(alloc.location.placement, Placement::HostDram);
+    EXPECT_EQ(c.liveTensors(), 1u);
+    EXPECT_EQ(c.bytesInDram(), gb);
+}
+
+TEST(Coordinator, AllocatePlacesOnAssignedProducerLease)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 10 * gb);
+    auto alloc = c.allocate(0, 4 * gb);
+    EXPECT_EQ(alloc.location.placement, Placement::PeerGpu);
+    EXPECT_EQ(alloc.location.gpu, 1);
+    EXPECT_EQ(c.producerState(1).usedBytes, 4 * gb);
+    EXPECT_EQ(c.bytesOnProducers(), 4 * gb);
+}
+
+TEST(Coordinator, LeaseExhaustionFallsBackToDram)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 5 * gb);
+    auto a1 = c.allocate(0, 4 * gb);
+    auto a2 = c.allocate(0, 4 * gb);
+    EXPECT_EQ(a1.location.placement, Placement::PeerGpu);
+    EXPECT_EQ(a2.location.placement, Placement::HostDram);
+}
+
+TEST(Coordinator, UnassignedConsumerNeverUsesOthersLease)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 10 * gb);
+    // GPU 2 has no assignment; the one-producer-per-consumer rule
+    // (§4) means it must not steal GPU 0's producer.
+    auto alloc = c.allocate(2, gb);
+    EXPECT_EQ(alloc.location.placement, Placement::HostDram);
+}
+
+TEST(Coordinator, FreeReturnsLeaseBytes)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 10 * gb);
+    auto alloc = c.allocate(0, 4 * gb);
+    c.free(alloc.id);
+    EXPECT_EQ(c.producerState(1).usedBytes, 0u);
+    EXPECT_EQ(c.liveTensors(), 0u);
+}
+
+TEST(Coordinator, FreeUnknownTensorPanics)
+{
+    Coordinator c;
+    EXPECT_DEATH(c.free(77), "unknown tensor");
+}
+
+TEST(Coordinator, ReclaimOrdersEvacuation)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 10 * gb);
+    auto alloc = c.allocate(0, 4 * gb);
+    c.requestReclaim(1);
+    EXPECT_FALSE(c.reclaimComplete(1));
+
+    // New allocations avoid the reclaiming producer.
+    auto fresh = c.allocate(0, gb);
+    EXPECT_EQ(fresh.location.placement, Placement::HostDram);
+
+    std::vector<MigrationOrder> orders = c.respond(0);
+    ASSERT_EQ(orders.size(), 1u);
+    EXPECT_EQ(orders[0].tensor, alloc.id);
+    EXPECT_EQ(orders[0].from.placement, Placement::PeerGpu);
+    EXPECT_EQ(orders[0].to.placement, Placement::HostDram);
+
+    // The order is issued once; a second respond is empty.
+    EXPECT_TRUE(c.respond(0).empty());
+
+    c.doneMoving(orders[0]);
+    EXPECT_TRUE(c.reclaimComplete(1));
+    EXPECT_EQ(c.tensorLocation(alloc.id).placement,
+              Placement::HostDram);
+    c.releaseLease(1);
+    EXPECT_EQ(c.producerState(1).leasedBytes, 0u);
+}
+
+TEST(Coordinator, RespondPromotesDramTensorsToLease)
+{
+    Coordinator c;
+    // Tensor allocated before any lease exists -> DRAM.
+    c.assignProducer(0, 1);
+    auto alloc = c.allocate(0, 2 * gb);
+    EXPECT_EQ(alloc.location.placement, Placement::HostDram);
+    // Producer donates; the next respond promotes the tensor (§B
+    // "move it to a faster interconnected GPU").
+    c.lease(1, 10 * gb);
+    std::vector<MigrationOrder> orders = c.respond(0);
+    ASSERT_EQ(orders.size(), 1u);
+    EXPECT_EQ(orders[0].to.placement, Placement::PeerGpu);
+    // Space is reserved at order time.
+    EXPECT_EQ(c.producerState(1).usedBytes, 2 * gb);
+    c.doneMoving(orders[0]);
+    EXPECT_EQ(c.tensorLocation(alloc.id).placement,
+              Placement::PeerGpu);
+}
+
+TEST(Coordinator, PromotionBoundedByLeaseRoom)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    auto a1 = c.allocate(0, 3 * gb);
+    auto a2 = c.allocate(0, 3 * gb);
+    (void)a1;
+    (void)a2;
+    c.lease(1, 4 * gb);
+    std::vector<MigrationOrder> orders = c.respond(0);
+    EXPECT_EQ(orders.size(), 1u); // only one fits
+}
+
+TEST(Coordinator, FreeDuringMigrationPanics)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 10 * gb);
+    auto alloc = c.allocate(0, gb);
+    c.requestReclaim(1);
+    auto orders = c.respond(0);
+    ASSERT_EQ(orders.size(), 1u);
+    EXPECT_DEATH(c.free(alloc.id), "mid-migration");
+}
+
+TEST(Coordinator, DoneMovingWithoutOrderPanics)
+{
+    Coordinator c;
+    auto alloc = c.allocate(0, gb);
+    MigrationOrder fake;
+    fake.tensor = alloc.id;
+    fake.bytes = gb;
+    fake.to = Location{Placement::PeerGpu, 1};
+    EXPECT_DEATH(c.doneMoving(fake), "does not match");
+}
+
+TEST(Coordinator, ReleaseLeaseWhileUsedPanics)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 10 * gb);
+    c.allocate(0, gb);
+    EXPECT_DEATH(c.releaseLease(1), "still holds");
+}
+
+TEST(Coordinator, ReclaimUnknownProducerPanics)
+{
+    Coordinator c;
+    EXPECT_DEATH(c.requestReclaim(5), "unknown producer");
+}
+
+TEST(Coordinator, LeaseAccumulatesAndClearsReclaimFlag)
+{
+    Coordinator c;
+    c.lease(1, 2 * gb);
+    c.requestReclaim(1);
+    c.lease(1, 3 * gb);
+    EXPECT_EQ(c.producerState(1).leasedBytes, 5 * gb);
+    EXPECT_FALSE(c.producerState(1).reclaimRequested);
+}
+
+TEST(Coordinator, ProducerForQueries)
+{
+    Coordinator c;
+    EXPECT_FALSE(c.producerFor(0).has_value());
+    c.assignProducer(0, 1);
+    ASSERT_TRUE(c.producerFor(0).has_value());
+    EXPECT_EQ(*c.producerFor(0), 1);
+}
+
+TEST(Coordinator, ThreadSafeAllocationHammer)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 1000 * gb);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 8; ++w) {
+        workers.emplace_back([&c, w] {
+            hw::GpuId consumer = w % 2 == 0 ? 0 : 2;
+            for (int i = 0; i < 2000; ++i) {
+                auto alloc = c.allocate(consumer, 1 << 20);
+                c.free(alloc.id);
+            }
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+    EXPECT_EQ(c.liveTensors(), 0u);
+    EXPECT_EQ(c.producerState(1).usedBytes, 0u);
+    EXPECT_EQ(c.bytesInDram(), 0u);
+}
+
+TEST(Coordinator, ReassignmentSwitchesProducers)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 4 * gb);
+    c.lease(2, 4 * gb);
+    auto first = c.allocate(0, gb);
+    EXPECT_EQ(first.location.gpu, 1);
+    // The placer re-plans: consumer 0 now pairs with producer 2.
+    c.assignProducer(0, 2);
+    auto second = c.allocate(0, gb);
+    EXPECT_EQ(second.location.gpu, 2);
+    // The old tensor still occupies producer 1's lease until freed.
+    EXPECT_EQ(c.producerState(1).usedBytes, gb);
+    c.free(first.id);
+    EXPECT_EQ(c.producerState(1).usedBytes, 0u);
+    c.free(second.id);
+}
+
+TEST(Coordinator, ReclaimDuringPendingPromotionSettlesCleanly)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    auto alloc = c.allocate(0, 2 * gb); // DRAM (no lease yet)
+    c.lease(1, 4 * gb);
+    // A promotion order is issued...
+    auto orders = c.respond(0);
+    ASSERT_EQ(orders.size(), 1u);
+    // ...and the producer reclaims before the copy lands. The
+    // in-flight order still settles (space was reserved), after
+    // which the evacuation pass moves it back out.
+    c.requestReclaim(1);
+    c.doneMoving(orders[0]);
+    EXPECT_EQ(c.tensorLocation(alloc.id).placement,
+              Placement::PeerGpu);
+    EXPECT_FALSE(c.reclaimComplete(1));
+    auto evacuations = c.respond(0);
+    ASSERT_EQ(evacuations.size(), 1u);
+    EXPECT_EQ(evacuations[0].to.placement, Placement::HostDram);
+    c.doneMoving(evacuations[0]);
+    EXPECT_TRUE(c.reclaimComplete(1));
+    c.free(alloc.id);
+}
+
+TEST(Coordinator, LeaseAfterReclaimServesNewAllocations)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 4 * gb);
+    auto a = c.allocate(0, gb);
+    c.requestReclaim(1);
+    for (const MigrationOrder &order : c.respond(0))
+        c.doneMoving(order);
+    c.releaseLease(1);
+    // Allocations now fall back to DRAM...
+    auto b = c.allocate(0, gb);
+    EXPECT_EQ(b.location.placement, Placement::HostDram);
+    // ...until a fresh lease arrives.
+    c.lease(1, 4 * gb);
+    auto d = c.allocate(0, gb);
+    EXPECT_EQ(d.location.placement, Placement::PeerGpu);
+    c.free(a.id);
+    c.free(b.id);
+    c.free(d.id);
+}

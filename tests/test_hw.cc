@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the hardware substrate: link model (calibrated to the
+ * paper's Fig. 3a), GPU compute serialization and copy tax, topology
+ * routing/contention, server and cluster construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu.hh"
+#include "hw/gpu_spec.hh"
+#include "hw/link.hh"
+#include "hw/server.hh"
+#include "hw/topology.hh"
+#include "sim/simulation.hh"
+
+using namespace aqua;
+using namespace aqua::sim;
+using namespace aqua::hw;
+
+namespace {
+
+Link
+nvlinkModel()
+{
+    GpuSpec spec = a100_80g();
+    return Link("nvlink", spec.nvlinkBandwidth, spec.nvlinkRampBytes,
+                spec.nvlinkLatency);
+}
+
+} // anonymous namespace
+
+TEST(Link, Fig3aCalibration)
+{
+    Link link = nvlinkModel();
+    // "it reaches 100 GB/s at 2 MB" with a 250 GB/s peak.
+    EXPECT_NEAR(link.effectiveBandwidth(2 * mib) / 1e9, 100.0, 1.0);
+    EXPECT_NEAR(link.effectiveBandwidth(1024 * mib) / 1e9, 250.0,
+                5.0);
+    // Small transfers are far below peak.
+    EXPECT_LT(link.effectiveBandwidth(64 * kib) / 1e9, 10.0);
+}
+
+TEST(Link, BandwidthMonotoneInSize)
+{
+    Link link = nvlinkModel();
+    double prev = 0.0;
+    for (std::uint64_t s = 1024; s <= (1u << 30); s *= 2) {
+        double bw = link.effectiveBandwidth(s);
+        EXPECT_GT(bw, prev);
+        prev = bw;
+    }
+}
+
+TEST(Link, TransferTimeIncludesLatency)
+{
+    Link link("l", 1e9, 0, 1000);
+    EXPECT_EQ(link.transferTime(0), 1000u);
+    // 1e9 B/s => 1 byte per ns.
+    EXPECT_EQ(link.transferTime(500), 1500u);
+}
+
+TEST(Link, ChunkedCostsMoreThanSingle)
+{
+    Link link = nvlinkModel();
+    std::uint64_t total = 256 * mib;
+    Tick single = link.transferTime(total);
+    Tick chunked = link.transferTimeChunked(total / 256, 256);
+    EXPECT_GT(chunked, 2 * single);
+}
+
+TEST(Link, ZeroChunksIsFree)
+{
+    Link link = nvlinkModel();
+    EXPECT_EQ(link.transferTimeChunked(1024, 0), 0u);
+}
+
+TEST(Link, NonPositiveBandwidthPanics)
+{
+    EXPECT_DEATH(Link("bad", 0.0, 0, 0), "bandwidth");
+}
+
+TEST(Gpu, ComputeSerializes)
+{
+    Simulation sim;
+    Gpu gpu(sim, 0, a100_80g());
+    Tick end1 = gpu.submitCompute(100);
+    Tick end2 = gpu.submitCompute(50);
+    EXPECT_EQ(end1, 100u);
+    EXPECT_EQ(end2, 150u);
+    EXPECT_EQ(gpu.computeBusyTime(), 150u);
+}
+
+TEST(Gpu, SubmitComputeAfterHonorsEarliest)
+{
+    Simulation sim;
+    Gpu gpu(sim, 0, a100_80g());
+    Tick end = gpu.submitComputeAfter(1000, 10);
+    EXPECT_EQ(end, 1010u);
+}
+
+TEST(Gpu, CopyTaxSlowsComputeDuringPeerCopies)
+{
+    Simulation sim;
+    Gpu gpu(sim, 0, a100_80g());
+    Tick plain = gpu.submitCompute(1000000) - 0;
+    // Occupy the NVLink TX port across "now".
+    gpu.nvlinkTx().occupy(0, secToTicks(1.0));
+    Tick taxedEnd = gpu.submitCompute(1000000);
+    Tick taxed = taxedEnd - plain;
+    EXPECT_GT(taxed, 1000000u);
+    EXPECT_NEAR(static_cast<double>(taxed), 1030000.0, 1.0);
+}
+
+TEST(Gpu, HbmMatchesSpec)
+{
+    Simulation sim;
+    Gpu gpu(sim, 3, a100_80g());
+    EXPECT_EQ(gpu.hbm().capacity(), 80 * gib);
+    EXPECT_EQ(gpu.freeHbm(), 80 * gib);
+    EXPECT_EQ(gpu.id(), 3);
+}
+
+TEST(Resource, OccupyAdvancesHorizon)
+{
+    Resource r("r");
+    EXPECT_EQ(r.occupy(10, 5), 15u);
+    EXPECT_EQ(r.occupy(0, 5), 20u); // queues behind the first
+    EXPECT_EQ(r.totalBusyTime(), 10u);
+    EXPECT_EQ(r.occupationCount(), 2u);
+    EXPECT_TRUE(r.busyAt(12));
+    EXPECT_FALSE(r.busyAt(20));
+}
+
+TEST(Topology, PeerFasterThanHostForLargeTransfers)
+{
+    Simulation sim;
+    Server server(sim, 2, a100_80g(), TopologyKind::DirectP2P);
+    Topology &topo = server.topology();
+    std::uint64_t bytes = 512 * mib;
+    EXPECT_LT(topo.peerTransferDuration(bytes),
+              topo.hostTransferDuration(bytes) / 5);
+}
+
+TEST(Topology, CopySchedulesCompletionCallback)
+{
+    Simulation sim;
+    Server server(sim, 2, a100_80g(), TopologyKind::DirectP2P);
+    bool done = false;
+    TransferTiming t = server.topology().copy(0, 1, 1 * mib,
+                                              [&] { done = true; });
+    EXPECT_GT(t.complete, t.start);
+    sim.runUntil(t.complete - 1);
+    EXPECT_FALSE(done);
+    sim.runUntil(t.complete);
+    EXPECT_TRUE(done);
+}
+
+TEST(Topology, PortContentionSerializesTransfers)
+{
+    Simulation sim;
+    Server server(sim, 2, a100_80g(), TopologyKind::DirectP2P);
+    Topology &topo = server.topology();
+    TransferTiming t1 = topo.copy(0, 1, 64 * mib);
+    TransferTiming t2 = topo.copy(0, 1, 64 * mib);
+    EXPECT_EQ(t2.start, t1.complete); // same tx port
+    // The reverse direction is independent (full duplex).
+    TransferTiming t3 = topo.copy(1, 0, 64 * mib);
+    EXPECT_EQ(t3.start, 0u);
+}
+
+TEST(Topology, HostCopiesUsePcieNotNvlinkPorts)
+{
+    Simulation sim;
+    Server server(sim, 2, a100_80g(), TopologyKind::DirectP2P);
+    Topology &topo = server.topology();
+    topo.copy(0, hostDramId, 64 * mib);
+    EXPECT_EQ(server.gpu(0).nvlinkBytes(), 0u);
+    EXPECT_EQ(server.gpu(0).pcieBytes(), 64 * mib);
+    EXPECT_EQ(topo.hostBytesMoved(), 64 * mib);
+    EXPECT_EQ(topo.peerBytesMoved(), 0u);
+}
+
+TEST(Topology, EarliestDelaysStart)
+{
+    Simulation sim;
+    Server server(sim, 2, a100_80g(), TopologyKind::DirectP2P);
+    TransferTiming t =
+        server.topology().copy(0, 1, 1 * mib, {}, 5000);
+    EXPECT_EQ(t.start, 5000u);
+}
+
+TEST(Topology, SelfCopyPanics)
+{
+    Simulation sim;
+    Server server(sim, 2, a100_80g(), TopologyKind::DirectP2P);
+    EXPECT_DEATH(server.topology().copy(1, 1, 100), "src == dst");
+}
+
+TEST(Topology, BadEndpointPanics)
+{
+    Simulation sim;
+    Server server(sim, 2, a100_80g(), TopologyKind::DirectP2P);
+    EXPECT_DEATH(server.topology().copy(0, 7, 100), "bad endpoint");
+}
+
+TEST(Topology, NvSwitchAddsHopLatencyOnly)
+{
+    Simulation sim1;
+    Server p2p(sim1, 2, a100_80g(), TopologyKind::DirectP2P);
+    Simulation sim2;
+    Server sw(sim2, 8, a100_80g(), TopologyKind::NvSwitch);
+    std::uint64_t bytes = 256 * mib;
+    Tick direct = p2p.topology().peerTransferDuration(bytes);
+    Tick switched = sw.topology().peerTransferDuration(bytes);
+    EXPECT_GT(switched, direct);
+    EXPECT_LT(switched - direct, usToTicks(1.0));
+}
+
+TEST(Topology, DisjointPairsDoNotContend)
+{
+    Simulation sim;
+    Server server(sim, 8, a100_80g(), TopologyKind::NvSwitch);
+    Topology &topo = server.topology();
+    TransferTiming t1 = topo.copy(0, 1, 256 * mib);
+    TransferTiming t2 = topo.copy(2, 3, 256 * mib);
+    EXPECT_EQ(t1.start, t2.start);
+}
+
+TEST(Topology, SharedDestinationContends)
+{
+    Simulation sim;
+    Server server(sim, 8, a100_80g(), TopologyKind::NvSwitch);
+    Topology &topo = server.topology();
+    TransferTiming t1 = topo.copy(0, 7, 256 * mib);
+    TransferTiming t2 = topo.copy(1, 7, 256 * mib);
+    EXPECT_EQ(t2.start, t1.complete); // rx port of GPU 7 serializes
+}
+
+TEST(Server, ConstructionAndDram)
+{
+    Simulation sim;
+    Server server(sim, 2, a100_80g(), TopologyKind::DirectP2P);
+    EXPECT_EQ(server.numGpus(), 2u);
+    EXPECT_EQ(server.dram().capacity(), std::uint64_t(1024) << 30);
+    EXPECT_EQ(&server.simulation(), &sim);
+}
+
+TEST(Server, ZeroGpusPanics)
+{
+    Simulation sim;
+    EXPECT_DEATH(Server(sim, 0, a100_80g(),
+                        TopologyKind::DirectP2P),
+                 "at least one GPU");
+}
+
+TEST(Cluster, Shape)
+{
+    Simulation sim;
+    Cluster cluster(sim, 3, 2, a100_80g(), TopologyKind::DirectP2P);
+    EXPECT_EQ(cluster.numServers(), 3u);
+    EXPECT_EQ(cluster.gpusPerServer(), 2u);
+    EXPECT_EQ(cluster.totalGpus(), 6u);
+    EXPECT_EQ(cluster.server(1).numGpus(), 2u);
+}

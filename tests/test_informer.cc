@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the donate/reclaim informers (§B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "aqua/informer.hh"
+#include "sim/ticks.hh"
+
+using namespace aqua::core;
+using namespace aqua::sim;
+
+namespace {
+
+constexpr std::uint64_t gb = std::uint64_t(1) << 30;
+
+EngineStats
+stats(double t, std::uint64_t arrivals, std::uint64_t pending,
+      std::uint64_t freeBytes, std::uint64_t reserved)
+{
+    EngineStats s;
+    s.now = secToTicks(t);
+    s.arrivalsSinceLast = arrivals;
+    s.pendingRequests = pending;
+    s.freePoolBytes = freeBytes;
+    s.reservedPoolBytes = reserved;
+    return s;
+}
+
+} // anonymous namespace
+
+TEST(LlmInformer, DonatesWhenIdleKeepingFiveGb)
+{
+    LlmInformer inf;
+    InformerDecision d =
+        inf.evaluate(stats(1.0, 0, 0, 40 * gb, 45 * gb), false);
+    EXPECT_EQ(d.action, InformerDecision::Action::Donate);
+    // Retain keepBytes (5 GB): reserved 45 - keep 5 = 40 donatable.
+    EXPECT_EQ(d.donateBytes, 40 * gb);
+}
+
+TEST(LlmInformer, DonationBoundedByFreePool)
+{
+    LlmInformer inf;
+    // 45 GB reserved but only 10 GB free (35 in use): the keep floor
+    // is max(keepBytes, used), so only 10 GB can go.
+    InformerDecision d =
+        inf.evaluate(stats(1.0, 0, 0, 10 * gb, 45 * gb), false);
+    EXPECT_EQ(d.action, InformerDecision::Action::Donate);
+    EXPECT_EQ(d.donateBytes, 10 * gb);
+}
+
+TEST(LlmInformer, NoDonationUnderHighRate)
+{
+    LlmInformerConfig cfg;
+    cfg.donateRateThreshold = 2.0;
+    LlmInformer inf(cfg);
+    // 50 arrivals in the 10 s window => 5 req/s > threshold.
+    inf.evaluate(stats(5.0, 25, 0, 40 * gb, 45 * gb), false);
+    InformerDecision d =
+        inf.evaluate(stats(10.0, 25, 0, 40 * gb, 45 * gb), false);
+    EXPECT_EQ(d.action, InformerDecision::Action::None);
+    EXPECT_NEAR(inf.currentRate(), 5.0, 1.0);
+}
+
+TEST(LlmInformer, NoDonationWithPendingQueue)
+{
+    LlmInformer inf;
+    InformerDecision d =
+        inf.evaluate(stats(1.0, 0, 3, 40 * gb, 45 * gb), false);
+    EXPECT_EQ(d.action, InformerDecision::Action::None);
+}
+
+TEST(LlmInformer, TinyDonationsAreSkipped)
+{
+    LlmInformer inf;
+    // 5.1 GB in use (above the 5 GB keep floor), only 0.4 GB spare:
+    // below the 1 GB minimum donation.
+    InformerDecision d =
+        inf.evaluate(stats(1.0, 0, 0, 400 << 20,
+                           5 * gb + (512 << 20)),
+                     false);
+    EXPECT_EQ(d.action, InformerDecision::Action::None);
+}
+
+TEST(LlmInformer, ReclaimsOnRateSpike)
+{
+    LlmInformer inf;
+    InformerDecision d =
+        inf.evaluate(stats(1.0, 40, 0, 1 * gb, 5 * gb), true);
+    EXPECT_EQ(d.action, InformerDecision::Action::Reclaim);
+}
+
+TEST(LlmInformer, ReclaimsOnQueueBuildup)
+{
+    LlmInformer inf;
+    InformerDecision d =
+        inf.evaluate(stats(1.0, 0, 20, 1 * gb, 5 * gb), true);
+    EXPECT_EQ(d.action, InformerDecision::Action::Reclaim);
+}
+
+TEST(LlmInformer, HoldsLeaseUnderLightLoad)
+{
+    LlmInformer inf;
+    InformerDecision d =
+        inf.evaluate(stats(1.0, 1, 0, 4 * gb, 5 * gb), true);
+    EXPECT_EQ(d.action, InformerDecision::Action::None);
+}
+
+TEST(LlmInformer, WindowForgetsOldBursts)
+{
+    LlmInformerConfig cfg;
+    cfg.window = secToTicks(10.0);
+    LlmInformer inf(cfg);
+    // Burst at t=1s; by t=30s the window has slid past it.
+    inf.evaluate(stats(1.0, 100, 0, 40 * gb, 45 * gb), true);
+    InformerDecision d =
+        inf.evaluate(stats(30.0, 0, 0, 40 * gb, 45 * gb), true);
+    EXPECT_EQ(d.action, InformerDecision::Action::None);
+    EXPECT_LT(inf.currentRate(), 0.5);
+}
+
+TEST(BatchInformer, DonatesFreeAboveMargin)
+{
+    BatchInformer inf;
+    EngineStats s;
+    s.now = secToTicks(1.0);
+    s.freePoolBytes = 60 * gb;
+    s.reservedPoolBytes = 60 * gb;
+    InformerDecision d = inf.evaluate(s, false);
+    EXPECT_EQ(d.action, InformerDecision::Action::Donate);
+    EXPECT_EQ(d.donateBytes, 58 * gb); // 2 GB margin
+}
+
+TEST(BatchInformer, DonatesOnlyOnce)
+{
+    BatchInformer inf;
+    EngineStats s;
+    s.freePoolBytes = 60 * gb;
+    s.reservedPoolBytes = 60 * gb;
+    InformerDecision d = inf.evaluate(s, true);
+    EXPECT_EQ(d.action, InformerDecision::Action::None);
+}
+
+TEST(BatchInformer, RespectsMarginAndMinimum)
+{
+    BatchInformerConfig cfg;
+    cfg.marginBytes = 2 * gb;
+    cfg.minDonateBytes = 4 * gb;
+    BatchInformer inf(cfg);
+    EngineStats s;
+    s.freePoolBytes = 5 * gb; // 3 GB above margin < 4 GB minimum
+    InformerDecision d = inf.evaluate(s, false);
+    EXPECT_EQ(d.action, InformerDecision::Action::None);
+    s.freePoolBytes = 7 * gb;
+    d = inf.evaluate(s, false);
+    EXPECT_EQ(d.action, InformerDecision::Action::Donate);
+    EXPECT_EQ(d.donateBytes, 5 * gb);
+}

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests for the JSON value model, parser and writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "json/json.hh"
+#include "sim/random.hh"
+
+using namespace aqua::json;
+
+TEST(JsonValue, TypesAndAccessors)
+{
+    EXPECT_TRUE(Value().isNull());
+    EXPECT_TRUE(Value(nullptr).isNull());
+    EXPECT_TRUE(Value(true).asBool());
+    EXPECT_EQ(Value(42).asInt(), 42);
+    EXPECT_DOUBLE_EQ(Value(2.5).asDouble(), 2.5);
+    EXPECT_EQ(Value("hi").asString(), "hi");
+    EXPECT_TRUE(Value(Array{}).isArray());
+    EXPECT_TRUE(Value(Object{}).isObject());
+}
+
+TEST(JsonValue, IntWidensToDouble)
+{
+    Value v(7);
+    EXPECT_DOUBLE_EQ(v.asDouble(), 7.0);
+}
+
+TEST(JsonValue, IntegralDoubleNarrowsToInt)
+{
+    Value v(8.0);
+    EXPECT_EQ(v.asInt(), 8);
+}
+
+TEST(JsonValue, TypeMismatchPanics)
+{
+    EXPECT_DEATH(Value(1).asString(), "asString");
+    EXPECT_DEATH(Value("x").asInt(), "asInt");
+    EXPECT_DEATH(Value(1.5).asInt(), "asInt");
+}
+
+TEST(JsonValue, ObjectAutovivifiesFromNull)
+{
+    Value v;
+    v["a"] = 1;
+    v["b"]["c"] = "nested";
+    EXPECT_EQ(v["a"].asInt(), 1);
+    EXPECT_EQ(v.find("b")->find("c")->asString(), "nested");
+}
+
+TEST(JsonValue, TypedGettersWithDefaults)
+{
+    Value v;
+    v["n"] = 5;
+    v["s"] = "str";
+    v["b"] = true;
+    v["d"] = 1.5;
+    EXPECT_EQ(v.getInt("n", -1), 5);
+    EXPECT_EQ(v.getInt("missing", -1), -1);
+    EXPECT_EQ(v.getString("s", "?"), "str");
+    EXPECT_EQ(v.getString("n", "?"), "?"); // wrong type -> default
+    EXPECT_TRUE(v.getBool("b", false));
+    EXPECT_DOUBLE_EQ(v.getDouble("d", 0.0), 1.5);
+    EXPECT_DOUBLE_EQ(v.getDouble("n", 0.0), 5.0);
+}
+
+TEST(JsonObject, PreservesInsertionOrder)
+{
+    Value v;
+    v["zebra"] = 1;
+    v["alpha"] = 2;
+    std::string out = v.dump();
+    EXPECT_LT(out.find("zebra"), out.find("alpha"));
+}
+
+TEST(JsonObject, EraseAndContains)
+{
+    Object o;
+    o["a"] = 1;
+    o["b"] = 2;
+    EXPECT_TRUE(o.contains("a"));
+    EXPECT_TRUE(o.erase("a"));
+    EXPECT_FALSE(o.contains("a"));
+    EXPECT_FALSE(o.erase("a"));
+    EXPECT_EQ(o.size(), 1u);
+}
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseOrDie("null").isNull());
+    EXPECT_TRUE(parseOrDie("true").asBool());
+    EXPECT_FALSE(parseOrDie("false").asBool());
+    EXPECT_EQ(parseOrDie("-17").asInt(), -17);
+    EXPECT_DOUBLE_EQ(parseOrDie("3.25e2").asDouble(), 325.0);
+    EXPECT_EQ(parseOrDie("\"abc\"").asString(), "abc");
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    Value v = parseOrDie(R"({"a": [1, 2, {"b": null}], "c": -1.5})");
+    EXPECT_EQ(v["a"].asArray().size(), 3u);
+    EXPECT_EQ(v["a"].asArray()[1].asInt(), 2);
+    EXPECT_TRUE(v["a"].asArray()[2].find("b")->isNull());
+    EXPECT_DOUBLE_EQ(v["c"].asDouble(), -1.5);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    Value v = parseOrDie(R"("a\"b\\c\/d\n\tA")");
+    EXPECT_EQ(v.asString(), "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonParse, UnicodeEscapesToUtf8)
+{
+    EXPECT_EQ(parseOrDie(R"("é")").asString(), "\xc3\xa9");
+    EXPECT_EQ(parseOrDie(R"("€")").asString(),
+              "\xe2\x82\xac");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(parseOrDie(R"("😀")").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, ErrorsCarryPosition)
+{
+    ParseResult r = parse("{\n  \"a\": ]\n}");
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.line, 2u);
+    EXPECT_FALSE(r.error.empty());
+}
+
+TEST(JsonParse, RejectsBadDocuments)
+{
+    for (const char *bad : {
+             "", "{", "[1,]", "{\"a\":}", "tru", "\"unterminated",
+             "01x", "[1] trailing", "{\"a\" 1}", "\"\\u12\"",
+             "\"\\ud800\"", "nan",
+         }) {
+        EXPECT_FALSE(parse(bad).ok) << bad;
+    }
+}
+
+TEST(JsonParse, RejectsDeepNesting)
+{
+    std::string doc(400, '[');
+    doc += std::string(400, ']');
+    EXPECT_FALSE(parse(doc).ok);
+}
+
+TEST(JsonDump, CompactAndPretty)
+{
+    Value v = parseOrDie(R"({"a":[1,2],"b":"x"})");
+    EXPECT_EQ(v.dump(), R"({"a":[1,2],"b":"x"})");
+    std::string pretty = v.dump(2);
+    EXPECT_NE(pretty.find("\n  \"a\": [\n"), std::string::npos);
+}
+
+TEST(JsonDump, EscapesControlCharacters)
+{
+    Value v(std::string("a\x01") + "b\"");
+    EXPECT_EQ(v.dump(), "\"a\\u0001b\\\"\"");
+}
+
+TEST(JsonDump, NanBecomesNull)
+{
+    Value v(std::nan(""));
+    EXPECT_EQ(v.dump(), "null");
+}
+
+TEST(JsonRoundTrip, ParseDumpParseIsStable)
+{
+    const char *doc = R"({"gpu": 1, "bytes": 1073741824,)"
+                      R"( "orders": [{"tensor": 7, "from": "gpu1",)"
+                      R"( "to": "dram"}], "ok": true, "f": 0.5})";
+    Value v1 = parseOrDie(doc);
+    Value v2 = parseOrDie(v1.dump());
+    EXPECT_TRUE(v1 == v2);
+    EXPECT_EQ(v1.dump(), v2.dump());
+}
+
+TEST(JsonEquality, NumbersCompareAcrossTypes)
+{
+    EXPECT_TRUE(Value(2) == Value(2.0));
+    EXPECT_FALSE(Value(2) == Value(2.5));
+}
+
+TEST(JsonEquality, ObjectsCompareOrderInsensitive)
+{
+    Value a = parseOrDie(R"({"x":1,"y":2})");
+    Value b = parseOrDie(R"({"y":2,"x":1})");
+    EXPECT_TRUE(a == b);
+}
+
+TEST(JsonParse, LargeIntegerFallsBackToDouble)
+{
+    Value v = parseOrDie("123456789012345678901234567890");
+    EXPECT_TRUE(v.isDouble());
+}
+
+namespace {
+
+/** Build a random JSON value tree. */
+aqua::json::Value
+randomValue(aqua::sim::Random &rng, int depth)
+{
+    using aqua::json::Array;
+    using aqua::json::Object;
+    using aqua::json::Value;
+    double dice = rng.uniform();
+    if (depth <= 0 || dice < 0.45) {
+        switch (rng.uniformInt(0, 4)) {
+          case 0: return Value(nullptr);
+          case 1: return Value(rng.bernoulli(0.5));
+          case 2: return Value(rng.uniformInt(-1000000, 1000000));
+          case 3: return Value(rng.uniform(-1e6, 1e6));
+          default: {
+            std::string s;
+            for (int i = 0; i < rng.uniformInt(0, 12); ++i) {
+                // Mix printable ASCII with escapes and UTF-8.
+                int pick = static_cast<int>(rng.uniformInt(0, 9));
+                if (pick == 0)
+                    s += '"';
+                else if (pick == 1)
+                    s += '\\';
+                else if (pick == 2)
+                    s += '\n';
+                else if (pick == 3)
+                    s += "\xc3\xa9"; // é
+                else
+                    s += static_cast<char>(rng.uniformInt(32, 126));
+            }
+            return Value(std::move(s));
+          }
+        }
+    }
+    if (dice < 0.75) {
+        Array arr;
+        for (int i = 0; i < rng.uniformInt(0, 5); ++i)
+            arr.push_back(randomValue(rng, depth - 1));
+        return Value(std::move(arr));
+    }
+    Object obj;
+    for (int i = 0; i < rng.uniformInt(0, 5); ++i) {
+        obj["k" + std::to_string(rng.uniformInt(0, 30))] =
+            randomValue(rng, depth - 1);
+    }
+    return Value(std::move(obj));
+}
+
+} // anonymous namespace
+
+class JsonRoundTripProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(JsonRoundTripProperty, RandomValuesSurviveDumpParse)
+{
+    aqua::sim::Random rng(static_cast<std::uint64_t>(GetParam()));
+    for (int trial = 0; trial < 200; ++trial) {
+        Value original = randomValue(rng, 4);
+        for (int indent : {0, 2}) {
+            ParseResult parsed = parse(original.dump(indent));
+            ASSERT_TRUE(parsed.ok) << parsed.error;
+            EXPECT_TRUE(parsed.value == original)
+                << original.dump();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 4));

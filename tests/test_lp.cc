@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the simplex LP solver: textbook instances, bound
+ * handling, infeasibility, unboundedness and degeneracy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "opt/lp.hh"
+
+using namespace aqua::opt;
+
+TEST(Lp, TextbookMaximization)
+{
+    // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 => (2, 6).
+    LinearProgram lp;
+    int x = lp.addVar(0.0, inf, -3.0); // minimize -objective
+    int y = lp.addVar(0.0, inf, -5.0);
+    lp.addRow({{x, 1.0}}, Relation::LessEq, 4.0);
+    lp.addRow({{y, 2.0}}, Relation::LessEq, 12.0);
+    lp.addRow({{x, 3.0}, {y, 2.0}}, Relation::LessEq, 18.0);
+    LpResult r = solveLp(lp);
+    ASSERT_TRUE(r.optimal());
+    EXPECT_NEAR(r.objective, -36.0, 1e-6);
+    EXPECT_NEAR(r.x[x], 2.0, 1e-6);
+    EXPECT_NEAR(r.x[y], 6.0, 1e-6);
+}
+
+TEST(Lp, EqualityConstraints)
+{
+    // min x + 2y s.t. x + y = 10, x - y = 2 => (6, 4).
+    LinearProgram lp;
+    int x = lp.addVar(0.0, inf, 1.0);
+    int y = lp.addVar(0.0, inf, 2.0);
+    lp.addRow({{x, 1.0}, {y, 1.0}}, Relation::Equal, 10.0);
+    lp.addRow({{x, 1.0}, {y, -1.0}}, Relation::Equal, 2.0);
+    LpResult r = solveLp(lp);
+    ASSERT_TRUE(r.optimal());
+    EXPECT_NEAR(r.x[x], 6.0, 1e-6);
+    EXPECT_NEAR(r.x[y], 4.0, 1e-6);
+    EXPECT_NEAR(r.objective, 14.0, 1e-6);
+}
+
+TEST(Lp, GreaterEqualNeedsPhaseOne)
+{
+    // min 2x + 3y s.t. x + y >= 10, x <= 6 => (6, 4), obj 24.
+    LinearProgram lp;
+    int x = lp.addVar(0.0, 6.0, 2.0);
+    int y = lp.addVar(0.0, inf, 3.0);
+    lp.addRow({{x, 1.0}, {y, 1.0}}, Relation::GreaterEq, 10.0);
+    LpResult r = solveLp(lp);
+    ASSERT_TRUE(r.optimal());
+    EXPECT_NEAR(r.objective, 24.0, 1e-6);
+}
+
+TEST(Lp, InfeasibleDetected)
+{
+    LinearProgram lp;
+    int x = lp.addVar(0.0, inf, 1.0);
+    lp.addRow({{x, 1.0}}, Relation::LessEq, 1.0);
+    lp.addRow({{x, 1.0}}, Relation::GreaterEq, 2.0);
+    LpResult r = solveLp(lp);
+    EXPECT_EQ(r.status, LpStatus::Infeasible);
+}
+
+TEST(Lp, UnboundedDetected)
+{
+    LinearProgram lp;
+    int x = lp.addVar(0.0, inf, -1.0); // minimize -x, x free upward
+    lp.addRow({{x, -1.0}}, Relation::LessEq, 0.0);
+    LpResult r = solveLp(lp);
+    EXPECT_EQ(r.status, LpStatus::Unbounded);
+}
+
+TEST(Lp, UpperBoundsActAsConstraints)
+{
+    LinearProgram lp;
+    int x = lp.addVar(0.0, 3.0, -1.0);
+    LpResult r = solveLp(lp);
+    ASSERT_TRUE(r.optimal());
+    EXPECT_NEAR(r.x[x], 3.0, 1e-6);
+}
+
+TEST(Lp, LowerBoundsShiftCorrectly)
+{
+    // min x + y with x >= 2, y >= 3, x + y >= 7.
+    LinearProgram lp;
+    int x = lp.addVar(2.0, inf, 1.0);
+    int y = lp.addVar(3.0, inf, 1.0);
+    lp.addRow({{x, 1.0}, {y, 1.0}}, Relation::GreaterEq, 7.0);
+    LpResult r = solveLp(lp);
+    ASSERT_TRUE(r.optimal());
+    EXPECT_NEAR(r.objective, 7.0, 1e-6);
+    EXPECT_GE(r.x[x], 2.0 - 1e-9);
+    EXPECT_GE(r.x[y], 3.0 - 1e-9);
+}
+
+TEST(Lp, NegativeLowerBounds)
+{
+    // The placer's minimax variables can be negative.
+    LinearProgram lp;
+    int z = lp.addVar(-100.0, inf, 1.0);
+    int x = lp.addVar(0.0, 1.0, 0.0);
+    lp.addRow({{x, 1.0}, {z, -1.0}}, Relation::LessEq, 0.0);
+    lp.addRow({{x, 1.0}}, Relation::GreaterEq, 0.0);
+    LpResult r = solveLp(lp);
+    ASSERT_TRUE(r.optimal());
+    // z >= x and x may be 0 => z = 0 is optimal here... but x's own
+    // lower bound lets x = 0, z = 0. Minimum of z subject to z >= x.
+    EXPECT_NEAR(r.objective, 0.0, 1e-6);
+}
+
+TEST(Lp, FixedVariableViaEqualBounds)
+{
+    LinearProgram lp;
+    int x = lp.addVar(5.0, 5.0, 1.0);
+    int y = lp.addVar(0.0, inf, 1.0);
+    lp.addRow({{x, 1.0}, {y, 1.0}}, Relation::GreaterEq, 8.0);
+    LpResult r = solveLp(lp);
+    ASSERT_TRUE(r.optimal());
+    EXPECT_NEAR(r.x[x], 5.0, 1e-6);
+    EXPECT_NEAR(r.x[y], 3.0, 1e-6);
+}
+
+TEST(Lp, DegenerateProblemTerminates)
+{
+    // Classic cycling-prone instance; Bland's rule must terminate.
+    LinearProgram lp;
+    int x1 = lp.addVar(0.0, inf, -0.75);
+    int x2 = lp.addVar(0.0, inf, 150.0);
+    int x3 = lp.addVar(0.0, inf, -0.02);
+    int x4 = lp.addVar(0.0, inf, 6.0);
+    lp.addRow({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+              Relation::LessEq, 0.0);
+    lp.addRow({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+              Relation::LessEq, 0.0);
+    lp.addRow({{x3, 1.0}}, Relation::LessEq, 1.0);
+    LpResult r = solveLp(lp);
+    ASSERT_TRUE(r.optimal());
+    EXPECT_NEAR(r.objective, -0.05, 1e-6);
+}
+
+TEST(Lp, BadVariableIndexPanics)
+{
+    LinearProgram lp;
+    lp.addVar();
+    EXPECT_DEATH(lp.addRow({{5, 1.0}}, Relation::LessEq, 1.0),
+                 "bad variable");
+}
+
+TEST(Lp, InvalidBoundsPanic)
+{
+    LinearProgram lp;
+    EXPECT_DEATH(lp.addVar(3.0, 2.0), "upper bound");
+    EXPECT_DEATH(lp.addVar(-inf, 0.0), "finite");
+}
+
+TEST(Lp, EmptyObjectiveFeasibility)
+{
+    // Pure feasibility check: any solution works.
+    LinearProgram lp;
+    int x = lp.addVar(0.0, 10.0, 0.0);
+    lp.addRow({{x, 1.0}}, Relation::GreaterEq, 5.0);
+    LpResult r = solveLp(lp);
+    ASSERT_TRUE(r.optimal());
+    EXPECT_GE(r.x[x], 5.0 - 1e-9);
+}

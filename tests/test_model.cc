@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for model specs, the roofline performance model, and LoRA
+ * sizing: the geometry that drives every memory-contention result.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/lora.hh"
+#include "model/model_spec.hh"
+#include "model/perf_model.hh"
+#include "sim/ticks.hh"
+
+using namespace aqua;
+using namespace aqua::model;
+using namespace aqua::sim;
+
+TEST(ModelSpec, KvBytesPerTokenGeometry)
+{
+    // 2 (K,V) x layers x kvHeads x headDim x 2 bytes (fp16).
+    EXPECT_EQ(llama2_13b().kvBytesPerToken(),
+              2u * 40 * 40 * 128 * 2); // 819200, MHA
+    EXPECT_EQ(mistral7b().kvBytesPerToken(),
+              2u * 32 * 8 * 128 * 2); // 131072, GQA
+    EXPECT_EQ(codellama34b().kvBytesPerToken(),
+              2u * 48 * 8 * 128 * 2); // 196608, GQA
+    EXPECT_EQ(opt30b().kvBytesPerToken(),
+              2u * 48 * 56 * 128 * 2); // 1376256, MHA
+}
+
+TEST(ModelSpec, WeightBytes)
+{
+    EXPECT_EQ(opt30b().weightBytes(), std::uint64_t(60e9));
+    EXPECT_EQ(llama2_13b().weightBytes(), std::uint64_t(26e9));
+}
+
+TEST(ModelSpec, KvBytesScalesLinearly)
+{
+    ModelSpec m = opt30b();
+    EXPECT_EQ(m.kvBytes(8000), 8000 * m.kvBytesPerToken());
+    EXPECT_EQ(m.kvBytes(0), 0u);
+}
+
+TEST(ModelSpec, NonTextModelsHaveNoKv)
+{
+    EXPECT_EQ(stableDiffusion().kvBytesPerToken(), 0u);
+    EXPECT_FALSE(audiogen().isText());
+    EXPECT_TRUE(codellama34b().isText());
+}
+
+TEST(ModelSpec, LongPromptContextExceedsFreeHbm)
+{
+    // §6: "On an A100 GPU, it is impossible to infer a single prompt
+    // of 8,000 tokens" on OPT-30B — the motivating fact for FlexGen.
+    // The context is the KV over the prompt plus generation budget,
+    // and prefill additionally needs the materialized attention
+    // scores (no flash attention in FlexGen's HF backend).
+    ModelSpec m = opt30b();
+    std::uint64_t free_after_load =
+        80 * gib - m.weightBytes() - m.runtimeOverheadBytes;
+    std::uint64_t context =
+        m.kvBytes(8000 + 2000) + m.attentionWorkspaceBytes(8000);
+    EXPECT_GT(context, free_after_load);
+}
+
+TEST(ModelSpec, AttentionWorkspaceQuadratic)
+{
+    ModelSpec m = opt30b();
+    EXPECT_EQ(m.attentionWorkspaceBytes(8000),
+              std::uint64_t(56) * 8000 * 8000 * 2);
+    EXPECT_EQ(stableDiffusion().attentionWorkspaceBytes(100), 0u);
+}
+
+TEST(ModelSpec, PresetLookup)
+{
+    for (const std::string &name : presetNames())
+        EXPECT_EQ(presetByName(name).name, name);
+    EXPECT_DEATH(presetByName("GPT-9"), "unknown model");
+}
+
+TEST(ModelSpec, ModalityNames)
+{
+    EXPECT_STREQ(modalityName(Modality::Text), "text");
+    EXPECT_STREQ(modalityName(Modality::Image), "image");
+    EXPECT_STREQ(modalityName(Modality::Audio), "audio");
+}
+
+TEST(PerfModel, DecodeIsMemoryBound)
+{
+    hw::GpuSpec gpu = hw::a100_80g();
+    PerfModel pm(llama2_13b(), gpu);
+    // Small batches: time pinned by streaming 26 GB of weights.
+    Tick t1 = pm.decodeStepTime(1, 0);
+    Tick t8 = pm.decodeStepTime(8, 0);
+    EXPECT_EQ(t1, t8); // batch rides along for free
+    double expected = 26e9 / gpu.hbmBandwidth;
+    EXPECT_NEAR(ticksToSec(t1), expected, expected * 0.1);
+}
+
+TEST(PerfModel, DecodeBecomesComputeBoundAtHugeBatch)
+{
+    hw::GpuSpec gpu = hw::a100_80g();
+    PerfModel pm(llama2_13b(), gpu);
+    Tick small = pm.decodeStepTime(1, 0);
+    Tick huge = pm.decodeStepTime(4096, 0);
+    EXPECT_GT(huge, small);
+}
+
+TEST(PerfModel, ResidentKvSlowsDecode)
+{
+    PerfModel pm(llama2_13b(), hw::a100_80g());
+    EXPECT_GT(pm.decodeStepTime(8, std::uint64_t(40) << 30),
+              pm.decodeStepTime(8, 0));
+}
+
+TEST(PerfModel, DecodeEmptyBatchIsFree)
+{
+    PerfModel pm(llama2_13b(), hw::a100_80g());
+    EXPECT_EQ(pm.decodeStepTime(0, 0), 0u);
+}
+
+TEST(PerfModel, PrefillScalesWithTokens)
+{
+    PerfModel pm(codellama34b(), hw::a100_80g());
+    Tick t1k = pm.prefillTime(1000);
+    Tick t2k = pm.prefillTime(2000);
+    EXPECT_NEAR(static_cast<double>(t2k),
+                2.0 * static_cast<double>(t1k),
+                static_cast<double>(t1k) * 0.1);
+    // ~0.36 s for 1k tokens on our calibration.
+    EXPECT_NEAR(ticksToSec(t1k), 0.36, 0.1);
+}
+
+TEST(PerfModel, BatchThroughputSaturates)
+{
+    PerfModel pm(stableDiffusion(), hw::a100_80g());
+    double t1 = pm.batchThroughput(1);
+    double t8 = pm.batchThroughput(8);
+    double t16 = pm.batchThroughput(16);
+    double t32 = pm.batchThroughput(32);
+    EXPECT_GT(t8, t1 * 2.0);
+    EXPECT_GT(t16, t8);
+    // Diminishing returns (Fig. 2): the 16->32 gain is much smaller
+    // than the 1->8 gain.
+    EXPECT_LT(t32 - t16, (t8 - t1) * 0.3);
+}
+
+TEST(PerfModel, MemoryFootprintShape)
+{
+    PerfModel img(stableDiffusion(), hw::a100_80g());
+    std::uint64_t f4 = img.memoryFootprint(4, 0);
+    std::uint64_t f8 = img.memoryFootprint(8, 0);
+    EXPECT_EQ(f8 - f4,
+              4 * stableDiffusion().activationBytesPerItem);
+
+    PerfModel txt(llama2_13b(), hw::a100_80g());
+    EXPECT_EQ(txt.memoryFootprint(0, 5 * gib),
+              llama2_13b().weightBytes() +
+                  llama2_13b().runtimeOverheadBytes + 5 * gib);
+}
+
+TEST(PerfModel, WrongModalityPanics)
+{
+    PerfModel img(stableDiffusion(), hw::a100_80g());
+    EXPECT_DEATH(img.prefillTime(10), "non-text");
+    EXPECT_DEATH(img.decodeStepTime(1, 0), "non-text");
+    PerfModel txt(llama2_13b(), hw::a100_80g());
+    EXPECT_DEATH(txt.batchIterTime(1), "text model");
+}
+
+TEST(Lora, BytesForRank)
+{
+    // 4 projections x (A + B) x d_model x r x 2 bytes x layers.
+    ModelSpec m = mistral7b();
+    std::uint64_t expected =
+        std::uint64_t(4) * m.nLayers * 2 * m.dModel * 64 * 2;
+    EXPECT_EQ(loraBytesForRank(m, 64), expected);
+}
+
+TEST(Lora, SynthesizedAdaptersMatchPaper)
+{
+    auto adapters = synthesizeAdapters("syn", 320 * mib, 30);
+    EXPECT_EQ(adapters.size(), 30u);
+    for (std::uint32_t i = 0; i < 30; ++i) {
+        EXPECT_EQ(adapters[i].id, i);
+        EXPECT_EQ(adapters[i].bytes, 320 * mib);
+    }
+}
+
+TEST(Lora, NamedAdapters)
+{
+    EXPECT_EQ(zephyrAdapter().bytes, 320 * mib); // ~320 MB (§6)
+    EXPECT_EQ(mtebAdapter().bytes, 160 * mib);   // ~160 MB
+}
+
+TEST(ModelSpec, MixtralMoeGeometry)
+{
+    ModelSpec m = mixtral8x7b();
+    EXPECT_NEAR(m.nParams, 46.7e9, 1e8);
+    EXPECT_NEAR(m.effectiveParams(), 12.9e9, 1e8);
+    EXPECT_EQ(m.activeWeightBytes(),
+              static_cast<std::uint64_t>(12.9e9) * 2);
+    // fp16 weights exceed an A100-80G's HBM: only servable with
+    // weight offloading.
+    EXPECT_GT(m.weightBytes(), std::uint64_t(80) << 30);
+    // Dense models report nParams as effective.
+    EXPECT_DOUBLE_EQ(opt30b().effectiveParams(), opt30b().nParams);
+}
+
+TEST(PerfModel, MoeDecodeCheaperThanDenseOfSameSize)
+{
+    hw::GpuSpec gpu = hw::a100_80g();
+    ModelSpec moe = mixtral8x7b();
+    ModelSpec dense = moe;
+    dense.name = "Dense-47B";
+    dense.activeParams = 0.0;
+    PerfModel pmMoe(moe, gpu);
+    PerfModel pmDense(dense, gpu);
+    // Small batches touch only the active experts.
+    EXPECT_LT(pmMoe.decodeStepTime(1, 0),
+              pmDense.decodeStepTime(1, 0) / 2);
+    // Large batches touch every expert: memory traffic converges.
+    EXPECT_EQ(pmMoe.decodeStepTime(64, 0),
+              pmDense.decodeStepTime(64, 0));
+    // Prefill compute follows active parameters.
+    EXPECT_LT(pmMoe.prefillTime(4096), pmDense.prefillTime(4096));
+}

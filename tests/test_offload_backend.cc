@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the offload backends: DRAM baseline and the AQUA-LIB
+ * delegation, including the timing asymmetry AQUA exists to exploit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/testbed.hh"
+
+using namespace aqua;
+using namespace aqua::sim;
+using namespace aqua::serve;
+
+TEST(DramBackend, AllocConsumesHostDram)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    DramBackend &backend = tb.makeDramBackend(0);
+    std::uint64_t before = tb.server().dram().freeBytes();
+    auto handle = backend.alloc(std::uint64_t(1) << 30);
+    ASSERT_TRUE(handle);
+    EXPECT_EQ(before - tb.server().dram().freeBytes(),
+              std::uint64_t(1) << 30);
+    backend.free(*handle);
+    EXPECT_EQ(tb.server().dram().freeBytes(), before);
+}
+
+TEST(DramBackend, ExhaustionReturnsNullopt)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    DramBackend &backend = tb.makeDramBackend(0);
+    auto big = backend.alloc(std::uint64_t(1020) << 30);
+    ASSERT_TRUE(big);
+    EXPECT_FALSE(backend.alloc(std::uint64_t(10) << 30));
+    backend.free(*big);
+}
+
+TEST(DramBackend, DoubleFreeOrBadHandlePanics)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    DramBackend &backend = tb.makeDramBackend(0);
+    auto handle = backend.alloc(1 << 20);
+    backend.free(*handle);
+    EXPECT_DEATH(backend.free(*handle), "unknown handle");
+}
+
+TEST(DramBackend, TransfersRunAtPcieSpeed)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    DramBackend &backend = tb.makeDramBackend(0);
+    auto handle = backend.alloc(512 * mib);
+    hw::TransferTiming w = backend.write(*handle, 512 * mib, 1);
+    double sec = ticksToSec(w.complete - w.start);
+    // ~512 MiB / 25 GB/s ~ 21 ms.
+    EXPECT_NEAR(sec, 0.021, 0.005);
+    backend.free(*handle);
+}
+
+TEST(DramBackend, WriteBeyondHandlePanics)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    DramBackend &backend = tb.makeDramBackend(0);
+    auto handle = backend.alloc(1 << 20);
+    EXPECT_DEATH(backend.write(*handle, 2 << 20, 1), "beyond");
+    backend.free(*handle);
+}
+
+TEST(DramBackend, RespondIsImmediate)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    DramBackend &backend = tb.makeDramBackend(0);
+    EXPECT_EQ(backend.respond(), tb.sim().now());
+    EXPECT_FALSE(backend.staged());
+    EXPECT_EQ(backend.name(), "dram");
+}
+
+TEST(AquaBackend, PeerReadBeatsDramReadBySeveralX)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    core::AquaLib &consumerLib = tb.makeAquaLib(0);
+    tb.assign(0, 1);
+    tb.coordinator().lease(1, std::uint64_t(20) << 30);
+    AquaBackend &aqua = tb.makeAquaBackend(consumerLib);
+    DramBackend &dram = tb.makeDramBackend(0);
+
+    std::uint64_t bytes = std::uint64_t(4) << 30; // a big KV
+    auto ha = aqua.alloc(bytes);
+    auto hd = dram.alloc(bytes);
+    hw::TransferTiming ta = aqua.read(*ha, bytes, 64);
+    hw::TransferTiming td = dram.read(*hd, bytes, 64);
+    double aquaSec = ticksToSec(ta.complete - ta.start);
+    double dramSec = ticksToSec(td.complete - td.start);
+    EXPECT_GT(dramSec, 5.0 * aquaSec);
+    EXPECT_TRUE(aqua.staged());
+    EXPECT_EQ(aqua.name(), "aqua");
+    aqua.free(*ha);
+    dram.free(*hd);
+}
+
+TEST(AquaBackend, HandleMapsToTensor)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    core::AquaLib &lib = tb.makeAquaLib(0);
+    AquaBackend &aqua = tb.makeAquaBackend(lib);
+    auto handle = aqua.alloc(1 << 20);
+    ASSERT_TRUE(handle);
+    EXPECT_EQ(lib.ownedTensors(), 1u);
+    aqua.free(*handle);
+    EXPECT_EQ(lib.ownedTensors(), 0u);
+}
+
+TEST(AquaBackend, EarliestPropagates)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    core::AquaLib &lib = tb.makeAquaLib(0);
+    AquaBackend &aqua = tb.makeAquaBackend(lib);
+    auto handle = aqua.alloc(1 << 20);
+    hw::TransferTiming t =
+        aqua.write(*handle, 1 << 20, 1, secToTicks(1.0));
+    EXPECT_GE(t.start, secToTicks(1.0));
+    aqua.free(*handle);
+}

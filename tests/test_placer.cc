@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for AQUA-PLACER and stable matching: Algorithm 1's
+ * constraints and objective, the Fig. 4 colocation property, and
+ * matching stability (with TEST_P property sweeps).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exp/experiments.hh"
+#include "placer/placer.hh"
+#include "placer/stable_matching.hh"
+#include "sim/random.hh"
+
+using namespace aqua;
+using namespace aqua::placer;
+using aqua::sim::Random;
+
+namespace {
+
+constexpr std::int64_t gb = 1000 * 1000 * 1000;
+
+PlacementInput
+fig4Input()
+{
+    PlacementInput input;
+    input.numServers = 2;
+    input.gpusPerServer = 2;
+    input.gpuMemBytes = 80ull * 1 << 30;
+    input.models = {
+        {"vision-a", 60 * gb},
+        {"vision-b", 55 * gb},
+        {"llm-a", -20 * gb},
+        {"llm-b", -15 * gb},
+    };
+    return input;
+}
+
+} // anonymous namespace
+
+TEST(Placer, EvaluateObjectiveMatchesHandComputation)
+{
+    PlacementInput input = fig4Input();
+    // Segregated: server0 = both producers, server1 = both consumers.
+    double segregated =
+        evaluateObjective(input, {0, 0, 1, 1});
+    // max mem = 115 GB; max eq = +2.
+    EXPECT_NEAR(segregated,
+                115.0 * gb + 2.0 * static_cast<double>(
+                                       input.gpuMemBytes),
+                1.0);
+    // Colocated: one producer + one consumer per server.
+    double colocated = evaluateObjective(input, {0, 1, 0, 1});
+    EXPECT_NEAR(colocated,
+                40.0 * gb + 0.0, 1.0);
+    EXPECT_LT(colocated, segregated);
+}
+
+TEST(Placer, Fig4OptimalColocation)
+{
+    AquaPlacer placer;
+    Placement p = placer.place(fig4Input());
+    ASSERT_TRUE(p.valid());
+    EXPECT_TRUE(p.optimal);
+    // Each server hosts exactly one producer and one consumer.
+    PlacementInput input = fig4Input();
+    for (std::size_t s = 0; s < 2; ++s) {
+        int producers = 0;
+        int consumers = 0;
+        for (std::size_t m = 0; m < 4; ++m) {
+            if (p.server[m] != static_cast<int>(s))
+                continue;
+            producers += input.models[m].isProducer();
+            consumers += input.models[m].isConsumer();
+        }
+        EXPECT_EQ(producers, 1);
+        EXPECT_EQ(consumers, 1);
+    }
+    EXPECT_EQ(p.pairs.size(), 2u);
+}
+
+TEST(Placer, RespectsGpuCapacity)
+{
+    // Four models on one 4-GPU server: fits exactly.
+    PlacementInput input = fig4Input();
+    input.numServers = 1;
+    input.gpusPerServer = 4;
+    Placement p = AquaPlacer().place(input);
+    ASSERT_TRUE(p.valid());
+    for (int s : p.server)
+        EXPECT_EQ(s, 0);
+    EXPECT_EQ(p.pairs.size(), 2u);
+}
+
+TEST(Placer, InfeasibleWhenMoreModelsThanGpus)
+{
+    PlacementInput input = fig4Input();
+    input.numServers = 1; // 2 GPUs for 4 models
+    EXPECT_FALSE(greedyPlace(input).valid());
+    EXPECT_FALSE(AquaPlacer().place(input).valid());
+}
+
+TEST(Placer, MilpNeverWorseThanGreedy)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        PlacementInput input =
+            exp::makeClusterInput(4, 2, "balanced", seed);
+        Placement greedy = greedyPlace(input);
+        Placement milp = AquaPlacer().place(input);
+        ASSERT_TRUE(greedy.valid());
+        ASSERT_TRUE(milp.valid());
+        EXPECT_LE(milp.objective, greedy.objective + 1.0)
+            << "seed " << seed;
+        // Every model assigned exactly once, within capacity.
+        std::vector<int> load(input.numServers, 0);
+        for (int s : milp.server) {
+            ASSERT_GE(s, 0);
+            ASSERT_LT(static_cast<std::size_t>(s),
+                      input.numServers);
+            ++load[s];
+        }
+        for (int l : load)
+            EXPECT_LE(l,
+                      static_cast<int>(input.gpusPerServer));
+    }
+}
+
+TEST(Placer, PairsLinkConsumersToProducersOnSameServer)
+{
+    PlacementInput input = exp::makeClusterInput(4, 2, "balanced", 7);
+    Placement p = AquaPlacer().place(input);
+    ASSERT_TRUE(p.valid());
+    std::set<int> usedProducers;
+    std::set<int> usedConsumers;
+    for (const Pairing &pair : p.pairs) {
+        EXPECT_TRUE(input.models[pair.consumerModel].isConsumer());
+        EXPECT_TRUE(input.models[pair.producerModel].isProducer());
+        EXPECT_EQ(p.server[pair.consumerModel], pair.server);
+        EXPECT_EQ(p.server[pair.producerModel], pair.server);
+        // One producer per consumer (§4).
+        EXPECT_TRUE(usedProducers.insert(pair.producerModel).second);
+        EXPECT_TRUE(usedConsumers.insert(pair.consumerModel).second);
+    }
+}
+
+TEST(Placer, ClusterInputShapes)
+{
+    PlacementInput balanced =
+        exp::makeClusterInput(8, 2, "balanced", 1);
+    EXPECT_EQ(balanced.models.size(), 16u);
+    int producers = 0;
+    for (const ModelToPlace &m : balanced.models)
+        producers += m.isProducer();
+    EXPECT_GT(producers, 8); // 2/3 of a balanced split produce
+
+    PlacementInput heavy =
+        exp::makeClusterInput(8, 2, "llm-heavy", 1);
+    int heavyProducers = 0;
+    for (const ModelToPlace &m : heavy.models)
+        heavyProducers += m.isProducer();
+    EXPECT_EQ(heavyProducers, 8); // 50/50 split
+
+    EXPECT_DEATH(exp::makeClusterInput(2, 2, "nonsense"),
+                 "unknown split");
+}
+
+TEST(Placer, MemoryRequirementSigns)
+{
+    EXPECT_GT(exp::modelMemoryRequirement("StableDiffusion", true),
+              0);
+    EXPECT_GT(exp::modelMemoryRequirement("Llama-2-13B", true), 0);
+    EXPECT_LT(exp::modelMemoryRequirement("OPT-30B", false), 0);
+    EXPECT_LT(exp::modelMemoryRequirement("Codellama-34B", false),
+              0);
+}
+
+TEST(StableMatching, TextbookInstance)
+{
+    // Classic 3x3 instance with known proposer-optimal outcome.
+    std::vector<std::vector<int>> men = {
+        {0, 1, 2}, {1, 0, 2}, {0, 1, 2}};
+    std::vector<std::vector<int>> women = {
+        {1, 0, 2}, {0, 1, 2}, {0, 1, 2}};
+    std::vector<int> match = stableMatch(men, women, 3);
+    EXPECT_TRUE(isStableMatching(men, women, match, 3));
+    // Everyone is matched.
+    std::set<int> partners(match.begin(), match.end());
+    EXPECT_EQ(partners.size(), 3u);
+    EXPECT_FALSE(partners.count(-1));
+}
+
+TEST(StableMatching, UnbalancedSidesLeaveSomeUnmatched)
+{
+    std::vector<std::vector<int>> proposers = {{0}, {0}, {0}};
+    std::vector<std::vector<int>> acceptors = {{2, 1, 0}};
+    std::vector<int> match = stableMatch(proposers, acceptors, 1);
+    EXPECT_EQ(match[2], 0); // the acceptor's favourite wins
+    EXPECT_EQ(match[0], -1);
+    EXPECT_EQ(match[1], -1);
+    EXPECT_TRUE(isStableMatching(proposers, acceptors, match, 1));
+}
+
+TEST(StableMatching, UnacceptablePartnersRespected)
+{
+    // Acceptor 0 ranks only proposer 1.
+    std::vector<std::vector<int>> proposers = {{0}, {0}};
+    std::vector<std::vector<int>> acceptors = {{1}};
+    std::vector<int> match = stableMatch(proposers, acceptors, 1);
+    EXPECT_EQ(match[0], -1);
+    EXPECT_EQ(match[1], 0);
+}
+
+/** Property: random preference instances always yield stability. */
+class MatchingProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MatchingProperty, AlwaysStable)
+{
+    Random rng(static_cast<std::uint64_t>(GetParam()));
+    for (int trial = 0; trial < 30; ++trial) {
+        std::size_t n = static_cast<std::size_t>(
+            rng.uniformInt(1, 8));
+        std::size_t m = static_cast<std::size_t>(
+            rng.uniformInt(1, 8));
+        auto randomPrefs = [&](std::size_t count,
+                               std::size_t others) {
+            std::vector<std::vector<int>> prefs(count);
+            for (auto &p : prefs) {
+                for (std::size_t o = 0; o < others; ++o) {
+                    if (rng.bernoulli(0.85))
+                        p.push_back(static_cast<int>(o));
+                }
+                // Shuffle.
+                for (std::size_t i = p.size(); i > 1; --i) {
+                    std::size_t j = static_cast<std::size_t>(
+                        rng.uniformInt(0,
+                                       static_cast<std::int64_t>(i) -
+                                           1));
+                    std::swap(p[i - 1], p[j]);
+                }
+            }
+            return prefs;
+        };
+        auto proposers = randomPrefs(n, m);
+        auto acceptors = randomPrefs(m, n);
+        std::vector<int> match = stableMatch(proposers, acceptors, m);
+        EXPECT_TRUE(isStableMatching(proposers, acceptors, match, m));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));

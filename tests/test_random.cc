@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the PCG32 generator and samplers: determinism, range
+ * discipline, and loose distribution moments.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+using namespace aqua::sim;
+
+TEST(Random, SameSeedSameStream)
+{
+    Random a(99);
+    Random b(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1);
+    Random b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next32() == b.next32();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Random, UniformInUnitInterval)
+{
+    Random rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformRangeRespected)
+{
+    Random rng(4);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(-2.5, 7.5);
+        EXPECT_GE(u, -2.5);
+        EXPECT_LT(u, 7.5);
+    }
+}
+
+TEST(Random, UniformIntInclusiveBounds)
+{
+    Random rng(5);
+    bool sawLo = false;
+    bool sawHi = false;
+    for (int i = 0; i < 20000; ++i) {
+        std::int64_t v = rng.uniformInt(3, 10);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 10);
+        sawLo |= v == 3;
+        sawHi |= v == 10;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Random, UniformIntSingleton)
+{
+    Random rng(6);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.uniformInt(7, 7), 7);
+}
+
+TEST(Random, UniformIntBadRangePanics)
+{
+    Random rng(7);
+    EXPECT_DEATH(rng.uniformInt(5, 4), "lo > hi");
+}
+
+TEST(Random, ExponentialMeanMatchesRate)
+{
+    Random rng(8);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Random, ExponentialRequiresPositiveRate)
+{
+    Random rng(9);
+    EXPECT_DEATH(rng.exponential(0.0), "positive");
+}
+
+TEST(Random, NormalMoments)
+{
+    Random rng(10);
+    double sum = 0.0;
+    double sumSq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(5.0, 2.0);
+        sum += v;
+        sumSq += v * v;
+    }
+    double mean = sum / n;
+    double var = sumSq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Random, LognormalMedian)
+{
+    Random rng(11);
+    std::vector<double> vs;
+    for (int i = 0; i < 50001; ++i)
+        vs.push_back(rng.lognormal(4.0, 1.0));
+    std::nth_element(vs.begin(), vs.begin() + 25000, vs.end());
+    // Median of lognormal(mu, sigma) is e^mu.
+    EXPECT_NEAR(vs[25000], std::exp(4.0), 3.0);
+}
+
+TEST(Random, PoissonSmallMean)
+{
+    Random rng(12);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.poisson(3.5));
+    EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Random, PoissonLargeMeanUsesApproximation)
+{
+    Random rng(13);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.poisson(200.0));
+    EXPECT_NEAR(sum / n, 200.0, 1.0);
+}
+
+TEST(Random, PoissonZeroMean)
+{
+    Random rng(14);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Random, BernoulliFrequency)
+{
+    Random rng(15);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}

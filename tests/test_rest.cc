@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the REST endpoint layer: routing, payload round trips,
+ * and the full lease/allocate/respond/reclaim protocol over the
+ * same endpoints the paper names (§3, §B).
+ */
+
+#include <gtest/gtest.h>
+
+#include "aqua/coordinator.hh"
+#include "aqua/rest.hh"
+
+using namespace aqua;
+using namespace aqua::core;
+using aqua::json::Value;
+using aqua::json::parseOrDie;
+
+TEST(RestRouter, DispatchesByMethodAndPath)
+{
+    RestRouter router;
+    router.route("GET /ping", [](const Value &) {
+        RestResponse resp;
+        resp.body["pong"] = true;
+        return resp;
+    });
+    RestResponse resp = router.dispatch("GET /ping", Value());
+    EXPECT_TRUE(resp.ok());
+    EXPECT_TRUE(resp.body.getBool("pong", false));
+}
+
+TEST(RestRouter, UnknownRouteIs404)
+{
+    RestRouter router;
+    RestResponse resp = router.dispatch("GET /nope", Value());
+    EXPECT_EQ(resp.status, RestStatus::NotFound);
+    EXPECT_FALSE(resp.ok());
+}
+
+TEST(RestRouter, RawDispatchRejectsBadJson)
+{
+    RestRouter router;
+    router.route("POST /x", [](const Value &) {
+        return RestResponse{};
+    });
+    RestResponse resp = router.dispatchRaw("POST /x", "{broken");
+    EXPECT_EQ(resp.status, RestStatus::BadRequest);
+}
+
+TEST(RestRouter, RoutesAreListed)
+{
+    Coordinator c;
+    CoordinatorRestService service(c);
+    auto routes = service.router().routes();
+    for (const char *expected :
+         {"POST /lease", "POST /allocate", "POST /free",
+          "POST /respond", "POST /done_moving",
+          "POST /reclaim_request", "GET /reclaim_status",
+          "POST /release_lease", "POST /assign"}) {
+        EXPECT_NE(std::find(routes.begin(), routes.end(), expected),
+                  routes.end())
+            << expected;
+    }
+}
+
+TEST(RestService, FullProtocolOverJson)
+{
+    Coordinator c;
+    CoordinatorRestService service(c);
+    const RestRouter &router = service.router();
+
+    // Wire the placer's assignment and the producer's offer.
+    EXPECT_TRUE(router.dispatchRaw("POST /assign",
+                                   R"({"consumer":0,"producer":1})")
+                    .ok());
+    EXPECT_TRUE(router.dispatchRaw(
+                          "POST /lease",
+                          R"({"gpu":1,"bytes":10737418240})")
+                    .ok());
+
+    // Allocate: lands on the peer.
+    RestResponse alloc = router.dispatchRaw(
+        "POST /allocate", R"({"gpu":0,"bytes":1073741824})");
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_EQ(alloc.body.getString("placement", ""), "peer");
+    EXPECT_EQ(alloc.body.getInt("peer", -1), 1);
+    std::int64_t tensor = alloc.body.getInt("tensor", 0);
+    ASSERT_GT(tensor, 0);
+
+    // Reclaim: status incomplete until the consumer responds and
+    // reports the move done.
+    EXPECT_TRUE(router.dispatchRaw("POST /reclaim_request",
+                                   R"({"gpu":1})")
+                    .ok());
+    RestResponse status = router.dispatchRaw("GET /reclaim_status",
+                                             R"({"gpu":1})");
+    EXPECT_FALSE(status.body.getBool("complete", true));
+
+    RestResponse respond =
+        router.dispatchRaw("POST /respond", R"({"gpu":0})");
+    ASSERT_TRUE(respond.ok());
+    const Value *orders = respond.body.find("orders");
+    ASSERT_TRUE(orders && orders->isArray());
+    ASSERT_EQ(orders->asArray().size(), 1u);
+    const Value &order = orders->asArray()[0];
+    EXPECT_EQ(order.getInt("tensor", 0), tensor);
+    EXPECT_EQ(order.getString("to", ""), "dram");
+
+    EXPECT_TRUE(router.dispatch("POST /done_moving", order).ok());
+    status = router.dispatchRaw("GET /reclaim_status",
+                                R"({"gpu":1})");
+    EXPECT_TRUE(status.body.getBool("complete", false));
+
+    EXPECT_TRUE(router.dispatchRaw("POST /release_lease",
+                                   R"({"gpu":1})")
+                    .ok());
+    EXPECT_TRUE(router.dispatchRaw("POST /free",
+                                   "{\"tensor\": " +
+                                       std::to_string(tensor) + "}")
+                    .ok());
+}
+
+TEST(RestService, MissingFieldsAreBadRequests)
+{
+    Coordinator c;
+    CoordinatorRestService service(c);
+    for (const char *route : {"POST /lease", "POST /allocate",
+                              "POST /respond",
+                              "POST /reclaim_request",
+                              "GET /reclaim_status",
+                              "POST /release_lease",
+                              "POST /assign"}) {
+        RestResponse resp = service.router().dispatch(route, Value());
+        EXPECT_EQ(resp.status, RestStatus::BadRequest) << route;
+    }
+    RestResponse resp =
+        service.router().dispatchRaw("POST /free", R"({"tensor":0})");
+    EXPECT_EQ(resp.status, RestStatus::BadRequest);
+}
+
+TEST(RestService, OrderJsonRoundTrip)
+{
+    MigrationOrder order;
+    order.tensor = 42;
+    order.bytes = 123456;
+    order.from = Location{Placement::PeerGpu, 3};
+    order.to = Location{Placement::HostDram, hw::hostDramId};
+    MigrationOrder back = orderFromJson(orderToJson(order));
+    EXPECT_EQ(back.tensor, order.tensor);
+    EXPECT_EQ(back.bytes, order.bytes);
+    EXPECT_TRUE(back.from == order.from);
+    EXPECT_TRUE(back.to == order.to);
+}
+
+TEST(RestService, LocationDescribe)
+{
+    EXPECT_EQ((Location{Placement::HostDram, hw::hostDramId})
+                  .describe(),
+              "dram");
+    EXPECT_EQ((Location{Placement::PeerGpu, 5}).describe(), "gpu5");
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Tests for the scheduling policies: vLLM's FCFS admission gating
+ * and the paper's completely fair scheduler (§5).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hw/gpu.hh"
+#include "hw/gpu_spec.hh"
+#include "model/model_spec.hh"
+#include "serve/kv_cache.hh"
+#include "serve/scheduler.hh"
+#include "sim/simulation.hh"
+
+using namespace aqua;
+using namespace aqua::sim;
+using namespace aqua::serve;
+
+namespace {
+
+class SchedulerTest : public ::testing::Test
+{
+  protected:
+    SchedulerTest()
+        : gpu(sim, 0, hw::a100_80g()),
+          kv(gpu, model::codellama34b(), std::uint64_t(1) << 30, 16)
+    {
+        input.kv = &kv;
+        input.maxBatch = 8;
+        input.sliceTokens = 5;
+        input.slackTokens = 32;
+    }
+
+    Sequence *
+    makeSeq(std::uint32_t prompt, std::uint32_t generated,
+            Sequence::State state, Tick arrival = 0)
+    {
+        auto seq = std::make_unique<Sequence>();
+        seq->request.id = seqs.size();
+        seq->request.promptTokens = prompt;
+        seq->request.maxNewTokens = 100;
+        seq->request.arrival = arrival;
+        seq->generated = generated;
+        seq->state = state;
+        seq->prefilled = generated > 0;
+        seqs.push_back(std::move(seq));
+        Sequence *raw = seqs.back().get();
+        switch (state) {
+          case Sequence::State::Waiting:
+            input.waiting.push_back(raw);
+            break;
+          case Sequence::State::Running:
+            input.running.push_back(raw);
+            break;
+          case Sequence::State::Swapped:
+            input.swapped.push_back(raw);
+            break;
+          default:
+            break;
+        }
+        return raw;
+    }
+
+    Simulation sim;
+    hw::Gpu gpu;
+    KvCache kv;
+    SchedulerInput input;
+    std::vector<std::unique_ptr<Sequence>> seqs;
+};
+
+} // anonymous namespace
+
+TEST_F(SchedulerTest, FcfsAdmitsWhileMemoryLasts)
+{
+    // Pool: 1 GiB / (16 * 192 KiB) = ~341 blocks.
+    for (int i = 0; i < 4; ++i)
+        makeSeq(800, 0, Sequence::State::Waiting);
+    FcfsPolicy fcfs;
+    SchedulerDecision d = fcfs.schedule(input);
+    // Each needs (800+32)/16 = 52 blocks; all four fit.
+    EXPECT_EQ(d.admit.size(), 4u);
+    EXPECT_TRUE(d.swapOut.empty());
+}
+
+TEST_F(SchedulerTest, FcfsQueuesWhenMemoryFull)
+{
+    // 341 blocks total; each seq needs 52; only 6 fit.
+    for (int i = 0; i < 10; ++i)
+        makeSeq(800, 0, Sequence::State::Waiting);
+    FcfsPolicy fcfs;
+    SchedulerDecision d = fcfs.schedule(input);
+    EXPECT_EQ(d.admit.size(), 6u);
+    // FIFO: the admitted ones are the earliest.
+    for (std::size_t i = 0; i < d.admit.size(); ++i)
+        EXPECT_EQ(d.admit[i]->request.id, i);
+}
+
+TEST_F(SchedulerTest, FcfsHeadOfLineBlocks)
+{
+    // A huge head request blocks later small ones (vLLM FIFO).
+    makeSeq(16 * 341, 0, Sequence::State::Waiting);
+    makeSeq(100, 0, Sequence::State::Waiting);
+    FcfsPolicy fcfs;
+    SchedulerDecision d = fcfs.schedule(input);
+    EXPECT_TRUE(d.admit.empty());
+}
+
+TEST_F(SchedulerTest, FcfsResumesSwappedBeforeAdmitting)
+{
+    makeSeq(100, 10, Sequence::State::Swapped);
+    makeSeq(100, 0, Sequence::State::Waiting);
+    FcfsPolicy fcfs;
+    SchedulerDecision d = fcfs.schedule(input);
+    ASSERT_EQ(d.swapIn.size(), 1u);
+    EXPECT_EQ(d.swapIn[0]->request.id, 0u);
+    EXPECT_EQ(d.admit.size(), 1u);
+}
+
+TEST_F(SchedulerTest, FcfsRespectsMaxBatch)
+{
+    for (int i = 0; i < 12; ++i)
+        makeSeq(50, 0, Sequence::State::Waiting);
+    FcfsPolicy fcfs;
+    SchedulerDecision d = fcfs.schedule(input);
+    EXPECT_EQ(d.admit.size(), 8u); // maxBatch
+}
+
+TEST_F(SchedulerTest, CfsSelectsLeastServed)
+{
+    Sequence *hot = makeSeq(100, 90, Sequence::State::Running);
+    Sequence *cold = makeSeq(100, 2, Sequence::State::Swapped);
+    Sequence *fresh = makeSeq(100, 0, Sequence::State::Waiting);
+    input.maxBatch = 2;
+    CfsPolicy cfs;
+    SchedulerDecision d = cfs.schedule(input);
+    // The two least-served run; the hot one pages out.
+    ASSERT_EQ(d.swapOut.size(), 1u);
+    EXPECT_EQ(d.swapOut[0], hot);
+    ASSERT_EQ(d.swapIn.size(), 1u);
+    EXPECT_EQ(d.swapIn[0], cold);
+    ASSERT_EQ(d.admit.size(), 1u);
+    EXPECT_EQ(d.admit[0], fresh);
+}
+
+TEST_F(SchedulerTest, CfsKeepsRunningSetWhenAlreadyFair)
+{
+    makeSeq(100, 5, Sequence::State::Running);
+    makeSeq(100, 5, Sequence::State::Running);
+    CfsPolicy cfs;
+    SchedulerDecision d = cfs.schedule(input);
+    EXPECT_TRUE(d.empty());
+}
+
+TEST_F(SchedulerTest, CfsTieBreaksByArrival)
+{
+    makeSeq(100, 0, Sequence::State::Waiting, secToTicks(2.0));
+    Sequence *early =
+        makeSeq(100, 0, Sequence::State::Waiting, secToTicks(1.0));
+    input.maxBatch = 1;
+    CfsPolicy cfs;
+    SchedulerDecision d = cfs.schedule(input);
+    ASSERT_EQ(d.admit.size(), 1u);
+    EXPECT_EQ(d.admit[0], early);
+}
+
+TEST_F(SchedulerTest, CfsRespectsMemoryBudget)
+{
+    // 341 blocks; each needs (3000+5)/16 = 188 blocks; only one of
+    // the big sequences fits, but a small one still squeezes in
+    // (fairness over packing skips, then continues).
+    makeSeq(3000, 1, Sequence::State::Running);
+    makeSeq(3000, 2, Sequence::State::Swapped);
+    Sequence *small = makeSeq(100, 3, Sequence::State::Swapped);
+    CfsPolicy cfs;
+    SchedulerDecision d = cfs.schedule(input);
+    EXPECT_TRUE(d.swapOut.empty()); // the running one stays
+    ASSERT_EQ(d.swapIn.size(), 1u);
+    EXPECT_EQ(d.swapIn[0], small);
+}
+
+TEST_F(SchedulerTest, CfsAdmitsEverythingThatFits)
+{
+    for (int i = 0; i < 5; ++i)
+        makeSeq(50, 0, Sequence::State::Waiting);
+    CfsPolicy cfs;
+    SchedulerDecision d = cfs.schedule(input);
+    EXPECT_EQ(d.admit.size(), 5u);
+}
+
+TEST(SchedulerPolicy, Names)
+{
+    EXPECT_EQ(FcfsPolicy().name(), "fcfs");
+    EXPECT_FALSE(FcfsPolicy().isFair());
+    EXPECT_EQ(CfsPolicy().name(), "cfs");
+    EXPECT_TRUE(CfsPolicy().isFair());
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the statistics helpers: Summary, TimeSeries, Histogram,
+ * Table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ticks.hh"
+#include "stats/histogram.hh"
+#include "stats/summary.hh"
+#include "stats/table.hh"
+#include "stats/timeseries.hh"
+
+using namespace aqua::stats;
+using aqua::sim::Tick;
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    s.add({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_NEAR(s.stddev(), 1.1180, 1e-3);
+}
+
+TEST(Summary, PercentileInterpolates)
+{
+    Summary s;
+    s.add({10.0, 20.0, 30.0, 40.0, 50.0});
+    EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+    EXPECT_DOUBLE_EQ(s.median(), 30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+    EXPECT_DOUBLE_EQ(s.percentile(10), 14.0); // numpy linear
+}
+
+TEST(Summary, SingleSample)
+{
+    Summary s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1), 7.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 7.0);
+}
+
+TEST(Summary, SortedCacheInvalidatedByAdd)
+{
+    Summary s;
+    s.add({3.0, 1.0});
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    s.add(0.5);
+    EXPECT_DOUBLE_EQ(s.min(), 0.5);
+}
+
+TEST(Summary, EmptyQueriesPanic)
+{
+    Summary s;
+    EXPECT_DEATH(s.mean(), "empty");
+    EXPECT_DEATH(s.percentile(50), "empty");
+}
+
+TEST(Summary, PercentileRangeChecked)
+{
+    Summary s;
+    s.add(1.0);
+    EXPECT_DEATH(s.percentile(101), "range");
+}
+
+TEST(Summary, ClearResets)
+{
+    Summary s;
+    s.add(1.0);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(TimeSeries, RecordAndLast)
+{
+    TimeSeries ts("x");
+    ts.record(10, 1.0);
+    ts.record(20, 2.0);
+    EXPECT_EQ(ts.size(), 2u);
+    EXPECT_DOUBLE_EQ(ts.last(), 2.0);
+}
+
+TEST(TimeSeries, BackwardsTimePanics)
+{
+    TimeSeries ts;
+    ts.record(10, 1.0);
+    EXPECT_DEATH(ts.record(5, 2.0), "backwards");
+}
+
+TEST(TimeSeries, ResampleMeanAveragesBuckets)
+{
+    TimeSeries ts;
+    ts.record(0, 2.0);
+    ts.record(5, 4.0);
+    ts.record(15, 10.0);
+    auto points = ts.resampleMean(10, 0, 30);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_DOUBLE_EQ(points[0].value, 3.0);
+    EXPECT_DOUBLE_EQ(points[1].value, 10.0);
+    // Empty bucket holds the previous value.
+    EXPECT_DOUBLE_EQ(points[2].value, 10.0);
+}
+
+TEST(TimeSeries, ResampleSumFillsZeros)
+{
+    TimeSeries ts;
+    ts.record(1, 1.0);
+    ts.record(2, 1.0);
+    ts.record(25, 5.0);
+    auto points = ts.resampleSum(10, 0, 30);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_DOUBLE_EQ(points[0].value, 2.0);
+    EXPECT_DOUBLE_EQ(points[1].value, 0.0);
+    EXPECT_DOUBLE_EQ(points[2].value, 5.0);
+}
+
+TEST(TimeSeries, ResampleZeroBucketPanics)
+{
+    TimeSeries ts;
+    EXPECT_DEATH(ts.resampleSum(0, 0, 10), "bucket");
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);
+    h.add(0.0);
+    h.add(3.9);
+    h.add(10.0);
+    h.add(99.0);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_DOUBLE_EQ(h.binLow(1), 2.0);
+}
+
+TEST(Histogram, CumulativeFraction)
+{
+    Histogram h(0.0, 4.0, 4);
+    for (double v : {0.5, 1.5, 2.5, 3.5})
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(3), 1.0);
+}
+
+TEST(Histogram, InvalidConstructionPanics)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "lo");
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "bin");
+}
+
+TEST(Histogram, RenderSketches)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.newRow().cell("alpha").cell(std::int64_t(1));
+    t.newRow().cell("b").cell(2.5, 1);
+    std::string out = t.render();
+    EXPECT_NE(out.find("name   value"), std::string::npos);
+    EXPECT_NE(out.find("alpha  1"), std::string::npos);
+    EXPECT_NE(out.find("b      2.5"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "width");
+}
+
+TEST(Table, CellWithoutNewRowPanics)
+{
+    Table t({"a"});
+    EXPECT_DEATH(t.cell("x"), "newRow");
+}
+
+TEST(Table, CsvQuotesSpecials)
+{
+    Table t({"k", "v"});
+    t.newRow().cell("a,b").cell("say \"hi\"");
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, RowCountTracksFinishedRows)
+{
+    Table t({"a"});
+    t.addRow({"1"});
+    t.newRow().cell("2");
+    // The row under construction flushes on render.
+    std::string out = t.render();
+    EXPECT_NE(out.find('2'), std::string::npos);
+}

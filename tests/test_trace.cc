@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the control-plane trace log and AQUA-LIB's audit
+ * instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/testbed.hh"
+#include "trace/trace.hh"
+
+using namespace aqua;
+using namespace aqua::sim;
+using namespace aqua::trace;
+
+TEST(TraceLog, RecordsInOrder)
+{
+    TraceLog log;
+    json::Value a;
+    a["x"] = 1;
+    log.emit(10, "alpha", a);
+    log.emit(20, "beta", json::Value());
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.events()[0].category, "alpha");
+    EXPECT_EQ(log.events()[0].when, 10u);
+    EXPECT_EQ(log.events()[1].category, "beta");
+}
+
+TEST(TraceLog, CategoryQueries)
+{
+    TraceLog log;
+    log.emit(1, "a", json::Value());
+    log.emit(2, "b", json::Value());
+    log.emit(3, "a", json::Value());
+    EXPECT_EQ(log.countCategory("a"), 2u);
+    EXPECT_EQ(log.countCategory("c"), 0u);
+    EXPECT_EQ(log.ofCategory("a").size(), 2u);
+    EXPECT_EQ(log.ofCategory("a")[1].when, 3u);
+}
+
+TEST(TraceLog, JsonlRendersOneObjectPerLine)
+{
+    TraceLog log;
+    json::Value fields;
+    fields["bytes"] = 42;
+    log.emit(5, "lease", fields);
+    log.emit(6, "free", json::Value());
+    std::string jsonl = log.toJsonl();
+    // Two lines, each valid JSON.
+    std::size_t split = jsonl.find('\n');
+    ASSERT_NE(split, std::string::npos);
+    json::Value first = json::parseOrDie(jsonl.substr(0, split));
+    EXPECT_EQ(first.getInt("t_ns", -1), 5);
+    EXPECT_EQ(first.getString("event", ""), "lease");
+    EXPECT_EQ(first.getInt("bytes", -1), 42);
+}
+
+TEST(TraceLog, ClearEmpties)
+{
+    TraceLog log;
+    log.emit(1, "x", json::Value());
+    log.clear();
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(TraceAquaLib, AuditsAFullDonateAllocateReclaimCycle)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    TraceLog log;
+    core::AquaLib &producer = tb.makeAquaLib(
+        1, std::make_unique<core::LlmInformer>());
+    core::AquaLib &consumer = tb.makeAquaLib(0);
+    producer.setTraceLog(&log);
+    consumer.setTraceLog(&log);
+    tb.assign(0, 1);
+
+    // Donate.
+    core::EngineStats idle;
+    idle.now = secToTicks(1.0);
+    idle.freePoolBytes = std::uint64_t(40) << 30;
+    idle.reservedPoolBytes = std::uint64_t(45) << 30;
+    producer.confirmDonate(static_cast<std::uint64_t>(
+        -producer.informStats(idle)));
+    ASSERT_EQ(log.countCategory("lease"), 1u);
+    EXPECT_EQ(log.ofCategory("lease")[0].fields.getInt("gpu", -1), 1);
+
+    // Allocate on the lease.
+    auto id = consumer.allocateTensor(std::uint64_t(2) << 30);
+    ASSERT_TRUE(id);
+    auto allocs = log.ofCategory("allocate");
+    ASSERT_EQ(allocs.size(), 1u);
+    EXPECT_EQ(allocs[0].fields.getString("location", ""), "gpu1");
+    EXPECT_EQ(allocs[0].fields.getInt("gpu", -1), 0);
+
+    // Reclaim: request, migration, completion.
+    core::EngineStats burst;
+    burst.now = secToTicks(2.0);
+    burst.pendingRequests = 50;
+    burst.arrivalsSinceLast = 50;
+    producer.informStats(burst);
+    EXPECT_EQ(log.countCategory("reclaim_request"), 1u);
+    consumer.respond();
+    auto migrations = log.ofCategory("migrate");
+    ASSERT_EQ(migrations.size(), 1u);
+    EXPECT_EQ(migrations[0].fields.getString("from", ""), "gpu1");
+    EXPECT_EQ(migrations[0].fields.getString("to", ""), "dram");
+    burst.now = secToTicks(3.0);
+    producer.informStats(burst);
+    EXPECT_EQ(log.countCategory("reclaim_complete"), 1u);
+
+    consumer.freeTensor(*id);
+    EXPECT_EQ(log.countCategory("free"), 1u);
+
+    // The JSONL render is parseable line by line.
+    std::string jsonl = log.toJsonl();
+    std::size_t lines = 0;
+    std::size_t pos = 0;
+    while (pos < jsonl.size()) {
+        std::size_t end = jsonl.find('\n', pos);
+        json::ParseResult r =
+            json::parse(jsonl.substr(pos, end - pos));
+        EXPECT_TRUE(r.ok);
+        pos = end + 1;
+        ++lines;
+    }
+    EXPECT_EQ(lines, log.size());
+}
+
+TEST(TraceAquaLib, DetachStopsAuditing)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    TraceLog log;
+    core::AquaLib &consumer = tb.makeAquaLib(0);
+    consumer.setTraceLog(&log);
+    auto a = consumer.allocateTensor(1 << 20);
+    consumer.setTraceLog(nullptr);
+    auto b = consumer.allocateTensor(1 << 20);
+    EXPECT_EQ(log.countCategory("allocate"), 1u);
+    consumer.freeTensor(*a);
+    consumer.freeTensor(*b);
+}

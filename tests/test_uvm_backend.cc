@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the UVM-style fault-driven offload backend (§9 related
+ * work: CUDA unified virtual memory).
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/testbed.hh"
+#include "serve/uvm_backend.hh"
+
+using namespace aqua;
+using namespace aqua::sim;
+using namespace aqua::serve;
+
+TEST(UvmBackend, AllocatesFromHostDram)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    UvmBackend uvm(tb.server(), 0);
+    std::uint64_t before = tb.server().dram().freeBytes();
+    auto handle = uvm.alloc(std::uint64_t(1) << 30);
+    ASSERT_TRUE(handle);
+    EXPECT_EQ(before - tb.server().dram().freeBytes(),
+              std::uint64_t(1) << 30);
+    uvm.free(*handle);
+    EXPECT_EQ(tb.server().dram().freeBytes(), before);
+}
+
+TEST(UvmBackend, CountsFaultWavefronts)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    UvmBackendConfig cfg;
+    cfg.pageBytes = 2 * mib;
+    cfg.prefetchDegree = 8;
+    UvmBackend uvm(tb.server(), 0, cfg);
+    auto handle = uvm.alloc(64 * mib);
+    uvm.read(*handle, 64 * mib, 1); // 32 pages, 4 wavefronts
+    EXPECT_EQ(uvm.faultCount(), 4u);
+    uvm.write(*handle, 2 * mib, 1); // 1 page, 1 wavefront
+    EXPECT_EQ(uvm.faultCount(), 5u);
+    uvm.free(*handle);
+}
+
+TEST(UvmBackend, SlowerThanExplicitDramCopy)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    UvmBackend uvm(tb.server(), 0);
+    DramBackend &dram = tb.makeDramBackend(0);
+    std::uint64_t bytes = std::uint64_t(1) << 30;
+    auto hu = uvm.alloc(bytes);
+    auto hd = dram.alloc(bytes);
+    hw::TransferTiming tu = uvm.read(*hu, bytes, 1);
+    hw::TransferTiming td = dram.read(*hd, bytes, 1);
+    // Page-granular chunking plus fault stalls cost extra.
+    EXPECT_GT(tu.complete - tu.start, td.complete - td.start);
+    uvm.free(*hu);
+    dram.free(*hd);
+}
+
+TEST(UvmBackend, EarliestAndBounds)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    UvmBackend uvm(tb.server(), 0);
+    auto handle = uvm.alloc(4 * mib);
+    hw::TransferTiming t =
+        uvm.read(*handle, 4 * mib, 1, secToTicks(1.0));
+    EXPECT_GE(t.start, secToTicks(1.0));
+    EXPECT_DEATH(uvm.read(*handle, 8 * mib, 1), "beyond");
+    uvm.free(*handle);
+}
+
+TEST(UvmBackend, MiscContracts)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    UvmBackend uvm(tb.server(), 0);
+    EXPECT_FALSE(uvm.staged());
+    EXPECT_EQ(uvm.name(), "uvm");
+    EXPECT_EQ(uvm.respond(), tb.sim().now());
+    auto handle = uvm.alloc(1 << 20);
+    uvm.free(*handle);
+    EXPECT_DEATH(uvm.free(*handle), "unknown handle");
+    UvmBackendConfig bad;
+    bad.pageBytes = 0;
+    EXPECT_DEATH(UvmBackend(tb.server(), 0, bad), "positive");
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the workload generators (§6 workloads).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hh"
+#include "workload/generator.hh"
+
+using namespace aqua;
+using namespace aqua::sim;
+using namespace aqua::workload;
+
+TEST(ShareGpt, LengthsWithinClamp)
+{
+    ShareGptSampler s(Random(1));
+    for (int i = 0; i < 5000; ++i) {
+        std::uint32_t p = s.samplePromptTokens();
+        std::uint32_t o = s.sampleOutputTokens();
+        EXPECT_GE(p, 4u);
+        EXPECT_LE(p, 2048u);
+        EXPECT_GE(o, 8u);
+        EXPECT_LE(o, 2048u);
+    }
+}
+
+TEST(ShareGpt, OutputsLongerThanPromptsOnAverage)
+{
+    ShareGptSampler s(Random(2));
+    double prompts = 0.0;
+    double outputs = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        prompts += s.samplePromptTokens();
+        outputs += s.sampleOutputTokens();
+    }
+    EXPECT_GT(outputs, prompts);
+}
+
+TEST(TraceBuilder, InteractiveArrivalRate)
+{
+    TraceBuilder b(Random(3));
+    auto trace = b.interactive(5.0, 5000);
+    ASSERT_EQ(trace.size(), 5000u);
+    // Arrivals are sorted and Poisson at ~5/s.
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+    double span = ticksToSec(trace.back().arrival);
+    EXPECT_NEAR(5000.0 / span, 5.0, 0.3);
+}
+
+TEST(TraceBuilder, IdsAreUniqueAndDense)
+{
+    TraceBuilder b(Random(4));
+    auto t1 = b.interactive(1.0, 10);
+    auto t2 = b.codeSummary(1.0, 10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        EXPECT_EQ(t1[i].id, i);
+        EXPECT_EQ(t2[i].id, 10 + i);
+    }
+}
+
+TEST(TraceBuilder, SameSeedSameTrace)
+{
+    TraceBuilder a(Random(7));
+    TraceBuilder b(Random(7));
+    auto ta = a.interactive(2.0, 100);
+    auto tb = b.interactive(2.0, 100);
+    for (std::size_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(ta[i].arrival, tb[i].arrival);
+        EXPECT_EQ(ta[i].promptTokens, tb[i].promptTokens);
+        EXPECT_EQ(ta[i].maxNewTokens, tb[i].maxNewTokens);
+    }
+}
+
+TEST(TraceBuilder, CodeSummaryShape)
+{
+    TraceBuilder b(Random(5));
+    for (const Request &r : b.codeSummary(2.0, 500)) {
+        EXPECT_GE(r.promptTokens, 200u);
+        EXPECT_LE(r.promptTokens, 600u);
+        EXPECT_GE(r.maxNewTokens, 256u);
+        EXPECT_LE(r.maxNewTokens, 512u);
+        EXPECT_EQ(r.adapter, model::noLora);
+    }
+}
+
+TEST(TraceBuilder, LoraAssignsAdaptersInRange)
+{
+    TraceBuilder b(Random(6));
+    std::vector<bool> seen(30, false);
+    for (const Request &r : b.lora(2.0, 2000, 30)) {
+        ASSERT_LT(r.adapter, 30u);
+        seen[r.adapter] = true;
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s); // all 30 adapters get traffic
+}
+
+TEST(TraceBuilder, LongPromptDefaults)
+{
+    TraceBuilder b(Random(8));
+    Request r = b.longPrompt();
+    EXPECT_EQ(r.promptTokens, 8000u); // GPT-4's context limit (§6)
+    EXPECT_EQ(r.maxNewTokens, 2000u);
+    EXPECT_EQ(r.arrival, 0u);
+}
+
+TEST(TraceBuilder, ChatbotFirstTurn)
+{
+    TraceBuilder b(Random(9));
+    auto burst = b.chatbotFirstTurn(25);
+    ASSERT_EQ(burst.size(), 25u);
+    std::vector<bool> users(25, false);
+    for (const Request &r : burst) {
+        EXPECT_EQ(r.turn, 0u);
+        EXPECT_LE(ticksToSec(r.arrival), 2.0);
+        users[r.userId] = true;
+    }
+    for (bool u : users)
+        EXPECT_TRUE(u);
+    for (std::size_t i = 1; i < burst.size(); ++i)
+        EXPECT_GE(burst[i].arrival, burst[i - 1].arrival);
+}
+
+TEST(TraceBuilder, ChatbotFollowUpCarriesHistory)
+{
+    TraceBuilder b(Random(10));
+    Request r = b.chatbotFollowUp(3, 2, secToTicks(5.0), 1200);
+    EXPECT_EQ(r.userId, 3u);
+    EXPECT_EQ(r.turn, 2u);
+    EXPECT_GE(r.promptTokens, 1200u + 200u);
+    EXPECT_GT(r.arrival, secToTicks(5.0));
+}
+
+TEST(RequestMetrics, DerivedTimes)
+{
+    RequestMetrics m;
+    m.arrival = secToTicks(1.0);
+    m.firstToken = secToTicks(3.5);
+    m.finish = secToTicks(11.0);
+    EXPECT_TRUE(m.started());
+    EXPECT_TRUE(m.finished());
+    EXPECT_DOUBLE_EQ(m.ttftSec(), 2.5);
+    EXPECT_DOUBLE_EQ(m.rctSec(), 10.0);
+}
