@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_bursts.cc" "bench/CMakeFiles/abl_bursts.dir/abl_bursts.cc.o" "gcc" "bench/CMakeFiles/abl_bursts.dir/abl_bursts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/aqua_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/serve/CMakeFiles/aqua_serve.dir/DependInfo.cmake"
+  "/root/repo/build/src/aqua/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aqua_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/aqua_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/placer/CMakeFiles/aqua_placer.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/aqua_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aqua_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/aqua_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqua_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aqua_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aqua_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bursts.dir/abl_bursts.cc.o"
+  "CMakeFiles/abl_bursts.dir/abl_bursts.cc.o.d"
+  "abl_bursts"
+  "abl_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

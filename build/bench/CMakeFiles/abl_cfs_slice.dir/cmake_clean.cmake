@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cfs_slice.dir/abl_cfs_slice.cc.o"
+  "CMakeFiles/abl_cfs_slice.dir/abl_cfs_slice.cc.o.d"
+  "abl_cfs_slice"
+  "abl_cfs_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cfs_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

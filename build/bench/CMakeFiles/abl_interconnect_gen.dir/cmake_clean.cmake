@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_interconnect_gen.dir/abl_interconnect_gen.cc.o"
+  "CMakeFiles/abl_interconnect_gen.dir/abl_interconnect_gen.cc.o.d"
+  "abl_interconnect_gen"
+  "abl_interconnect_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interconnect_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_offload_paths.dir/abl_offload_paths.cc.o"
+  "CMakeFiles/abl_offload_paths.dir/abl_offload_paths.cc.o.d"
+  "abl_offload_paths"
+  "abl_offload_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_offload_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

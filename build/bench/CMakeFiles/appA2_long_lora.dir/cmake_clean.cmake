@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appA2_long_lora.dir/appA2_long_lora.cc.o"
+  "CMakeFiles/appA2_long_lora.dir/appA2_long_lora.cc.o.d"
+  "appA2_long_lora"
+  "appA2_long_lora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appA2_long_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

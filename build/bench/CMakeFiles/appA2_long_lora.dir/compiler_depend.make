@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for appA2_long_lora.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_cluster.dir/e2e_cluster.cc.o"
+  "CMakeFiles/e2e_cluster.dir/e2e_cluster.cc.o.d"
+  "e2e_cluster"
+  "e2e_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

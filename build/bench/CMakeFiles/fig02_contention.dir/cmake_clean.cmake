@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_contention.dir/fig02_contention.cc.o"
+  "CMakeFiles/fig02_contention.dir/fig02_contention.cc.o.d"
+  "fig02_contention"
+  "fig02_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

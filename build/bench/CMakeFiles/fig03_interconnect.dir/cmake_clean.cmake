@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_interconnect.dir/fig03_interconnect.cc.o"
+  "CMakeFiles/fig03_interconnect.dir/fig03_interconnect.cc.o.d"
+  "fig03_interconnect"
+  "fig03_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_placement.dir/fig04_placement.cc.o"
+  "CMakeFiles/fig04_placement.dir/fig04_placement.cc.o.d"
+  "fig04_placement"
+  "fig04_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

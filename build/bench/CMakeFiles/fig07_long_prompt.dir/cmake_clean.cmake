@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_long_prompt.dir/fig07_long_prompt.cc.o"
+  "CMakeFiles/fig07_long_prompt.dir/fig07_long_prompt.cc.o.d"
+  "fig07_long_prompt"
+  "fig07_long_prompt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_long_prompt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_lora_rct.dir/fig08_lora_rct.cc.o"
+  "CMakeFiles/fig08_lora_rct.dir/fig08_lora_rct.cc.o.d"
+  "fig08_lora_rct"
+  "fig08_lora_rct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_lora_rct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

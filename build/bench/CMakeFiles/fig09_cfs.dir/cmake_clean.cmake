@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cfs.dir/fig09_cfs.cc.o"
+  "CMakeFiles/fig09_cfs.dir/fig09_cfs.cc.o.d"
+  "fig09_cfs"
+  "fig09_cfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_elastic.dir/fig10_elastic.cc.o"
+  "CMakeFiles/fig10_elastic.dir/fig10_elastic.cc.o.d"
+  "fig10_elastic"
+  "fig10_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

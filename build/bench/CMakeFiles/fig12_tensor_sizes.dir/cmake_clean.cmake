@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tensor_sizes.dir/fig12_tensor_sizes.cc.o"
+  "CMakeFiles/fig12_tensor_sizes.dir/fig12_tensor_sizes.cc.o.d"
+  "fig12_tensor_sizes"
+  "fig12_tensor_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tensor_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

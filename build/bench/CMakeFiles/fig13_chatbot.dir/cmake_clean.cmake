@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_chatbot.dir/fig13_chatbot.cc.o"
+  "CMakeFiles/fig13_chatbot.dir/fig13_chatbot.cc.o.d"
+  "fig13_chatbot"
+  "fig13_chatbot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_chatbot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

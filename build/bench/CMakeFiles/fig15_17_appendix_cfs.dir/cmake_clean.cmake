@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_17_appendix_cfs.dir/fig15_17_appendix_cfs.cc.o"
+  "CMakeFiles/fig15_17_appendix_cfs.dir/fig15_17_appendix_cfs.cc.o.d"
+  "fig15_17_appendix_cfs"
+  "fig15_17_appendix_cfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_17_appendix_cfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_17_appendix_cfs.
+# This may be replaced when dependencies are built.

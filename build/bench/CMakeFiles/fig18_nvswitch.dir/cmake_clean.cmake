@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_nvswitch.dir/fig18_nvswitch.cc.o"
+  "CMakeFiles/fig18_nvswitch.dir/fig18_nvswitch.cc.o.d"
+  "fig18_nvswitch"
+  "fig18_nvswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_nvswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_control.dir/micro_control.cc.o"
+  "CMakeFiles/micro_control.dir/micro_control.cc.o.d"
+  "micro_control"
+  "micro_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_deepspeed.dir/rw_deepspeed.cc.o"
+  "CMakeFiles/rw_deepspeed.dir/rw_deepspeed.cc.o.d"
+  "rw_deepspeed"
+  "rw_deepspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_deepspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

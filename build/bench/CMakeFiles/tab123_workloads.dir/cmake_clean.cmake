@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab123_workloads.dir/tab123_workloads.cc.o"
+  "CMakeFiles/tab123_workloads.dir/tab123_workloads.cc.o.d"
+  "tab123_workloads"
+  "tab123_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab123_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fair_scheduling.dir/fair_scheduling.cpp.o"
+  "CMakeFiles/fair_scheduling.dir/fair_scheduling.cpp.o.d"
+  "fair_scheduling"
+  "fair_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fair_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

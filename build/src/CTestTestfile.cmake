@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("json")
+subdirs("stats")
+subdirs("trace")
+subdirs("mem")
+subdirs("hw")
+subdirs("model")
+subdirs("workload")
+subdirs("serve")
+subdirs("aqua")
+subdirs("opt")
+subdirs("placer")
+subdirs("exp")

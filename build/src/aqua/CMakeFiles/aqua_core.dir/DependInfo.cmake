@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aqua/aqua_lib.cc" "src/aqua/CMakeFiles/aqua_core.dir/aqua_lib.cc.o" "gcc" "src/aqua/CMakeFiles/aqua_core.dir/aqua_lib.cc.o.d"
+  "/root/repo/src/aqua/aqua_tensor.cc" "src/aqua/CMakeFiles/aqua_core.dir/aqua_tensor.cc.o" "gcc" "src/aqua/CMakeFiles/aqua_core.dir/aqua_tensor.cc.o.d"
+  "/root/repo/src/aqua/coordinator.cc" "src/aqua/CMakeFiles/aqua_core.dir/coordinator.cc.o" "gcc" "src/aqua/CMakeFiles/aqua_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/aqua/informer.cc" "src/aqua/CMakeFiles/aqua_core.dir/informer.cc.o" "gcc" "src/aqua/CMakeFiles/aqua_core.dir/informer.cc.o.d"
+  "/root/repo/src/aqua/rest.cc" "src/aqua/CMakeFiles/aqua_core.dir/rest.cc.o" "gcc" "src/aqua/CMakeFiles/aqua_core.dir/rest.cc.o.d"
+  "/root/repo/src/aqua/staging.cc" "src/aqua/CMakeFiles/aqua_core.dir/staging.cc.o" "gcc" "src/aqua/CMakeFiles/aqua_core.dir/staging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aqua_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aqua_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/aqua_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aqua_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

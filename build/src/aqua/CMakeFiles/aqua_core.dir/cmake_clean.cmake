@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_core.dir/aqua_lib.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua_lib.cc.o.d"
+  "CMakeFiles/aqua_core.dir/aqua_tensor.cc.o"
+  "CMakeFiles/aqua_core.dir/aqua_tensor.cc.o.d"
+  "CMakeFiles/aqua_core.dir/coordinator.cc.o"
+  "CMakeFiles/aqua_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/aqua_core.dir/informer.cc.o"
+  "CMakeFiles/aqua_core.dir/informer.cc.o.d"
+  "CMakeFiles/aqua_core.dir/rest.cc.o"
+  "CMakeFiles/aqua_core.dir/rest.cc.o.d"
+  "CMakeFiles/aqua_core.dir/staging.cc.o"
+  "CMakeFiles/aqua_core.dir/staging.cc.o.d"
+  "libaqua_core.a"
+  "libaqua_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

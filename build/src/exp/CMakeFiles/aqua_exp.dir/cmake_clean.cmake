@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_exp.dir/config.cc.o"
+  "CMakeFiles/aqua_exp.dir/config.cc.o.d"
+  "CMakeFiles/aqua_exp.dir/experiments.cc.o"
+  "CMakeFiles/aqua_exp.dir/experiments.cc.o.d"
+  "CMakeFiles/aqua_exp.dir/testbed.cc.o"
+  "CMakeFiles/aqua_exp.dir/testbed.cc.o.d"
+  "libaqua_exp.a"
+  "libaqua_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_hw.dir/gpu.cc.o"
+  "CMakeFiles/aqua_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/aqua_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/aqua_hw.dir/gpu_spec.cc.o.d"
+  "CMakeFiles/aqua_hw.dir/link.cc.o"
+  "CMakeFiles/aqua_hw.dir/link.cc.o.d"
+  "CMakeFiles/aqua_hw.dir/server.cc.o"
+  "CMakeFiles/aqua_hw.dir/server.cc.o.d"
+  "CMakeFiles/aqua_hw.dir/topology.cc.o"
+  "CMakeFiles/aqua_hw.dir/topology.cc.o.d"
+  "libaqua_hw.a"
+  "libaqua_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

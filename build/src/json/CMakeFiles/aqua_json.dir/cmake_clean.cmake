@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_json.dir/json.cc.o"
+  "CMakeFiles/aqua_json.dir/json.cc.o.d"
+  "libaqua_json.a"
+  "libaqua_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_mem.dir/block_allocator.cc.o"
+  "CMakeFiles/aqua_mem.dir/block_allocator.cc.o.d"
+  "CMakeFiles/aqua_mem.dir/region_allocator.cc.o"
+  "CMakeFiles/aqua_mem.dir/region_allocator.cc.o.d"
+  "libaqua_mem.a"
+  "libaqua_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/lora.cc" "src/model/CMakeFiles/aqua_model.dir/lora.cc.o" "gcc" "src/model/CMakeFiles/aqua_model.dir/lora.cc.o.d"
+  "/root/repo/src/model/model_spec.cc" "src/model/CMakeFiles/aqua_model.dir/model_spec.cc.o" "gcc" "src/model/CMakeFiles/aqua_model.dir/model_spec.cc.o.d"
+  "/root/repo/src/model/perf_model.cc" "src/model/CMakeFiles/aqua_model.dir/perf_model.cc.o" "gcc" "src/model/CMakeFiles/aqua_model.dir/perf_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aqua_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aqua_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_model.dir/lora.cc.o"
+  "CMakeFiles/aqua_model.dir/lora.cc.o.d"
+  "CMakeFiles/aqua_model.dir/model_spec.cc.o"
+  "CMakeFiles/aqua_model.dir/model_spec.cc.o.d"
+  "CMakeFiles/aqua_model.dir/perf_model.cc.o"
+  "CMakeFiles/aqua_model.dir/perf_model.cc.o.d"
+  "libaqua_model.a"
+  "libaqua_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_opt.dir/lp.cc.o"
+  "CMakeFiles/aqua_opt.dir/lp.cc.o.d"
+  "CMakeFiles/aqua_opt.dir/milp.cc.o"
+  "CMakeFiles/aqua_opt.dir/milp.cc.o.d"
+  "libaqua_opt.a"
+  "libaqua_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placer/placer.cc" "src/placer/CMakeFiles/aqua_placer.dir/placer.cc.o" "gcc" "src/placer/CMakeFiles/aqua_placer.dir/placer.cc.o.d"
+  "/root/repo/src/placer/stable_matching.cc" "src/placer/CMakeFiles/aqua_placer.dir/stable_matching.cc.o" "gcc" "src/placer/CMakeFiles/aqua_placer.dir/stable_matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/aqua_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_placer.dir/placer.cc.o"
+  "CMakeFiles/aqua_placer.dir/placer.cc.o.d"
+  "CMakeFiles/aqua_placer.dir/stable_matching.cc.o"
+  "CMakeFiles/aqua_placer.dir/stable_matching.cc.o.d"
+  "libaqua_placer.a"
+  "libaqua_placer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

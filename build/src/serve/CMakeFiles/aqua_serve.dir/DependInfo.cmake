@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/batch_engine.cc" "src/serve/CMakeFiles/aqua_serve.dir/batch_engine.cc.o" "gcc" "src/serve/CMakeFiles/aqua_serve.dir/batch_engine.cc.o.d"
+  "/root/repo/src/serve/flexgen_engine.cc" "src/serve/CMakeFiles/aqua_serve.dir/flexgen_engine.cc.o" "gcc" "src/serve/CMakeFiles/aqua_serve.dir/flexgen_engine.cc.o.d"
+  "/root/repo/src/serve/kv_cache.cc" "src/serve/CMakeFiles/aqua_serve.dir/kv_cache.cc.o" "gcc" "src/serve/CMakeFiles/aqua_serve.dir/kv_cache.cc.o.d"
+  "/root/repo/src/serve/lora_cache.cc" "src/serve/CMakeFiles/aqua_serve.dir/lora_cache.cc.o" "gcc" "src/serve/CMakeFiles/aqua_serve.dir/lora_cache.cc.o.d"
+  "/root/repo/src/serve/offload_backend.cc" "src/serve/CMakeFiles/aqua_serve.dir/offload_backend.cc.o" "gcc" "src/serve/CMakeFiles/aqua_serve.dir/offload_backend.cc.o.d"
+  "/root/repo/src/serve/scheduler.cc" "src/serve/CMakeFiles/aqua_serve.dir/scheduler.cc.o" "gcc" "src/serve/CMakeFiles/aqua_serve.dir/scheduler.cc.o.d"
+  "/root/repo/src/serve/uvm_backend.cc" "src/serve/CMakeFiles/aqua_serve.dir/uvm_backend.cc.o" "gcc" "src/serve/CMakeFiles/aqua_serve.dir/uvm_backend.cc.o.d"
+  "/root/repo/src/serve/vllm_engine.cc" "src/serve/CMakeFiles/aqua_serve.dir/vllm_engine.cc.o" "gcc" "src/serve/CMakeFiles/aqua_serve.dir/vllm_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aqua/CMakeFiles/aqua_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/aqua_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aqua_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqua_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aqua_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aqua_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aqua_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/aqua_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/aqua_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

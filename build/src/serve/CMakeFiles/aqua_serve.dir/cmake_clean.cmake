@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_serve.dir/batch_engine.cc.o"
+  "CMakeFiles/aqua_serve.dir/batch_engine.cc.o.d"
+  "CMakeFiles/aqua_serve.dir/flexgen_engine.cc.o"
+  "CMakeFiles/aqua_serve.dir/flexgen_engine.cc.o.d"
+  "CMakeFiles/aqua_serve.dir/kv_cache.cc.o"
+  "CMakeFiles/aqua_serve.dir/kv_cache.cc.o.d"
+  "CMakeFiles/aqua_serve.dir/lora_cache.cc.o"
+  "CMakeFiles/aqua_serve.dir/lora_cache.cc.o.d"
+  "CMakeFiles/aqua_serve.dir/offload_backend.cc.o"
+  "CMakeFiles/aqua_serve.dir/offload_backend.cc.o.d"
+  "CMakeFiles/aqua_serve.dir/scheduler.cc.o"
+  "CMakeFiles/aqua_serve.dir/scheduler.cc.o.d"
+  "CMakeFiles/aqua_serve.dir/uvm_backend.cc.o"
+  "CMakeFiles/aqua_serve.dir/uvm_backend.cc.o.d"
+  "CMakeFiles/aqua_serve.dir/vllm_engine.cc.o"
+  "CMakeFiles/aqua_serve.dir/vllm_engine.cc.o.d"
+  "libaqua_serve.a"
+  "libaqua_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

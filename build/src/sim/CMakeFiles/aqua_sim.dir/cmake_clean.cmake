@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_sim.dir/event_queue.cc.o"
+  "CMakeFiles/aqua_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/aqua_sim.dir/logging.cc.o"
+  "CMakeFiles/aqua_sim.dir/logging.cc.o.d"
+  "CMakeFiles/aqua_sim.dir/random.cc.o"
+  "CMakeFiles/aqua_sim.dir/random.cc.o.d"
+  "CMakeFiles/aqua_sim.dir/ticks.cc.o"
+  "CMakeFiles/aqua_sim.dir/ticks.cc.o.d"
+  "libaqua_sim.a"
+  "libaqua_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_stats.dir/histogram.cc.o"
+  "CMakeFiles/aqua_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/aqua_stats.dir/summary.cc.o"
+  "CMakeFiles/aqua_stats.dir/summary.cc.o.d"
+  "CMakeFiles/aqua_stats.dir/table.cc.o"
+  "CMakeFiles/aqua_stats.dir/table.cc.o.d"
+  "CMakeFiles/aqua_stats.dir/timeseries.cc.o"
+  "CMakeFiles/aqua_stats.dir/timeseries.cc.o.d"
+  "libaqua_stats.a"
+  "libaqua_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_trace.dir/trace.cc.o"
+  "CMakeFiles/aqua_trace.dir/trace.cc.o.d"
+  "libaqua_trace.a"
+  "libaqua_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

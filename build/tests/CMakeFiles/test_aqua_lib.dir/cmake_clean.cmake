@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aqua_lib.dir/test_aqua_lib.cc.o"
+  "CMakeFiles/test_aqua_lib.dir/test_aqua_lib.cc.o.d"
+  "test_aqua_lib"
+  "test_aqua_lib.pdb"
+  "test_aqua_lib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aqua_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

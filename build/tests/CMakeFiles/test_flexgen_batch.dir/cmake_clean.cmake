@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flexgen_batch.dir/test_flexgen_batch.cc.o"
+  "CMakeFiles/test_flexgen_batch.dir/test_flexgen_batch.cc.o.d"
+  "test_flexgen_batch"
+  "test_flexgen_batch.pdb"
+  "test_flexgen_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flexgen_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_informer.dir/test_informer.cc.o"
+  "CMakeFiles/test_informer.dir/test_informer.cc.o.d"
+  "test_informer"
+  "test_informer.pdb"
+  "test_informer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_informer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lora_cache.dir/test_lora_cache.cc.o"
+  "CMakeFiles/test_lora_cache.dir/test_lora_cache.cc.o.d"
+  "test_lora_cache"
+  "test_lora_cache.pdb"
+  "test_lora_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lora_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offload_backend.dir/test_offload_backend.cc.o"
+  "CMakeFiles/test_offload_backend.dir/test_offload_backend.cc.o.d"
+  "test_offload_backend"
+  "test_offload_backend.pdb"
+  "test_offload_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offload_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

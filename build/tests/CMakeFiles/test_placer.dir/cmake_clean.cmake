@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_placer.dir/test_placer.cc.o"
+  "CMakeFiles/test_placer.dir/test_placer.cc.o.d"
+  "test_placer"
+  "test_placer.pdb"
+  "test_placer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_placer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rest.dir/test_rest.cc.o"
+  "CMakeFiles/test_rest.dir/test_rest.cc.o.d"
+  "test_rest"
+  "test_rest.pdb"
+  "test_rest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

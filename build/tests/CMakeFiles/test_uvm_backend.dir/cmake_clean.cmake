@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uvm_backend.dir/test_uvm_backend.cc.o"
+  "CMakeFiles/test_uvm_backend.dir/test_uvm_backend.cc.o.d"
+  "test_uvm_backend"
+  "test_uvm_backend.pdb"
+  "test_uvm_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uvm_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

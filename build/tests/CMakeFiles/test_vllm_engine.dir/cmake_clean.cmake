@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vllm_engine.dir/test_vllm_engine.cc.o"
+  "CMakeFiles/test_vllm_engine.dir/test_vllm_engine.cc.o.d"
+  "test_vllm_engine"
+  "test_vllm_engine.pdb"
+  "test_vllm_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vllm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_allocators[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_kv_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_lora_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_coordinator[1]_include.cmake")
+include("/root/repo/build/tests/test_rest[1]_include.cmake")
+include("/root/repo/build/tests/test_aqua_lib[1]_include.cmake")
+include("/root/repo/build/tests/test_informer[1]_include.cmake")
+include("/root/repo/build/tests/test_offload_backend[1]_include.cmake")
+include("/root/repo/build/tests/test_vllm_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_flexgen_batch[1]_include.cmake")
+include("/root/repo/build/tests/test_lp[1]_include.cmake")
+include("/root/repo/build/tests/test_milp[1]_include.cmake")
+include("/root/repo/build/tests/test_placer[1]_include.cmake")
+include("/root/repo/build/tests/test_experiments[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_uvm_backend[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqua_sim_cli.dir/aqua_sim.cc.o"
+  "CMakeFiles/aqua_sim_cli.dir/aqua_sim.cc.o.d"
+  "aqua_sim"
+  "aqua_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqua_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
