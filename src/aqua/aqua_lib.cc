@@ -14,7 +14,7 @@ AquaLib::AquaLib(hw::Server &server, hw::GpuId gpu,
                  std::unique_ptr<Informer> informer)
     : server(server), myGpu(gpu), service(service), cfg(config),
       policy(std::move(informer)),
-      staging(server.gpu(gpu).spec())
+      engine(server, gpu, config.staging)
 {
 }
 
@@ -26,8 +26,6 @@ AquaLib::~AquaLib()
         if (t.dramRegion)
             server.dram().allocator().free(*t.dramRegion);
     }
-    if (stagingRegion)
-        server.gpu(myGpu).hbm().free(*stagingRegion);
     if (leaseRegion)
         server.gpu(myGpu).hbm().free(*leaseRegion);
 }
@@ -135,17 +133,15 @@ hw::TransferTiming
 AquaLib::transferOut(const TensorRec &t, std::uint64_t bytes,
                      std::uint64_t nChunks, Tick earliest)
 {
-    hw::Gpu &gpu = server.gpu(myGpu);
     hw::Topology &topo = server.topology();
     hw::GpuId dst = t.location.placement == Placement::PeerGpu
                         ? t.location.gpu : hw::hostDramId;
     if (cfg.useStaging && nChunks > 1) {
-        if (!stagingRegion)
-            stagingRegion = gpu.hbm().allocate(cfg.stagingBytes);
-        // Gather the scattered chunks on-device, then one big copy.
-        Tick gathered = gpu.submitComputeAfter(
-            earliest, staging.gatherTime(bytes));
-        return topo.copy(myGpu, dst, bytes, {}, gathered);
+        // Coalesce the scattered chunks into staged, double-buffered
+        // wire transfers.
+        return engine.transferOut(
+            dst, StagingEngine::uniformChunks(bytes, nChunks),
+            earliest);
     }
     if (nChunks <= 1)
         return topo.copy(myGpu, dst, bytes, {}, earliest);
@@ -159,19 +155,13 @@ hw::TransferTiming
 AquaLib::transferIn(const TensorRec &t, std::uint64_t bytes,
                     std::uint64_t nChunks, Tick earliest)
 {
-    hw::Gpu &gpu = server.gpu(myGpu);
     hw::Topology &topo = server.topology();
     hw::GpuId src = t.location.placement == Placement::PeerGpu
                         ? t.location.gpu : hw::hostDramId;
     if (cfg.useStaging && nChunks > 1) {
-        if (!stagingRegion)
-            stagingRegion = gpu.hbm().allocate(cfg.stagingBytes);
-        hw::TransferTiming copy = topo.copy(src, myGpu, bytes, {},
-                                            earliest);
-        // Scatter the staged payload into place after it lands.
-        Tick done = gpu.submitComputeAfter(copy.complete,
-                                           staging.scatterTime(bytes));
-        return hw::TransferTiming{copy.start, done};
+        return engine.transferIn(
+            src, StagingEngine::uniformChunks(bytes, nChunks),
+            earliest);
     }
     if (nChunks <= 1)
         return topo.copy(src, myGpu, bytes, {}, earliest);

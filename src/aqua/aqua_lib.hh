@@ -47,15 +47,15 @@ struct AquaLibConfig
 {
     /** Modelled latency of one coordinator REST round trip. */
     aqua::sim::Tick restLatency = 200 * aqua::sim::nsPerUs;
-    /** Staging buffer carved from local HBM for gather/scatter. */
-    std::uint64_t stagingBytes = std::uint64_t(512) << 20;
     /**
-     * Whether to gather scattered chunks into one large transfer
+     * Whether to gather scattered chunks into large transfers
      * (AQUA's custom kernels) or naively issue per-chunk copies.
      * Disabling this reproduces the paper's negative result that
      * naive NVLink offloads beat PCIe only marginally (§2.3).
      */
     bool useStaging = true;
+    /** Coalescer/double-buffering tunables of the staging engine. */
+    StagingEngineConfig staging;
 };
 
 /** Counters exposed for benches and tests. */
@@ -94,6 +94,16 @@ class AquaLib
     hw::GpuId gpuId() const { return myGpu; }
     const AquaLibStats &stats() const { return counters; }
     const AquaLibConfig &config() const { return cfg; }
+
+    /**
+     * Per-transfer accounting of the staging engine: coalesced
+     * counts, effective bandwidth and queue latency of every wire
+     * transfer issued through staged reads/writes.
+     */
+    const StagingTransferStats &stagingStats() const
+    {
+        return engine.stats();
+    }
 
     /**
      * Attach a control-plane audit log; every allocation, lease,
@@ -226,9 +236,8 @@ class AquaLib
     CoordinatorRestService &service;
     AquaLibConfig cfg;
     std::unique_ptr<Informer> policy;
-    StagingModel staging;
-    /** Staging buffer region on local HBM (allocated lazily). */
-    std::optional<aqua::mem::Region> stagingRegion;
+    /** Coalescing/double-buffering transfer engine. */
+    StagingEngine engine;
 
     std::map<TensorId, TensorRec> tensors;
 

@@ -24,9 +24,10 @@ Testbed::makeAquaLib(hw::GpuId gpu,
 }
 
 serve::DramBackend &
-Testbed::makeDramBackend(hw::GpuId gpu)
+Testbed::makeDramBackend(hw::GpuId gpu, serve::DramBackendConfig config)
 {
-    auto backend = std::make_unique<serve::DramBackend>(*srv, gpu);
+    auto backend =
+        std::make_unique<serve::DramBackend>(*srv, gpu, config);
     serve::DramBackend &ref = *backend;
     backends.push_back(std::move(backend));
     return ref;

@@ -56,7 +56,9 @@ class Testbed
                 core::AquaLibConfig config = {});
 
     /** Create (and own) a DRAM offload backend for a GPU. */
-    serve::DramBackend &makeDramBackend(hw::GpuId gpu);
+    serve::DramBackend &
+    makeDramBackend(hw::GpuId gpu,
+                    serve::DramBackendConfig config = {});
 
     /** Create (and own) an AQUA offload backend over a library. */
     serve::AquaBackend &makeAquaBackend(core::AquaLib &lib);

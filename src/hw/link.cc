@@ -1,5 +1,6 @@
 #include "hw/link.hh"
 
+#include <cmath>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -7,6 +8,57 @@
 namespace aqua::hw {
 
 using namespace aqua::sim;
+
+namespace {
+
+/**
+ * Calibration anchors of the bandwidth ramp: fraction of peak reached
+ * at log2(bytes / rampBytes). Interpolation between anchors is linear
+ * in the log2 size, which matches the S-shape of the paper's Fig. 3a
+ * measurement when plotted on a log-size axis.
+ */
+struct Anchor
+{
+    double log2Ratio;
+    double fraction;
+};
+
+constexpr Anchor rampAnchors[] = {
+    {-12.0, Link::smallTransferFraction}, // ramp/4096: floor
+    {-6.0, 0.015},                        // ramp/64
+    {-3.0, 0.11},                         // ramp/8
+    {-0.5849625007211562, 0.4},           // 2*ramp/3: Fig. 3a 100 GB/s
+    {0.0, 0.5},                           // ramp: half peak
+    {3.0, 0.9},                           // 8*ramp
+    {6.0, 1.0},                           // 64*ramp: saturation
+};
+
+constexpr std::size_t numAnchors =
+    sizeof(rampAnchors) / sizeof(rampAnchors[0]);
+
+/** Fraction of peak achieved at log2(bytes/ramp) == @p x. */
+double
+rampFraction(double x)
+{
+    if (x <= rampAnchors[0].log2Ratio)
+        return rampAnchors[0].fraction;
+    for (std::size_t i = 1; i < numAnchors; ++i) {
+        const Anchor &lo = rampAnchors[i - 1];
+        const Anchor &hi = rampAnchors[i];
+        if (x <= hi.log2Ratio) {
+            double t = (x - lo.log2Ratio) /
+                       (hi.log2Ratio - lo.log2Ratio);
+            // Geometric interpolation: constant per-doubling growth
+            // within a segment, below 2x everywhere, so transfer
+            // *time* stays monotone in size as well.
+            return lo.fraction *
+                   std::pow(hi.fraction / lo.fraction, t);
+        }
+    }
+    return 1.0;
+}
+
+} // anonymous namespace
 
 Link::Link(std::string name, double peakBandwidth,
            std::uint64_t rampBytes, Tick latency)
@@ -22,8 +74,11 @@ Link::effectiveBandwidth(std::uint64_t bytes) const
 {
     if (bytes == 0)
         return 0.0;
-    double b = static_cast<double>(bytes);
-    return peak * b / (b + static_cast<double>(ramp));
+    if (ramp == 0)
+        return peak; // ideal link: size-independent
+    double x = std::log2(static_cast<double>(bytes) /
+                         static_cast<double>(ramp));
+    return peak * rampFraction(x);
 }
 
 Tick
@@ -32,7 +87,7 @@ Link::transferTime(std::uint64_t bytes) const
     if (bytes == 0)
         return lat;
     double seconds =
-        (static_cast<double>(bytes) + static_cast<double>(ramp)) / peak;
+        static_cast<double>(bytes) / effectiveBandwidth(bytes);
     return lat + secToTicks(seconds);
 }
 

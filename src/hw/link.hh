@@ -5,15 +5,29 @@
  * Fig. 3a of the paper shows that NVLink bandwidth between two A100s is
  * "very low for smaller buffer sizes and increases only at higher
  * buffer sizes, e.g. it reaches 100 GB/s at 2 MB" with a 250 GB/s peak.
- * We model transfer time as
+ * We model the effective bandwidth as a piecewise ramp in
+ * log2(transfer size) — geometrically interpolated between
+ * calibration anchors expressed relative to the link's half-peak
+ * ("ramp") size:
  *
- *     time(bytes) = latency + (bytes + ramp) / peak
+ *     size          fraction of peak
+ *     ramp/4096     0.002   (small-transfer floor below this)
+ *     ramp/64       0.015
+ *     ramp/8        0.11
+ *     2*ramp/3      0.4     (Fig. 3a: 100 GB/s at 2 MB, ramp = 3 MiB)
+ *     ramp          0.5     (definition of the ramp size)
+ *     8*ramp        0.9
+ *     64*ramp       1.0     (saturation: peak at and above this)
  *
- * which yields an effective bandwidth of peak * bytes / (bytes + ramp):
- * half the peak at the ramp size, asymptotically approaching the peak.
- * This single curve reproduces both the small-transfer penalty that
- * motivates AQUA's scatter/gather staging and the large-transfer
- * advantage of NVLink over PCIe.
+ * The curve is monotonic non-decreasing in transfer size, pinned to the
+ * paper's measured 100 GB/s @ 2 MB point, and reproduces both the
+ * small-transfer penalty that motivates AQUA's scatter/gather staging
+ * and the large-transfer advantage of NVLink over PCIe. A ramp of zero
+ * degenerates to an ideal link that runs at peak for every size.
+ *
+ * Transfer time is latency + bytes / effectiveBandwidth(bytes), so the
+ * curve is the single source of truth for every transfer the simulator
+ * costs.
  */
 
 #ifndef AQUA_HW_LINK_HH
@@ -34,9 +48,19 @@ class Link
 {
   public:
     /**
+     * Fraction of peak bandwidth that the smallest transfers achieve
+     * (the floor of the ramp, at and below floorBytes()).
+     */
+    static constexpr double smallTransferFraction = 0.002;
+
+    /** Saturation size as a multiple of the ramp size. */
+    static constexpr std::uint64_t saturationRampMultiple = 64;
+
+    /**
      * @param name Diagnostic name.
      * @param peakBandwidth Asymptotic bandwidth in bytes/second.
-     * @param rampBytes Transfer size achieving half the peak.
+     * @param rampBytes Transfer size achieving half the peak; zero
+     *                  models an ideal size-independent link.
      * @param latency Fixed per-transfer latency.
      */
     Link(std::string name, double peakBandwidth,
@@ -46,6 +70,15 @@ class Link
     double peakBandwidth() const { return peak; }
     std::uint64_t rampBytes() const { return ramp; }
     aqua::sim::Tick latency() const { return lat; }
+
+    /** Size at and below which the small-transfer floor applies. */
+    std::uint64_t floorBytes() const { return ramp / 4096; }
+
+    /** Size at and above which transfers run at the full peak. */
+    std::uint64_t saturationBytes() const
+    {
+        return saturationRampMultiple * ramp;
+    }
 
     /** Effective bandwidth (bytes/second) for a transfer of @p bytes. */
     double effectiveBandwidth(std::uint64_t bytes) const;

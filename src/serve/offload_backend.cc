@@ -6,8 +6,10 @@ namespace aqua::serve {
 
 using namespace aqua::sim;
 
-DramBackend::DramBackend(hw::Server &server, hw::GpuId gpu)
-    : server(server), gpu(gpu)
+DramBackend::DramBackend(hw::Server &server, hw::GpuId gpu,
+                         DramBackendConfig config)
+    : server(server), gpu(gpu), cfg(config),
+      engine(server, gpu, config.staging)
 {
 }
 
@@ -50,6 +52,14 @@ DramBackend::write(const Handle &handle, std::uint64_t bytes,
     if (nChunks <= 1)
         return server.topology().copy(gpu, hw::hostDramId, bytes, {},
                                       earliest);
+    if (cfg.useStaging) {
+        // Coalesce the scattered chunks through the pinned staging
+        // buffer instead of paying the per-chunk PCIe cost.
+        return engine.transferOut(
+            hw::hostDramId,
+            core::StagingEngine::uniformChunks(bytes, nChunks),
+            earliest);
+    }
     std::uint64_t chunk = bytes / nChunks;
     if (chunk == 0)
         chunk = 1;
@@ -66,6 +76,12 @@ DramBackend::read(const Handle &handle, std::uint64_t bytes,
     if (nChunks <= 1)
         return server.topology().copy(hw::hostDramId, gpu, bytes, {},
                                       earliest);
+    if (cfg.useStaging) {
+        return engine.transferIn(
+            hw::hostDramId,
+            core::StagingEngine::uniformChunks(bytes, nChunks),
+            earliest);
+    }
     std::uint64_t chunk = bytes / nChunks;
     if (chunk == 0)
         chunk = 1;

@@ -8,7 +8,8 @@ using namespace aqua::sim;
 
 UvmBackend::UvmBackend(hw::Server &server, hw::GpuId gpu,
                        UvmBackendConfig config)
-    : server(server), gpu(gpu), cfg(config)
+    : server(server), gpu(gpu), cfg(config),
+      engine(server, gpu, config.staging)
 {
     if (cfg.pageBytes == 0 || cfg.prefetchDegree == 0)
         panic("UvmBackend: page size and prefetch degree must be "
@@ -59,10 +60,17 @@ UvmBackend::paged(const Handle &handle, std::uint64_t bytes,
         (pages + cfg.prefetchDegree - 1) / cfg.prefetchDegree;
     faults += wavefronts;
 
-    // Pages cross PCIe individually; fault handling stalls the
-    // accessing kernel once per wavefront on top of the transfer.
+    // Pages cross PCIe individually (or coalesced through the staging
+    // engine); fault handling stalls the accessing kernel once per
+    // wavefront on top of the transfer.
     hw::TransferTiming t;
-    if (toGpu) {
+    if (cfg.coalescePrefetch) {
+        auto descs = core::StagingEngine::uniformChunks(
+            pages * cfg.pageBytes, pages);
+        t = toGpu ? engine.transferIn(hw::hostDramId, descs, earliest)
+                  : engine.transferOut(hw::hostDramId, descs,
+                                       earliest);
+    } else if (toGpu) {
         t = server.topology().copyChunked(hw::hostDramId, gpu,
                                           cfg.pageBytes, pages, {},
                                           earliest);

@@ -31,6 +31,15 @@ struct UvmBackendConfig
     aqua::sim::Tick faultLatency = 25 * aqua::sim::nsPerUs;
     /** Pages migrated per fault wavefront (driver prefetching). */
     std::uint32_t prefetchDegree = 8;
+    /**
+     * Batch the prefetched pages of each wavefront into coalesced
+     * staging-engine DMAs instead of per-page PCIe copies (models a
+     * driver that merges contiguous migrations). Fault latency per
+     * wavefront still applies.
+     */
+    bool coalescePrefetch = false;
+    /** Staging engine tunables when coalescePrefetch is set. */
+    core::StagingEngineConfig staging;
 };
 
 /**
@@ -52,11 +61,17 @@ class UvmBackend : public OffloadBackend
                             std::uint64_t nChunks,
                             aqua::sim::Tick earliest = 0) override;
     aqua::sim::Tick respond() override;
-    bool staged() const override { return false; }
+    bool staged() const override { return cfg.coalescePrefetch; }
     std::string name() const override { return "uvm"; }
 
     /** Total page faults taken so far. */
     std::uint64_t faultCount() const { return faults; }
+
+    /** Staging-engine accounting (all zero when coalescing is off). */
+    const core::StagingTransferStats &stagingStats() const
+    {
+        return engine.stats();
+    }
 
   private:
     hw::TransferTiming paged(const Handle &handle, std::uint64_t bytes,
@@ -65,6 +80,7 @@ class UvmBackend : public OffloadBackend
     hw::Server &server;
     hw::GpuId gpu;
     UvmBackendConfig cfg;
+    core::StagingEngine engine;
     std::uint64_t nextId = 1;
     std::map<std::uint64_t, aqua::mem::Region> regions;
     std::uint64_t faults = 0;

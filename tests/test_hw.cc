@@ -47,7 +47,12 @@ TEST(Link, BandwidthMonotoneInSize)
     double prev = 0.0;
     for (std::uint64_t s = 1024; s <= (1u << 30); s *= 2) {
         double bw = link.effectiveBandwidth(s);
-        EXPECT_GT(bw, prev);
+        // Strictly increasing across the ramp, flat at peak beyond
+        // the saturation size.
+        if (s <= link.saturationBytes())
+            EXPECT_GT(bw, prev);
+        else
+            EXPECT_DOUBLE_EQ(bw, link.peakBandwidth());
         prev = bw;
     }
 }

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the size-aware effective-bandwidth curve of hw::Link: the
+ * piecewise ramp is monotonic, hits its documented endpoints (the
+ * small-transfer floor fraction and the large-transfer peak), matches
+ * the paper's Fig. 3a calibration point, and transfer costing follows
+ * time = latency + bytes / effectiveBandwidth(bytes) exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/gpu_spec.hh"
+#include "hw/link.hh"
+
+using namespace aqua;
+using namespace aqua::sim;
+using namespace aqua::hw;
+
+namespace {
+
+Link
+nvlinkModel()
+{
+    GpuSpec spec = a100_80g();
+    return Link("nvlink", spec.nvlinkBandwidth, spec.nvlinkRampBytes,
+                spec.nvlinkLatency);
+}
+
+Link
+pcieModel()
+{
+    GpuSpec spec = a100_80g();
+    return Link("pcie", spec.pcieBandwidth, spec.pcieRampBytes,
+                spec.pcieLatency);
+}
+
+} // anonymous namespace
+
+TEST(LinkBandwidth, MonotonicNonDecreasingInSize)
+{
+    for (const Link &link : {nvlinkModel(), pcieModel()}) {
+        double prev = 0.0;
+        for (std::uint64_t s = 1; s <= (std::uint64_t(4) << 30);
+             s *= 2) {
+            double bw = link.effectiveBandwidth(s);
+            EXPECT_GE(bw, prev) << link.name() << " at " << s;
+            prev = bw;
+        }
+    }
+}
+
+TEST(LinkBandwidth, StrictlyIncreasingAcrossTheRamp)
+{
+    Link link = nvlinkModel();
+    double prev = link.effectiveBandwidth(link.floorBytes());
+    for (std::uint64_t s = 2 * link.floorBytes();
+         s <= link.saturationBytes(); s *= 2) {
+        double bw = link.effectiveBandwidth(s);
+        EXPECT_GT(bw, prev) << "at " << s;
+        prev = bw;
+    }
+}
+
+TEST(LinkBandwidth, SmallTransferFloorEndpoint)
+{
+    Link link = nvlinkModel();
+    double floor = Link::smallTransferFraction * link.peakBandwidth();
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(link.floorBytes()),
+                     floor);
+    // The floor extends all the way down.
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(1), floor);
+}
+
+TEST(LinkBandwidth, PeakAtAndBeyondSaturation)
+{
+    Link link = nvlinkModel();
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(link.saturationBytes()),
+                     link.peakBandwidth());
+    EXPECT_DOUBLE_EQ(
+        link.effectiveBandwidth(4 * link.saturationBytes()),
+        link.peakBandwidth());
+}
+
+TEST(LinkBandwidth, HalfPeakAtRampSize)
+{
+    Link link = nvlinkModel();
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(link.rampBytes()),
+                     0.5 * link.peakBandwidth());
+}
+
+TEST(LinkBandwidth, Fig3aCalibrationPoint)
+{
+    // "it reaches 100 GB/s at 2 MB" with a 250 GB/s peak: 2 MiB is
+    // the 2*ramp/3 anchor at 0.4 of peak.
+    Link link = nvlinkModel();
+    EXPECT_NEAR(link.effectiveBandwidth(2 * mib) / 1e9, 100.0, 0.01);
+}
+
+TEST(LinkBandwidth, HandComputedAnchorFractions)
+{
+    Link link = pcieModel(); // 25 GB/s peak, 256 KiB ramp
+    std::uint64_t ramp = link.rampBytes();
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(ramp / 64),
+                     0.015 * 25e9);
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(ramp / 8), 0.11 * 25e9);
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(8 * ramp), 0.9 * 25e9);
+}
+
+TEST(LinkBandwidth, TransferTimeMatchesCurve)
+{
+    Link link = nvlinkModel();
+    for (std::uint64_t s : {std::uint64_t(64) * kib, 2 * mib, 3 * mib,
+                            192 * mib, std::uint64_t(1) * gib}) {
+        double sec = static_cast<double>(s) /
+                     link.effectiveBandwidth(s);
+        EXPECT_EQ(link.transferTime(s),
+                  link.latency() + secToTicks(sec))
+            << "at " << s;
+    }
+    // Hand-computed: 3 MiB at half of 250 GB/s = 125 GB/s plus 1 us
+    // latency = 1000 ns + 25165.824 ns, rounded to the nearest ns.
+    EXPECT_EQ(link.transferTime(3 * mib), 1000u + 25166u);
+}
+
+TEST(LinkBandwidth, TransferTimeMonotoneInSize)
+{
+    Link link = nvlinkModel();
+    Tick prev = 0;
+    for (std::uint64_t s = 1; s <= (std::uint64_t(4) << 30); s *= 2) {
+        Tick t = link.transferTime(s);
+        EXPECT_GE(t, prev) << "at " << s;
+        prev = t;
+    }
+}
+
+TEST(LinkBandwidth, ZeroRampIsIdealLink)
+{
+    Link ideal("ideal", 1e9, 0, 500);
+    EXPECT_DOUBLE_EQ(ideal.effectiveBandwidth(1), 1e9);
+    EXPECT_DOUBLE_EQ(ideal.effectiveBandwidth(std::uint64_t(1) << 30),
+                     1e9);
+    // 1e9 B/s => 1 byte per ns.
+    EXPECT_EQ(ideal.transferTime(1000), 500u + 1000u);
+}
+
+TEST(LinkBandwidth, ChunkedIsPerChunkCostTimesCount)
+{
+    Link link = nvlinkModel();
+    EXPECT_EQ(link.transferTimeChunked(2 * mib, 7),
+              7 * link.transferTime(2 * mib));
+    EXPECT_EQ(link.transferTimeChunked(2 * mib, 0), 0u);
+}
+
+TEST(LinkBandwidth, CoalescingWinsOnScatteredBlocks)
+{
+    // The motivating arithmetic for the staging engine: 1024 scattered
+    // 256 KiB KV blocks cost far more as per-block copies than as one
+    // 256 MiB coalesced transfer.
+    Link link = nvlinkModel();
+    Tick perBlock = link.transferTimeChunked(256 * kib, 1024);
+    Tick coalesced = link.transferTime(256 * mib);
+    EXPECT_GT(perBlock, 5 * coalesced);
+}

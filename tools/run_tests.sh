@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build the simulator and run the full test suite, optionally under
+# AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+#   tools/run_tests.sh              # regular RelWithDebInfo build
+#   tools/run_tests.sh --sanitize   # ASan+UBSan build in build-asan/
+#   tools/run_tests.sh -R Staging   # extra args forwarded to ctest
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+cmake_args=()
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+    shift
+    build="$repo/build-asan"
+    cmake_args+=(-DAQUA_SANITIZE=ON)
+    # Death tests fork; keep ASan quiet about intentional aborts.
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}"
+fi
+
+cmake -B "$build" -S "$repo" "${cmake_args[@]}"
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)" "$@"
