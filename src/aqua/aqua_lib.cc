@@ -9,6 +9,23 @@ namespace aqua::core {
 using namespace aqua::sim;
 using json::Value;
 
+namespace {
+
+/** FNV-1a fold of one value into a tensor content signature. */
+std::uint64_t
+foldSignature(std::uint64_t sig, std::uint64_t value)
+{
+    if (sig == 0)
+        sig = 1469598103934665603ull; // FNV offset basis
+    sig ^= value;
+    return sig * 1099511628211ull; // FNV prime
+}
+
+/** Chunk granularity of an emergency evacuation. */
+constexpr std::uint64_t emergencyChunkBytes = std::uint64_t(2) << 20;
+
+} // anonymous namespace
+
 AquaLib::AquaLib(hw::Server &server, hw::GpuId gpu,
                  CoordinatorRestService &service, AquaLibConfig config,
                  std::unique_ptr<Informer> informer)
@@ -40,16 +57,46 @@ AquaLib::traceEvent(const char *category, Value fields)
                  std::move(fields));
 }
 
+AquaLib::CallOutcome
+AquaLib::tryCall(const std::string &route, Value body)
+{
+    CallOutcome out;
+    Tick base = server.simulation().now();
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        ++counters.restCalls;
+        // Virtual send time: the caller blocks through retries without
+        // advancing the queue, so later attempts carry a later clock —
+        // letting them outlast a time-windowed outage and keeping
+        // lease-TTL bookkeeping honest.
+        body["now"] = static_cast<std::int64_t>(
+            base + out.penalty + cfg.restLatency);
+        out.resp = service.router().dispatch(route, body);
+        out.penalty += cfg.restLatency + out.resp.delay;
+        if (!out.resp.retryable())
+            return out;
+        if (attempt + 1 >= cfg.maxRestAttempts) {
+            ++counters.restFailures;
+            Value ev;
+            ev["route"] = route;
+            ev["attempts"] = static_cast<std::int64_t>(attempt + 1);
+            ev["error"] = out.resp.body.getString("error", "");
+            traceEvent("rest_give_up", std::move(ev));
+            return out;
+        }
+        ++counters.restRetries;
+        out.penalty += cfg.restBackoffBase << attempt;
+    }
+}
+
 Value
 AquaLib::call(const std::string &route, Value body)
 {
-    ++counters.restCalls;
-    RestResponse resp = service.router().dispatch(route, body);
-    if (!resp.ok()) {
+    CallOutcome out = tryCall(route, std::move(body));
+    if (!out.resp.ok()) {
         panic("AquaLib(gpu%d): %s failed: %s", myGpu, route.c_str(),
-              resp.body.dump().c_str());
+              out.resp.body.dump().c_str());
     }
-    return std::move(resp.body);
+    return std::move(out.resp.body);
 }
 
 std::optional<aqua::mem::Region>
@@ -81,7 +128,17 @@ AquaLib::allocateTensor(std::uint64_t bytes)
     Value req;
     req["gpu"] = myGpu;
     req["bytes"] = static_cast<std::int64_t>(bytes);
-    Value resp = call("POST /allocate", std::move(req));
+    CallOutcome out = tryCall("POST /allocate", std::move(req));
+    if (out.resp.retryable()) {
+        // Coordinator unreachable even after backoff: degrade to "no
+        // allocation this round" rather than crashing the engine.
+        return std::nullopt;
+    }
+    if (!out.resp.ok()) {
+        panic("AquaLib(gpu%d): /allocate failed: %s", myGpu,
+              out.resp.body.dump().c_str());
+    }
+    Value resp = std::move(out.resp.body);
 
     TensorRec t;
     t.bytes = bytes;
@@ -123,7 +180,19 @@ AquaLib::freeTensor(TensorId id)
     tensors.erase(id);
     Value req;
     req["tensor"] = static_cast<std::int64_t>(id);
-    call("POST /free", std::move(req));
+    CallOutcome out = tryCall("POST /free", std::move(req));
+    if (out.resp.retryable()) {
+        // Local backing is gone either way; the coordinator entry
+        // leaks until teardown. Best effort, but audited.
+        Value ev;
+        ev["tensor"] = static_cast<std::int64_t>(id);
+        traceEvent("free_unacked", std::move(ev));
+        return;
+    }
+    if (!out.resp.ok()) {
+        panic("AquaLib(gpu%d): /free failed: %s", myGpu,
+              out.resp.body.dump().c_str());
+    }
     Value ev;
     ev["tensor"] = static_cast<std::int64_t>(id);
     traceEvent("free", std::move(ev));
@@ -175,11 +244,15 @@ hw::TransferTiming
 AquaLib::writeTensor(TensorId id, std::uint64_t bytes,
                      std::uint64_t nChunks, Tick earliest)
 {
-    const TensorRec &t = rec(id);
+    TensorRec &t = rec(id);
     if (bytes > t.bytes)
         panic("AquaLib::writeTensor: write of %llu exceeds tensor "
               "size %llu", static_cast<unsigned long long>(bytes),
               static_cast<unsigned long long>(t.bytes));
+    // Fold the write into the content digest; migrations must carry
+    // this value unchanged.
+    t.signature = foldSignature(t.signature, bytes);
+    t.signature = foldSignature(t.signature, nChunks);
     if (t.location.placement == Placement::PeerGpu)
         counters.bytesToPeer += bytes;
     else
@@ -203,55 +276,122 @@ AquaLib::readTensor(TensorId id, std::uint64_t bytes,
     return transferIn(t, bytes, nChunks, earliest);
 }
 
+aqua::sim::Tick
+AquaLib::executeOrder(const MigrationOrder &order)
+{
+    TensorRec &t = rec(order.tensor);
+    hw::Topology &topo = server.topology();
+    hw::TransferTiming timing;
+    if (order.to.placement == Placement::HostDram) {
+        auto region = allocDram(order.bytes);
+        if (!region) {
+            panic("AquaLib(gpu%d): DRAM exhausted during reclaim",
+                  myGpu);
+        }
+        if (order.emergency) {
+            // The donor is dead: race its grace window. Pull the
+            // tensor to the local GPU with a staged gather (large
+            // NVLink transfers), then push it down to DRAM — both
+            // legs through the staging engine.
+            std::uint64_t nChunks = order.bytes / emergencyChunkBytes;
+            if (nChunks == 0)
+                nChunks = 1;
+            std::vector<CopyDesc> descs =
+                StagingEngine::uniformChunks(order.bytes, nChunks);
+            hw::TransferTiming pull =
+                engine.transferIn(order.from.gpu, descs);
+            hw::TransferTiming push = engine.transferOut(
+                hw::hostDramId, descs, pull.complete);
+            timing = hw::TransferTiming{pull.start, push.complete};
+            ++counters.emergencyMigrations;
+            Value ev;
+            ev["tensor"] = static_cast<std::int64_t>(order.tensor);
+            ev["bytes"] = static_cast<std::int64_t>(order.bytes);
+            ev["donor"] = order.from.gpu;
+            ev["complete_ns"] =
+                static_cast<std::int64_t>(timing.complete);
+            traceEvent("emergency_migrate", std::move(ev));
+        } else {
+            // Planned evacuation: producer GPU -> DRAM over the
+            // producer's PCIe; the consumer blocks while releasing
+            // memory (§B).
+            timing = topo.copy(order.from.gpu, hw::hostDramId,
+                               order.bytes);
+        }
+        t.dramRegion = region;
+    } else {
+        // Promotion: DRAM -> producer lease over the producer's
+        // PCIe ingress.
+        timing = topo.copy(hw::hostDramId, order.to.gpu, order.bytes);
+        if (t.dramRegion) {
+            server.dram().allocator().free(*t.dramRegion);
+            t.dramRegion.reset();
+        }
+    }
+    t.location = order.to;
+    ++t.generation;
+    ++counters.migrations;
+
+    Value ev;
+    ev["tensor"] = static_cast<std::int64_t>(order.tensor);
+    ev["bytes"] = static_cast<std::int64_t>(order.bytes);
+    ev["from"] = order.from.describe();
+    ev["to"] = order.to.describe();
+    traceEvent("migrate", std::move(ev));
+    return timing.complete;
+}
+
 Tick
 AquaLib::respond()
 {
+    Tick blocked = server.simulation().now();
+
+    // First, re-deliver /done_moving acks a previous round could not
+    // get through; until they land the coordinator keeps the tensor
+    // mid-migration and will not re-order it.
+    std::vector<MigrationOrder> still;
+    for (const MigrationOrder &order : unackedMoves) {
+        CallOutcome ack =
+            tryCall("POST /done_moving", orderToJson(order));
+        blocked += ack.penalty;
+        if (!ack.resp.ok())
+            still.push_back(order);
+    }
+    unackedMoves.swap(still);
+
     Value req;
     req["gpu"] = myGpu;
-    Value resp = call("POST /respond", std::move(req));
-    Tick blocked = server.simulation().now() + cfg.restLatency;
+    CallOutcome out = tryCall("POST /respond", std::move(req));
+    blocked += out.penalty;
+    if (out.resp.retryable()) {
+        // Coordinator unreachable: no orders this round; the engine
+        // keeps serving from wherever tensors already are.
+        return blocked;
+    }
+    if (!out.resp.ok()) {
+        panic("AquaLib(gpu%d): /respond failed: %s", myGpu,
+              out.resp.body.dump().c_str());
+    }
 
-    const Value *orders = resp.find("orders");
+    const Value *orders = out.resp.body.find("orders");
     if (!orders || !orders->isArray())
         return blocked;
     for (const Value &entry : orders->asArray()) {
         MigrationOrder order = orderFromJson(entry);
-        TensorRec &t = rec(order.tensor);
-        hw::Topology &topo = server.topology();
-        hw::TransferTiming timing;
-        if (order.to.placement == Placement::HostDram) {
-            // Evacuation: producer GPU -> DRAM over the producer's
-            // PCIe; the consumer blocks while releasing memory (§B).
-            auto region = allocDram(order.bytes);
-            if (!region) {
-                panic("AquaLib(gpu%d): DRAM exhausted during reclaim",
-                      myGpu);
-            }
-            timing = topo.copy(order.from.gpu, hw::hostDramId,
-                               order.bytes);
-            t.dramRegion = region;
-        } else {
-            // Promotion: DRAM -> producer lease over the producer's
-            // PCIe ingress.
-            timing = topo.copy(hw::hostDramId, order.to.gpu,
-                               order.bytes);
-            if (t.dramRegion) {
-                server.dram().allocator().free(*t.dramRegion);
-                t.dramRegion.reset();
-            }
+        Tick complete = executeOrder(order);
+        if (complete > blocked)
+            blocked = complete;
+        CallOutcome ack =
+            tryCall("POST /done_moving", orderToJson(order));
+        blocked += ack.penalty;
+        if (!ack.resp.ok()) {
+            // The copy happened; only the ack was lost. Queue it for
+            // the next respond() round.
+            unackedMoves.push_back(order);
+            Value ev;
+            ev["tensor"] = static_cast<std::int64_t>(order.tensor);
+            traceEvent("done_moving_unacked", std::move(ev));
         }
-        t.location = order.to;
-        ++t.generation;
-        ++counters.migrations;
-        if (timing.complete > blocked)
-            blocked = timing.complete;
-        call("POST /done_moving", orderToJson(order));
-        Value ev;
-        ev["tensor"] = static_cast<std::int64_t>(order.tensor);
-        ev["bytes"] = static_cast<std::int64_t>(order.bytes);
-        ev["from"] = order.from.describe();
-        ev["to"] = order.to.describe();
-        traceEvent("migrate", std::move(ev));
     }
     return blocked;
 }
@@ -268,22 +408,75 @@ AquaLib::tensorGeneration(TensorId id) const
     return rec(id).generation;
 }
 
+std::uint64_t
+AquaLib::tensorSignature(TensorId id) const
+{
+    return rec(id).signature;
+}
+
+void
+AquaLib::heartbeat()
+{
+    if (failedFlag)
+        return;
+    ++counters.restCalls;
+    Value body;
+    body["gpu"] = myGpu;
+    body["now"] = static_cast<std::int64_t>(
+        server.simulation().now() + cfg.restLatency);
+    RestResponse resp =
+        service.router().dispatch("POST /heartbeat", body);
+    // A dropped heartbeat is a silent miss — detecting that is the
+    // whole point of the lease TTL. 404 (no lease yet) is also fine.
+    if (resp.ok())
+        ++counters.heartbeats;
+}
+
+void
+AquaLib::scheduleHeartbeat(Tick until)
+{
+    Tick next = server.simulation().now() + cfg.heartbeatInterval;
+    if (next > until)
+        return;
+    server.simulation().queue().schedule(next, [this, until] {
+        heartbeat();
+        scheduleHeartbeat(until);
+    });
+}
+
+void
+AquaLib::startHeartbeats(Tick until)
+{
+    scheduleHeartbeat(until);
+}
+
 std::int64_t
 AquaLib::informStats(const EngineStats &stats)
 {
-    if (!policy)
+    if (!policy || failedFlag)
         return 0;
 
     if (reclaiming) {
         // Poll /reclaim_status until the consumers have vacated.
         Value req;
         req["gpu"] = myGpu;
-        Value resp = call("GET /reclaim_status", std::move(req));
-        if (!resp.getBool("complete", false))
+        CallOutcome poll =
+            tryCall("GET /reclaim_status", std::move(req));
+        if (!poll.resp.ok())
+            return 0; // unreachable: poll again next round
+        if (!poll.resp.body.getBool("complete", false))
             return 0;
         Value rel;
         rel["gpu"] = myGpu;
-        call("POST /release_lease", std::move(rel));
+        CallOutcome release =
+            tryCall("POST /release_lease", std::move(rel));
+        if (release.resp.status == RestStatus::Conflict) {
+            // A consumer re-occupied the lease between our status
+            // poll and the release; keep reclaiming.
+            return 0;
+        }
+        if (!release.resp.ok())
+            return 0; // unreachable: retry next round
         if (leaseRegion) {
             server.gpu(myGpu).hbm().free(*leaseRegion);
             leaseRegion.reset();
@@ -308,7 +501,10 @@ AquaLib::informStats(const EngineStats &stats)
       case InformerDecision::Action::Reclaim: {
         Value req;
         req["gpu"] = myGpu;
-        call("POST /reclaim_request", std::move(req));
+        CallOutcome out =
+            tryCall("POST /reclaim_request", std::move(req));
+        if (!out.resp.ok())
+            return 0; // unreachable: the informer will re-decide
         reclaiming = true;
         traceEvent("reclaim_request", Value(json::Object{}));
         return 0;
@@ -337,7 +533,21 @@ AquaLib::confirmDonate(std::uint64_t bytes)
     Value req;
     req["gpu"] = myGpu;
     req["bytes"] = static_cast<std::int64_t>(bytes);
-    call("POST /lease", std::move(req));
+    CallOutcome out = tryCall("POST /lease", std::move(req));
+    if (!out.resp.ok()) {
+        // Rejected (409: our previous reclaim is still draining) or
+        // unreachable: undo the donation so the engine gets its HBM
+        // back instead of stranding it unregistered.
+        server.gpu(myGpu).hbm().free(*leaseRegion);
+        leaseRegion.reset();
+        leaseBytes = 0;
+        donated = false;
+        Value ev;
+        ev["bytes"] = static_cast<std::int64_t>(bytes);
+        ev["error"] = out.resp.body.getString("error", "");
+        traceEvent("lease_rejected", std::move(ev));
+        return;
+    }
     Value ev;
     ev["bytes"] = static_cast<std::int64_t>(bytes);
     traceEvent("lease", std::move(ev));

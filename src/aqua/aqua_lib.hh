@@ -30,6 +30,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "aqua/informer.hh"
 #include "aqua/rest.hh"
@@ -47,6 +48,20 @@ struct AquaLibConfig
 {
     /** Modelled latency of one coordinator REST round trip. */
     aqua::sim::Tick restLatency = 200 * aqua::sim::nsPerUs;
+    /**
+     * Southbound retry budget: total attempts (first try included)
+     * for a coordinator call that keeps coming back retryable (408
+     * timeout / 503 unavailable). 1 disables retries.
+     */
+    std::uint32_t maxRestAttempts = 5;
+    /**
+     * First retry backoff; doubles per retry (exponential). The
+     * backoff is charged to the caller as blocked time, not simulated
+     * by re-entering the event queue.
+     */
+    aqua::sim::Tick restBackoffBase = 500 * aqua::sim::nsPerUs;
+    /** Producer heartbeat period (startHeartbeats()). */
+    aqua::sim::Tick heartbeatInterval = 5 * aqua::sim::nsPerMs;
     /**
      * Whether to gather scattered chunks into large transfers
      * (AQUA's custom kernels) or naively issue per-chunk copies.
@@ -68,6 +83,14 @@ struct AquaLibStats
     std::uint64_t migrations = 0;
     std::uint64_t restCalls = 0;
     std::uint64_t tensorsAllocated = 0;
+    /** Southbound retries after a retryable failure. */
+    std::uint64_t restRetries = 0;
+    /** Southbound calls that exhausted the retry budget. */
+    std::uint64_t restFailures = 0;
+    /** Heartbeats acknowledged by the coordinator. */
+    std::uint64_t heartbeats = 0;
+    /** Evacuations off a dead producer (emergency orders). */
+    std::uint64_t emergencyMigrations = 0;
 };
 
 /**
@@ -165,6 +188,15 @@ class AquaLib
      */
     std::uint64_t tensorGeneration(TensorId id) const;
 
+    /**
+     * Content signature of a tensor: a deterministic digest folded on
+     * every write and never touched by migration. Comparing the
+     * signature before a fault and after recovery is the byte-identity
+     * check of the chaos harness — a migration path that lost or
+     * reordered data would have to recompute it, which nothing does.
+     */
+    std::uint64_t tensorSignature(TensorId id) const;
+
     /** Number of tensors this instance currently owns. */
     std::size_t ownedTensors() const { return tensors.size(); }
 
@@ -200,17 +232,63 @@ class AquaLib
     /** The informer, if any (exposed for tests). */
     Informer *informer() { return policy.get(); }
 
+    //
+    // Fault/recovery surface.
+    //
+
+    /**
+     * Kill (or revive) this instance's software: a failed instance
+     * stops heartbeating and ignores informStats(), so its lease
+     * expires at the coordinator. The GPU's memory stays readable
+     * until the topology marks it dark (the grace window).
+     */
+    void setFailed(bool failed) { failedFlag = failed; }
+    bool isFailed() const { return failedFlag; }
+
+    /**
+     * Send one producer heartbeat (no retries — a missed heartbeat is
+     * the signal the TTL machinery exists to catch).
+     */
+    void heartbeat();
+
+    /**
+     * Self-rescheduling heartbeat loop on the simulation queue, every
+     * config heartbeatInterval until @p until. Stops silently while
+     * the instance is failed.
+     */
+    void startHeartbeats(aqua::sim::Tick until);
+
   private:
     struct TensorRec
     {
         std::uint64_t bytes = 0;
         std::uint64_t generation = 0;
+        /** Content digest; folded by writeTensor(). */
+        std::uint64_t signature = 0;
         Location location;
         /** Backing DRAM region while in HostDram. */
         std::optional<aqua::mem::Region> dramRegion;
     };
 
-    /** Dispatch a coordinator call and panic on non-OK status. */
+    /** Outcome of a retried southbound call. */
+    struct CallOutcome
+    {
+        RestResponse resp;
+        /** Blocked time: round trips, backoff and injected delay. */
+        aqua::sim::Tick penalty = 0;
+    };
+
+    /**
+     * Dispatch a coordinator call, retrying retryable failures with
+     * exponential backoff up to config maxRestAttempts. Each attempt
+     * stamps the body's "now" with the virtual send time (sim time
+     * plus the penalty accumulated so far) so time-windowed faults
+     * and lease TTLs see retries spaced out even though the caller
+     * blocks synchronously.
+     */
+    CallOutcome tryCall(const std::string &route, json::Value body);
+
+    /** tryCall() + panic on any non-OK final status. */
     json::Value call(const std::string &route, json::Value body);
 
     /** Emit an audit event if a trace log is attached. */
@@ -231,6 +309,12 @@ class AquaLib
                                   std::uint64_t nChunks,
                                   aqua::sim::Tick earliest);
 
+    /** One step of the startHeartbeats() loop. */
+    void scheduleHeartbeat(aqua::sim::Tick until);
+
+    /** Execute one migration order; returns its completion tick. */
+    aqua::sim::Tick executeOrder(const MigrationOrder &order);
+
     hw::Server &server;
     hw::GpuId myGpu;
     CoordinatorRestService &service;
@@ -247,6 +331,11 @@ class AquaLib
     std::uint64_t leaseBytes = 0;
     std::optional<aqua::mem::Region> leaseRegion;
     std::uint64_t pendingDonate = 0;
+
+    /** Software-dead flag (fault injection). */
+    bool failedFlag = false;
+    /** /done_moving acks that failed delivery; re-sent by respond(). */
+    std::vector<MigrationOrder> unackedMoves;
 
     AquaLibStats counters;
     trace::TraceLog *tracer = nullptr;

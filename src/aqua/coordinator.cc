@@ -23,13 +23,82 @@ Coordinator::producerFor(hw::GpuId consumer) const
     return it->second;
 }
 
-void
-Coordinator::lease(hw::GpuId producer, std::uint64_t bytes)
+LeaseResult
+Coordinator::lease(hw::GpuId producer, std::uint64_t bytes,
+                   aqua::sim::Tick now)
 {
     std::lock_guard<std::mutex> lock(mtx);
     ProducerState &p = producers[producer];
+    // An unfinished reclaim means consumers are still evacuating this
+    // producer; a fresh offer would race the drain.
+    if (p.reclaimRequested && p.usedBytes > 0)
+        return LeaseResult::ReclaimOutstanding;
     p.leasedBytes += bytes;
     p.reclaimRequested = false;
+    p.alive = true;
+    p.lastHeartbeat = now;
+    return LeaseResult::Ok;
+}
+
+bool
+Coordinator::heartbeat(hw::GpuId producer, aqua::sim::Tick now)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = producers.find(producer);
+    if (it == producers.end())
+        return false;
+    it->second.lastHeartbeat = now;
+    // A heartbeat from an expired producer revives the lease: the
+    // software is back, even if a reclaim is still draining.
+    it->second.alive = true;
+    return true;
+}
+
+void
+Coordinator::setLeaseTtl(aqua::sim::Tick newTtl)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    ttl = newTtl;
+}
+
+aqua::sim::Tick
+Coordinator::leaseTtl() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return ttl;
+}
+
+std::vector<hw::GpuId>
+Coordinator::expireLeasesLocked(aqua::sim::Tick now)
+{
+    std::vector<hw::GpuId> expired;
+    if (ttl == 0 || now == 0)
+        return expired;
+    for (auto &[gpu, p] : producers) {
+        if (!p.alive || now <= p.lastHeartbeat + ttl)
+            continue;
+        p.alive = false;
+        // Dead lease: the memory must come back regardless of what
+        // the (unreachable) producer wanted.
+        p.reclaimRequested = true;
+        expired.push_back(gpu);
+    }
+    return expired;
+}
+
+std::vector<hw::GpuId>
+Coordinator::expireLeases(aqua::sim::Tick now)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return expireLeasesLocked(now);
+}
+
+bool
+Coordinator::leaseAlive(hw::GpuId producer) const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    auto it = producers.find(producer);
+    return it != producers.end() && it->second.alive;
 }
 
 void
@@ -53,18 +122,17 @@ Coordinator::reclaimComplete(hw::GpuId producer) const
     return it->second.usedBytes == 0;
 }
 
-void
+ReleaseResult
 Coordinator::releaseLease(hw::GpuId producer)
 {
     std::lock_guard<std::mutex> lock(mtx);
     auto it = producers.find(producer);
     if (it == producers.end())
-        return;
+        return ReleaseResult::UnknownProducer;
     if (it->second.usedBytes != 0)
-        panic("Coordinator::releaseLease: producer %d still holds "
-              "%llu tensor bytes", producer,
-              static_cast<unsigned long long>(it->second.usedBytes));
+        return ReleaseResult::StillOccupied;
     producers.erase(it);
+    return ReleaseResult::Ok;
 }
 
 ProducerState
@@ -84,7 +152,8 @@ Coordinator::allocateLocked(hw::GpuId consumer, std::uint64_t bytes)
     auto assigned = assignments.find(consumer);
     if (assigned != assignments.end()) {
         auto pit = producers.find(assigned->second);
-        if (pit != producers.end() && !pit->second.reclaimRequested &&
+        if (pit != producers.end() && pit->second.alive &&
+            !pit->second.reclaimRequested &&
             pit->second.usedBytes + bytes <= pit->second.leasedBytes) {
             loc.placement = Placement::PeerGpu;
             loc.gpu = assigned->second;
@@ -102,9 +171,11 @@ Coordinator::allocateLocked(hw::GpuId consumer, std::uint64_t bytes)
 }
 
 Coordinator::Allocation
-Coordinator::allocate(hw::GpuId consumer, std::uint64_t bytes)
+Coordinator::allocate(hw::GpuId consumer, std::uint64_t bytes,
+                      aqua::sim::Tick now)
 {
     std::lock_guard<std::mutex> lock(mtx);
+    expireLeasesLocked(now);
     return allocateLocked(consumer, bytes);
 }
 
@@ -130,9 +201,10 @@ Coordinator::free(TensorId id)
 }
 
 std::vector<MigrationOrder>
-Coordinator::respond(hw::GpuId consumer)
+Coordinator::respond(hw::GpuId consumer, aqua::sim::Tick now)
 {
     std::lock_guard<std::mutex> lock(mtx);
+    expireLeasesLocked(now);
     std::vector<MigrationOrder> orders;
 
     // Pass 1: evacuate tensors sitting on reclaiming producers.
@@ -149,6 +221,7 @@ Coordinator::respond(hw::GpuId consumer)
         order.bytes = t.bytes;
         order.from = t.location;
         order.to = Location{Placement::HostDram, hw::hostDramId};
+        order.emergency = !pit->second.alive;
         t.migratingTo = order.to;
         orders.push_back(order);
     }
@@ -158,7 +231,8 @@ Coordinator::respond(hw::GpuId consumer)
     auto assigned = assignments.find(consumer);
     if (assigned != assignments.end()) {
         auto pit = producers.find(assigned->second);
-        if (pit != producers.end() && !pit->second.reclaimRequested) {
+        if (pit != producers.end() && pit->second.alive &&
+            !pit->second.reclaimRequested) {
             ProducerState &p = pit->second;
             for (auto &[id, t] : tensors) {
                 if (t.consumer != consumer || t.migratingTo)

@@ -26,6 +26,7 @@
 
 #include "aqua/types.hh"
 #include "hw/gpu.hh"
+#include "sim/ticks.hh"
 
 namespace aqua::core {
 
@@ -36,6 +37,12 @@ struct MigrationOrder
     std::uint64_t bytes = 0;
     Location from;
     Location to;
+    /**
+     * The source producer's lease is dead (crashed or expired): the
+     * consumer must evacuate before the donor's memory goes dark,
+     * ahead of any foreground work.
+     */
+    bool emergency = false;
 };
 
 /** A producer's lease book-keeping, as tracked by the coordinator. */
@@ -44,6 +51,31 @@ struct ProducerState
     std::uint64_t leasedBytes = 0;
     std::uint64_t usedBytes = 0;
     bool reclaimRequested = false;
+    /** False once the lease TTL expired without a heartbeat. */
+    bool alive = true;
+    /** Last /lease or /heartbeat time (ticks). */
+    aqua::sim::Tick lastHeartbeat = 0;
+};
+
+/** Outcome of Coordinator::lease(). */
+enum class LeaseResult
+{
+    Ok,
+    /**
+     * The producer asked for its memory back and tensors still occupy
+     * the lease; it cannot offer more until the reclaim drains
+     * (otherwise the new offer would race the evacuation).
+     */
+    ReclaimOutstanding,
+};
+
+/** Outcome of Coordinator::releaseLease(). */
+enum class ReleaseResult
+{
+    Ok,
+    UnknownProducer,
+    /** Tensors still occupy the lease; reclaim first. */
+    StillOccupied,
 };
 
 /**
@@ -74,13 +106,42 @@ class Coordinator
 
     /**
      * /lease: a producer offers @p bytes of its HBM.
-     * Offers accumulate; reclaim clears them.
+     * Offers accumulate; a successful lease clears any reclaim flag
+     * and revives the lease (fresh heartbeat at @p now).
+     *
+     * @return ReclaimOutstanding if the producer has an unfinished
+     *         reclaim (tensors still resident); the offer is ignored.
      */
-    void lease(hw::GpuId producer, std::uint64_t bytes);
+    LeaseResult lease(hw::GpuId producer, std::uint64_t bytes,
+                      aqua::sim::Tick now = 0);
+
+    /**
+     * /heartbeat: producer liveness signal for the lease TTL.
+     * @return false for a producer with no lease (REST: 404).
+     */
+    bool heartbeat(hw::GpuId producer, aqua::sim::Tick now);
+
+    /**
+     * Lease TTL: a producer whose last heartbeat is older than
+     * @p ttl at expiry-check time has its lease marked dead and a
+     * reclaim raised on its behalf. 0 (the default) disables expiry.
+     */
+    void setLeaseTtl(aqua::sim::Tick ttl);
+    aqua::sim::Tick leaseTtl() const;
+
+    /**
+     * Expire leases whose heartbeat is older than the TTL at @p now.
+     * Also run lazily by respond()/allocate() when they get a time.
+     * @return Producers newly marked dead.
+     */
+    std::vector<hw::GpuId> expireLeases(aqua::sim::Tick now);
+
+    /** Whether a producer holds a live (non-expired) lease. */
+    bool leaseAlive(hw::GpuId producer) const;
 
     /**
      * /reclaim_request: producer wants its memory back. Consumers see
-     * migration orders on their next /respond.
+     * migration orders on their next /respond. Idempotent.
      */
     void requestReclaim(hw::GpuId producer);
 
@@ -92,9 +153,12 @@ class Coordinator
 
     /**
      * Producer releases its lease after a completed reclaim (or when
-     * shutting down with no tensors resident). Panics if still used.
+     * shutting down with no tensors resident).
+     *
+     * @return StillOccupied while tensors occupy the lease (REST:
+     *         409) — the caller must reclaim and wait for the drain.
      */
-    void releaseLease(hw::GpuId producer);
+    ReleaseResult releaseLease(hw::GpuId producer);
 
     /** Current lease state of a producer (zeroes when unknown). */
     ProducerState producerState(hw::GpuId producer) const;
@@ -116,7 +180,8 @@ class Coordinator
         TensorId id;
         Location location;
     };
-    Allocation allocate(hw::GpuId consumer, std::uint64_t bytes);
+    Allocation allocate(hw::GpuId consumer, std::uint64_t bytes,
+                        aqua::sim::Tick now = 0);
 
     /** /free: drop a tensor and return its lease bytes. */
     void free(TensorId id);
@@ -132,8 +197,12 @@ class Coordinator
      *
      * Issuing an order reserves its destination; the consumer must call
      * doneMoving() for each order when the copy completes.
+     *
+     * When @p now is non-zero, expired leases are collected first, so
+     * orders off a dead producer come back flagged emergency.
      */
-    std::vector<MigrationOrder> respond(hw::GpuId consumer);
+    std::vector<MigrationOrder> respond(hw::GpuId consumer,
+                                        aqua::sim::Tick now = 0);
 
     /** Consumer reports one migration order's copy as complete. */
     void doneMoving(const MigrationOrder &order);
@@ -160,9 +229,11 @@ class Coordinator
     };
 
     Allocation allocateLocked(hw::GpuId consumer, std::uint64_t bytes);
+    std::vector<hw::GpuId> expireLeasesLocked(aqua::sim::Tick now);
 
     mutable std::mutex mtx;
     TensorId nextTensor = 1;
+    aqua::sim::Tick ttl = 0;
     std::map<hw::GpuId, ProducerState> producers;
     std::map<hw::GpuId, hw::GpuId> assignments;
     std::map<TensorId, TensorState> tensors;

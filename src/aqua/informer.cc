@@ -31,7 +31,14 @@ LlmInformer::evaluate(const EngineStats &stats, bool donated)
         if (rate > cfg.reclaimRateThreshold ||
             stats.pendingRequests >= cfg.reclaimQueueThreshold) {
             decision.action = InformerDecision::Action::Reclaim;
+            lastReclaimAt = stats.now;
+            reclaimedOnce = true;
         }
+        return decision;
+    }
+    if (cfg.redonateCooldown > 0 && reclaimedOnce &&
+        stats.now < lastReclaimAt + cfg.redonateCooldown) {
+        // Too soon after a reclaim: don't thrash the lease.
         return decision;
     }
     if (rate < cfg.donateRateThreshold &&

@@ -90,6 +90,12 @@ struct LlmInformerConfig
     aqua::sim::Tick window = 10 * aqua::sim::nsPerSec;
     /** Require at least this much donatable memory to bother. */
     std::uint64_t minDonateBytes = std::uint64_t(1) << 30;
+    /**
+     * Suppress a fresh Donate for this long after a Reclaim, so a
+     * flapping workload (or an injected fault storm) cannot thrash
+     * the lease. 0 (the default) disables the cooldown.
+     */
+    aqua::sim::Tick redonateCooldown = 0;
 };
 
 /**
@@ -111,6 +117,9 @@ class LlmInformer : public Informer
     /** (report time, arrivals in that report) history. */
     std::deque<std::pair<aqua::sim::Tick, std::uint64_t>> history;
     double rate = 0.0;
+    /** Time of the last Reclaim decision (cooldown anchor). */
+    aqua::sim::Tick lastReclaimAt = 0;
+    bool reclaimedOnce = false;
 };
 
 /** Tunables of the batch informer. */

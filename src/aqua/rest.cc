@@ -6,6 +6,8 @@
 
 namespace aqua::core {
 
+using aqua::sim::panic;
+using aqua::sim::Tick;
 using json::Value;
 
 void
@@ -18,6 +20,24 @@ RestResponse
 RestRouter::dispatch(const std::string &methodAndPath,
                      const Value &body) const
 {
+    Tick injectedDelay = 0;
+    if (faultHook) {
+        DispatchFault fate = faultHook(methodAndPath, body);
+        switch (fate.fate) {
+          case DispatchFault::Fate::Deliver:
+            break;
+          case DispatchFault::Fate::Reject: {
+            RestResponse resp;
+            resp.status = fate.status;
+            resp.body["error"] = fate.reason;
+            resp.body["injected"] = true;
+            return resp;
+          }
+          case DispatchFault::Fate::Delay:
+            injectedDelay = fate.extraLatency;
+            break;
+        }
+    }
     auto it = handlers.find(methodAndPath);
     if (it == handlers.end()) {
         RestResponse resp;
@@ -25,7 +45,17 @@ RestRouter::dispatch(const std::string &methodAndPath,
         resp.body["error"] = "no such route: " + methodAndPath;
         return resp;
     }
-    return it->second(body);
+    RestResponse resp = it->second(body);
+    resp.delay += injectedDelay;
+    return resp;
+}
+
+void
+RestRouter::setFaultHook(FaultHook hook)
+{
+    if (hook && faultHook)
+        panic("RestRouter::setFaultHook: a hook is already installed");
+    faultHook = std::move(hook);
 }
 
 RestResponse
@@ -62,6 +92,7 @@ orderToJson(const MigrationOrder &order)
     v["from_gpu"] = order.from.gpu;
     v["to"] = order.to.describe();
     v["to_gpu"] = order.to.gpu;
+    v["emergency"] = order.emergency;
     return v;
 }
 
@@ -86,6 +117,7 @@ orderFromJson(const Value &v)
     };
     order.from = parseLoc("from", "from_gpu");
     order.to = parseLoc("to", "to_gpu");
+    order.emergency = v.getBool("emergency", false);
     return order;
 }
 
@@ -109,6 +141,23 @@ badRequest(const std::string &why)
     return resp;
 }
 
+RestResponse
+conflict(const std::string &why)
+{
+    RestResponse resp;
+    resp.status = RestStatus::Conflict;
+    resp.body["error"] = why;
+    return resp;
+}
+
+/** The caller's clock, for lease-TTL bookkeeping; 0 when absent. */
+Tick
+bodyNow(const Value &req)
+{
+    std::int64_t now = req.getInt("now", 0);
+    return now > 0 ? static_cast<Tick>(now) : 0;
+}
+
 } // anonymous namespace
 
 CoordinatorRestService::CoordinatorRestService(Coordinator &coordinator)
@@ -119,8 +168,26 @@ CoordinatorRestService::CoordinatorRestService(Coordinator &coordinator)
         std::int64_t bytes = req.getInt("bytes", -1);
         if (gpu < 0 || bytes < 0)
             return badRequest("lease needs gpu and bytes");
-        coord.lease(static_cast<hw::GpuId>(gpu),
-                    static_cast<std::uint64_t>(bytes));
+        LeaseResult result =
+            coord.lease(static_cast<hw::GpuId>(gpu),
+                        static_cast<std::uint64_t>(bytes),
+                        bodyNow(req));
+        if (result == LeaseResult::ReclaimOutstanding)
+            return conflict("lease rejected: reclaim outstanding");
+        return okBody();
+    });
+
+    _router.route("POST /heartbeat", [this](const Value &req) {
+        std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
+        if (gpu < 0)
+            return badRequest("heartbeat needs gpu");
+        if (!coord.heartbeat(static_cast<hw::GpuId>(gpu),
+                             bodyNow(req))) {
+            RestResponse resp;
+            resp.status = RestStatus::NotFound;
+            resp.body["error"] = "heartbeat from producer with no lease";
+            return resp;
+        }
         return okBody();
     });
 
@@ -131,7 +198,8 @@ CoordinatorRestService::CoordinatorRestService(Coordinator &coordinator)
             return badRequest("allocate needs gpu and bytes");
         Coordinator::Allocation alloc =
             coord.allocate(static_cast<hw::GpuId>(gpu),
-                           static_cast<std::uint64_t>(bytes));
+                           static_cast<std::uint64_t>(bytes),
+                           bodyNow(req));
         Value body;
         body["tensor"] = static_cast<std::int64_t>(alloc.id);
         body["placement"] =
@@ -154,7 +222,7 @@ CoordinatorRestService::CoordinatorRestService(Coordinator &coordinator)
         if (gpu < 0)
             return badRequest("respond needs gpu");
         std::vector<MigrationOrder> orders =
-            coord.respond(static_cast<hw::GpuId>(gpu));
+            coord.respond(static_cast<hw::GpuId>(gpu), bodyNow(req));
         json::Array arr;
         for (const MigrationOrder &order : orders)
             arr.push_back(orderToJson(order));
@@ -190,8 +258,18 @@ CoordinatorRestService::CoordinatorRestService(Coordinator &coordinator)
         std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
         if (gpu < 0)
             return badRequest("release_lease needs gpu");
-        coord.releaseLease(static_cast<hw::GpuId>(gpu));
-        return okBody();
+        switch (coord.releaseLease(static_cast<hw::GpuId>(gpu))) {
+          case ReleaseResult::Ok:
+            return okBody();
+          case ReleaseResult::UnknownProducer: {
+            // Releasing a lease that was never taken is harmless.
+            return okBody();
+          }
+          case ReleaseResult::StillOccupied:
+            return conflict(
+                "release_lease rejected: tensors still occupy lease");
+        }
+        return badRequest("release_lease: unreachable");
     });
 
     _router.route("POST /assign", [this](const Value &req) {

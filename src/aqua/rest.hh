@@ -20,20 +20,68 @@
 
 #include "aqua/coordinator.hh"
 #include "json/json.hh"
+#include "sim/ticks.hh"
 
 namespace aqua::core {
 
 /** An HTTP-ish status code. */
-enum class RestStatus { Ok = 200, BadRequest = 400, NotFound = 404 };
+enum class RestStatus
+{
+    Ok = 200,
+    BadRequest = 400,
+    NotFound = 404,
+    Timeout = 408,
+    Conflict = 409,
+    ServiceUnavailable = 503,
+};
 
 /** A routed response. */
 struct RestResponse
 {
     RestStatus status = RestStatus::Ok;
     json::Value body;
+    /** Injected extra delivery latency the caller must model. */
+    aqua::sim::Tick delay = 0;
 
     bool ok() const { return status == RestStatus::Ok; }
+
+    /**
+     * Whether the failure is transient (a lost or timed-out message)
+     * rather than a protocol error: worth retrying with backoff.
+     */
+    bool
+    retryable() const
+    {
+        return status == RestStatus::Timeout ||
+               status == RestStatus::ServiceUnavailable;
+    }
 };
+
+/**
+ * Fate of one dispatch as decided by an installed fault hook: deliver
+ * normally, reject without reaching the handler (an outage or a
+ * dropped message), or deliver late.
+ */
+struct DispatchFault
+{
+    enum class Fate { Deliver, Reject, Delay };
+    Fate fate = Fate::Deliver;
+    /** Status returned on Reject. */
+    RestStatus status = RestStatus::ServiceUnavailable;
+    /** Error text returned on Reject. */
+    std::string reason;
+    /** Extra latency added on Delay. */
+    aqua::sim::Tick extraLatency = 0;
+};
+
+/**
+ * Fault-injection hook consulted before every dispatch. The body is
+ * passed through so time-windowed faults can honour the caller's
+ * retry-adjusted "now" field.
+ */
+using FaultHook =
+    std::function<DispatchFault(const std::string &methodAndPath,
+                                const json::Value &body)>;
 
 /**
  * Dispatches "METHOD /path" routes to JSON handlers.
@@ -60,27 +108,42 @@ class RestRouter
     RestResponse dispatchRaw(const std::string &methodAndPath,
                              const std::string &rawBody) const;
 
+    /**
+     * Install (or, with nullptr, remove) the fault-injection hook
+     * consulted before every dispatch. One hook at a time; installing
+     * over an existing hook panics so two injectors cannot silently
+     * shadow each other.
+     */
+    void setFaultHook(FaultHook hook);
+
     /** Registered route names (sorted). */
     std::vector<std::string> routes() const;
 
   private:
     std::map<std::string, Handler> handlers;
+    FaultHook faultHook;
 };
 
 /**
  * Binds a Coordinator's operations to the paper's endpoints.
  *
- * Endpoints and bodies:
+ * Endpoints and bodies (every body may carry an optional "now"
+ * timestamp; the coordinator uses it for lease-TTL bookkeeping):
  *  - POST /lease            {"gpu": id, "bytes": n}
+ *        409 while the producer's previous reclaim is outstanding
+ *  - POST /heartbeat        {"gpu": id, "now": t}
+ *        404 for a producer with no lease
  *  - POST /allocate         {"gpu": id, "bytes": n}
  *        -> {"tensor": id, "placement": "peer"|"dram", "peer": id}
  *  - POST /free             {"tensor": id}
  *  - POST /respond          {"gpu": id}
- *        -> {"orders": [{"tensor", "bytes", "from", "to", ...}]}
+ *        -> {"orders": [{"tensor", "bytes", "from", "to",
+ *                        "emergency", ...}]}
  *  - POST /done_moving      one order object from /respond
  *  - POST /reclaim_request  {"gpu": id}
  *  - GET  /reclaim_status   {"gpu": id} -> {"complete": bool}
  *  - POST /release_lease    {"gpu": id}
+ *        409 while tensors still occupy the lease
  *  - POST /assign           {"consumer": id, "producer": id}
  */
 class CoordinatorRestService

@@ -69,16 +69,25 @@ Link::Link(std::string name, double peakBandwidth,
         panic("Link %s: non-positive bandwidth", _name.c_str());
 }
 
+void
+Link::setDegradation(double factor)
+{
+    if (!(factor > 0.0) || factor > 1.0)
+        panic("Link %s: degradation factor %f out of (0, 1]",
+              _name.c_str(), factor);
+    degrade = factor;
+}
+
 double
 Link::effectiveBandwidth(std::uint64_t bytes) const
 {
     if (bytes == 0)
         return 0.0;
     if (ramp == 0)
-        return peak; // ideal link: size-independent
+        return degrade * peak; // ideal link: size-independent
     double x = std::log2(static_cast<double>(bytes) /
                          static_cast<double>(ramp));
-    return peak * rampFraction(x);
+    return degrade * peak * rampFraction(x);
 }
 
 Tick

@@ -80,6 +80,17 @@ class Link
         return saturationRampMultiple * ramp;
     }
 
+    /**
+     * Fault surface: scale every effective bandwidth by @p factor in
+     * (0, 1]. 1.0 restores the healthy link. Composes with the size
+     * ramp — a degraded link keeps its shape, so small transfers are
+     * hurt proportionally, not just the peak.
+     */
+    void setDegradation(double factor);
+
+    /** Current degradation factor (1.0 when healthy). */
+    double degradation() const { return degrade; }
+
     /** Effective bandwidth (bytes/second) for a transfer of @p bytes. */
     double effectiveBandwidth(std::uint64_t bytes) const;
 
@@ -99,6 +110,7 @@ class Link
     double peak;
     std::uint64_t ramp;
     aqua::sim::Tick lat;
+    double degrade = 1.0;
 };
 
 } // namespace aqua::hw

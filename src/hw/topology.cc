@@ -36,7 +36,8 @@ Topology::Topology(Simulation &sim, std::vector<Gpu *> gpus,
                    TopologyKind kind)
     : sim(sim), gpus(std::move(gpus)), _kind(kind),
       nvlink(makeNvlinkModel(this->gpus.at(0)->spec(), kind)),
-      pcie(makePcieModel(this->gpus.at(0)->spec()))
+      pcie(makePcieModel(this->gpus.at(0)->spec())),
+      failed(this->gpus.size(), false)
 {
     if (this->gpus.size() < 1)
         panic("Topology: need at least one GPU");
@@ -69,6 +70,36 @@ Topology::hostTransferDuration(std::uint64_t bytes) const
     return pcie.transferTime(bytes);
 }
 
+void
+Topology::degradePeerLink(double factor)
+{
+    nvlink.setDegradation(factor);
+}
+
+void
+Topology::degradeHostLink(double factor)
+{
+    pcie.setDegradation(factor);
+}
+
+void
+Topology::markGpuFailed(GpuId gpu, bool isFailed)
+{
+    checkEndpoint(gpu);
+    if (gpu == hostDramId)
+        panic("Topology::markGpuFailed: host DRAM cannot fail");
+    failed[gpu] = isFailed;
+}
+
+bool
+Topology::gpuFailed(GpuId gpu) const
+{
+    if (gpu == hostDramId)
+        return false;
+    checkEndpoint(gpu);
+    return failed[gpu];
+}
+
 TransferTiming
 Topology::route(GpuId src, GpuId dst, std::uint64_t bytes,
                 Tick duration, TransferCallback cb, Tick earliest_req)
@@ -77,6 +108,11 @@ Topology::route(GpuId src, GpuId dst, std::uint64_t bytes,
     checkEndpoint(dst);
     if (src == dst)
         panic("Topology: src == dst (%d)", src);
+    if (src != hostDramId && failed[src])
+        panic("Topology: transfer from failed GPU %d (memory is dark; "
+              "evacuation must beat the grace window)", src);
+    if (dst != hostDramId && failed[dst])
+        panic("Topology: transfer to failed GPU %d", dst);
 
     bool via_pcie = (src == hostDramId || dst == hostDramId);
     Tick now = sim.now();

@@ -112,6 +112,30 @@ class Topology
     /** Total bytes moved over PCIe routes. */
     std::uint64_t hostBytesMoved() const { return _hostBytes; }
 
+    //
+    // Fault surface (driven by fault::FaultInjector).
+    //
+
+    /**
+     * Degrade (factor in (0, 1)) or restore (1.0) the NVLink model's
+     * bandwidth. The size-aware ramp keeps its shape; every transfer
+     * issued while degraded is slower by 1/factor.
+     */
+    void degradePeerLink(double factor);
+
+    /** Degrade or restore the PCIe model's bandwidth. */
+    void degradeHostLink(double factor);
+
+    /**
+     * Mark a GPU's memory dark after its grace window: any transfer
+     * that touches it afterwards panics — a correct recovery path must
+     * have finished evacuating by then.
+     */
+    void markGpuFailed(GpuId gpu, bool failed);
+
+    /** Whether a GPU is currently marked failed (memory dark). */
+    bool gpuFailed(GpuId gpu) const;
+
   private:
     /** Validate an endpoint id; panics on garbage. */
     void checkEndpoint(GpuId id) const;
@@ -127,6 +151,7 @@ class Topology
     Link pcie;
     std::uint64_t _peerBytes = 0;
     std::uint64_t _hostBytes = 0;
+    std::vector<bool> failed;
 };
 
 } // namespace aqua::hw

@@ -35,6 +35,30 @@ TraceLog::countCategory(const std::string &category) const
     return n;
 }
 
+std::vector<std::int64_t>
+TraceLog::unmatchedPairs(const std::string &beginCategory,
+                        const std::string &endCategory,
+                        const std::string &idField) const
+{
+    std::vector<std::int64_t> open;
+    for (const Event &e : log) {
+        if (e.category != beginCategory && e.category != endCategory)
+            continue;
+        std::int64_t id = e.fields.getInt(idField, -1);
+        if (e.category == beginCategory) {
+            open.push_back(id);
+            continue;
+        }
+        for (auto it = open.begin(); it != open.end(); ++it) {
+            if (*it == id) {
+                open.erase(it);
+                break;
+            }
+        }
+    }
+    return open;
+}
+
 std::string
 TraceLog::toJsonl() const
 {

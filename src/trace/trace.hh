@@ -53,6 +53,17 @@ class TraceLog
     std::size_t countCategory(const std::string &category) const;
 
     /**
+     * Audit paired begin/end categories: ids (the integer @p idField
+     * payload) of @p beginCategory events that never got a matching
+     * @p endCategory event. A clean chaos run has no unmatched
+     * "fault_inject"/"fault_recover" pairs beyond permanent faults.
+     */
+    std::vector<std::int64_t>
+    unmatchedPairs(const std::string &beginCategory,
+                   const std::string &endCategory,
+                   const std::string &idField) const;
+
+    /**
      * Render as JSONL: one compact JSON object per line with
      * "t_ns", "event" and the payload fields inlined.
      */

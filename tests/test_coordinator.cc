@@ -166,13 +166,161 @@ TEST(Coordinator, DoneMovingWithoutOrderPanics)
     EXPECT_DEATH(c.doneMoving(fake), "does not match");
 }
 
-TEST(Coordinator, ReleaseLeaseWhileUsedPanics)
+TEST(Coordinator, ReleaseLeaseWhileOccupiedIsError)
 {
     Coordinator c;
     c.assignProducer(0, 1);
     c.lease(1, 10 * gb);
+    auto alloc = c.allocate(0, gb);
+    // Releasing with tensors resident is an explicit, recoverable
+    // error (the REST layer maps it to 409), not a panic: the
+    // producer must reclaim and wait for the drain.
+    EXPECT_EQ(c.releaseLease(1), ReleaseResult::StillOccupied);
+    EXPECT_EQ(c.producerState(1).leasedBytes, 10 * gb);
+    c.free(alloc.id);
+    EXPECT_EQ(c.releaseLease(1), ReleaseResult::Ok);
+}
+
+TEST(Coordinator, ReleaseLeaseUnknownProducer)
+{
+    Coordinator c;
+    EXPECT_EQ(c.releaseLease(7), ReleaseResult::UnknownProducer);
+}
+
+TEST(Coordinator, LeaseRejectedWhileReclaimOutstanding)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    EXPECT_EQ(c.lease(1, 4 * gb), LeaseResult::Ok);
+    auto alloc = c.allocate(0, gb);
+    c.requestReclaim(1);
+    // Consumers have not evacuated yet: a fresh offer would race the
+    // drain, so it is rejected and the lease is unchanged.
+    EXPECT_EQ(c.lease(1, 4 * gb), LeaseResult::ReclaimOutstanding);
+    EXPECT_EQ(c.producerState(1).leasedBytes, 4 * gb);
+    EXPECT_TRUE(c.producerState(1).reclaimRequested);
+    // Once the tensor is gone the offer goes through again.
+    for (const MigrationOrder &order : c.respond(0))
+        c.doneMoving(order);
+    c.free(alloc.id);
+    EXPECT_EQ(c.lease(1, 4 * gb), LeaseResult::Ok);
+    EXPECT_FALSE(c.producerState(1).reclaimRequested);
+}
+
+TEST(Coordinator, DoubleReclaimIsIdempotent)
+{
+    Coordinator c;
+    c.assignProducer(0, 1);
+    c.lease(1, 4 * gb);
     c.allocate(0, gb);
-    EXPECT_DEATH(c.releaseLease(1), "still holds");
+    c.requestReclaim(1);
+    c.requestReclaim(1);
+    // Only one evacuation order results.
+    auto orders = c.respond(0);
+    EXPECT_EQ(orders.size(), 1u);
+    EXPECT_TRUE(c.respond(0).empty());
+}
+
+TEST(Coordinator, LeaseExpiresWithoutHeartbeat)
+{
+    using aqua::sim::msToTicks;
+    Coordinator c;
+    c.setLeaseTtl(msToTicks(10.0));
+    c.lease(1, 4 * gb, msToTicks(1.0));
+    EXPECT_TRUE(c.leaseAlive(1));
+    // Within the TTL nothing expires.
+    EXPECT_TRUE(c.expireLeases(msToTicks(11.0)).empty());
+    // Past lastHeartbeat + ttl the lease dies and a reclaim is
+    // raised on the dead producer's behalf.
+    auto expired = c.expireLeases(msToTicks(12.0));
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0], 1);
+    EXPECT_FALSE(c.leaseAlive(1));
+    EXPECT_TRUE(c.producerState(1).reclaimRequested);
+    // Expiry is edge-triggered: already-dead leases don't repeat.
+    EXPECT_TRUE(c.expireLeases(msToTicks(20.0)).empty());
+}
+
+TEST(Coordinator, HeartbeatRefreshesTtl)
+{
+    using aqua::sim::msToTicks;
+    Coordinator c;
+    c.setLeaseTtl(msToTicks(10.0));
+    c.lease(1, 4 * gb, msToTicks(0.0));
+    EXPECT_TRUE(c.heartbeat(1, msToTicks(8.0)));
+    EXPECT_TRUE(c.expireLeases(msToTicks(15.0)).empty());
+    EXPECT_TRUE(c.leaseAlive(1));
+    // An unknown producer's heartbeat maps to 404 at the REST layer.
+    EXPECT_FALSE(c.heartbeat(9, msToTicks(8.0)));
+}
+
+TEST(Coordinator, ZeroTtlDisablesExpiry)
+{
+    using aqua::sim::secToTicks;
+    Coordinator c;
+    c.lease(1, 4 * gb);
+    EXPECT_TRUE(c.expireLeases(secToTicks(100.0)).empty());
+    EXPECT_TRUE(c.leaseAlive(1));
+}
+
+TEST(Coordinator, ExpiredLeaseYieldsEmergencyOrders)
+{
+    using aqua::sim::msToTicks;
+    Coordinator c;
+    c.setLeaseTtl(msToTicks(10.0));
+    c.assignProducer(0, 1);
+    c.lease(1, 4 * gb, msToTicks(1.0));
+    auto alloc = c.allocate(0, gb, msToTicks(2.0));
+    EXPECT_EQ(alloc.location.placement, Placement::PeerGpu);
+    // respond() with a time runs expiry lazily; the evacuation off
+    // the dead producer comes back flagged emergency.
+    auto orders = c.respond(0, msToTicks(30.0));
+    ASSERT_EQ(orders.size(), 1u);
+    EXPECT_TRUE(orders[0].emergency);
+    EXPECT_EQ(orders[0].to.placement, Placement::HostDram);
+    c.doneMoving(orders[0]);
+    EXPECT_TRUE(c.reclaimComplete(1));
+    // A planned reclaim (producer alive) is not an emergency.
+    Coordinator c2;
+    c2.assignProducer(0, 1);
+    c2.lease(1, 4 * gb);
+    c2.allocate(0, gb);
+    c2.requestReclaim(1);
+    auto planned = c2.respond(0);
+    ASSERT_EQ(planned.size(), 1u);
+    EXPECT_FALSE(planned[0].emergency);
+}
+
+TEST(Coordinator, ExpiredLeaseNoLongerTakesAllocations)
+{
+    using aqua::sim::msToTicks;
+    Coordinator c;
+    c.setLeaseTtl(msToTicks(10.0));
+    c.assignProducer(0, 1);
+    c.lease(1, 4 * gb, msToTicks(1.0));
+    // Allocation carrying a late clock expires the lease first and
+    // falls back to DRAM instead of placing on a dead producer.
+    auto alloc = c.allocate(0, gb, msToTicks(30.0));
+    EXPECT_EQ(alloc.location.placement, Placement::HostDram);
+}
+
+TEST(Coordinator, HeartbeatRevivesExpiredLease)
+{
+    using aqua::sim::msToTicks;
+    Coordinator c;
+    c.setLeaseTtl(msToTicks(10.0));
+    c.assignProducer(0, 1);
+    c.lease(1, 4 * gb, msToTicks(1.0));
+    ASSERT_EQ(c.expireLeases(msToTicks(20.0)).size(), 1u);
+    EXPECT_FALSE(c.leaseAlive(1));
+    // The producer was only partitioned, not dead: its next
+    // heartbeat revives the lease, though the reclaim raised at
+    // expiry still stands until a fresh /lease clears it.
+    EXPECT_TRUE(c.heartbeat(1, msToTicks(21.0)));
+    EXPECT_TRUE(c.leaseAlive(1));
+    EXPECT_TRUE(c.producerState(1).reclaimRequested);
+    EXPECT_EQ(c.lease(1, 0, msToTicks(22.0)), LeaseResult::Ok);
+    EXPECT_FALSE(c.producerState(1).reclaimRequested);
 }
 
 TEST(Coordinator, ReclaimUnknownProducerPanics)

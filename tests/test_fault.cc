@@ -1,0 +1,472 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem: plan parsing and
+ * generation, injector determinism, the coordinator-path fault hook
+ * (outage / drop / delay), retry-with-backoff semantics in AQUA-LIB's
+ * southbound calls, heartbeat-driven lease expiry, and the emergency
+ * evacuation of tensors off a dying donor GPU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/testbed.hh"
+#include "fault/fault.hh"
+#include "trace/trace.hh"
+
+using namespace aqua;
+using namespace aqua::sim;
+using namespace aqua::core;
+using namespace aqua::fault;
+
+namespace {
+
+constexpr std::uint64_t mb = std::uint64_t(1) << 20;
+constexpr std::uint64_t gb = std::uint64_t(1) << 30;
+
+/** AquaLib tunables with round retry numbers for exact-math tests. */
+AquaLibConfig
+retryConfig()
+{
+    AquaLibConfig cfg;
+    cfg.restLatency = usToTicks(100.0);
+    cfg.restBackoffBase = usToTicks(50.0);
+    cfg.maxRestAttempts = 3;
+    return cfg;
+}
+
+} // anonymous namespace
+
+//
+// FaultPlan: construction, JSON, generation.
+//
+
+TEST(FaultPlan, JsonRoundTrip)
+{
+    FaultPlan plan;
+    plan.setSeed(7);
+    FaultSpec gpuFail;
+    gpuFail.kind = FaultKind::GpuFail;
+    gpuFail.at = msToTicks(100.0);
+    gpuFail.duration = 0; // permanent
+    gpuFail.gpu = 1;
+    gpuFail.grace = msToTicks(50.0);
+    plan.add(gpuFail);
+    FaultSpec degrade;
+    degrade.kind = FaultKind::LinkDegrade;
+    degrade.at = msToTicks(10.0);
+    degrade.duration = msToTicks(5.0);
+    degrade.link = FaultLink::Pcie;
+    degrade.factor = 0.25;
+    degrade.flaps = 2;
+    plan.add(degrade);
+
+    // add() keeps the plan sorted by injection time.
+    ASSERT_EQ(plan.size(), 2u);
+    EXPECT_EQ(plan.faults()[0].kind, FaultKind::LinkDegrade);
+
+    FaultPlanParse parsed = FaultPlan::parse(plan.toJson().dump());
+    ASSERT_TRUE(parsed.ok) << parsed.error;
+    EXPECT_EQ(parsed.seed, 7u);
+    FaultPlan back = FaultPlan::fromParse(parsed);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.faults()[0].kind, FaultKind::LinkDegrade);
+    EXPECT_EQ(back.faults()[0].link, FaultLink::Pcie);
+    EXPECT_DOUBLE_EQ(back.faults()[0].factor, 0.25);
+    EXPECT_EQ(back.faults()[0].flaps, 2u);
+    EXPECT_EQ(back.faults()[1].kind, FaultKind::GpuFail);
+    EXPECT_EQ(back.faults()[1].gpu, 1);
+    EXPECT_EQ(back.faults()[1].grace, msToTicks(50.0));
+    EXPECT_EQ(back.toJson().dump(), plan.toJson().dump());
+}
+
+TEST(FaultPlan, ParseRejectsMalformedPlans)
+{
+    EXPECT_FALSE(FaultPlan::parse("not json").ok);
+    EXPECT_FALSE(FaultPlan::parse("[]").ok);
+    EXPECT_FALSE(FaultPlan::parse(R"({"seed": 1})").ok);
+
+    auto bad = [](const std::string &fault) {
+        return FaultPlan::parse(R"({"faults": [)" + fault + "]}");
+    };
+    EXPECT_FALSE(bad(R"({"kind": "solar_flare", "at_ns": 0})").ok);
+    EXPECT_FALSE(bad(R"({"kind": "gpu_fail"})").ok); // no at_ns
+    EXPECT_FALSE(bad(R"({"kind": "gpu_fail", "at_ns": 5})").ok);
+    EXPECT_FALSE(
+        bad(R"({"kind": "link_degrade", "at_ns": 0,
+                "duration_ns": 5, "factor": 1.5})").ok);
+    EXPECT_FALSE(
+        bad(R"({"kind": "link_degrade", "at_ns": 0,
+                "duration_ns": 5, "factor": 0.5, "link": "smoke"})").ok);
+    EXPECT_FALSE(
+        bad(R"({"kind": "coordinator_outage", "at_ns": 0})").ok);
+    EXPECT_FALSE(
+        bad(R"({"kind": "message_drop", "at_ns": 0,
+                "duration_ns": 5, "probability": 2.0})").ok);
+    EXPECT_FALSE(
+        bad(R"({"kind": "message_delay", "at_ns": 0,
+                "duration_ns": 5})").ok);
+
+    std::string ok = R"({"faults": [{"kind": "coordinator_outage",
+        "at_ns": 10, "duration_ns": 20}]})";
+    EXPECT_TRUE(FaultPlan::parse(ok).ok);
+}
+
+TEST(FaultPlan, RandomPlanIsDeterministicUnderSeed)
+{
+    ChaosConfig cfg;
+    cfg.horizon = secToTicks(1.0);
+    cfg.donorGpus = {1};
+    cfg.gpuFailures = 2;
+    cfg.meanGpuDowntime = msToTicks(100.0);
+    cfg.linkDegrades = 3;
+    cfg.outages = 2;
+    cfg.dropWindows = 1;
+    cfg.delayWindows = 1;
+
+    FaultPlan a = FaultPlan::random(42, cfg);
+    FaultPlan b = FaultPlan::random(42, cfg);
+    FaultPlan c = FaultPlan::random(43, cfg);
+    EXPECT_EQ(a.size(), 9u);
+    EXPECT_EQ(a.toJson().dump(), b.toJson().dump());
+    EXPECT_NE(a.toJson().dump(), c.toJson().dump());
+    for (const FaultSpec &f : a.faults())
+        EXPECT_LT(f.at, cfg.horizon);
+}
+
+//
+// Hardware fault surface.
+//
+
+TEST(LinkFaults, DegradationScalesTheWholeRamp)
+{
+    hw::Link link("nvlink", 250e9, std::uint64_t(3) << 20,
+                  usToTicks(2.0));
+    double smallHealthy = link.effectiveBandwidth(64 << 10);
+    double bigHealthy = link.effectiveBandwidth(256 * mb);
+    link.setDegradation(0.5);
+    // The ramp keeps its shape: every size is hit by the same factor.
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(64 << 10),
+                     0.5 * smallHealthy);
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(256 * mb),
+                     0.5 * bigHealthy);
+    link.setDegradation(1.0);
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(256 * mb), bigHealthy);
+    EXPECT_DEATH(link.setDegradation(0.0), "out of");
+    EXPECT_DEATH(link.setDegradation(1.5), "out of");
+}
+
+TEST(TopologyFaults, DegradeSlowsTransfersAndRecoverRestores)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    hw::Topology &topo = tb.server().topology();
+    Tick healthy = topo.peerTransferDuration(32 * mb);
+    topo.degradePeerLink(0.25);
+    Tick degraded = topo.peerTransferDuration(32 * mb);
+    // Latency is unchanged, wire time quadruples.
+    EXPECT_GT(degraded, 3 * healthy);
+    topo.degradePeerLink(1.0);
+    EXPECT_EQ(topo.peerTransferDuration(32 * mb), healthy);
+
+    Tick pcieHealthy = topo.hostTransferDuration(32 * mb);
+    topo.degradeHostLink(0.5);
+    EXPECT_GT(topo.hostTransferDuration(32 * mb), pcieHealthy);
+    topo.degradeHostLink(1.0);
+}
+
+TEST(TopologyFaults, TransfersTouchingFailedGpuPanic)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    hw::Topology &topo = tb.server().topology();
+    EXPECT_FALSE(topo.gpuFailed(1));
+    topo.markGpuFailed(1, true);
+    EXPECT_TRUE(topo.gpuFailed(1));
+    EXPECT_DEATH(topo.copy(1, hw::hostDramId, mb), "failed GPU");
+    EXPECT_DEATH(topo.copy(0, 1, mb), "failed GPU");
+    topo.markGpuFailed(1, false);
+    topo.copy(0, 1, mb); // healthy again
+}
+
+//
+// Coordinator-path faults through the REST hook.
+//
+
+TEST(FaultInjector, OutageRejectsUntilRetriesOutlastIt)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    AquaLibConfig cfg = retryConfig();
+    cfg.maxRestAttempts = 5;
+    AquaLib &lib = tb.makeAquaLib(0, nullptr, cfg);
+
+    FaultPlan plan;
+    FaultSpec outage;
+    outage.kind = FaultKind::CoordinatorOutage;
+    outage.at = 0;
+    outage.duration = usToTicks(300.0);
+    plan.add(outage);
+
+    FaultInjector inj(tb.sim(), tb.server().topology(),
+                      tb.rest().router());
+    inj.arm(plan);
+    tb.sim().runUntil(0);
+    ASSERT_TRUE(inj.coordinatorUnavailable(usToTicks(100.0)));
+
+    // Attempt arrivals at +100us and +250us land inside the outage
+    // window; the third, at +450us of virtual (backoff) time, gets
+    // through even though sim time never advanced mid-call.
+    Tick blocked = lib.respond();
+    EXPECT_EQ(blocked, tb.sim().now() + usToTicks(450.0));
+    EXPECT_EQ(lib.stats().restRetries, 2u);
+    EXPECT_EQ(lib.stats().restFailures, 0u);
+    EXPECT_EQ(inj.stats().rejectedDuringOutage, 2u);
+}
+
+TEST(FaultInjector, ExhaustedRetriesFollowTheBackoffSchedule)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    AquaLibConfig cfg = retryConfig(); // 3 attempts, 100us, 50us base
+    AquaLib &lib = tb.makeAquaLib(0, nullptr, cfg);
+
+    FaultPlan plan;
+    FaultSpec outage;
+    outage.kind = FaultKind::CoordinatorOutage;
+    outage.at = 0;
+    outage.duration = secToTicks(10.0); // outlasts any retry budget
+    plan.add(outage);
+    FaultInjector inj(tb.sim(), tb.server().topology(),
+                      tb.rest().router());
+    inj.arm(plan);
+    tb.sim().runUntil(0);
+
+    // N attempts cost N*latency plus sum(base * 2^k) of backoff:
+    // 3*100 + (50 + 100) = 450us of blocked time, no crash.
+    Tick blocked = lib.respond();
+    EXPECT_EQ(blocked, tb.sim().now() + usToTicks(450.0));
+    EXPECT_EQ(lib.stats().restRetries, 2u);
+    EXPECT_EQ(lib.stats().restFailures, 1u);
+
+    // Degraded, not dead: allocation reports failure instead of
+    // panicking while the coordinator is unreachable.
+    EXPECT_FALSE(lib.allocateTensor(mb).has_value());
+}
+
+TEST(FaultInjector, MessageDelayAddsLatencyToDeliveredCalls)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    AquaLibConfig cfg = retryConfig();
+    AquaLib &lib = tb.makeAquaLib(0, nullptr, cfg);
+
+    FaultPlan plan;
+    FaultSpec delay;
+    delay.kind = FaultKind::MessageDelay;
+    delay.at = 0;
+    delay.duration = msToTicks(10.0);
+    delay.delay = usToTicks(300.0);
+    plan.add(delay);
+    FaultInjector inj(tb.sim(), tb.server().topology(),
+                      tb.rest().router());
+    inj.arm(plan);
+    tb.sim().runUntil(0);
+
+    // One delivered round trip, 300us late.
+    Tick blocked = lib.respond();
+    EXPECT_EQ(blocked, tb.sim().now() + usToTicks(400.0));
+    EXPECT_EQ(lib.stats().restRetries, 0u);
+    EXPECT_EQ(inj.stats().delayedMessages, 1u);
+}
+
+TEST(FaultInjector, MessageDropsAreSeededAndDeterministic)
+{
+    auto run = [](std::uint64_t seed) {
+        exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+        AquaLibConfig cfg = retryConfig();
+        cfg.maxRestAttempts = 2;
+        AquaLib &lib = tb.makeAquaLib(0, nullptr, cfg);
+        FaultPlan plan;
+        plan.setSeed(seed);
+        FaultSpec drop;
+        drop.kind = FaultKind::MessageDrop;
+        drop.at = 0;
+        drop.duration = secToTicks(10.0);
+        drop.probability = 0.5;
+        plan.add(drop);
+        FaultInjector inj(tb.sim(), tb.server().topology(),
+                          tb.rest().router());
+        inj.arm(plan);
+        tb.sim().runUntil(0);
+        for (int i = 0; i < 32; ++i)
+            lib.respond();
+        return std::make_pair(inj.stats().droppedMessages,
+                              lib.stats().restRetries);
+    };
+    auto [drops1, retries1] = run(11);
+    auto [drops2, retries2] = run(11);
+    auto [drops3, retries3] = run(12);
+    EXPECT_GT(drops1, 0u);
+    EXPECT_EQ(drops1, drops2);
+    EXPECT_EQ(retries1, retries2);
+    // A different seed draws a different drop pattern.
+    EXPECT_NE(drops1, drops3);
+}
+
+TEST(FaultInjector, TraceIsDeterministicAndPairsInjectRecover)
+{
+    ChaosConfig cfg;
+    cfg.horizon = msToTicks(500.0);
+    cfg.linkDegrades = 3;
+    cfg.outages = 2;
+    cfg.delayWindows = 1;
+    FaultPlan plan = FaultPlan::random(9, cfg);
+
+    auto run = [&plan] {
+        exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+        trace::TraceLog log;
+        FaultInjector inj(tb.sim(), tb.server().topology(),
+                          tb.rest().router());
+        inj.setTraceLog(&log);
+        inj.arm(plan);
+        tb.sim().runUntil(secToTicks(2.0));
+        EXPECT_EQ(inj.stats().injected, inj.stats().recovered);
+        // Every transient fault recovered: inject/recover pairs match.
+        EXPECT_TRUE(log.unmatchedPairs("fault_inject",
+                                       "fault_recover",
+                                       "fault_id").empty());
+        return log.toJsonl();
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjector, ArmTwicePanics)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    FaultInjector inj(tb.sim(), tb.server().topology(),
+                      tb.rest().router());
+    FaultPlan plan;
+    inj.arm(plan);
+    EXPECT_DEATH(inj.arm(plan), "already armed");
+}
+
+//
+// Heartbeats and lease expiry end to end.
+//
+
+TEST(Heartbeats, KeepTheLeaseAliveUntilTheProducerDies)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    AquaLibConfig cfg;
+    cfg.heartbeatInterval = msToTicks(5.0);
+    AquaLib &producer = tb.makeAquaLib(1, nullptr, cfg);
+    tb.coordinator().setLeaseTtl(msToTicks(20.0));
+    tb.coordinator().lease(1, 10 * gb, 0);
+    producer.startHeartbeats(secToTicks(1.0));
+
+    tb.sim().runUntil(msToTicks(200.0));
+    EXPECT_TRUE(tb.coordinator()
+                    .expireLeases(tb.sim().now()).empty());
+    EXPECT_TRUE(tb.coordinator().leaseAlive(1));
+    EXPECT_GT(producer.stats().heartbeats, 30u);
+
+    // The producer's software dies; heartbeats stop silently and the
+    // TTL sweep declares the lease dead.
+    producer.setFailed(true);
+    tb.sim().runUntil(msToTicks(400.0));
+    auto expired = tb.coordinator().expireLeases(tb.sim().now());
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0], 1);
+    EXPECT_FALSE(tb.coordinator().leaseAlive(1));
+}
+
+TEST(Heartbeats, WithoutLeaseAreSilentlyIgnored)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    AquaLib &lib = tb.makeAquaLib(1);
+    lib.heartbeat(); // no lease yet: 404, no crash, not counted
+    EXPECT_EQ(lib.stats().heartbeats, 0u);
+    tb.coordinator().lease(1, gb, 0);
+    lib.heartbeat();
+    EXPECT_EQ(lib.stats().heartbeats, 1u);
+}
+
+//
+// Emergency evacuation off a dying donor.
+//
+
+TEST(EmergencyMigration, EvacuatesTensorsBeforeTheGraceWindowCloses)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    AquaLibConfig prodCfg;
+    prodCfg.heartbeatInterval = msToTicks(5.0);
+    AquaLib &producer = tb.makeAquaLib(1, nullptr, prodCfg);
+    AquaLib &consumer = tb.makeAquaLib(0);
+    tb.assign(0, 1);
+    trace::TraceLog log;
+    consumer.setTraceLog(&log);
+
+    tb.coordinator().setLeaseTtl(msToTicks(20.0));
+    tb.coordinator().lease(1, 10 * gb, 0);
+    producer.startHeartbeats(secToTicks(1.0));
+
+    auto id = consumer.allocateTensor(256 * mb);
+    ASSERT_TRUE(id);
+    ASSERT_EQ(consumer.tensorLocation(*id).placement,
+              Placement::PeerGpu);
+    consumer.writeTensor(*id, 256 * mb, 128);
+    consumer.writeTensor(*id, 64 * mb, 32);
+    std::uint64_t sig = consumer.tensorSignature(*id);
+    std::uint64_t gen = consumer.tensorGeneration(*id);
+    EXPECT_NE(sig, 0u);
+
+    // The donor dies at 100ms; its HBM stays readable for 200ms.
+    FaultPlan plan;
+    FaultSpec fail;
+    fail.kind = FaultKind::GpuFail;
+    fail.at = msToTicks(100.0);
+    fail.duration = 0; // permanent
+    fail.gpu = 1;
+    fail.grace = msToTicks(200.0);
+    plan.add(fail);
+    FaultInjector inj(tb.sim(), tb.server().topology(),
+                      tb.rest().router());
+    inj.registerLib(producer);
+    inj.setTraceLog(&log);
+    inj.arm(plan);
+
+    // By 150ms the missed heartbeats have outlived the TTL; the
+    // consumer's next respond() sees an emergency order and evacuates
+    // through the staging engine while the donor's memory is still
+    // readable.
+    tb.sim().runUntil(msToTicks(150.0));
+    EXPECT_TRUE(producer.isFailed());
+    Tick blocked = consumer.respond();
+    EXPECT_EQ(consumer.tensorLocation(*id).placement,
+              Placement::HostDram);
+    EXPECT_EQ(consumer.tensorGeneration(*id), gen + 1);
+    EXPECT_EQ(consumer.stats().emergencyMigrations, 1u);
+    EXPECT_EQ(log.countCategory("emergency_migrate"), 1u);
+    // The evacuation beat the grace window.
+    EXPECT_LT(blocked, msToTicks(300.0));
+
+    // Byte identity: the content signature survived the migration.
+    EXPECT_EQ(consumer.tensorSignature(*id), sig);
+
+    // After the grace window the donor's ports are dark, but the
+    // tensor lives in DRAM: reads keep working.
+    tb.sim().runUntil(msToTicks(400.0));
+    EXPECT_TRUE(tb.server().topology().gpuFailed(1));
+    consumer.readTensor(*id, 64 * mb, 32);
+    EXPECT_EQ(consumer.tensorSignature(*id), sig);
+}
+
+TEST(EmergencyMigration, SignatureUnchangedByPlannedMigrationsToo)
+{
+    exp::Testbed tb(2, hw::TopologyKind::DirectP2P);
+    AquaLib &consumer = tb.makeAquaLib(0);
+    tb.assign(0, 1);
+    tb.coordinator().lease(1, 10 * gb);
+    auto id = consumer.allocateTensor(64 * mb);
+    ASSERT_TRUE(id);
+    consumer.writeTensor(*id, 64 * mb, 32);
+    std::uint64_t sig = consumer.tensorSignature(*id);
+    tb.coordinator().requestReclaim(1);
+    consumer.respond(); // planned evacuation to DRAM
+    EXPECT_EQ(consumer.tensorSignature(*id), sig);
+}
