@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Ablation: copy-on-write prefix caching on a shared-prefix serving
+ * workload, sharing ON vs OFF.
+ *
+ * Requests arrive in groups that open with the same system prompt
+ * (workload::Generator::sharedPrefix), so with caching enabled every
+ * request after the first in a group prefills its preamble from
+ * resident KV blocks. The run reports the block hit rate, the live-KV
+ * high-water mark (HBM saved), bytes moved over the offload path
+ * (NVLink traffic saved by shared-group dedup and resident reuse) and
+ * decode throughput for both configurations, and writes the whole
+ * comparison to BENCH_prefix_cache.json for CI artifact diffing.
+ *
+ * `--smoke` shrinks the request count for quick pipelines.
+ */
+
+#include <cstring>
+
+#include "bench/bench_util.hh"
+#include "exp/experiments.hh"
+
+using namespace aqua;
+
+namespace {
+
+json::Object
+modeJson(const exp::PrefixAblationResult &r)
+{
+    stats::Summary rct;
+    for (const auto &m : r.metrics) {
+        if (m.finished())
+            rct.add(m.rctSec());
+    }
+    json::Object o;
+    o["finished"] = static_cast<std::int64_t>(rct.count());
+    o["rct_p50_sec"] = rct.median();
+    o["rct_p95_sec"] = rct.p95();
+    o["tokens_per_sec"] = r.tokensPerSec;
+    o["peak_live_kv_bytes"] =
+        static_cast<std::int64_t>(r.peakLiveKvBytes);
+    o["offload_write_bytes"] =
+        static_cast<std::int64_t>(r.offloadWriteBytes);
+    o["offload_read_bytes"] =
+        static_cast<std::int64_t>(r.offloadReadBytes);
+    o["swap_outs"] = static_cast<std::int64_t>(r.swapOuts);
+    o["swap_ins"] = static_cast<std::int64_t>(r.swapIns);
+    return o;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+    bench::banner("Prefix-cache ablation",
+                  "shared-prefix chatbot traffic, CoW KV sharing "
+                  "on vs off");
+
+    exp::PrefixAblationConfig cfg;
+    if (smoke) {
+        cfg.numRequests = 30;
+        cfg.maxSimSeconds = 3000.0;
+    }
+
+    exp::PrefixAblationConfig off = cfg;
+    off.prefixCache = false;
+    exp::PrefixAblationResult offR = exp::runPrefixAblation(off);
+
+    exp::PrefixAblationConfig on = cfg;
+    on.prefixCache = true;
+    exp::PrefixAblationResult onR = exp::runPrefixAblation(on);
+
+    const exp::PrefixCacheReport &pc = onR.prefix;
+    double hbmSaved =
+        offR.peakLiveKvBytes > onR.peakLiveKvBytes
+            ? double(offR.peakLiveKvBytes - onR.peakLiveKvBytes)
+            : 0.0;
+    std::uint64_t offloadOff =
+        offR.offloadWriteBytes + offR.offloadReadBytes;
+    std::uint64_t offloadOn =
+        onR.offloadWriteBytes + onR.offloadReadBytes;
+
+    stats::Table t({"metric", "sharing_off", "sharing_on"});
+    t.newRow()
+        .cell("peak_live_kv_mib")
+        .cell(double(offR.peakLiveKvBytes) / (1 << 20), 1)
+        .cell(double(onR.peakLiveKvBytes) / (1 << 20), 1);
+    t.newRow()
+        .cell("offload_write_mib")
+        .cell(double(offR.offloadWriteBytes) / (1 << 20), 1)
+        .cell(double(onR.offloadWriteBytes) / (1 << 20), 1);
+    t.newRow()
+        .cell("offload_read_mib")
+        .cell(double(offR.offloadReadBytes) / (1 << 20), 1)
+        .cell(double(onR.offloadReadBytes) / (1 << 20), 1);
+    t.newRow()
+        .cell("tokens_per_sec")
+        .cell(offR.tokensPerSec, 1)
+        .cell(onR.tokensPerSec, 1);
+    t.newRow()
+        .cell("swap_outs")
+        .cell(std::uint64_t(offR.swapOuts))
+        .cell(std::uint64_t(onR.swapOuts));
+    bench::show(t);
+
+    std::printf("hit rate %.1f%% (%llu hits / %llu misses, %llu "
+                "partial), %llu tokens prefilled from cache, %llu "
+                "CoW forks\n",
+                100.0 * pc.hitRate,
+                static_cast<unsigned long long>(pc.hits),
+                static_cast<unsigned long long>(pc.misses),
+                static_cast<unsigned long long>(pc.partialHits),
+                static_cast<unsigned long long>(pc.cachedTokens),
+                static_cast<unsigned long long>(pc.cowForks));
+    std::printf("HBM saved at peak: %.1f MiB; offload bytes: %.1f -> "
+                "%.1f MiB (dedup saved %.1f MiB, resident reuse "
+                "%.1f MiB)\n",
+                hbmSaved / (1 << 20), double(offloadOff) / (1 << 20),
+                double(offloadOn) / (1 << 20),
+                double(pc.dedupSavedBytes) / (1 << 20),
+                double(pc.residentReuseBytes) / (1 << 20));
+
+    bool okHitRate = pc.hitRate > 0.5;
+    bool okPeak = onR.peakLiveKvBytes < offR.peakLiveKvBytes;
+    bool okOffload = onR.offloadWriteBytes <= offR.offloadWriteBytes;
+    bool okIdentity = pc.sigMismatches == 0;
+    std::printf("acceptance: hit_rate>50%% %s, peak_live on<off %s, "
+                "offload_write on<=off %s, byte_identity %s\n",
+                okHitRate ? "PASS" : "FAIL", okPeak ? "PASS" : "FAIL",
+                okOffload ? "PASS" : "FAIL",
+                okIdentity ? "PASS" : "FAIL");
+
+    bench::JsonReporter report("prefix_cache");
+    report.set("smoke", smoke)
+        .set("num_requests", static_cast<std::int64_t>(cfg.numRequests))
+        .set("prefix_tokens", cfg.prefixTokens)
+        .set("num_groups", cfg.numGroups);
+    report.set("sharing_off", modeJson(offR));
+    report.set("sharing_on", modeJson(onR));
+    json::Object prefix;
+    prefix["hit_rate"] = pc.hitRate;
+    prefix["hits"] = static_cast<std::int64_t>(pc.hits);
+    prefix["misses"] = static_cast<std::int64_t>(pc.misses);
+    prefix["partial_hits"] = static_cast<std::int64_t>(pc.partialHits);
+    prefix["collisions"] = static_cast<std::int64_t>(pc.collisions);
+    prefix["evictions"] = static_cast<std::int64_t>(pc.evictions);
+    prefix["cached_tokens"] = static_cast<std::int64_t>(pc.cachedTokens);
+    prefix["cow_forks"] = static_cast<std::int64_t>(pc.cowForks);
+    prefix["dedup_saved_bytes"] =
+        static_cast<std::int64_t>(pc.dedupSavedBytes);
+    prefix["resident_reuse_bytes"] =
+        static_cast<std::int64_t>(pc.residentReuseBytes);
+    prefix["sig_mismatches"] =
+        static_cast<std::int64_t>(pc.sigMismatches);
+    report.set("prefix_cache", std::move(prefix));
+    json::Object accept;
+    accept["hit_rate_gt_50pct"] = okHitRate;
+    accept["peak_live_reduced"] = okPeak;
+    accept["offload_write_not_worse"] = okOffload;
+    accept["byte_identity"] = okIdentity;
+    report.set("acceptance", std::move(accept));
+    report.write();
+
+    return (okHitRate && okPeak && okOffload && okIdentity) ? 0 : 1;
+}

@@ -13,8 +13,10 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "json/json.hh"
 #include "stats/summary.hh"
 #include "stats/table.hh"
 #include "workload/request.hh"
@@ -90,6 +92,86 @@ sloAttainment(const std::vector<workload::RequestMetrics> &metrics,
     return static_cast<double>(hits) /
            static_cast<double>(metrics.size());
 }
+
+/**
+ * Machine-readable benchmark reporter.
+ *
+ * Collects named metrics into an insertion-ordered JSON document and
+ * writes it as BENCH_<name>.json in the working directory, so CI can
+ * archive runs as artifacts and diff them across commits. The text
+ * tables stay the human-facing output; this is the scriptable twin.
+ */
+class JsonReporter
+{
+  public:
+    explicit JsonReporter(std::string name) : benchName(std::move(name))
+    {
+        doc["bench"] = benchName;
+        doc["schema_version"] = 1;
+    }
+
+    /** Set a top-level metric (chainable). */
+    JsonReporter &
+    set(const std::string &key, json::Value v)
+    {
+        doc[key] = std::move(v);
+        return *this;
+    }
+
+    /** Add a percentile breakdown of @p s under @p key. */
+    JsonReporter &
+    setSummary(const std::string &key, const stats::Summary &s)
+    {
+        json::Object o;
+        o["count"] = static_cast<std::int64_t>(s.count());
+        if (!s.empty()) {
+            o["mean"] = s.mean();
+            o["min"] = s.min();
+            o["p50"] = s.median();
+            o["p95"] = s.p95();
+            o["p99"] = s.p99();
+            o["max"] = s.max();
+        }
+        doc[key] = std::move(o);
+        return *this;
+    }
+
+    /** Mutable document root (for nested structures). */
+    json::Object &root() { return doc; }
+
+    /** Output path: BENCH_<name>.json in the working directory. */
+    std::string
+    path() const
+    {
+        return "BENCH_" + benchName + ".json";
+    }
+
+    /**
+     * Write the document. @return false (with a note on stderr) if
+     * the file cannot be created; benches report but don't fail.
+     */
+    bool
+    write() const
+    {
+        std::string out = json::Value(doc).dump(2);
+        out.push_back('\n');
+        std::string file = path();
+        std::FILE *fp = std::fopen(file.c_str(), "w");
+        if (!fp) {
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         file.c_str());
+            return false;
+        }
+        std::fwrite(out.data(), 1, out.size(), fp);
+        std::fclose(fp);
+        std::printf("[json] wrote %s\n", file.c_str());
+        return true;
+    }
+
+  private:
+    std::string benchName;
+    json::Object doc;
+};
 
 } // namespace aqua::bench
 

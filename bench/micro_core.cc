@@ -40,6 +40,53 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleRun)->Arg(1024)->Arg(16384);
 
 void
+BM_EventQueueScheduleFireHot(benchmark::State &state)
+{
+    // Tight schedule/fire ping-pong over a warm, pre-reserved queue:
+    // isolates the per-event push_heap/pop_heap cost (and whether the
+    // callback is moved or copied on pop) from allocation noise.
+    const std::size_t depth = 64;
+    sim::EventQueue q;
+    q.reserve(depth + 1);
+    std::uint64_t sink = 0;
+    sim::Tick when = 0;
+    for (std::size_t i = 0; i < depth; ++i)
+        q.schedule(++when, [&sink] { ++sink; });
+    for (auto _ : state) {
+        q.schedule(++when, [&sink] { ++sink; });
+        q.step();
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleFireHot);
+
+void
+BM_EventQueueCancelChurn(benchmark::State &state)
+{
+    // Half the scheduled events are cancelled before firing: measures
+    // the lazy-deletion sweep in skipCancelled().
+    sim::EventQueue q;
+    q.reserve(2048);
+    std::uint64_t sink = 0;
+    sim::Tick when = 0;
+    for (auto _ : state) {
+        sim::EventId keep = q.schedule(++when, [&sink] { ++sink; });
+        sim::EventId drop = q.schedule(++when, [&sink] { ++sink; });
+        benchmark::DoNotOptimize(keep);
+        q.cancel(drop);
+        q.step();
+    }
+    q.run();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+void
 BM_RegionAllocatorChurn(benchmark::State &state)
 {
     mem::RegionAllocator alloc(std::uint64_t(80) << 30);

@@ -118,6 +118,27 @@ sortById(std::vector<workload::RequestMetrics> &metrics)
               [](const auto &a, const auto &b) { return a.id < b.id; });
 }
 
+/** Collect the prefix-cache counters of a consumer engine. */
+PrefixCacheReport
+prefixReportFrom(const serve::VllmEngine &engine)
+{
+    PrefixCacheReport r;
+    const serve::PrefixIndexStats &is = engine.kvCache().prefixStats();
+    r.hitRate = is.hitRate();
+    r.hits = is.hits;
+    r.misses = is.misses;
+    r.partialHits = is.partialHits;
+    r.collisions = is.collisions;
+    r.evictions = is.evictions;
+    const serve::PrefixCacheEngineStats &es = engine.prefixEngineStats();
+    r.cachedTokens = es.cachedTokens;
+    r.cowForks = es.cowForks;
+    r.dedupSavedBytes = es.dedupSavedBytes;
+    r.residentReuseBytes = es.residentReuseBytes;
+    r.sigMismatches = es.sigMismatches;
+    return r;
+}
+
 } // anonymous namespace
 
 CfsExperimentResult
@@ -452,8 +473,10 @@ runChatbot(const ChatbotConfig &cfg)
     else
         policy = std::make_unique<serve::CfsPolicy>();
 
+    serve::VllmEngineConfig engineCfg;
+    engineCfg.prefixCache = cfg.prefixCache;
     serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
-                               std::move(policy), *backend);
+                               std::move(policy), *backend, engineCfg);
     Producer producer = makeProducer(tb, producerGpu,
                                      cfg.producerModel, 1.0,
                                      cfg.maxSimSeconds, producerLib);
@@ -470,7 +493,7 @@ runChatbot(const ChatbotConfig &cfg)
                                               std::uint32_t>>();
 
     std::vector<workload::Request> first =
-        traces->chatbotFirstTurn(cfg.users);
+        traces->chatbotFirstTurn(cfg.users, 0, cfg.systemPromptTokens);
     for (const workload::Request &r : first) {
         (*turnOf)[r.id] = 0;
         (*userOf)[r.id] = r.userId;
@@ -479,8 +502,9 @@ runChatbot(const ChatbotConfig &cfg)
     driveTrace(tb.sim(), consumer, first);
 
     std::uint32_t turns = cfg.turns;
-    consumer.onComplete([&, traces, turnOf, userOf,
-                         promptOf](const workload::RequestMetrics &m) {
+    std::uint32_t sysTokens = cfg.systemPromptTokens;
+    consumer.onComplete([&, traces, turnOf, userOf, promptOf,
+                         sysTokens](const workload::RequestMetrics &m) {
         std::uint32_t turn = (*turnOf)[m.id];
         std::uint32_t user = (*userOf)[m.id];
         if (turn + 1 >= turns)
@@ -488,7 +512,7 @@ runChatbot(const ChatbotConfig &cfg)
         // The next turn carries the whole conversation as history.
         std::uint32_t history = (*promptOf)[m.id] + m.tokensGenerated;
         workload::Request next = traces->chatbotFollowUp(
-            user, turn + 1, tb.sim().now(), history);
+            user, turn + 1, tb.sim().now(), history, sysTokens);
         (*turnOf)[next.id] = turn + 1;
         (*userOf)[next.id] = user;
         (*promptOf)[next.id] = next.promptTokens;
@@ -513,6 +537,78 @@ runChatbot(const ChatbotConfig &cfg)
               [](const auto &a, const auto &b) {
                   return a.metrics.id < b.metrics.id;
               });
+    result.prefix = prefixReportFrom(consumer);
+    result.peakLiveKvBytes = consumer.kvCache().peakLiveKvBytes();
+    result.offloadWriteBytes = consumer.offloadWriteBytes();
+    result.offloadReadBytes = consumer.offloadReadBytes();
+    double elapsed = ticksToSec(tb.sim().now());
+    result.tokensPerSec =
+        elapsed > 0.0
+            ? static_cast<double>(consumer.totalTokens()) / elapsed
+            : 0.0;
+    return result;
+}
+
+PrefixAblationResult
+runPrefixAblation(const PrefixAblationConfig &cfg)
+{
+    Testbed tb(2, hw::TopologyKind::DirectP2P, cfg.seed);
+    constexpr hw::GpuId consumerGpu = 0;
+    constexpr hw::GpuId producerGpu = 1;
+
+    ModelSpec consumerSpec = presetByName(cfg.consumerModel);
+    ModelSpec producerSpec = presetByName(cfg.producerModel);
+
+    core::AquaLib *producerLib = nullptr;
+    serve::OffloadBackend *backend = nullptr;
+    if (cfg.mode == ServeMode::CfsAqua) {
+        producerLib = &tb.makeAquaLib(producerGpu,
+                                      makeInformerFor(producerSpec));
+        core::AquaLib &consumerLib = tb.makeAquaLib(consumerGpu);
+        tb.assign(consumerGpu, producerGpu);
+        backend = &tb.makeAquaBackend(consumerLib);
+    } else {
+        backend = &tb.makeDramBackend(consumerGpu);
+    }
+
+    std::unique_ptr<serve::SchedulerPolicy> policy;
+    if (cfg.mode == ServeMode::VllmBaseline)
+        policy = std::make_unique<serve::FcfsPolicy>();
+    else
+        policy = std::make_unique<serve::CfsPolicy>();
+
+    serve::VllmEngineConfig engineCfg;
+    engineCfg.prefixCache = cfg.prefixCache;
+    serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
+                               std::move(policy), *backend, engineCfg);
+    Producer producer = makeProducer(tb, producerGpu,
+                                     cfg.producerModel, 1.0,
+                                     cfg.maxSimSeconds, producerLib);
+
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+    std::vector<workload::Request> trace = traces.sharedPrefix(
+        cfg.ratePerSec, cfg.numRequests, cfg.prefixTokens,
+        cfg.numGroups);
+    driveTrace(tb.sim(), consumer, trace);
+
+    runUntilDone(tb.sim(), cfg.maxSimSeconds, [&] {
+        return consumer.finished().size() == trace.size();
+    });
+
+    PrefixAblationResult result;
+    result.metrics = consumer.finished();
+    sortById(result.metrics);
+    result.prefix = prefixReportFrom(consumer);
+    result.peakLiveKvBytes = consumer.kvCache().peakLiveKvBytes();
+    result.offloadWriteBytes = consumer.offloadWriteBytes();
+    result.offloadReadBytes = consumer.offloadReadBytes();
+    result.swapOuts = consumer.swapOutCount();
+    result.swapIns = consumer.swapInCount();
+    double elapsed = ticksToSec(tb.sim().now());
+    result.tokensPerSec =
+        elapsed > 0.0
+            ? static_cast<double>(consumer.totalTokens()) / elapsed
+            : 0.0;
     return result;
 }
 

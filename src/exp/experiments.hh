@@ -193,6 +193,30 @@ struct ChatbotConfig
     std::string producerModel = "Kandinsky";
     std::uint64_t seed = 1;
     double maxSimSeconds = 20000.0;
+    /** Copy-on-write prefix caching in the consumer engine. */
+    bool prefixCache = false;
+    /** Shared system prompt opening every conversation (tokens). */
+    std::uint32_t systemPromptTokens = 0;
+};
+
+/** Prefix-cache effect counters (all zero when caching is off). */
+struct PrefixCacheReport
+{
+    double hitRate = 0.0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t partialHits = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t evictions = 0;
+    /** Prefill tokens skipped (served from cache). */
+    std::uint64_t cachedTokens = 0;
+    std::uint64_t cowForks = 0;
+    /** Offload write bytes avoided by shared-group dedup. */
+    std::uint64_t dedupSavedBytes = 0;
+    /** Swap-in read bytes avoided by re-acquiring resident blocks. */
+    std::uint64_t residentReuseBytes = 0;
+    /** Byte-identity violations across offload round trips. */
+    std::uint64_t sigMismatches = 0;
 };
 
 struct ChatbotResult
@@ -204,9 +228,54 @@ struct ChatbotResult
         workload::RequestMetrics metrics;
     };
     std::vector<TurnMetric> metrics;
+
+    PrefixCacheReport prefix;
+    /** Live-KV high-water mark in the consumer's pool (bytes). */
+    std::uint64_t peakLiveKvBytes = 0;
+    /** Bytes moved to/from the offload backend. */
+    std::uint64_t offloadWriteBytes = 0;
+    std::uint64_t offloadReadBytes = 0;
+    /** Consumer tokens per simulated second over the run. */
+    double tokensPerSec = 0.0;
 };
 
 ChatbotResult runChatbot(const ChatbotConfig &cfg);
+
+//
+// Prefix-caching ablation: shared-prefix workload served with CoW
+// block sharing on vs off (hit rate, HBM high-water mark, offload
+// traffic, throughput).
+//
+
+struct PrefixAblationConfig
+{
+    bool prefixCache = true;
+    ServeMode mode = ServeMode::CfsAqua;
+    double ratePerSec = 6.0;
+    std::size_t numRequests = 120;
+    /** Shared preamble (system prompt) length per group. */
+    std::uint32_t prefixTokens = 768;
+    /** Distinct system prompts in play. */
+    std::uint32_t numGroups = 2;
+    std::string consumerModel = "Codellama-34B";
+    std::string producerModel = "Kandinsky";
+    std::uint64_t seed = 1;
+    double maxSimSeconds = 8000.0;
+};
+
+struct PrefixAblationResult
+{
+    std::vector<workload::RequestMetrics> metrics;
+    PrefixCacheReport prefix;
+    std::uint64_t peakLiveKvBytes = 0;
+    std::uint64_t offloadWriteBytes = 0;
+    std::uint64_t offloadReadBytes = 0;
+    std::uint64_t swapOuts = 0;
+    std::uint64_t swapIns = 0;
+    double tokensPerSec = 0.0;
+};
+
+PrefixAblationResult runPrefixAblation(const PrefixAblationConfig &cfg);
 
 //
 // Placement inputs (§6.1, Fig. 4, Fig. 14).

@@ -15,7 +15,7 @@ BlockAllocator::BlockAllocator(std::uint64_t totalBytes,
     if (blockBytes == 0)
         panic("BlockAllocator: zero block size");
     numBlocks = static_cast<std::size_t>(totalBytes / blockBytes);
-    allocated.assign(numBlocks, false);
+    refs.assign(numBlocks, 0);
     freeList.reserve(numBlocks);
     // Push in reverse so blocks are handed out in ascending order.
     for (std::size_t i = numBlocks; i-- > 0;)
@@ -41,7 +41,7 @@ BlockAllocator::allocate()
         return std::nullopt;
     BlockId id = freeList.back();
     freeList.pop_back();
-    allocated[id] = true;
+    refs[id] = 1;
     return id;
 }
 
@@ -55,10 +55,21 @@ BlockAllocator::allocateMany(std::size_t count)
     for (std::size_t i = 0; i < count; ++i) {
         BlockId id = freeList.back();
         freeList.pop_back();
-        allocated[id] = true;
+        refs[id] = 1;
         out.push_back(id);
     }
     return out;
+}
+
+void
+BlockAllocator::ref(BlockId id)
+{
+    if (id >= numBlocks)
+        panic("BlockAllocator::ref: bad block id %u", id);
+    if (refs[id] == 0)
+        panic("BlockAllocator::ref: block %u is not allocated", id);
+    if (++refs[id] == 2)
+        ++numShared;
 }
 
 void
@@ -66,10 +77,12 @@ BlockAllocator::free(BlockId id)
 {
     if (id >= numBlocks)
         panic("BlockAllocator::free: bad block id %u", id);
-    if (!allocated[id])
+    if (refs[id] == 0)
         panic("BlockAllocator::free: double free of block %u", id);
-    allocated[id] = false;
-    freeList.push_back(id);
+    if (refs[id] == 2)
+        --numShared;
+    if (--refs[id] == 0)
+        freeList.push_back(id);
 }
 
 void
@@ -84,7 +97,14 @@ BlockAllocator::retire(std::size_t count)
 {
     std::size_t retired = 0;
     while (retired < count && !freeList.empty()) {
-        retiredList.push_back(freeList.back());
+        BlockId id = freeList.back();
+        // Free-list membership implies no references; a shared block
+        // (refcount > 1) must never be donated away from its borrowers.
+        if (refs[id] != 0) {
+            panic("BlockAllocator::retire: block %u on free list with "
+                  "%u refs", id, refs[id]);
+        }
+        retiredList.push_back(id);
         freeList.pop_back();
         ++retired;
     }
@@ -108,7 +128,7 @@ BlockAllocator::resize(std::size_t newTotalBlocks)
 {
     if (newTotalBlocks >= numBlocks) {
         // Grow: append fresh blocks to the pool and free list.
-        allocated.resize(newTotalBlocks, false);
+        refs.resize(newTotalBlocks, 0);
         for (std::size_t i = numBlocks; i < newTotalBlocks; ++i)
             freeList.push_back(static_cast<BlockId>(i));
         numBlocks = newTotalBlocks;
@@ -122,13 +142,13 @@ BlockAllocator::resize(std::size_t newTotalBlocks)
     // free (the donated region must be a contiguous tail so the engine
     // can hand one region to AQUA, mirroring the paper's defrag copy).
     for (std::size_t i = newTotalBlocks; i < numBlocks; ++i) {
-        if (allocated[i])
+        if (refs[i] != 0)
             return false;
     }
     std::erase_if(freeList, [&](BlockId id) {
         return id >= newTotalBlocks;
     });
-    allocated.resize(newTotalBlocks);
+    refs.resize(newTotalBlocks);
     numBlocks = newTotalBlocks;
     return true;
 }

@@ -6,6 +6,11 @@
  * paged allocation is what lets vLLM admit sequences without reserving
  * worst-case contiguous memory, and what AQUA's scatter/gather staging
  * must cope with (many small scattered blocks per sequence).
+ *
+ * Blocks are reference counted so prefix-cached KV blocks can be
+ * shared copy-on-write between sequences: allocate() hands out a block
+ * with refcount 1, ref() adds a borrower, and free() only returns the
+ * block to the pool when the count drops to zero.
  */
 
 #ifndef AQUA_MEM_BLOCK_ALLOCATOR_HH
@@ -21,7 +26,7 @@ namespace aqua::mem {
 using BlockId = std::uint32_t;
 
 /**
- * Pool of equal-size blocks with O(1) allocate/free.
+ * Pool of equal-size refcounted blocks with O(1) allocate/free.
  */
 class BlockAllocator
 {
@@ -57,7 +62,7 @@ class BlockAllocator
     /** Whether @p count blocks can be allocated right now. */
     bool canAllocate(std::size_t count) const;
 
-    /** Allocate one block. @return nullopt when exhausted. */
+    /** Allocate one block (refcount 1). @return nullopt when exhausted. */
     std::optional<BlockId> allocate();
 
     /**
@@ -67,11 +72,27 @@ class BlockAllocator
      */
     std::optional<std::vector<BlockId>> allocateMany(std::size_t count);
 
-    /** Free one block; panics on double free / bad id. */
+    /** Add a reference to a live block (a CoW borrower). */
+    void ref(BlockId id);
+
+    /**
+     * Drop one reference; the block returns to the free list only when
+     * the count reaches zero. Panics on over-free / bad id.
+     */
     void free(BlockId id);
 
-    /** Free a batch of blocks. */
+    /** Drop one reference on each block of a batch. */
     void freeMany(const std::vector<BlockId> &ids);
+
+    /** References held on a block (0 = free or retired). */
+    std::uint32_t
+    refCount(BlockId id) const
+    {
+        return id < numBlocks ? refs[id] : 0;
+    }
+
+    /** Live blocks with more than one reference (shared). */
+    std::size_t sharedBlocks() const { return numShared; }
 
     /**
      * Shrink or grow the pool (AQUA producers donate KV-pool memory by
@@ -89,7 +110,9 @@ class BlockAllocator
      * their position — the serving engine is assumed to compact live
      * blocks first ("copying the scattered allocated blocks to a
      * temporary location to free up the reserved memory", §B.1).
-     * Retired blocks can be brought back with restore().
+     * Retired blocks can be brought back with restore(). Only blocks
+     * with refcount zero (i.e. on the free list) are eligible; a
+     * shared block can never be retired out from under its borrowers.
      *
      * @return Blocks actually retired (bounded by freeBlocks()).
      */
@@ -108,9 +131,11 @@ class BlockAllocator
   private:
     std::uint64_t blockBytes;
     std::size_t numBlocks;
+    std::size_t numShared = 0;
     std::vector<BlockId> freeList;
     std::vector<BlockId> retiredList;
-    std::vector<bool> allocated;
+    /** Per-block reference count; 0 = free (or retired). */
+    std::vector<std::uint32_t> refs;
 };
 
 } // namespace aqua::mem

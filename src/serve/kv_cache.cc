@@ -4,6 +4,7 @@
 
 namespace aqua::serve {
 
+using aqua::mem::BlockId;
 using aqua::sim::panic;
 
 namespace {
@@ -22,7 +23,8 @@ blockBytesFor(const model::ModelSpec &model, std::uint32_t blockTokens)
 KvCache::KvCache(hw::Gpu &gpu, const model::ModelSpec &model,
                  std::uint64_t poolBytes, std::uint32_t blockTokens)
     : gpu(gpu), blockTokens(blockTokens), reservedBytes(poolBytes),
-      blocks(poolBytes, blockBytesFor(model, blockTokens))
+      blocks(poolBytes, blockBytesFor(model, blockTokens)),
+      index(blockTokens)
 {
     region = gpu.hbm().allocate(poolBytes);
     if (!region) {
@@ -50,16 +52,53 @@ KvCache::kvBytes(std::uint64_t tokens) const
     return tokens * (blocks.blockSize() / blockTokens);
 }
 
-std::optional<std::vector<aqua::mem::BlockId>>
-KvCache::allocateBlocks(std::size_t count)
+bool
+KvCache::cacheOnly(BlockId id) const
 {
-    return blocks.allocateMany(count);
+    std::uint32_t h = index.refsHeld(id);
+    return h > 0 && blocks.refCount(id) == h;
 }
 
 void
-KvCache::freeBlocks(const std::vector<aqua::mem::BlockId> &ids)
+KvCache::updateEvictable(BlockId id)
+{
+    if (evictableFlag.size() <= id)
+        evictableFlag.resize(id + 1, false);
+    bool now = cacheOnly(id);
+    if (now == static_cast<bool>(evictableFlag[id]))
+        return;
+    evictableFlag[id] = now;
+    if (now)
+        ++numEvictable;
+    else
+        --numEvictable;
+}
+
+void
+KvCache::notePeak()
+{
+    std::uint64_t live = liveKvBytes();
+    if (live > peakLive)
+        peakLive = live;
+}
+
+std::optional<std::vector<BlockId>>
+KvCache::allocateBlocks(std::size_t count)
+{
+    if (blocks.freeBlocks() < count)
+        evictCached(count - blocks.freeBlocks());
+    auto out = blocks.allocateMany(count);
+    if (out)
+        notePeak();
+    return out;
+}
+
+void
+KvCache::freeBlocks(const std::vector<BlockId> &ids)
 {
     blocks.freeMany(ids);
+    for (BlockId id : ids)
+        updateEvictable(id);
 }
 
 void
@@ -85,6 +124,10 @@ std::uint64_t
 KvCache::shrink(std::uint64_t bytes)
 {
     std::size_t want = static_cast<std::size_t>(bytes / blockBytes());
+    // Cached (index-only) blocks count as donatable: evict them first
+    // so a donation is never refused because of cache retention.
+    if (blocks.freeBlocks() < want)
+        evictCached(want - blocks.freeBlocks());
     std::size_t got = blocks.retire(want);
     if (got == 0)
         return 0;
@@ -105,6 +148,141 @@ KvCache::grow(std::uint64_t bytes)
               "donated away", count, restored);
     }
     reacquireRegion(reservedBytes + count * blockBytes());
+}
+
+KvCache::PrefixAcquire
+KvCache::acquirePrefix(const TokenFn &tok, std::uint64_t maxTokens,
+                       aqua::sim::Tick now)
+{
+    PrefixIndex::Match m = index.lookup(tok, maxTokens, now);
+    for (BlockId id : m.blocks) {
+        blocks.ref(id);
+        updateEvictable(id);
+    }
+    // Borrowing cache-only blocks turns them live again.
+    notePeak();
+    return {std::move(m.blocks), m.tokens, m.partialTokens};
+}
+
+std::size_t
+KvCache::probePrefixBlocks(const TokenFn &tok,
+                           std::uint64_t maxTokens) const
+{
+    PrefixIndex::Match m =
+        index.lookup(tok, maxTokens, 0, /*touch=*/false);
+    // Only full blocks count toward admission savings: a partial tail
+    // still forces the borrower to fork a private copy.
+    return m.blocks.size() - (m.partialTokens > 0 ? 1 : 0);
+}
+
+void
+KvCache::publishPrefix(const TokenFn &tok, std::uint64_t tokens,
+                       const std::vector<BlockId> &blockIds,
+                       aqua::sim::Tick now, bool insert)
+{
+    // Refresh content signatures for every covered block so offload
+    // round trips can be checked for byte identity.
+    std::uint64_t covered = std::min<std::uint64_t>(
+        tokens, blockIds.size() * std::uint64_t(blockTokens));
+    for (std::size_t i = 0; i * blockTokens < covered; ++i) {
+        std::uint64_t first = i * std::uint64_t(blockTokens);
+        auto count = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(blockTokens, covered - first));
+        setBlockSig(blockIds[i], contentSig(tok, first, count));
+    }
+    if (!insert)
+        return;
+    std::vector<BlockId> newly = index.insert(tok, covered, blockIds, now);
+    for (BlockId id : newly) {
+        blocks.ref(id);
+        updateEvictable(id);
+    }
+}
+
+std::optional<BlockId>
+KvCache::forkBlock(BlockId shared)
+{
+    if (blocks.freeBlocks() < 1)
+        evictCached(1);
+    std::optional<BlockId> fresh = blocks.allocate();
+    if (!fresh)
+        return std::nullopt;
+    // The copy starts with the same content as the original.
+    setBlockSig(*fresh, blockSig(shared));
+    blocks.free(shared); // drop the caller's reference on the original
+    updateEvictable(shared);
+    updateEvictable(*fresh);
+    notePeak();
+    return fresh;
+}
+
+std::uint64_t
+KvCache::prefixChainKey(const TokenFn &tok, std::size_t fullBlocks) const
+{
+    return index.chainKey(tok, fullBlocks);
+}
+
+std::size_t
+KvCache::evictCached(std::size_t want)
+{
+    std::size_t freed = 0;
+    while (freed < want) {
+        std::vector<BlockId> evicted = index.evictLru(
+            want - freed,
+            [this](BlockId id) { return cacheOnly(id); });
+        if (evicted.empty())
+            break;
+        for (BlockId id : evicted) {
+            blocks.free(id);
+            updateEvictable(id);
+            if (blocks.refCount(id) == 0)
+                ++freed;
+        }
+    }
+    return freed;
+}
+
+std::size_t
+KvCache::dropCache()
+{
+    std::vector<BlockId> dropped = index.clear();
+    std::size_t freed = 0;
+    for (BlockId id : dropped) {
+        blocks.free(id);
+        updateEvictable(id);
+        if (blocks.refCount(id) == 0)
+            ++freed;
+    }
+    return freed;
+}
+
+void
+KvCache::setBlockSig(BlockId id, std::uint64_t sig)
+{
+    if (sigs.size() <= id)
+        sigs.resize(id + 1, 0);
+    sigs[id] = sig;
+}
+
+std::uint64_t
+KvCache::blockSig(BlockId id) const
+{
+    return id < sigs.size() ? sigs[id] : 0;
+}
+
+std::uint64_t
+KvCache::contentSig(const TokenFn &tok, std::uint64_t firstToken,
+                    std::uint32_t count)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint64_t c = tok(firstToken + i);
+        for (int b = 0; b < 8; ++b) {
+            h ^= (c >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ull; // FNV prime
+        }
+    }
+    return h;
 }
 
 } // namespace aqua::serve

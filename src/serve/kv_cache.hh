@@ -1,6 +1,6 @@
 /**
  * @file
- * Paged KV-cache pool, vLLM style.
+ * Paged KV-cache pool, vLLM style, with copy-on-write prefix sharing.
  *
  * The engine reserves (most of) the HBM left after weights as a pool
  * of fixed-size blocks; sequences borrow blocks as their KV grows.
@@ -8,6 +8,13 @@
  * scattered live blocks aside so a contiguous region can be handed to
  * AQUA-LIB, mirroring §B.1's defragmentation trick — and grow it back
  * after a reclaim.
+ *
+ * A PrefixIndex keyed by rolling hashes over token-block chains lets a
+ * new sequence whose prompt prefix is already resident reuse those
+ * blocks (reference counted, copy-on-write). Cached blocks whose only
+ * holder is the index are "evictable": the pool reclaims them LRU-first
+ * when allocation, donation (shrink) or forking runs out of free
+ * blocks, so caching never blocks admission or an AQUA donation.
  */
 
 #ifndef AQUA_SERVE_KV_CACHE_HH
@@ -20,6 +27,7 @@
 #include "hw/gpu.hh"
 #include "mem/block_allocator.hh"
 #include "model/model_spec.hh"
+#include "serve/prefix_index.hh"
 
 namespace aqua::serve {
 
@@ -59,21 +67,34 @@ class KvCache
     /** KV bytes of a sequence of @p tokens tokens (exact, unpadded). */
     std::uint64_t kvBytes(std::uint64_t tokens) const;
 
-    bool canAllocateBlocks(std::size_t count) const
+    /** Free plus cache-evictable blocks (admission headroom). */
+    std::size_t
+    availableBlocks() const
     {
-        return blocks.canAllocate(count);
+        return blocks.freeBlocks() + numEvictable;
     }
 
-    /** Allocate @p count blocks; nullopt when the pool is exhausted. */
+    bool canAllocateBlocks(std::size_t count) const
+    {
+        return availableBlocks() >= count;
+    }
+
+    /**
+     * Allocate @p count blocks, evicting LRU cached prefixes if the
+     * free list alone cannot satisfy the request; nullopt when even
+     * eviction cannot make room.
+     */
     std::optional<std::vector<aqua::mem::BlockId>>
     allocateBlocks(std::size_t count);
 
-    /** Return blocks to the pool. */
+    /** Drop one reference per block (pool reclaims at refcount 0). */
     void freeBlocks(const std::vector<aqua::mem::BlockId> &ids);
 
     /**
      * Donate pool memory: shrink the reservation by up to @p bytes
-     * (rounded down to whole free blocks) and release the HBM.
+     * (rounded down to whole free blocks) and release the HBM. Cached
+     * prefix blocks are evicted as needed; blocks shared with live
+     * borrowers are never donated.
      *
      * @return Bytes actually released.
      */
@@ -86,15 +107,130 @@ class KvCache
      */
     void grow(std::uint64_t bytes);
 
+    //
+    // Prefix caching and copy-on-write sharing.
+    //
+
+    /** Result of acquirePrefix: matched blocks with references taken. */
+    struct PrefixAcquire
+    {
+        std::vector<aqua::mem::BlockId> blocks;
+        std::uint64_t tokens = 0;
+        /** Tokens valid in a trailing partial block (0 = all full). */
+        std::uint32_t partialTokens = 0;
+    };
+
+    /**
+     * Borrow the longest cached chain matching @p tok (capped at
+     * @p maxTokens). One reference per matched block is taken for the
+     * caller; release with freeBlocks().
+     */
+    PrefixAcquire acquirePrefix(const TokenFn &tok,
+                                std::uint64_t maxTokens,
+                                aqua::sim::Tick now);
+
+    /**
+     * Read-only probe: full blocks a matching sequence could reuse
+     * right now. Does not touch LRU state or hit/miss counters; used
+     * by scheduler admission accounting.
+     */
+    std::size_t probePrefixBlocks(const TokenFn &tok,
+                                  std::uint64_t maxTokens) const;
+
+    /**
+     * Publish a sequence's blocks (holding tokens [0, tokens) of
+     * @p tok) into the prefix index and refresh their content
+     * signatures. The index takes its own reference on each newly
+     * indexed block, which keeps the chain resident (and shareable)
+     * after the owning sequence releases its blocks.
+     *
+     * @param insert false recomputes signatures only (no indexing).
+     */
+    void publishPrefix(const TokenFn &tok, std::uint64_t tokens,
+                       const std::vector<aqua::mem::BlockId> &blockIds,
+                       aqua::sim::Tick now, bool insert = true);
+
+    /**
+     * Copy-on-write fork: allocate a private copy of @p shared (same
+     * content signature), dropping the caller's reference on the
+     * original. nullopt when the pool is exhausted even after cache
+     * eviction — the caller still holds its original reference then.
+     */
+    std::optional<aqua::mem::BlockId> forkBlock(aqua::mem::BlockId shared);
+
+    /** References held on a block (sequences + index). */
+    std::uint32_t
+    blockRefCount(aqua::mem::BlockId id) const
+    {
+        return blocks.refCount(id);
+    }
+
+    /** Chain key identifying the first @p fullBlocks blocks of @p tok
+     *  (names a shared block group on the offload path). */
+    std::uint64_t prefixChainKey(const TokenFn &tok,
+                                 std::size_t fullBlocks) const;
+
+    /** Evict up to @p want cache-only blocks (LRU). @return evicted. */
+    std::size_t evictCached(std::size_t want);
+
+    /** Drop the whole prefix cache. @return blocks released. */
+    std::size_t dropCache();
+
+    /** Blocks held only by the index (reclaimable on demand). */
+    std::size_t evictableBlocks() const { return numEvictable; }
+
+    /** Bytes backing live sequences (used minus cache-only blocks). */
+    std::uint64_t
+    liveKvBytes() const
+    {
+        return usedBytes() - numEvictable * blockBytes();
+    }
+
+    /** High-water mark of liveKvBytes() over the cache's lifetime. */
+    std::uint64_t peakLiveKvBytes() const { return peakLive; }
+
+    //
+    // Content signatures (byte-identity checks across offload paths).
+    //
+
+    void setBlockSig(aqua::mem::BlockId id, std::uint64_t sig);
+    std::uint64_t blockSig(aqua::mem::BlockId id) const;
+
+    /** FNV-1a over the content ids of tokens
+     *  [firstToken, firstToken + count). */
+    static std::uint64_t contentSig(const TokenFn &tok,
+                                    std::uint64_t firstToken,
+                                    std::uint32_t count);
+
+    const PrefixIndexStats &prefixStats() const { return index.stats(); }
+
+    /** Test hook: the underlying index (e.g. to force collisions). */
+    PrefixIndex &prefixIndex() { return index; }
+
   private:
     /** Re-acquire the backing HBM region for the current size. */
     void reacquireRegion(std::uint64_t newBytes);
+
+    /** Recompute a block's cache-only status after a ref change. */
+    void updateEvictable(aqua::mem::BlockId id);
+
+    /** Whether only the index holds @p id. */
+    bool cacheOnly(aqua::mem::BlockId id) const;
+
+    /** Track the live-bytes high-water mark. */
+    void notePeak();
 
     hw::Gpu &gpu;
     std::uint32_t blockTokens;
     std::uint64_t reservedBytes;
     std::optional<aqua::mem::Region> region;
     aqua::mem::BlockAllocator blocks;
+    /** mutable: read-only probes share the lookup path. */
+    mutable PrefixIndex index;
+    std::vector<bool> evictableFlag;
+    std::size_t numEvictable = 0;
+    std::uint64_t peakLive = 0;
+    std::vector<std::uint64_t> sigs;
 };
 
 } // namespace aqua::serve

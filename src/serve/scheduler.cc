@@ -2,7 +2,32 @@
 
 #include <algorithm>
 
+#include "serve/prefix_index.hh"
+
 namespace aqua::serve {
+
+namespace {
+
+/**
+ * Blocks a sequence needs on top of what the prefix cache already
+ * holds: with caching on, probe the index and discount the matched
+ * full blocks (shared blocks cost nothing extra to admit).
+ */
+std::size_t
+incrementalNeed(const SchedulerInput &in, const Sequence *s,
+                std::uint64_t extraTokens)
+{
+    std::size_t need =
+        in.kv->blocksForTokens(s->kvTokens() + extraTokens);
+    if (!in.prefixCache)
+        return need;
+    std::uint64_t match = s->kvTokens() > 0 ? s->kvTokens() - 1 : 0;
+    std::size_t cached =
+        in.kv->probePrefixBlocks(tokenFnFor(s->request), match);
+    return need - std::min(need, cached);
+}
+
+} // anonymous namespace
 
 SchedulerDecision
 FcfsPolicy::schedule(const SchedulerInput &in)
@@ -11,7 +36,9 @@ FcfsPolicy::schedule(const SchedulerInput &in)
     std::size_t batch_room =
         in.running.size() < in.maxBatch ? in.maxBatch - in.running.size()
                                         : 0;
-    std::size_t free_blocks = in.kv->freeBlocks();
+    // availableBlocks() folds in cache-evictable blocks; identical to
+    // freeBlocks() when prefix caching is off.
+    std::size_t free_blocks = in.kv->availableBlocks();
 
     // Resume preempted sequences first (they hold admission priority
     // in vLLM); do not admit new work while any remain swapped.
@@ -34,8 +61,7 @@ FcfsPolicy::schedule(const SchedulerInput &in)
             break;
         // kvTokens() covers recompute-preempted sequences, whose
         // regenerated context spans prompt plus generated tokens.
-        std::size_t need = in.kv->blocksForTokens(
-            s->kvTokens() + in.slackTokens);
+        std::size_t need = incrementalNeed(in, s, in.slackTokens);
         if (need > free_blocks)
             break; // FIFO: later arrivals wait behind the blocked head
         d.admit.push_back(s);
@@ -69,14 +95,17 @@ CfsPolicy::schedule(const SchedulerInput &in)
                      });
 
     // Fill the slice: least-served first while blocks last. Every
-    // selected sequence needs room for its KV plus slice growth.
+    // selected sequence needs room for its KV plus slice growth;
+    // waiting sequences get their cached prefix discounted.
     std::size_t budget = in.kv->totalBlocks();
     std::vector<Sequence *> selected;
     for (Sequence *s : candidates) {
         if (selected.size() >= in.maxBatch)
             break;
         std::size_t need =
-            in.kv->blocksForTokens(s->kvTokens() + in.sliceTokens);
+            s->state == Sequence::State::Waiting
+                ? incrementalNeed(in, s, in.sliceTokens)
+                : in.kv->blocksForTokens(s->kvTokens() + in.sliceTokens);
         if (need > budget)
             continue; // try a smaller sequence; fairness over packing
         budget -= need;

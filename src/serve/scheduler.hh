@@ -37,6 +37,13 @@ struct SchedulerInput
     std::uint32_t sliceTokens = 0;
     /** Admission slack in tokens beyond the prompt. */
     std::uint32_t slackTokens = 0;
+    /**
+     * Prefix caching enabled: a waiting sequence's incremental cost
+     * is its unshared blocks only (cached prefix blocks are probed
+     * and discounted), and index-held blocks count as free since
+     * they evict on demand.
+     */
+    bool prefixCache = false;
 };
 
 /** State transitions the engine should perform this iteration. */

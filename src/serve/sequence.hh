@@ -53,6 +53,25 @@ struct Sequence
     /** Whether the sequence holds a pin on its LoRA adapter. */
     bool adapterHeld = false;
 
+    //
+    // Prefix-cache sharing state (zero when caching is off).
+    //
+
+    /** Tokens served from the prefix cache at admission (their
+     *  prefill compute and KV writes were skipped). */
+    std::uint32_t cachedTokens = 0;
+
+    /** Shared-group key the last swap-out deduplicated under
+     *  (0 = swap carried no shared prefix). */
+    std::uint64_t swapGroupKey = 0;
+
+    /** Leading full blocks covered by swapGroupKey at swap-out. */
+    std::uint32_t swapSharedBlocks = 0;
+
+    /** Per-block content signatures captured at swap-out, block
+     *  order; checked for byte identity on swap-in. */
+    std::vector<std::uint64_t> swapSigs;
+
     workload::RequestMetrics metrics;
 
     /** Tokens whose KV the sequence holds (prompt + generated). */

@@ -55,6 +55,11 @@ VllmEngine::~VllmEngine()
             seq->swapHandle.valid())
             backend.free(seq->swapHandle);
     }
+    // Release shared-prefix group copies still in the backend.
+    for (auto &[key, group] : sharedGroups) {
+        if (group.handle.valid())
+            backend.free(group.handle);
+    }
     // kv and lora free their reservations before weightsRegion.
     kv.reset();
     lora.reset();
@@ -152,6 +157,48 @@ VllmEngine::doInform()
 }
 
 void
+VllmEngine::publishSeq(Sequence *s)
+{
+    if (!cfg.prefixCache || s->blocks.empty())
+        return;
+    // Simulated token contents are deterministic per request stream,
+    // so every computed position is publishable; publishPrefix caps
+    // coverage at what the blocks actually hold.
+    kv->publishPrefix(tokenFnFor(s->request), s->kvTokens(), s->blocks,
+                      server.simulation().now());
+}
+
+std::size_t
+VllmEngine::sharedLeadBlocks(const Sequence *s) const
+{
+    // Leading run of full blocks some other holder (the index or a
+    // peer sequence) also references: exactly the blocks whose
+    // contents are recoverable from a shared-group backend copy.
+    std::size_t maxFull =
+        static_cast<std::size_t>(s->kvTokens() / cfg.blockTokens);
+    std::size_t lead = 0;
+    while (lead < s->blocks.size() && lead < maxFull &&
+           kv->blockRefCount(s->blocks[lead]) > 1)
+        ++lead;
+    return lead;
+}
+
+void
+VllmEngine::releaseSwapGroup(Sequence *s)
+{
+    if (s->swapGroupKey != 0) {
+        auto it = sharedGroups.find(s->swapGroupKey);
+        if (it != sharedGroups.end() && --it->second.refs == 0) {
+            backend.free(it->second.handle);
+            sharedGroups.erase(it);
+        }
+    }
+    s->swapGroupKey = 0;
+    s->swapSharedBlocks = 0;
+    s->swapSigs.clear();
+}
+
+void
 VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
 {
     if (cfg.preemption == PreemptionMode::Recompute ||
@@ -160,7 +207,11 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
         // re-prefill its whole context (prompt + generated) when it
         // is scheduled again. No transfer, but FLOPs later. Also
         // used for sequences caught mid-prefill: vLLM never swaps
-        // an unprefilled sequence.
+        // an unprefilled sequence. With prefix caching the computed
+        // context is published first, so the re-prefill resumes from
+        // whatever the cache still holds at readmission.
+        if (s->prefilled)
+            publishSeq(s);
         kv->freeBlocks(s->blocks);
         s->blocks.clear();
         s->prefilled = false;
@@ -173,19 +224,74 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
         return;
     }
     std::uint64_t bytes = kv->kvBytes(s->kvTokens());
-    auto handle = backend.alloc(bytes);
-    if (!handle) {
-        panic("VllmEngine: offload backend exhausted swapping out "
-              "sequence %llu",
-              static_cast<unsigned long long>(s->request.id));
+    std::uint64_t groupBytes = 0;
+    std::size_t lead = 0;
+    if (cfg.prefixCache) {
+        // Keep the prefix resident (index references survive the
+        // borrower's frees below) and snapshot per-block signatures
+        // for the byte-identity check on swap-in.
+        publishSeq(s);
+        s->swapSigs.clear();
+        s->swapSigs.reserve(s->blocks.size());
+        for (aqua::mem::BlockId b : s->blocks)
+            s->swapSigs.push_back(kv->blockSig(b));
+        // Deduplicated offload: a shared prefix is materialized in
+        // the backend once per group; later borrowers just take a
+        // reference instead of re-staging the same bytes.
+        lead = sharedLeadBlocks(s);
+        if (lead > 0) {
+            std::uint64_t key = kv->prefixChainKey(
+                tokenFnFor(s->request), lead);
+            groupBytes =
+                kv->kvBytes(std::uint64_t(lead) * cfg.blockTokens);
+            auto [it, fresh] = sharedGroups.try_emplace(key);
+            if (fresh) {
+                auto gh = backend.alloc(groupBytes);
+                if (!gh) {
+                    // Backend full: fall back to a private swap.
+                    sharedGroups.erase(it);
+                    lead = 0;
+                    groupBytes = 0;
+                } else {
+                    it->second.handle = *gh;
+                    it->second.blocks =
+                        static_cast<std::uint32_t>(lead);
+                    hw::TransferTiming t =
+                        backend.write(*gh, groupBytes, lead);
+                    if (t.complete > transfersDone)
+                        transfersDone = t.complete;
+                    nWriteBytes += groupBytes;
+                    ++prefixStats.groupWrites;
+                }
+            } else {
+                prefixStats.dedupSavedBytes += groupBytes;
+                ++prefixStats.sharedSwapOuts;
+            }
+            if (lead > 0) {
+                ++it->second.refs;
+                s->swapGroupKey = key;
+                s->swapSharedBlocks = static_cast<std::uint32_t>(lead);
+            }
+        }
     }
-    hw::TransferTiming t =
-        backend.write(*handle, bytes, s->blocks.size());
-    if (t.complete > transfersDone)
-        transfersDone = t.complete;
+    std::uint64_t tailBytes = bytes - groupBytes;
+    s->swapHandle = OffloadBackend::Handle{};
+    if (tailBytes > 0) {
+        auto handle = backend.alloc(tailBytes);
+        if (!handle) {
+            panic("VllmEngine: offload backend exhausted swapping out "
+                  "sequence %llu",
+                  static_cast<unsigned long long>(s->request.id));
+        }
+        hw::TransferTiming t =
+            backend.write(*handle, tailBytes, s->blocks.size() - lead);
+        if (t.complete > transfersDone)
+            transfersDone = t.complete;
+        nWriteBytes += tailBytes;
+        s->swapHandle = *handle;
+    }
     kv->freeBlocks(s->blocks);
     s->blocks.clear();
-    s->swapHandle = *handle;
     s->state = Sequence::State::Swapped;
     removeFrom(running, s);
     swapped.push_back(s);
@@ -196,16 +302,79 @@ bool
 VllmEngine::swapInSeq(Sequence *s, Tick &transfersDone)
 {
     std::size_t need = kv->blocksForTokens(s->kvTokens());
-    auto blocks = kv->allocateBlocks(need);
-    if (!blocks)
+
+    // Re-acquire whatever of the shared prefix is still resident:
+    // those blocks need no transfer at all. The cap is a multiple of
+    // the block size, so only full blocks can match.
+    std::vector<aqua::mem::BlockId> resident;
+    if (cfg.prefixCache && s->swapSharedBlocks > 0) {
+        KvCache::PrefixAcquire acq = kv->acquirePrefix(
+            tokenFnFor(s->request),
+            std::uint64_t(s->swapSharedBlocks) * cfg.blockTokens,
+            server.simulation().now());
+        resident = std::move(acq.blocks);
+    }
+
+    auto blocks = kv->allocateBlocks(need - resident.size());
+    if (!blocks) {
+        if (!resident.empty())
+            kv->freeBlocks(resident);
         return false;
-    hw::TransferTiming t =
-        backend.read(s->swapHandle, s->swapHandle.bytes, need);
-    if (t.complete > transfersDone)
-        transfersDone = t.complete;
-    backend.free(s->swapHandle);
-    s->swapHandle = OffloadBackend::Handle{};
-    s->blocks = std::move(*blocks);
+    }
+
+    // Shared blocks evicted since swap-out come from the group's
+    // single backend copy; the private tail from the swap handle.
+    std::size_t missingShared = s->swapSharedBlocks - resident.size();
+    if (missingShared > 0) {
+        auto it = sharedGroups.find(s->swapGroupKey);
+        if (it == sharedGroups.end()) {
+            panic("VllmEngine: shared group %llx vanished under "
+                  "swapped sequence %llu",
+                  static_cast<unsigned long long>(s->swapGroupKey),
+                  static_cast<unsigned long long>(s->request.id));
+        }
+        std::uint64_t sharedBytes =
+            kv->kvBytes(std::uint64_t(missingShared) * cfg.blockTokens);
+        hw::TransferTiming t = backend.read(it->second.handle,
+                                            sharedBytes, missingShared);
+        if (t.complete > transfersDone)
+            transfersDone = t.complete;
+        nReadBytes += sharedBytes;
+    }
+    prefixStats.residentReuseBytes +=
+        kv->kvBytes(std::uint64_t(resident.size()) * cfg.blockTokens);
+    if (s->swapHandle.valid()) {
+        hw::TransferTiming t =
+            backend.read(s->swapHandle, s->swapHandle.bytes,
+                         need - s->swapSharedBlocks);
+        if (t.complete > transfersDone)
+            transfersDone = t.complete;
+        nReadBytes += s->swapHandle.bytes;
+        backend.free(s->swapHandle);
+        s->swapHandle = OffloadBackend::Handle{};
+    }
+
+    s->blocks = std::move(resident);
+    s->blocks.insert(s->blocks.end(), blocks->begin(), blocks->end());
+
+    // Byte-identity check: every block must carry the signature it
+    // had at swap-out, whether it stayed resident or round-tripped
+    // through the backend (restored blocks take their snapshot).
+    if (cfg.prefixCache && !s->swapSigs.empty()) {
+        std::size_t residentCount =
+            s->blocks.size() - blocks->size();
+        for (std::size_t i = 0; i < s->blocks.size() &&
+                                i < s->swapSigs.size(); ++i) {
+            if (i < residentCount) {
+                if (kv->blockSig(s->blocks[i]) != s->swapSigs[i])
+                    ++prefixStats.sigMismatches;
+            } else {
+                kv->setBlockSig(s->blocks[i], s->swapSigs[i]);
+            }
+        }
+    }
+    releaseSwapGroup(s);
+
     s->state = Sequence::State::Running;
     removeFrom(swapped, s);
     running.push_back(s);
@@ -234,15 +403,50 @@ VllmEngine::admitSeq(Sequence *s, Tick &transfersDone)
     // kvTokens() so a recompute-preempted sequence gets room for its
     // whole regenerated context.
     std::size_t need = kv->blocksForTokens(s->kvTokens());
-    auto blocks = kv->allocateBlocks(need);
+
+    // Prefix-cache admission: borrow every resident block matching
+    // the context (capped one short of the full context so at least
+    // one token is always computed) and skip their prefill.
+    KvCache::PrefixAcquire acq;
+    if (cfg.prefixCache && s->prefilledTokens == 0) {
+        std::uint64_t match = s->kvTokens() > 0 ? s->kvTokens() - 1 : 0;
+        acq = kv->acquirePrefix(tokenFnFor(s->request), match,
+                                server.simulation().now());
+        if (acq.partialTokens > 0) {
+            // The shared tail will be appended to during prefill:
+            // copy-on-write it now (the cached original stays valid
+            // for future matches).
+            auto forked = kv->forkBlock(acq.blocks.back());
+            if (forked) {
+                acq.blocks.back() = *forked;
+                ++prefixStats.cowForks;
+            } else {
+                // Pool exhausted: drop the partial part of the match.
+                kv->freeBlocks({acq.blocks.back()});
+                acq.blocks.pop_back();
+                acq.tokens -= acq.partialTokens;
+                acq.partialTokens = 0;
+            }
+        }
+    }
+
+    auto blocks = kv->allocateBlocks(need - acq.blocks.size());
     if (!blocks) {
+        if (!acq.blocks.empty())
+            kv->freeBlocks(acq.blocks);
         if (s->adapterHeld) {
             lora->release(s->request.adapter);
             s->adapterHeld = false;
         }
         return false;
     }
-    s->blocks = std::move(*blocks);
+    s->blocks = std::move(acq.blocks);
+    s->blocks.insert(s->blocks.end(), blocks->begin(), blocks->end());
+    if (acq.tokens > 0) {
+        s->prefilledTokens = static_cast<std::uint32_t>(acq.tokens);
+        s->cachedTokens = static_cast<std::uint32_t>(acq.tokens);
+        prefixStats.cachedTokens += acq.tokens;
+    }
     s->state = Sequence::State::Running;
     removeFrom(waiting, s);
     running.push_back(s);
@@ -253,6 +457,9 @@ void
 VllmEngine::finishSeq(Sequence *s, Tick when)
 {
     s->state = Sequence::State::Finished;
+    // Leave the conversation's KV behind as cache: a follow-up turn
+    // that re-sends this context will match it block for block.
+    publishSeq(s);
     kv->freeBlocks(s->blocks);
     s->blocks.clear();
     if (s->adapterHeld) {
@@ -300,6 +507,7 @@ VllmEngine::step()
     in.maxBatch = cfg.maxBatch;
     in.sliceTokens = cfg.cfsSliceTokens;
     in.slackTokens = cfg.slackTokens;
+    in.prefixCache = cfg.prefixCache;
 
     SchedulerDecision d;
     bool evaluate = true;
@@ -362,6 +570,9 @@ VllmEngine::step()
             if (s->prefilledTokens < s->kvTokens())
                 continue; // more chunks next iteration
             s->prefilled = true;
+            // Publish the freshly computed context so concurrent
+            // arrivals with the same prefix share it immediately.
+            publishSeq(s);
             if (s->generated == 0) {
                 // Prefill emits the first output token.
                 s->generated = 1;

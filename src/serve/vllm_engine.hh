@@ -18,6 +18,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -77,6 +78,36 @@ struct VllmEngineConfig
     std::optional<LoraCacheConfig> lora;
     /** What preemption costs: transfers (Swap) or FLOPs (Recompute). */
     PreemptionMode preemption = PreemptionMode::Swap;
+    /**
+     * Automatic prefix caching with copy-on-write block sharing: new
+     * sequences reuse resident KV blocks matching their prompt prefix
+     * (skipping that prefill compute), shared prefixes are offloaded
+     * through the backend once per group instead of once per
+     * borrower, and index-held blocks evict LRU-first under memory
+     * pressure. Off by default (the vLLM baseline the paper measures
+     * against does not share KV).
+     */
+    bool prefixCache = false;
+};
+
+/** Sharing-path counters kept by the engine (all zero when off). */
+struct PrefixCacheEngineStats
+{
+    /** Prefill tokens served from cache (compute + KV writes skipped). */
+    std::uint64_t cachedTokens = 0;
+    /** Copy-on-write forks of shared partial-tail blocks. */
+    std::uint64_t cowForks = 0;
+    /** Swap-outs whose shared prefix joined an existing group. */
+    std::uint64_t sharedSwapOuts = 0;
+    /** Shared-group materializations (one backend write per group). */
+    std::uint64_t groupWrites = 0;
+    /** Offload write bytes avoided by group dedup. */
+    std::uint64_t dedupSavedBytes = 0;
+    /** Swap-in read bytes avoided by re-acquiring resident blocks. */
+    std::uint64_t residentReuseBytes = 0;
+    /** Byte-identity violations across offload round trips (must
+     *  stay zero; checked via block content signatures). */
+    std::uint64_t sigMismatches = 0;
 };
 
 /**
@@ -150,6 +181,17 @@ class VllmEngine
     /** Preemptions resolved by dropping KV (Recompute mode). */
     std::uint64_t recomputeCount() const { return nRecomputes; }
 
+    /** Sharing-path counters (all zero unless cfg.prefixCache). */
+    const PrefixCacheEngineStats &
+    prefixEngineStats() const
+    {
+        return prefixStats;
+    }
+
+    /** Bytes written to / read from the offload backend (swaps). */
+    std::uint64_t offloadWriteBytes() const { return nWriteBytes; }
+    std::uint64_t offloadReadBytes() const { return nReadBytes; }
+
     /** Metrics of finished requests, completion order. */
     const std::vector<workload::RequestMetrics> &
     finished() const
@@ -188,6 +230,29 @@ class VllmEngine
     /** Remove a sequence pointer from a list. */
     static void removeFrom(std::vector<Sequence *> &list, Sequence *s);
 
+    //
+    // Prefix-cache sharing (active only with cfg.prefixCache).
+    //
+
+    /** One backend copy of a shared prefix, reused by all borrowers. */
+    struct SharedGroup
+    {
+        OffloadBackend::Handle handle;
+        /** Swapped borrowers pointing at the copy. */
+        std::uint32_t refs = 0;
+        /** Full blocks the copy covers. */
+        std::uint32_t blocks = 0;
+    };
+
+    /** Publish a sequence's computed KV into the prefix index. */
+    void publishSeq(Sequence *s);
+
+    /** Leading run of s->blocks shared with the index or peers. */
+    std::size_t sharedLeadBlocks(const Sequence *s) const;
+
+    /** Drop a swapped borrower's reference on its shared group. */
+    void releaseSwapGroup(Sequence *s);
+
     hw::Server &server;
     hw::GpuId myGpu;
     model::ModelSpec spec;
@@ -222,6 +287,12 @@ class VllmEngine
     std::uint64_t nSwapOuts = 0;
     std::uint64_t nSwapIns = 0;
     std::uint64_t nRecomputes = 0;
+
+    /** Shared-prefix offload copies, by chain key. */
+    std::map<std::uint64_t, SharedGroup> sharedGroups;
+    PrefixCacheEngineStats prefixStats;
+    std::uint64_t nWriteBytes = 0;
+    std::uint64_t nReadBytes = 0;
 
     stats::TimeSeries tokens;
     stats::TimeSeries freeMem;

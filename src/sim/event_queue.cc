@@ -1,10 +1,31 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
 
 namespace aqua::sim {
+
+namespace {
+
+/** Amortizes early growth; simulations schedule far more than this. */
+constexpr std::size_t kInitialReserve = 1024;
+
+} // anonymous namespace
+
+EventQueue::EventQueue()
+{
+    heap.reserve(kInitialReserve);
+    cancelled.reserve(kInitialReserve);
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    heap.reserve(events);
+    cancelled.reserve(events);
+}
 
 EventId
 EventQueue::schedule(Tick when, Callback cb)
@@ -15,9 +36,15 @@ EventQueue::schedule(Tick when, Callback cb)
               static_cast<unsigned long long>(_now));
     }
     EventId id = nextId++;
-    if (cancelled.size() <= id)
-        cancelled.resize(id + 1, false);
-    heap.push(Entry{when, nextSeq++, id, std::move(cb)});
+    if (cancelled.size() <= id) {
+        // Grow geometrically: ids are dense, so a one-past resize per
+        // schedule would reallocate the table on every call.
+        cancelled.resize(std::max<std::size_t>(id + 1,
+                                               cancelled.size() * 2),
+                         false);
+    }
+    heap.push_back(Entry{when, nextSeq++, id, std::move(cb)});
+    std::push_heap(heap.begin(), heap.end(), Later{});
     ++numPending;
     return id;
 }
@@ -42,11 +69,20 @@ EventQueue::cancel(EventId id)
     return true;
 }
 
+EventQueue::Entry
+EventQueue::popTop()
+{
+    std::pop_heap(heap.begin(), heap.end(), Later{});
+    Entry entry = std::move(heap.back());
+    heap.pop_back();
+    return entry;
+}
+
 void
 EventQueue::skipCancelled()
 {
-    while (!heap.empty() && cancelled[heap.top().id])
-        heap.pop();
+    while (!heap.empty() && cancelled[heap.front().id])
+        popTop();
 }
 
 bool
@@ -55,8 +91,7 @@ EventQueue::step()
     skipCancelled();
     if (heap.empty())
         return false;
-    Entry entry = heap.top();
-    heap.pop();
+    Entry entry = popTop();
     _now = entry.when;
     --numPending;
     ++numFired;
@@ -81,7 +116,7 @@ EventQueue::runUntil(Tick limit)
     std::size_t count = 0;
     for (;;) {
         skipCancelled();
-        if (heap.empty() || heap.top().when > limit)
+        if (heap.empty() || heap.front().when > limit)
             break;
         step();
         ++count;

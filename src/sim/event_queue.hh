@@ -13,7 +13,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/ticks.hh"
@@ -38,9 +37,12 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Pre-size the heap (and cancellation table) for @p events. */
+    void reserve(std::size_t events);
 
     /** Current simulated time. */
     Tick now() const { return _now; }
@@ -116,12 +118,23 @@ class EventQueue
     /** Pop cancelled entries off the heap top. */
     void skipCancelled();
 
+    /** Move the earliest entry out of the heap (must be non-empty). */
+    Entry popTop();
+
     Tick _now = 0;
     std::uint64_t nextSeq = 0;
     EventId nextId = 1;
     std::size_t numPending = 0;
     std::uint64_t numFired = 0;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap;
+    /**
+     * Binary min-heap on (when, seq) kept by std::push_heap /
+     * std::pop_heap over a plain vector. Compared to
+     * std::priority_queue this lets pops MOVE the callback out
+     * (top() only exposes a const reference, forcing a copy of the
+     * std::function and its captures on every fire) and lets the
+     * backing storage be reserved up front.
+     */
+    std::vector<Entry> heap;
     /** Ids cancelled while still on the heap. */
     std::vector<bool> cancelled;
 };

@@ -125,6 +125,48 @@ TraceBuilder::lora(double ratePerSec, std::size_t count,
     return out;
 }
 
+std::vector<Request>
+TraceBuilder::sharedPrefix(double ratePerSec, std::size_t count,
+                           std::uint32_t prefixTokens,
+                           std::uint32_t numGroups, Tick start)
+{
+    std::vector<Request> out;
+    out.reserve(count);
+    Tick when = start;
+    for (std::size_t i = 0; i < count; ++i) {
+        when += secToTicks(rng.exponential(ratePerSec));
+        Request r;
+        r.id = nextId++;
+        r.arrival = when;
+        std::uint32_t group = numGroups <= 1
+            ? 0
+            : static_cast<std::uint32_t>(rng.uniformInt(
+                  0, static_cast<std::int64_t>(numGroups) - 1));
+        r.prefixStream = contentStreamId(0x5e5751ull + group);
+        r.prefixTokens = prefixTokens;
+        r.promptTokens = prefixTokens + lengths.samplePromptTokens();
+        r.maxNewTokens = lengths.sampleOutputTokens();
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<Request>
+TraceBuilder::loraPreamble(double ratePerSec, std::size_t count,
+                           std::uint32_t numAdapters,
+                           std::uint32_t preambleTokens, Tick start)
+{
+    std::vector<Request> out = lora(ratePerSec, count, numAdapters,
+                                    start);
+    for (Request &r : out) {
+        r.prefixStream = contentStreamId(
+            0xada0000ull + static_cast<std::uint64_t>(r.adapter));
+        r.prefixTokens = preambleTokens;
+        r.promptTokens += preambleTokens;
+    }
+    return out;
+}
+
 Request
 TraceBuilder::longPrompt(std::uint32_t promptTokens,
                          std::uint32_t maxNewTokens, Tick arrival)
@@ -137,8 +179,35 @@ TraceBuilder::longPrompt(std::uint32_t promptTokens,
     return r;
 }
 
+namespace {
+
+/** Content streams for chatbot conversations and system prompts. */
+std::uint64_t
+chatUserStream(std::uint32_t userId)
+{
+    return contentStreamId(0xc4a7b07ull + userId);
+}
+
+constexpr std::uint64_t kChatSystemTag = 0x5e57c4a7ull;
+
+/** Tag a request's tokens as one user's conversation, optionally
+ *  opened by the shared system prompt. */
+void
+tagChatStreams(Request &r, std::uint32_t userId,
+               std::uint32_t systemPromptTokens)
+{
+    r.contentStream = chatUserStream(userId);
+    if (systemPromptTokens > 0) {
+        r.prefixStream = contentStreamId(kChatSystemTag);
+        r.prefixTokens = systemPromptTokens;
+    }
+}
+
+} // anonymous namespace
+
 std::vector<Request>
-TraceBuilder::chatbotFirstTurn(std::uint32_t users, Tick start)
+TraceBuilder::chatbotFirstTurn(std::uint32_t users, Tick start,
+                               std::uint32_t systemPromptTokens)
 {
     std::vector<Request> out;
     out.reserve(users);
@@ -149,12 +218,13 @@ TraceBuilder::chatbotFirstTurn(std::uint32_t users, Tick start)
         r.arrival = start + secToTicks(rng.uniform(0.0, 2.0));
         // Code-assistant conversations: code-sized prompts and
         // detailed answers (the paper chats with Codellama-34B, §8).
-        r.promptTokens = static_cast<std::uint32_t>(
+        r.promptTokens = systemPromptTokens + static_cast<std::uint32_t>(
             rng.uniformInt(200, 600));
         r.maxNewTokens = static_cast<std::uint32_t>(
             rng.uniformInt(256, 512));
         r.userId = u;
         r.turn = 0;
+        tagChatStreams(r, u, systemPromptTokens);
         out.push_back(r);
     }
     std::sort(out.begin(), out.end(),
@@ -167,7 +237,8 @@ TraceBuilder::chatbotFirstTurn(std::uint32_t users, Tick start)
 Request
 TraceBuilder::chatbotFollowUp(std::uint32_t userId, std::uint32_t turn,
                               Tick arrival,
-                              std::uint32_t historyTokens)
+                              std::uint32_t historyTokens,
+                              std::uint32_t systemPromptTokens)
 {
     Request r;
     r.id = nextId++;
@@ -181,6 +252,7 @@ TraceBuilder::chatbotFollowUp(std::uint32_t userId, std::uint32_t turn,
         rng.uniformInt(256, 512));
     r.userId = userId;
     r.turn = turn;
+    tagChatStreams(r, userId, systemPromptTokens);
     return r;
 }
 

@@ -97,6 +97,33 @@ class TraceBuilder
                               aqua::sim::Tick start = 0);
 
     /**
+     * Shared-prefix interactive trace: every request opens with a
+     * common preamble (a chatbot system prompt) drawn from one of
+     * @p numGroups content streams, followed by a user-specific rest.
+     * Prefix caching should deduplicate the preamble KV across all
+     * requests of a group (Fig. 13's serving pattern).
+     *
+     * @param prefixTokens Length of the shared preamble.
+     * @param numGroups Distinct system prompts in play.
+     */
+    std::vector<Request> sharedPrefix(double ratePerSec,
+                                      std::size_t count,
+                                      std::uint32_t prefixTokens,
+                                      std::uint32_t numGroups = 1,
+                                      aqua::sim::Tick start = 0);
+
+    /**
+     * LoRA trace whose requests open with a per-adapter preamble (the
+     * adapter's instruction prefix): requests for the same adapter
+     * share their first @p preambleTokens tokens.
+     */
+    std::vector<Request> loraPreamble(double ratePerSec,
+                                      std::size_t count,
+                                      std::uint32_t numAdapters,
+                                      std::uint32_t preambleTokens,
+                                      aqua::sim::Tick start = 0);
+
+    /**
      * A single long prompt (default 8,000 tokens — GPT-4's context
      * limit per §6) with a large generation budget.
      */
@@ -107,10 +134,16 @@ class TraceBuilder
     /**
      * First turn of the chatbot workload: @p users prompts arriving in
      * a short burst. Subsequent turns are issued reactively by the
-     * experiment driver when responses return.
+     * experiment driver when responses return. Each user's tokens come
+     * from a per-user content stream, so a follow-up's re-sent history
+     * is byte-identical to the earlier turns (prefix-cacheable).
+     *
+     * @param systemPromptTokens Shared system preamble prepended to
+     *        every user's first prompt (0 = none).
      */
-    std::vector<Request> chatbotFirstTurn(std::uint32_t users,
-                                          aqua::sim::Tick start = 0);
+    std::vector<Request>
+    chatbotFirstTurn(std::uint32_t users, aqua::sim::Tick start = 0,
+                     std::uint32_t systemPromptTokens = 0);
 
     /**
      * Sample a chatbot follow-up for @p userId at @p turn.
@@ -118,10 +151,12 @@ class TraceBuilder
      * @param historyTokens Tokens of conversation so far (previous
      *        prompts and responses); chat engines re-send the history
      *        with each turn, so the prompt grows turn over turn.
+     * @param systemPromptTokens Must match the first turn's value.
      */
     Request chatbotFollowUp(std::uint32_t userId, std::uint32_t turn,
                             aqua::sim::Tick arrival,
-                            std::uint32_t historyTokens = 0);
+                            std::uint32_t historyTokens = 0,
+                            std::uint32_t systemPromptTokens = 0);
 
     /** Access the underlying sampler (e.g. for tests). */
     ShareGptSampler &sampler() { return lengths; }

@@ -1,0 +1,42 @@
+#include "workload/request.hh"
+
+namespace aqua::workload {
+
+namespace {
+
+/** splitmix64 finalizer — keep independent from the serve-layer prefix
+ *  hashes so index collisions cannot be manufactured by content. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kStreamSalt = 0x517cc1b727220a95ull;
+constexpr std::uint64_t kPrivateSalt = 0x2545f4914f6cdd1dull;
+
+} // anonymous namespace
+
+std::uint64_t
+contentStreamId(std::uint64_t tag)
+{
+    return mix64(tag ^ kStreamSalt) | 1; // never zero
+}
+
+std::uint64_t
+tokenContent(const Request &request, std::uint64_t pos)
+{
+    std::uint64_t stream;
+    if (request.prefixStream != 0 && pos < request.prefixTokens)
+        stream = request.prefixStream;
+    else if (request.contentStream != 0)
+        stream = request.contentStream;
+    else
+        stream = mix64(request.id ^ kPrivateSalt) | 1;
+    return mix64(stream ^ mix64(pos));
+}
+
+} // namespace aqua::workload

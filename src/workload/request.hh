@@ -39,7 +39,35 @@ struct Request
     std::uint32_t userId = 0;
     /** Conversation turn index (multi-turn workloads). */
     std::uint32_t turn = 0;
+
+    //
+    // Simulated token content. Requests do not carry literal token
+    // ids; instead each token position maps to a deterministic content
+    // id drawn from a stream (see tokenContent()). Two requests whose
+    // streams and positions agree hold identical tokens there, which
+    // is what prefix caching deduplicates.
+    //
+
+    /** Stream of the leading @ref prefixTokens tokens (a shared system
+     *  prompt or LoRA preamble); 0 = no shared preamble. */
+    std::uint64_t prefixStream = 0;
+    /** Tokens drawn from prefixStream before contentStream takes over. */
+    std::uint32_t prefixTokens = 0;
+    /** Stream of the remaining tokens (e.g. one chat user's
+     *  conversation, shared across turns); 0 = unique per request. */
+    std::uint64_t contentStream = 0;
 };
+
+/** Derive a non-zero content stream id from a tag. */
+std::uint64_t contentStreamId(std::uint64_t tag);
+
+/**
+ * Content id of token @p pos of @p request (prompt and generated
+ * tokens alike). Positions below prefixTokens read the shared prefix
+ * stream; the rest read contentStream, or a request-private stream
+ * when none is set.
+ */
+std::uint64_t tokenContent(const Request &request, std::uint64_t pos);
 
 /**
  * Measured outcome of one request.

@@ -265,3 +265,48 @@ TEST(BlockAllocator, ZeroBlockSizePanics)
 {
     EXPECT_DEATH(BlockAllocator(1024, 0), "zero block");
 }
+
+TEST(BlockAllocator, RefCountedSharing)
+{
+    BlockAllocator a(1024, 64);
+    auto b = a.allocate();
+    ASSERT_TRUE(b);
+    EXPECT_EQ(a.refCount(*b), 1u);
+    EXPECT_EQ(a.sharedBlocks(), 0u);
+    a.ref(*b);
+    EXPECT_EQ(a.refCount(*b), 2u);
+    EXPECT_EQ(a.sharedBlocks(), 1u);
+    // First free only drops the borrower; the block stays allocated.
+    a.free(*b);
+    EXPECT_EQ(a.refCount(*b), 1u);
+    EXPECT_EQ(a.sharedBlocks(), 0u);
+    EXPECT_EQ(a.usedBlocks(), 1u);
+    a.free(*b);
+    EXPECT_EQ(a.refCount(*b), 0u);
+    EXPECT_EQ(a.usedBlocks(), 0u);
+    EXPECT_DEATH(a.free(*b), "double free");
+}
+
+TEST(BlockAllocator, RefOnFreeBlockPanics)
+{
+    BlockAllocator a(1024, 64);
+    auto b = a.allocate();
+    a.free(*b);
+    EXPECT_DEATH(a.ref(*b), "not allocated");
+}
+
+TEST(BlockAllocator, SharedBlockSurvivesRetire)
+{
+    BlockAllocator a(1024, 64);
+    auto b = a.allocate();
+    ASSERT_TRUE(b);
+    a.ref(*b); // a CoW borrower pins the block
+    // Retiring everything free must leave the shared block alone.
+    EXPECT_EQ(a.retire(100), 15u);
+    EXPECT_EQ(a.refCount(*b), 2u);
+    EXPECT_EQ(a.usedBlocks(), 1u);
+    a.free(*b);
+    a.free(*b);
+    EXPECT_EQ(a.restore(100), 15u);
+    EXPECT_EQ(a.freeBlocks(), 16u);
+}
