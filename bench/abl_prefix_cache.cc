@@ -72,6 +72,14 @@ main(int argc, char **argv)
     on.prefixCache = true;
     exp::PrefixAblationResult onR = exp::runPrefixAblation(on);
 
+    // Sharing on, but cache-only retention capped to a quarter of the
+    // pool (KvCacheConfig::maxCacheShare) — the brownout-friendly
+    // configuration that bounds how much HBM cache upkeep can occupy.
+    exp::PrefixAblationConfig capped = cfg;
+    capped.prefixCache = true;
+    capped.maxCacheShare = 0.25;
+    exp::PrefixAblationResult capR = exp::runPrefixAblation(capped);
+
     const exp::PrefixCacheReport &pc = onR.prefix;
     double hbmSaved =
         offR.peakLiveKvBytes > onR.peakLiveKvBytes
@@ -82,27 +90,38 @@ main(int argc, char **argv)
     std::uint64_t offloadOn =
         onR.offloadWriteBytes + onR.offloadReadBytes;
 
-    stats::Table t({"metric", "sharing_off", "sharing_on"});
+    stats::Table t(
+        {"metric", "sharing_off", "sharing_on", "capped_25pct"});
     t.newRow()
         .cell("peak_live_kv_mib")
         .cell(double(offR.peakLiveKvBytes) / (1 << 20), 1)
-        .cell(double(onR.peakLiveKvBytes) / (1 << 20), 1);
+        .cell(double(onR.peakLiveKvBytes) / (1 << 20), 1)
+        .cell(double(capR.peakLiveKvBytes) / (1 << 20), 1);
     t.newRow()
         .cell("offload_write_mib")
         .cell(double(offR.offloadWriteBytes) / (1 << 20), 1)
-        .cell(double(onR.offloadWriteBytes) / (1 << 20), 1);
+        .cell(double(onR.offloadWriteBytes) / (1 << 20), 1)
+        .cell(double(capR.offloadWriteBytes) / (1 << 20), 1);
     t.newRow()
         .cell("offload_read_mib")
         .cell(double(offR.offloadReadBytes) / (1 << 20), 1)
-        .cell(double(onR.offloadReadBytes) / (1 << 20), 1);
+        .cell(double(onR.offloadReadBytes) / (1 << 20), 1)
+        .cell(double(capR.offloadReadBytes) / (1 << 20), 1);
     t.newRow()
         .cell("tokens_per_sec")
         .cell(offR.tokensPerSec, 1)
-        .cell(onR.tokensPerSec, 1);
+        .cell(onR.tokensPerSec, 1)
+        .cell(capR.tokensPerSec, 1);
     t.newRow()
         .cell("swap_outs")
         .cell(std::uint64_t(offR.swapOuts))
-        .cell(std::uint64_t(onR.swapOuts));
+        .cell(std::uint64_t(onR.swapOuts))
+        .cell(std::uint64_t(capR.swapOuts));
+    t.newRow()
+        .cell("hit_rate_pct")
+        .cell(0.0, 1)
+        .cell(100.0 * pc.hitRate, 1)
+        .cell(100.0 * capR.prefix.hitRate, 1);
     bench::show(t);
 
     std::printf("hit rate %.1f%% (%llu hits / %llu misses, %llu "
@@ -125,7 +144,8 @@ main(int argc, char **argv)
     bool okHitRate = pc.hitRate > 0.5;
     bool okPeak = onR.peakLiveKvBytes < offR.peakLiveKvBytes;
     bool okOffload = onR.offloadWriteBytes <= offR.offloadWriteBytes;
-    bool okIdentity = pc.sigMismatches == 0;
+    bool okIdentity = pc.sigMismatches == 0 &&
+                      capR.prefix.sigMismatches == 0;
     std::printf("acceptance: hit_rate>50%% %s, peak_live on<off %s, "
                 "offload_write on<=off %s, byte_identity %s\n",
                 okHitRate ? "PASS" : "FAIL", okPeak ? "PASS" : "FAIL",
@@ -139,6 +159,10 @@ main(int argc, char **argv)
         .set("num_groups", cfg.numGroups);
     report.set("sharing_off", modeJson(offR));
     report.set("sharing_on", modeJson(onR));
+    json::Object cappedJson = modeJson(capR);
+    cappedJson["max_cache_share"] = capped.maxCacheShare;
+    cappedJson["hit_rate"] = capR.prefix.hitRate;
+    report.set("sharing_capped", std::move(cappedJson));
     json::Object prefix;
     prefix["hit_rate"] = pc.hitRate;
     prefix["hits"] = static_cast<std::int64_t>(pc.hits);

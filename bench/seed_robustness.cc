@@ -15,8 +15,12 @@
  * tokens, never correctness). Reported per cell: faults injected and
  * recovered, disruption-latency percentiles over control-plane calls,
  * tokens generated and lost, and identity violations (always zero).
+ *
+ * Results also land in BENCH_robustness.json (bench::JsonReporter);
+ * `--smoke` shrinks the sweep to one seed per cell for CI.
  */
 
+#include <cstring>
 #include <memory>
 
 #include "bench/bench_util.hh"
@@ -212,10 +216,15 @@ donorKillPlan()
 } // anonymous namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
     bench::banner("Chaos robustness",
                   "decode under injected faults, across seeds");
+
+    bench::JsonReporter report("robustness");
+    report.set("smoke", smoke);
+    json::Object cells;
 
     // Part 1: the donor-kill acceptance scenario. The donor GPU dies
     // permanently mid-decode; the run must complete with every byte
@@ -229,8 +238,10 @@ main()
         CellResult chaos = runCell(w, &plan, 1);
         std::size_t bad = identityViolations(chaos, twin);
         // The permanent fault is the only legal unmatched pair.
-        ok = ok && bad == 0 && chaos.unmatched == 1 &&
-             chaos.emergencies == w.tensors && chaos.tokens > 0;
+        bool cellOk = bad == 0 && chaos.unmatched == 1 &&
+                      chaos.emergencies == w.tensors &&
+                      chaos.tokens > 0;
+        ok = ok && cellOk;
         kill.newRow()
             .cell(w.name)
             .cell(static_cast<double>(chaos.tokens), 0)
@@ -240,10 +251,25 @@ main()
             .cell(chaos.disruptMs.empty() ? 0.0
                                           : chaos.disruptMs.p95(), 2)
             .cell(bad == 0 ? "intact" : "CORRUPT");
+        json::Object cell;
+        cell["tokens"] = static_cast<std::int64_t>(chaos.tokens);
+        cell["healthy_tokens"] =
+            static_cast<std::int64_t>(twin.tokens);
+        cell["tokens_lost"] =
+            static_cast<std::int64_t>(chaos.tokensLost);
+        cell["emergency_evacuations"] =
+            static_cast<std::int64_t>(chaos.emergencies);
+        cell["disrupt_p95_ms"] =
+            chaos.disruptMs.empty() ? 0.0 : chaos.disruptMs.p95();
+        cell["identity_violations"] = static_cast<std::int64_t>(bad);
+        cell["ok"] = cellOk;
+        cells[std::string("donor_kill_") + w.name] = std::move(cell);
     }
     bench::show(kill);
 
-    // Part 2: fault-rate sweep, three seeds per cell, pooled.
+    // Part 2: fault-rate sweep, pooled over seeds (one seed per cell
+    // in smoke mode, three otherwise).
+    const std::uint64_t numSeeds = smoke ? 1 : 3;
     stats::Table sweep({"workload", "faults", "inj", "rec",
                         "disrupt p50 ms", "p95 ms", "tokens", "lost",
                         "identity"});
@@ -253,7 +279,7 @@ main()
             std::uint64_t inj = 0, rec = 0, tokens = 0, lost = 0;
             std::size_t bad = 0;
             stats::Summary disrupt;
-            for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            for (std::uint64_t seed = 1; seed <= numSeeds; ++seed) {
                 FaultPlan plan =
                     chaosPlan(seed * 31 + level, level);
                 CellResult twin = runCell(w, nullptr, seed);
@@ -277,9 +303,28 @@ main()
                 .cell(static_cast<double>(tokens), 0)
                 .cell(static_cast<double>(lost), 0)
                 .cell(bad == 0 ? "intact" : "CORRUPT");
+            json::Object cell;
+            cell["injected"] = static_cast<std::int64_t>(inj);
+            cell["recovered"] = static_cast<std::int64_t>(rec);
+            cell["disrupt_p50_ms"] =
+                disrupt.empty() ? 0.0 : disrupt.median();
+            cell["disrupt_p95_ms"] =
+                disrupt.empty() ? 0.0 : disrupt.p95();
+            cell["tokens"] = static_cast<std::int64_t>(tokens);
+            cell["tokens_lost"] = static_cast<std::int64_t>(lost);
+            cell["identity_violations"] =
+                static_cast<std::int64_t>(bad);
+            cells[std::string(w.name) + "_" + levels[level - 1]] =
+                std::move(cell);
         }
     }
     bench::show(sweep);
+
+    report.set("seeds_per_cell",
+               static_cast<std::int64_t>(numSeeds));
+    report.set("cells", std::move(cells));
+    report.set("ok", ok);
+    report.write();
 
     if (!ok) {
         std::printf("CHAOS VIOLATION: see the tables above.\n");

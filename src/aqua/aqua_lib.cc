@@ -319,6 +319,7 @@ AquaLib::executeOrder(const MigrationOrder &order)
                                order.bytes);
         }
         t.dramRegion = region;
+        lastEvacAt = server.simulation().now();
     } else {
         // Promotion: DRAM -> producer lease over the producer's
         // PCIe ingress.
@@ -501,12 +502,17 @@ AquaLib::informStats(const EngineStats &stats)
       case InformerDecision::Action::Reclaim: {
         Value req;
         req["gpu"] = myGpu;
+        req["urgency"] =
+            std::string(reclaimUrgencyName(decision.urgency));
         CallOutcome out =
             tryCall("POST /reclaim_request", std::move(req));
         if (!out.resp.ok())
             return 0; // unreachable: the informer will re-decide
         reclaiming = true;
-        traceEvent("reclaim_request", Value(json::Object{}));
+        Value ev;
+        ev["urgency"] =
+            std::string(reclaimUrgencyName(decision.urgency));
+        traceEvent("reclaim_request", std::move(ev));
         return 0;
       }
     }

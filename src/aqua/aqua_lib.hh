@@ -226,6 +226,11 @@ class AquaLib
     /** Whether a reclaim is in flight. */
     bool reclaimInProgress() const { return reclaiming; }
 
+    /** When this instance last executed an evacuation order (tensor
+     *  pushed off a donor lease toward DRAM); 0 = never. Consumers
+     *  read this as offload-path pressure. */
+    aqua::sim::Tick lastEvacuationAt() const { return lastEvacAt; }
+
     /** Bytes currently leased out by this GPU. */
     std::uint64_t leasedBytes() const { return leaseBytes; }
 
@@ -324,6 +329,9 @@ class AquaLib
     StagingEngine engine;
 
     std::map<TensorId, TensorRec> tensors;
+
+    /** Last evacuation-order execution (consumer-side path pressure). */
+    aqua::sim::Tick lastEvacAt = 0;
 
     // Producer state.
     bool donated = false;

@@ -81,6 +81,7 @@ Coordinator::expireLeasesLocked(aqua::sim::Tick now)
         // Dead lease: the memory must come back regardless of what
         // the (unreachable) producer wanted.
         p.reclaimRequested = true;
+        p.reclaimUrgency = ReclaimUrgency::Urgent;
         expired.push_back(gpu);
     }
     return expired;
@@ -102,14 +103,33 @@ Coordinator::leaseAlive(hw::GpuId producer) const
 }
 
 void
-Coordinator::requestReclaim(hw::GpuId producer)
+Coordinator::requestReclaim(hw::GpuId producer, ReclaimUrgency urgency)
 {
     std::lock_guard<std::mutex> lock(mtx);
     auto it = producers.find(producer);
     if (it == producers.end())
         panic("Coordinator::requestReclaim: unknown producer %d",
               producer);
-    it->second.reclaimRequested = true;
+    ProducerState &p = it->second;
+    if (!p.reclaimRequested)
+        p.reclaimUrgency = urgency;
+    else if (urgency == ReclaimUrgency::Urgent)
+        p.reclaimUrgency = ReclaimUrgency::Urgent;
+    p.reclaimRequested = true;
+}
+
+void
+Coordinator::setGracefulEvacBatch(std::size_t ordersPerRespond)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    gracefulBatch = ordersPerRespond;
+}
+
+std::size_t
+Coordinator::gracefulEvacBatch() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return gracefulBatch;
 }
 
 bool
@@ -207,7 +227,12 @@ Coordinator::respond(hw::GpuId consumer, aqua::sim::Tick now)
     expireLeasesLocked(now);
     std::vector<MigrationOrder> orders;
 
-    // Pass 1: evacuate tensors sitting on reclaiming producers.
+    // Pass 1: evacuate tensors sitting on reclaiming producers. A
+    // graceful reclaim is staged: at most gracefulBatch evacuation
+    // orders per respond round, so the consumer engine interleaves
+    // iterations with the copies instead of taking a stop-the-world
+    // flush. Urgent and emergency reclaims always flush everything.
+    std::size_t gracefulIssued = 0;
     for (auto &[id, t] : tensors) {
         if (t.consumer != consumer || t.migratingTo)
             continue;
@@ -216,13 +241,23 @@ Coordinator::respond(hw::GpuId consumer, aqua::sim::Tick now)
         auto pit = producers.find(t.location.gpu);
         if (pit == producers.end() || !pit->second.reclaimRequested)
             continue;
+        bool emergency = !pit->second.alive;
+        ReclaimUrgency urgency = emergency
+                                     ? ReclaimUrgency::Urgent
+                                     : pit->second.reclaimUrgency;
+        if (urgency == ReclaimUrgency::Graceful && gracefulBatch > 0 &&
+            gracefulIssued >= gracefulBatch)
+            continue;
         MigrationOrder order;
         order.tensor = id;
         order.bytes = t.bytes;
         order.from = t.location;
         order.to = Location{Placement::HostDram, hw::hostDramId};
-        order.emergency = !pit->second.alive;
+        order.emergency = emergency;
+        order.urgency = urgency;
         t.migratingTo = order.to;
+        if (urgency == ReclaimUrgency::Graceful)
+            ++gracefulIssued;
         orders.push_back(order);
     }
 
@@ -247,6 +282,7 @@ Coordinator::respond(hw::GpuId consumer, aqua::sim::Tick now)
                 order.from = t.location;
                 order.to =
                     Location{Placement::PeerGpu, assigned->second};
+                order.urgency = ReclaimUrgency::Graceful;
                 // Reserve destination space immediately so concurrent
                 // allocations cannot oversubscribe the lease.
                 p.usedBytes += t.bytes;

@@ -43,6 +43,12 @@ struct MigrationOrder
      * ahead of any foreground work.
      */
     bool emergency = false;
+    /**
+     * Urgency of the reclaim behind an evacuation order: urgent
+     * reclaims flush, graceful ones are staged (see
+     * setGracefulEvacBatch). Promotions are always Graceful.
+     */
+    ReclaimUrgency urgency = ReclaimUrgency::Urgent;
 };
 
 /** A producer's lease book-keeping, as tracked by the coordinator. */
@@ -51,6 +57,9 @@ struct ProducerState
     std::uint64_t leasedBytes = 0;
     std::uint64_t usedBytes = 0;
     bool reclaimRequested = false;
+    /** Urgency of the outstanding reclaim (meaningful only while
+     *  reclaimRequested). */
+    ReclaimUrgency reclaimUrgency = ReclaimUrgency::Urgent;
     /** False once the lease TTL expired without a heartbeat. */
     bool alive = true;
     /** Last /lease or /heartbeat time (ticks). */
@@ -141,9 +150,22 @@ class Coordinator
 
     /**
      * /reclaim_request: producer wants its memory back. Consumers see
-     * migration orders on their next /respond. Idempotent.
+     * migration orders on their next /respond. Idempotent; an Urgent
+     * re-request upgrades a Graceful one in flight (never the other
+     * way — urgency only ratchets up while a reclaim drains).
      */
-    void requestReclaim(hw::GpuId producer);
+    void requestReclaim(hw::GpuId producer,
+                        ReclaimUrgency urgency = ReclaimUrgency::Urgent);
+
+    /**
+     * Staged evacuation: cap on evacuation orders a single respond()
+     * hands one consumer for *graceful* reclaims, so the consumer
+     * keeps iterating between copies instead of absorbing a
+     * stop-the-world flush. 0 (the default) disables staging; urgent
+     * and emergency (dead-lease) evacuations are never capped.
+     */
+    void setGracefulEvacBatch(std::size_t ordersPerRespond);
+    std::size_t gracefulEvacBatch() const;
 
     /**
      * /reclaim_status: true once no tensor occupies the producer's
@@ -234,6 +256,7 @@ class Coordinator
     mutable std::mutex mtx;
     TensorId nextTensor = 1;
     aqua::sim::Tick ttl = 0;
+    std::size_t gracefulBatch = 0;
     std::map<hw::GpuId, ProducerState> producers;
     std::map<hw::GpuId, hw::GpuId> assignments;
     std::map<TensorId, TensorState> tensors;

@@ -28,9 +28,20 @@ LlmInformer::evaluate(const EngineStats &stats, bool donated)
     if (donated) {
         // Reclaim when the queue builds up in the window (§B): either
         // the rate crossed the threshold or requests are piling up.
-        if (rate > cfg.reclaimRateThreshold ||
-            stats.pendingRequests >= cfg.reclaimQueueThreshold) {
+        // Queue delay and overload sheds fire earlier than the
+        // windowed rate during a ramp-up, and mean the engine is
+        // already hurting — ask for an urgent (flush) reclaim.
+        // A rate crossing alone is anticipatory: a graceful reclaim
+        // lets the consumer evacuate in stages.
+        bool hurting =
+            (cfg.reclaimOnShed && stats.shedsSinceLast > 0) ||
+            (cfg.reclaimQueueDelaySec > 0.0 &&
+             stats.queueDelaySec >= cfg.reclaimQueueDelaySec) ||
+            stats.pendingRequests >= cfg.reclaimQueueThreshold;
+        if (hurting || rate > cfg.reclaimRateThreshold) {
             decision.action = InformerDecision::Action::Reclaim;
+            decision.urgency = hurting ? ReclaimUrgency::Urgent
+                                       : ReclaimUrgency::Graceful;
             lastReclaimAt = stats.now;
             reclaimedOnce = true;
         }

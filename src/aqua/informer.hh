@@ -23,7 +23,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 
+#include "aqua/types.hh"
 #include "sim/ticks.hh"
 
 namespace aqua::core {
@@ -46,6 +48,16 @@ struct EngineStats
     std::uint64_t freePoolBytes = 0;
     /** Total bytes currently reserved for inference context. */
     std::uint64_t reservedPoolBytes = 0;
+    /** Age of the oldest request still waiting for admission,
+     *  seconds (0 when the queue is empty). Queue delay leads the
+     *  arrival-rate estimate during a ramp-up: the window still
+     *  averages in the quiet past while the oldest waiter is already
+     *  aging, so it is the earlier reclaim signal. */
+    double queueDelaySec = 0.0;
+    /** Requests shed by overload control since the previous report.
+     *  Any shedding at all means the engine is past its capacity —
+     *  the strongest possible reclaim signal. */
+    std::uint64_t shedsSinceLast = 0;
 };
 
 /** What the informer wants done with the GPU's memory. */
@@ -55,6 +67,8 @@ struct InformerDecision
     Action action = Action::None;
     /** Bytes to donate when action == Donate. */
     std::uint64_t donateBytes = 0;
+    /** How fast a Reclaim needs the memory back. */
+    ReclaimUrgency urgency = ReclaimUrgency::Urgent;
 };
 
 /**
@@ -86,6 +100,12 @@ struct LlmInformerConfig
     double reclaimRateThreshold = 3.0;
     /** Reclaim regardless of rate when the queue grows past this. */
     std::uint64_t reclaimQueueThreshold = 8;
+    /** Reclaim when the oldest waiter has been queued this long
+     *  (seconds). Fires earlier than the windowed rate during a
+     *  ramp-up; 0 disables. */
+    double reclaimQueueDelaySec = 2.0;
+    /** Reclaim as soon as the engine reports any overload sheds. */
+    bool reclaimOnShed = true;
     /** Width of the rate-estimation window. */
     aqua::sim::Tick window = 10 * aqua::sim::nsPerSec;
     /** Require at least this much donatable memory to bother. */

@@ -93,6 +93,7 @@ orderToJson(const MigrationOrder &order)
     v["to"] = order.to.describe();
     v["to_gpu"] = order.to.gpu;
     v["emergency"] = order.emergency;
+    v["urgency"] = std::string(reclaimUrgencyName(order.urgency));
     return v;
 }
 
@@ -118,6 +119,8 @@ orderFromJson(const Value &v)
     order.from = parseLoc("from", "from_gpu");
     order.to = parseLoc("to", "to_gpu");
     order.emergency = v.getBool("emergency", false);
+    order.urgency =
+        reclaimUrgencyFromName(v.getString("urgency", "urgent"));
     return order;
 }
 
@@ -240,7 +243,9 @@ CoordinatorRestService::CoordinatorRestService(Coordinator &coordinator)
         std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
         if (gpu < 0)
             return badRequest("reclaim_request needs gpu");
-        coord.requestReclaim(static_cast<hw::GpuId>(gpu));
+        ReclaimUrgency urgency =
+            reclaimUrgencyFromName(req.getString("urgency", "urgent"));
+        coord.requestReclaim(static_cast<hw::GpuId>(gpu), urgency);
         return okBody();
     });
 

@@ -28,6 +28,34 @@ enum class Placement
     HostDram,
 };
 
+/**
+ * How fast a reclaim needs its memory back. Graceful reclaims let the
+ * coordinator stage the evacuation (a bounded number of tensors per
+ * consumer respond round, keeping the consumer engine iterating);
+ * urgent reclaims — overload ramp-ups, dead leases — flush every
+ * tensor at once.
+ */
+enum class ReclaimUrgency : std::uint8_t
+{
+    Graceful = 0,
+    Urgent = 1,
+};
+
+/** Stable lowercase name ("graceful" / "urgent"). */
+inline const char *
+reclaimUrgencyName(ReclaimUrgency urgency)
+{
+    return urgency == ReclaimUrgency::Graceful ? "graceful" : "urgent";
+}
+
+/** Parse a name back; unknown strings mean Urgent (fail safe). */
+inline ReclaimUrgency
+reclaimUrgencyFromName(const std::string &name)
+{
+    return name == "graceful" ? ReclaimUrgency::Graceful
+                              : ReclaimUrgency::Urgent;
+}
+
 /** A concrete tensor location. */
 struct Location
 {

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "exp/testbed.hh"
+#include "fault/fault.hh"
 #include "model/perf_model.hh"
 #include "serve/batch_engine.hh"
 #include "serve/flexgen_engine.hh"
@@ -579,6 +580,7 @@ runPrefixAblation(const PrefixAblationConfig &cfg)
 
     serve::VllmEngineConfig engineCfg;
     engineCfg.prefixCache = cfg.prefixCache;
+    engineCfg.maxCacheShare = cfg.maxCacheShare;
     serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
                                std::move(policy), *backend, engineCfg);
     Producer producer = makeProducer(tb, producerGpu,
@@ -610,6 +612,154 @@ runPrefixAblation(const PrefixAblationConfig &cfg)
             ? static_cast<double>(consumer.totalTokens()) / elapsed
             : 0.0;
     return result;
+}
+
+OverloadRunResult
+runOverload(const OverloadRunConfig &cfg)
+{
+    Testbed tb(2, hw::TopologyKind::DirectP2P, cfg.seed);
+    constexpr hw::GpuId consumerGpu = 0;
+    constexpr hw::GpuId producerGpu = 1;
+
+    ModelSpec consumerSpec = presetByName(cfg.consumerModel);
+    ModelSpec producerSpec = presetByName(cfg.producerModel);
+
+    core::AquaLib *producerLib = nullptr;
+    serve::OffloadBackend *backend = nullptr;
+    if (cfg.mode == ServeMode::CfsAqua) {
+        producerLib = &tb.makeAquaLib(producerGpu,
+                                      makeInformerFor(producerSpec));
+        core::AquaLib &consumerLib = tb.makeAquaLib(consumerGpu);
+        tb.assign(consumerGpu, producerGpu);
+        backend = &tb.makeAquaBackend(consumerLib);
+    } else {
+        backend = &tb.makeDramBackend(consumerGpu);
+    }
+
+    std::unique_ptr<serve::SchedulerPolicy> policy;
+    if (cfg.mode == ServeMode::VllmBaseline)
+        policy = std::make_unique<serve::FcfsPolicy>();
+    else
+        policy = std::make_unique<serve::CfsPolicy>();
+
+    serve::VllmEngineConfig engineCfg;
+    // Prefix caching on: its byte-identity checks cover every swap
+    // round trip, which is what the chaos acceptance criterion audits.
+    engineCfg.prefixCache = true;
+    if (cfg.maxBatch != 0)
+        engineCfg.maxBatch = cfg.maxBatch;
+    engineCfg.kvPoolBytesOverride = cfg.kvPoolBytes;
+    if (cfg.controlled) {
+        overload::AdmissionConfig ac;
+        ac.safetyFactor = cfg.safetyFactor;
+        engineCfg.admission = ac;
+        engineCfg.brownout = overload::BrownoutConfig{};
+    }
+    serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
+                               std::move(policy), *backend, engineCfg);
+    if (cfg.traceLog)
+        consumer.setTraceLog(cfg.traceLog);
+    if (cfg.controlled && cfg.mode == ServeMode::CfsAqua) {
+        // The circuit breaker needs somewhere to divert swaps.
+        consumer.setFallbackBackend(&tb.makeDramBackend(consumerGpu));
+    }
+
+    Producer producer = makeProducer(tb, producerGpu,
+                                     cfg.producerModel, 1.0,
+                                     cfg.maxSimSeconds, producerLib);
+
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (cfg.faults) {
+        inj = std::make_unique<fault::FaultInjector>(
+            tb.sim(), tb.server().topology(), tb.rest().router());
+        if (producerLib) {
+            inj->registerLib(*producerLib);
+            // Dead-donor detection: a gpu_fail only turns into
+            // emergency evacuation orders if the lease TTL machinery
+            // is armed — heartbeats from the donor, expiry at the
+            // coordinator.
+            tb.coordinator().setLeaseTtl(msToTicks(20.0));
+            producerLib->startHeartbeats(
+                secToTicks(cfg.maxSimSeconds));
+        }
+        if (cfg.traceLog)
+            inj->setTraceLog(cfg.traceLog);
+        inj->arm(*cfg.faults);
+    }
+
+    workload::TraceBuilder traces(tb.sim().makeRandom());
+    workload::SloSpec slo;
+    slo.multiple = cfg.sloMultiple;
+    slo.bestEffortFraction = cfg.bestEffortFraction;
+    traces.setSlo(slo);
+    std::vector<workload::Request> trace = traces.bursty(
+        cfg.quietRate * cfg.loadMultiplier,
+        cfg.burstRate * cfg.loadMultiplier, cfg.phaseSec,
+        cfg.numRequests);
+    driveTrace(tb.sim(), consumer, trace);
+
+    runUntilDone(tb.sim(), cfg.maxSimSeconds, [&] {
+        return consumer.finished().size() == trace.size();
+    });
+
+    OverloadRunResult res;
+    res.metrics = consumer.finished();
+    sortById(res.metrics);
+    res.shed = consumer.shedCount();
+    res.fallbackSwaps = consumer.fallbackSwapCount();
+    res.sigMismatches = consumer.prefixEngineStats().sigMismatches;
+    res.unfinished = trace.size() - consumer.finished().size();
+    res.elapsedSec = ticksToSec(tb.sim().now());
+
+    for (const auto &m : res.metrics) {
+        if (m.shed || !m.finished())
+            continue;
+        if (m.metDeadline())
+            ++res.deadlineMet;
+        else
+            ++res.deadlineMissed;
+    }
+    std::uint64_t served = res.deadlineMet + res.deadlineMissed;
+    res.goodputPerSec =
+        res.elapsedSec > 0.0
+            ? static_cast<double>(res.deadlineMet) / res.elapsedSec
+            : 0.0;
+    res.attainment =
+        served > 0
+            ? static_cast<double>(res.deadlineMet) /
+                  static_cast<double>(served)
+            : 1.0;
+    // Queueing delay in the queueing-theory sense: sojourn minus the
+    // fault-free baseline latency (recovered from the stamped SLO,
+    // deadline = arrival + sloMultiple x baseline). Under a fair
+    // scheduler the admission queue stays empty and overload stretches
+    // decode instead, so admit-minus-arrival would read zero.
+    stats::Summary qd;
+    if (cfg.sloMultiple > 0.0) {
+        for (const auto &m : res.metrics) {
+            if (m.shed || !m.finished() || m.deadline == 0)
+                continue;
+            double sojourn = ticksToSec(m.finish - m.arrival);
+            double baseline =
+                ticksToSec(m.deadline - m.arrival) / cfg.sloMultiple;
+            qd.add(std::max(0.0, sojourn - baseline));
+        }
+    }
+    if (!qd.empty()) {
+        res.queueDelayP50Sec = qd.median();
+        res.queueDelayP99Sec = qd.p99();
+    }
+    if (const auto *bc = consumer.brownoutController()) {
+        res.brownoutTransitions = bc->stats().transitions;
+        res.brownoutEscalations = bc->stats().escalations;
+        Tick degraded =
+            bc->timeAtLevel(overload::BrownoutLevel::ForceDramOffload,
+                            tb.sim().now()) +
+            bc->timeAtLevel(overload::BrownoutLevel::RejectNew,
+                            tb.sim().now());
+        res.secondsDegraded = ticksToSec(degraded);
+    }
+    return res;
 }
 
 std::int64_t

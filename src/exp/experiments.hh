@@ -19,6 +19,13 @@
 #include "stats/timeseries.hh"
 #include "workload/request.hh"
 
+namespace aqua::fault {
+class FaultPlan;
+}
+namespace aqua::trace {
+class TraceLog;
+}
+
 namespace aqua::exp {
 
 /** How the consumer engine schedules and offloads. */
@@ -250,6 +257,8 @@ ChatbotResult runChatbot(const ChatbotConfig &cfg);
 struct PrefixAblationConfig
 {
     bool prefixCache = true;
+    /** Cap on cache-only blocks as a pool fraction (1.0 = uncapped). */
+    double maxCacheShare = 1.0;
     ServeMode mode = ServeMode::CfsAqua;
     double ratePerSec = 6.0;
     std::size_t numRequests = 120;
@@ -276,6 +285,84 @@ struct PrefixAblationResult
 };
 
 PrefixAblationResult runPrefixAblation(const PrefixAblationConfig &cfg);
+
+//
+// Overload control: deadline-stamped bursty traffic at a load
+// multiple, served with the overload controllers (deadline-aware
+// admission + graceful brownout + backpressure) on vs off. The
+// controlled configuration should hold goodput and bounded queue
+// delay where the uncontrolled baseline collapses.
+//
+
+struct OverloadRunConfig
+{
+    ServeMode mode = ServeMode::CfsAqua;
+    /** Admission control + brownout ladder + DRAM circuit breaker. */
+    bool controlled = false;
+    /** Scales both burst-phase arrival rates (x1 = nominal load). */
+    double loadMultiplier = 1.0;
+    double quietRate = 0.5;
+    double burstRate = 1.5;
+    double phaseSec = 15.0;
+    std::size_t numRequests = 150;
+    /** Engine capacity, deliberately small so the sweep saturates
+     *  within a short trace: decode batch cap (0 = engine default)
+     *  and explicit KV pool bytes (0 = derived from spare HBM). */
+    std::uint32_t maxBatch = 16;
+    std::uint64_t kvPoolBytes = 4ull * 1000 * 1000 * 1000;
+    /** Deadline = arrival + sloMultiple x fault-free baseline. */
+    double sloMultiple = 3.0;
+    /** Fraction of requests submitted best-effort (no deadline). */
+    double bestEffortFraction = 0.2;
+    /** Admission safety factor (prediction pessimism). */
+    double safetyFactor = 1.2;
+    std::string consumerModel = "Codellama-34B";
+    std::string producerModel = "Kandinsky";
+    std::uint64_t seed = 1;
+    double maxSimSeconds = 4000.0;
+    /** Optional chaos: injected against the donor while overloaded. */
+    const fault::FaultPlan *faults = nullptr;
+    /** Optional external log capturing shed/brownout/fault events. */
+    trace::TraceLog *traceLog = nullptr;
+};
+
+struct OverloadRunResult
+{
+    /** Per-request metrics, id order (shed requests included). */
+    std::vector<workload::RequestMetrics> metrics;
+    /** Requests dropped by admission control / brownout. */
+    std::uint64_t shed = 0;
+    /** Swaps diverted to the DRAM fallback by the circuit breaker. */
+    std::uint64_t fallbackSwaps = 0;
+    /** Requests that finished serving and met their deadline. */
+    std::uint64_t deadlineMet = 0;
+    /** Served completions that missed their deadline. */
+    std::uint64_t deadlineMissed = 0;
+    /** Deadline-met completions per simulated second. */
+    double goodputPerSec = 0.0;
+    /** Deadline attainment over served completions, [0, 1]. */
+    double attainment = 0.0;
+    /** Queueing-delay percentiles over served deadline-bearing
+     *  requests: sojourn minus the fault-free baseline latency the
+     *  stamped SLO implies (captures fair-scheduler overload, which
+     *  stretches decode rather than pooling an admission queue). */
+    double queueDelayP50Sec = 0.0;
+    double queueDelayP99Sec = 0.0;
+    /** Brownout ladder activity (zero when uncontrolled). */
+    std::uint64_t brownoutTransitions = 0;
+    std::uint64_t brownoutEscalations = 0;
+    /** Seconds spent at or above ForceDramOffload. */
+    double secondsDegraded = 0.0;
+    /** Byte-identity violations on the offload path (must be 0). */
+    std::uint64_t sigMismatches = 0;
+    /** Requests neither finished nor shed at the horizon (a nonzero
+     *  value means stuck/deadlocked sequences). */
+    std::uint64_t unfinished = 0;
+    /** Wall (simulated) seconds the run took to drain. */
+    double elapsedSec = 0.0;
+};
+
+OverloadRunResult runOverload(const OverloadRunConfig &cfg);
 
 //
 // Placement inputs (§6.1, Fig. 4, Fig. 14).

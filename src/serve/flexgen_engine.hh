@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "model/perf_model.hh"
+#include "overload/admission.hh"
 #include "serve/offload_backend.hh"
 #include "stats/timeseries.hh"
 #include "workload/request.hh"
@@ -60,6 +61,13 @@ struct FlexGenConfig
      * Deepspeed").
      */
     bool streamWeights = false;
+    /**
+     * Deadline-aware admission: shed queued prompts whose predicted
+     * completion (sequential prefill + decode at this engine's
+     * streaming rates) already misses their deadline. nullopt = every
+     * prompt is eventually served.
+     */
+    std::optional<overload::AdmissionConfig> admission;
 };
 
 /**
@@ -86,6 +94,13 @@ class FlexGenEngine
 
     hw::GpuId gpuId() const { return myGpu; }
     std::uint64_t totalTokens() const { return tokensTotal; }
+    /** Queued prompts dropped by admission control. */
+    std::uint64_t shedCount() const { return nSheds; }
+    const overload::AdmissionController *
+    admissionController() const
+    {
+        return admission.get();
+    }
     const stats::TimeSeries &tokenSeries() const { return tokens; }
     const std::vector<workload::RequestMetrics> &
     finished() const
@@ -111,6 +126,12 @@ class FlexGenEngine
     /** Pick the stream to run (FIFO or least-served under CFS). */
     Active *select();
     void finishActive(Active *active, aqua::sim::Tick when);
+    /** Drop a hopeless queued request unserved. */
+    void shedPending(const workload::Request &request,
+                     overload::ShedReason reason, aqua::sim::Tick when);
+    /** Whether @p request can still meet its deadline if started now. */
+    overload::ShedReason assessPending(const workload::Request &request,
+                                       aqua::sim::Tick now) const;
 
     hw::Server &server;
     hw::GpuId myGpu;
@@ -133,6 +154,8 @@ class FlexGenEngine
     bool stepPending = false;
     std::uint32_t itersSinceRespond = 0;
     std::uint64_t tokensTotal = 0;
+    std::uint64_t nSheds = 0;
+    std::unique_ptr<overload::AdmissionController> admission;
     stats::TimeSeries tokens;
 };
 

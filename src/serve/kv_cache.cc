@@ -99,6 +99,21 @@ KvCache::freeBlocks(const std::vector<BlockId> &ids)
     blocks.freeMany(ids);
     for (BlockId id : ids)
         updateEvictable(id);
+    // A release can turn index-shared blocks cache-only; keep the
+    // cache's pool share within its configured cap.
+    enforceCacheCap();
+}
+
+void
+KvCache::enforceCacheCap()
+{
+    if (cacheShare >= 1.0)
+        return;
+    std::size_t cap = cacheBlockCap();
+    while (numEvictable > cap) {
+        if (evictCached(numEvictable - cap) == 0)
+            break;
+    }
 }
 
 void
@@ -197,6 +212,7 @@ KvCache::publishPrefix(const TokenFn &tok, std::uint64_t tokens,
         blocks.ref(id);
         updateEvictable(id);
     }
+    enforceCacheCap();
 }
 
 std::optional<BlockId>
@@ -212,6 +228,7 @@ KvCache::forkBlock(BlockId shared)
     blocks.free(shared); // drop the caller's reference on the original
     updateEvictable(shared);
     updateEvictable(*fresh);
+    enforceCacheCap();
     notePeak();
     return fresh;
 }

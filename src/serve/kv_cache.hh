@@ -179,6 +179,31 @@ class KvCache
     /** Blocks held only by the index (reclaimable on demand). */
     std::size_t evictableBlocks() const { return numEvictable; }
 
+    /**
+     * Cap the prefix cache's share of the pool: at most
+     * share * totalBlocks() blocks may be cache-only (held by the
+     * index alone). Publishing or releasing past the cap evicts LRU
+     * cached chains immediately, bounding how much of the pool cache
+     * retention can occupy. 1.0 (default) disables the cap.
+     */
+    void
+    setMaxCacheShare(double share)
+    {
+        cacheShare = share < 0.0 ? 0.0 : (share > 1.0 ? 1.0 : share);
+        enforceCacheCap();
+    }
+    double maxCacheShare() const { return cacheShare; }
+
+    /** Current cache-only block cap under maxCacheShare. */
+    std::size_t
+    cacheBlockCap() const
+    {
+        if (cacheShare >= 1.0)
+            return totalBlocks();
+        return static_cast<std::size_t>(
+            cacheShare * static_cast<double>(totalBlocks()));
+    }
+
     /** Bytes backing live sequences (used minus cache-only blocks). */
     std::uint64_t
     liveKvBytes() const
@@ -214,6 +239,9 @@ class KvCache
     /** Recompute a block's cache-only status after a ref change. */
     void updateEvictable(aqua::mem::BlockId id);
 
+    /** Evict LRU cached chains until numEvictable <= cacheBlockCap(). */
+    void enforceCacheCap();
+
     /** Whether only the index holds @p id. */
     bool cacheOnly(aqua::mem::BlockId id) const;
 
@@ -229,6 +257,8 @@ class KvCache
     mutable PrefixIndex index;
     std::vector<bool> evictableFlag;
     std::size_t numEvictable = 0;
+    /** Cache-only share cap (fraction of totalBlocks; 1.0 = off). */
+    double cacheShare = 1.0;
     std::uint64_t peakLive = 0;
     std::vector<std::uint64_t> sigs;
 };

@@ -80,6 +80,14 @@ class OffloadBackend
      */
     virtual bool staged() const = 0;
 
+    /**
+     * When the store last executed a reclaim-driven evacuation
+     * (tensors pushed off a donor lease toward DRAM); 0 = never.
+     * Engines treat a recent evacuation as offload-path pressure
+     * (brownout circuit breaker). DRAM stores never evacuate.
+     */
+    virtual aqua::sim::Tick lastEvacuationAt() const { return 0; }
+
     /** Diagnostic backend name. */
     virtual std::string name() const = 0;
 };
@@ -158,6 +166,10 @@ class AquaBackend : public OffloadBackend
                             aqua::sim::Tick earliest = 0) override;
     aqua::sim::Tick respond() override;
     bool staged() const override { return lib.config().useStaging; }
+    aqua::sim::Tick lastEvacuationAt() const override
+    {
+        return lib.lastEvacuationAt();
+    }
     std::string name() const override { return "aqua"; }
 
     core::AquaLib &aquaLib() { return lib; }

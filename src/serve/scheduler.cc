@@ -27,12 +27,58 @@ incrementalNeed(const SchedulerInput &in, const Sequence *s,
     return need - std::min(need, cached);
 }
 
+/**
+ * Admission pre-pass shared by all policies: assess every waiting
+ * sequence in queue order, move the hopeless ones to d.shed and
+ * return the viable remainder. Requests queued ahead count toward a
+ * later request's predicted start, so a deep queue sheds from the
+ * tail first — exactly the arrivals whose deadlines the queue has
+ * already eaten.
+ */
+std::vector<Sequence *>
+assessWaiting(const SchedulerInput &in, SchedulerDecision &d)
+{
+    if (!in.admission)
+        return in.waiting;
+    std::vector<Sequence *> viable;
+    viable.reserve(in.waiting.size());
+    std::uint64_t aheadPrefill = 0;
+    for (Sequence *s : in.waiting) {
+        overload::AdmissionQuery q;
+        q.now = in.now;
+        q.requestId = s->request.id;
+        q.deadline = s->request.deadline;
+        q.bestEffort = s->request.bestEffort;
+        // kvTokens() - prefilledTokens so recompute-preempted
+        // sequences count their whole regenerated context.
+        q.promptTokens = static_cast<std::uint32_t>(
+            s->kvTokens() - s->prefilledTokens);
+        q.remainingNewTokens =
+            s->request.maxNewTokens > s->generated
+                ? s->request.maxNewTokens - s->generated
+                : 0;
+        q.queuedPrefillTokensAhead = aheadPrefill;
+        q.runningCount = in.running.size() + in.swapped.size();
+        q.maxBatch = in.maxBatch;
+        overload::ShedReason verdict =
+            in.admission->assess(q, in.brownoutLevel);
+        if (verdict != overload::ShedReason::None) {
+            d.shed.emplace_back(s, verdict);
+            continue;
+        }
+        aheadPrefill += q.promptTokens;
+        viable.push_back(s);
+    }
+    return viable;
+}
+
 } // anonymous namespace
 
 SchedulerDecision
 FcfsPolicy::schedule(const SchedulerInput &in)
 {
     SchedulerDecision d;
+    std::vector<Sequence *> viable = assessWaiting(in, d);
     std::size_t batch_room =
         in.running.size() < in.maxBatch ? in.maxBatch - in.running.size()
                                         : 0;
@@ -56,7 +102,7 @@ FcfsPolicy::schedule(const SchedulerInput &in)
     if (!in.swapped.empty() && d.swapIn.size() < in.swapped.size())
         return d;
 
-    for (Sequence *s : in.waiting) {
+    for (Sequence *s : viable) {
         if (batch_room == 0)
             break;
         // kvTokens() covers recompute-preempted sequences, whose
@@ -75,17 +121,18 @@ SchedulerDecision
 CfsPolicy::schedule(const SchedulerInput &in)
 {
     SchedulerDecision d;
+    std::vector<Sequence *> viable = assessWaiting(in, d);
 
     // All live sequences compete; vruntime is tokens generated, ties
     // broken by arrival so earlier prompts keep their edge.
     std::vector<Sequence *> candidates;
-    candidates.reserve(in.waiting.size() + in.running.size() +
+    candidates.reserve(viable.size() + in.running.size() +
                        in.swapped.size());
     for (Sequence *s : in.running)
         candidates.push_back(s);
     for (Sequence *s : in.swapped)
         candidates.push_back(s);
-    for (Sequence *s : in.waiting)
+    for (Sequence *s : viable)
         candidates.push_back(s);
     std::stable_sort(candidates.begin(), candidates.end(),
                      [](const Sequence *a, const Sequence *b) {

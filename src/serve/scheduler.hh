@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "overload/admission.hh"
 #include "serve/kv_cache.hh"
 #include "serve/sequence.hh"
 
@@ -44,6 +46,18 @@ struct SchedulerInput
      * they evict on demand.
      */
     bool prefixCache = false;
+    /**
+     * Deadline-aware admission control (null = every arrival is
+     * eventually admitted). Policies assess each waiting sequence
+     * before considering it and report hopeless ones in
+     * SchedulerDecision::shed.
+     */
+    overload::AdmissionController *admission = nullptr;
+    /** Brownout level the admission verdicts honour. */
+    overload::BrownoutLevel brownoutLevel =
+        overload::BrownoutLevel::Normal;
+    /** Decision time (needed for completion prediction). */
+    aqua::sim::Tick now = 0;
 };
 
 /** State transitions the engine should perform this iteration. */
@@ -55,11 +69,15 @@ struct SchedulerDecision
     std::vector<Sequence *> swapIn;
     /** Running -> Swapped (KV paged out). */
     std::vector<Sequence *> swapOut;
+    /** Waiting -> shed: requests admission control gave up on (the
+     *  engine records metrics and drops them without serving). */
+    std::vector<std::pair<Sequence *, overload::ShedReason>> shed;
 
     bool
     empty() const
     {
-        return admit.empty() && swapIn.empty() && swapOut.empty();
+        return admit.empty() && swapIn.empty() && swapOut.empty() &&
+               shed.empty();
     }
 };
 

@@ -50,6 +50,11 @@ struct Sequence
     /** Backing store handle while swapped. */
     OffloadBackend::Handle swapHandle;
 
+    /** Backend holding swapHandle (null = the engine's primary
+     *  backend). Set when brownout's offload circuit breaker diverted
+     *  the swap to the fallback DRAM backend. */
+    OffloadBackend *swapBackend = nullptr;
+
     /** Whether the sequence holds a pin on its LoRA adapter. */
     bool adapterHeld = false;
 

@@ -45,15 +45,39 @@ VllmEngine::VllmEngine(hw::Server &server, hw::GpuId gpu,
             cfg.kvPoolFraction);
     }
     kv = std::make_unique<KvCache>(dev, spec, pool, cfg.blockTokens);
+    if (cfg.maxCacheShare < 1.0)
+        kv->setMaxCacheShare(cfg.maxCacheShare);
+
+    if (cfg.admission) {
+        // Service rates from the perf model: amortized prefill cost
+        // per token, and a decode iteration at full batch with a
+        // half-full pool as the representative per-token-per-seat
+        // decode time.
+        overload::ServiceRates rates;
+        rates.prefillPerToken = perf.prefillTime(1024) / 1024;
+        rates.decodePerToken =
+            perf.decodeStepTime(cfg.maxBatch, kv->poolBytes() / 2);
+        admission = std::make_unique<overload::AdmissionController>(
+            rates, *cfg.admission);
+    }
+    if (cfg.brownout) {
+        brownout = std::make_unique<overload::BrownoutController>(
+            *cfg.brownout);
+    }
 }
 
 VllmEngine::~VllmEngine()
 {
-    // Release swapped sequences' backend storage.
+    // Release swapped sequences' backend storage (from whichever
+    // backend holds it — the circuit breaker may have diverted some
+    // swaps to the fallback).
     for (auto &seq : all) {
         if (seq->state == Sequence::State::Swapped &&
-            seq->swapHandle.valid())
-            backend.free(seq->swapHandle);
+            seq->swapHandle.valid()) {
+            OffloadBackend &holder =
+                seq->swapBackend ? *seq->swapBackend : backend;
+            holder.free(seq->swapHandle);
+        }
     }
     // Release shared-prefix group copies still in the backend.
     for (auto &[key, group] : sharedGroups) {
@@ -76,6 +100,20 @@ VllmEngine::attachAquaLib(core::AquaLib *lib)
 }
 
 void
+VllmEngine::setTraceLog(trace::TraceLog *log)
+{
+    tracer = log;
+    if (brownout)
+        brownout->setTraceLog(log);
+}
+
+void
+VllmEngine::setFallbackBackend(OffloadBackend *fallbackBackend)
+{
+    fallback = fallbackBackend;
+}
+
+void
 VllmEngine::submit(const workload::Request &request)
 {
     // Accept early submissions: the request only becomes visible to
@@ -91,10 +129,28 @@ VllmEngine::submit(const workload::Request &request)
     seq->request = request;
     seq->metrics.id = request.id;
     seq->metrics.arrival = request.arrival;
+    seq->metrics.deadline = request.deadline;
     Sequence *raw = seq.get();
     all.push_back(std::move(seq));
     waiting.push_back(raw);
     ++arrivalsSinceInform;
+
+    // Brownout fast-fail at the door: refusing now is cheaper (for
+    // both sides) than queueing a request the ladder will shed at its
+    // first scheduling pass anyway.
+    if (brownout) {
+        Tick now = server.simulation().now();
+        updateBrownout(now);
+        if (brownout->rejectingNew()) {
+            shedSeq(raw, overload::ShedReason::BrownoutReject, now);
+            return;
+        }
+        if (request.bestEffort && brownout->shedBestEffort()) {
+            shedSeq(raw, overload::ShedReason::BrownoutBestEffort,
+                    now);
+            return;
+        }
+    }
     needResched = true;
     scheduleStep(server.simulation().now());
 }
@@ -144,6 +200,12 @@ VllmEngine::doInform()
     st.arrivalsSinceLast = arrivalsSinceInform;
     st.freePoolBytes = kv->freeBytes();
     st.reservedPoolBytes = kv->poolBytes();
+    // Backpressure signals: queue delay and sheds tell the informer
+    // the engine is hurting, so it reclaims leased memory before the
+    // queue (and the shed rate) grows further.
+    st.queueDelaySec = oldestWaitingSec(st.now);
+    st.shedsSinceLast = shedsSinceInform;
+    shedsSinceInform = 0;
     arrivalsSinceInform = 0;
 
     std::int64_t delta = aquaLib->informStats(st);
@@ -160,6 +222,11 @@ void
 VllmEngine::publishSeq(Sequence *s)
 {
     if (!cfg.prefixCache || s->blocks.empty())
+        return;
+    // Brownout: cache upkeep is optional work. Above NoCachePublish
+    // the engine stops growing the index so freed blocks return to
+    // the pool instead of lingering as evictable cache.
+    if (brownout && brownout->publishDisabled())
         return;
     // Simulated token contents are deterministic per request stream,
     // so every computed position is publishable; publishPrefix caps
@@ -223,6 +290,13 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
         needResched = true;
         return;
     }
+    // The circuit breaker diverts swaps to the fallback (host DRAM)
+    // backend while the primary offload path is under reclaim or link
+    // degradation. Shared-group dedup only applies on the primary
+    // backend — group copies live there, so fallback swaps are always
+    // private.
+    OffloadBackend &target = swapTarget();
+    bool usingFallback = &target != &backend;
     std::uint64_t bytes = kv->kvBytes(s->kvTokens());
     std::uint64_t groupBytes = 0;
     std::size_t lead = 0;
@@ -238,7 +312,8 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
         // Deduplicated offload: a shared prefix is materialized in
         // the backend once per group; later borrowers just take a
         // reference instead of re-staging the same bytes.
-        lead = sharedLeadBlocks(s);
+        if (!usingFallback)
+            lead = sharedLeadBlocks(s);
         if (lead > 0) {
             std::uint64_t key = kv->prefixChainKey(
                 tokenFnFor(s->request), lead);
@@ -276,19 +351,31 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
     }
     std::uint64_t tailBytes = bytes - groupBytes;
     s->swapHandle = OffloadBackend::Handle{};
+    s->swapBackend = nullptr;
     if (tailBytes > 0) {
-        auto handle = backend.alloc(tailBytes);
+        auto handle = target.alloc(tailBytes);
+        if (!handle && usingFallback) {
+            // Fallback full: fail back to the primary path rather
+            // than dropping the sequence.
+            handle = backend.alloc(tailBytes);
+            usingFallback = false;
+        }
         if (!handle) {
             panic("VllmEngine: offload backend exhausted swapping out "
                   "sequence %llu",
                   static_cast<unsigned long long>(s->request.id));
         }
+        OffloadBackend &dest = usingFallback ? target : backend;
         hw::TransferTiming t =
-            backend.write(*handle, tailBytes, s->blocks.size() - lead);
+            dest.write(*handle, tailBytes, s->blocks.size() - lead);
         if (t.complete > transfersDone)
             transfersDone = t.complete;
         nWriteBytes += tailBytes;
         s->swapHandle = *handle;
+        if (usingFallback) {
+            s->swapBackend = &target;
+            ++nFallbackSwaps;
+        }
     }
     kv->freeBlocks(s->blocks);
     s->blocks.clear();
@@ -344,14 +431,20 @@ VllmEngine::swapInSeq(Sequence *s, Tick &transfersDone)
     prefixStats.residentReuseBytes +=
         kv->kvBytes(std::uint64_t(resident.size()) * cfg.blockTokens);
     if (s->swapHandle.valid()) {
+        // The private tail comes back from whichever backend the
+        // swap-out targeted (the fallback when the circuit breaker
+        // was open).
+        OffloadBackend &holder =
+            s->swapBackend ? *s->swapBackend : backend;
         hw::TransferTiming t =
-            backend.read(s->swapHandle, s->swapHandle.bytes,
-                         need - s->swapSharedBlocks);
+            holder.read(s->swapHandle, s->swapHandle.bytes,
+                        need - s->swapSharedBlocks);
         if (t.complete > transfersDone)
             transfersDone = t.complete;
         nReadBytes += s->swapHandle.bytes;
-        backend.free(s->swapHandle);
+        holder.free(s->swapHandle);
         s->swapHandle = OffloadBackend::Handle{};
+        s->swapBackend = nullptr;
     }
 
     s->blocks = std::move(resident);
@@ -450,6 +543,14 @@ VllmEngine::admitSeq(Sequence *s, Tick &transfersDone)
     s->state = Sequence::State::Running;
     removeFrom(waiting, s);
     running.push_back(s);
+    if (s->metrics.admitted == 0) {
+        // First admission only: readmissions after recompute
+        // preemption keep the original queue-delay measurement.
+        s->metrics.admitted = server.simulation().now();
+        queueDelays.add(s->metrics.queueDelaySec());
+        if (admission)
+            admission->recordAdmit();
+    }
     return true;
 }
 
@@ -470,6 +571,8 @@ VllmEngine::finishSeq(Sequence *s, Tick when)
     s->metrics.finish = when;
     s->metrics.tokensGenerated = s->generated;
     finishedMetrics.push_back(s->metrics);
+    if (admission)
+        admission->recordCompletion(when, s->request.deadline);
     needResched = true;
     if (completionCb) {
         workload::RequestMetrics m = s->metrics;
@@ -477,6 +580,102 @@ VllmEngine::finishSeq(Sequence *s, Tick when)
             completionCb(m);
         });
     }
+}
+
+void
+VllmEngine::shedSeq(Sequence *s, overload::ShedReason reason,
+                    Tick when)
+{
+    s->state = Sequence::State::Finished;
+    removeFrom(waiting, s);
+    if (s->adapterHeld) {
+        lora->release(s->request.adapter);
+        s->adapterHeld = false;
+    }
+    s->metrics.finish = when;
+    s->metrics.shed = true;
+    // Recompute-preempted victims may already have emitted tokens.
+    s->metrics.tokensGenerated = s->generated;
+    finishedMetrics.push_back(s->metrics);
+    ++nSheds;
+    ++shedsSinceInform;
+    if (admission)
+        admission->recordShed(reason);
+    if (tracer) {
+        json::Value f;
+        f["request"] = static_cast<std::int64_t>(s->request.id);
+        f["reason"] = std::string(overload::shedReasonName(reason));
+        f["deadline_ns"] = static_cast<std::int64_t>(s->request.deadline);
+        f["waited_sec"] = ticksToSec(when - s->request.arrival);
+        f["best_effort"] = s->request.bestEffort;
+        tracer->emit(when, "shed", std::move(f));
+    }
+    needResched = true;
+    if (completionCb) {
+        workload::RequestMetrics m = s->metrics;
+        server.simulation().queue().schedule(when, [this, m] {
+            completionCb(m);
+        });
+    }
+}
+
+void
+VllmEngine::updateBrownout(Tick now)
+{
+    if (!brownout)
+        return;
+    overload::BrownoutSignals sig;
+    sig.now = now;
+    // Under CFS, overload does not pool in `waiting` (fresh arrivals
+    // carry the lowest vruntime and admit immediately); it shows up as
+    // a growing swapped set time-sharing the batch. Both are queued
+    // work awaiting GPU service.
+    sig.queueDepth = waiting.size() + swapped.size();
+    sig.queueDelaySec = oldestWaitingSec(now);
+    sig.freePoolFraction =
+        kv->totalBlocks() > 0
+            ? static_cast<double>(kv->availableBlocks()) /
+                  static_cast<double>(kv->totalBlocks())
+            : 1.0;
+    // Offload-path pressure: this GPU is reclaiming its own lease
+    // (producer role), or the backend recently executed a
+    // reclaim-driven evacuation off the donor (consumer role).
+    bool reclaiming = aquaLib && aquaLib->reclaimInProgress();
+    Tick lastEvac = backend.lastEvacuationAt();
+    bool recentEvac =
+        lastEvac != 0 &&
+        now < lastEvac + brownout->config().evacPressureWindow;
+    sig.reclaimPressure = reclaiming || recentEvac;
+    sig.linkHealth = server.topology().peerLink().degradation();
+    brownout->update(sig);
+}
+
+std::uint32_t
+VllmEngine::effectiveSliceTokens() const
+{
+    if (!brownout)
+        return cfg.cfsSliceTokens;
+    double scaled = static_cast<double>(cfg.cfsSliceTokens) *
+                    brownout->sliceFactor();
+    auto t = static_cast<std::uint32_t>(scaled);
+    return t > 0 ? t : 1;
+}
+
+OffloadBackend &
+VllmEngine::swapTarget()
+{
+    if (fallback && brownout && brownout->forceDramOffload())
+        return *fallback;
+    return backend;
+}
+
+double
+VllmEngine::oldestWaitingSec(Tick now) const
+{
+    Tick oldest = now;
+    for (const Sequence *s : waiting)
+        oldest = std::min(oldest, s->request.arrival);
+    return ticksToSec(now - oldest);
 }
 
 void
@@ -497,29 +696,43 @@ VllmEngine::step()
             transfersDone = blocked;
     }
 
+    // Sample overload signals before scheduling so this iteration's
+    // decisions honour the current brownout level.
+    updateBrownout(now);
+
     // Scheduling decision. Fair policies re-evaluate at slice
     // boundaries (or when the run set changed); FCFS every iteration.
+    std::uint32_t slice = effectiveSliceTokens();
     SchedulerInput in;
     in.waiting = waiting;
     in.running = running;
     in.swapped = swapped;
     in.kv = kv.get();
     in.maxBatch = cfg.maxBatch;
-    in.sliceTokens = cfg.cfsSliceTokens;
+    in.sliceTokens = slice;
     in.slackTokens = cfg.slackTokens;
     in.prefixCache = cfg.prefixCache;
+    in.admission = admission.get();
+    in.brownoutLevel = brownout ? brownout->level()
+                                : overload::BrownoutLevel::Normal;
+    in.now = now;
 
     SchedulerDecision d;
     bool evaluate = true;
     if (policy->isFair()) {
         evaluate = needResched || running.empty() ||
-                   tokensIntoSlice >= cfg.cfsSliceTokens;
+                   tokensIntoSlice >= slice;
     }
     if (evaluate) {
         d = policy->schedule(in);
         tokensIntoSlice = 0;
         needResched = false;
     }
+
+    // Hopeless arrivals first: shedding frees nothing on the GPU but
+    // shortens the queue every admission prediction includes.
+    for (auto &[s, reason] : d.shed)
+        shedSeq(s, reason, now);
 
     bool didTransfers = false;
     for (Sequence *s : d.swapOut) {
@@ -656,7 +869,7 @@ VllmEngine::step()
 
     bool have_work = !running.empty() || !waiting.empty() ||
                      !swapped.empty();
-    bool progressed = produced > 0 || didTransfers;
+    bool progressed = produced > 0 || didTransfers || !d.shed.empty();
     // Engines with AQUA duties keep a housekeeping heartbeat even when
     // idle: producers must keep informing (to donate/settle reclaims)
     // and consumers must answer /respond while they hold remote

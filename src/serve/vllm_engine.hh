@@ -25,12 +25,16 @@
 
 #include "aqua/aqua_lib.hh"
 #include "model/perf_model.hh"
+#include "overload/admission.hh"
+#include "overload/brownout.hh"
 #include "serve/kv_cache.hh"
 #include "serve/lora_cache.hh"
 #include "serve/offload_backend.hh"
 #include "serve/scheduler.hh"
 #include "serve/sequence.hh"
+#include "stats/summary.hh"
 #include "stats/timeseries.hh"
+#include "trace/trace.hh"
 #include "workload/request.hh"
 
 namespace aqua::serve {
@@ -88,6 +92,25 @@ struct VllmEngineConfig
      * against does not share KV).
      */
     bool prefixCache = false;
+    /**
+     * Cap on the prefix cache's share of the KV pool (fraction of
+     * total blocks that may be held by cache-only entries). 1.0 = no
+     * cap; see KvCacheConfig::maxCacheShare.
+     */
+    double maxCacheShare = 1.0;
+    /**
+     * Deadline-aware admission control: shed waiting requests whose
+     * predicted completion already misses their deadline instead of
+     * serving them late (goodput over throughput). nullopt = off.
+     */
+    std::optional<overload::AdmissionConfig> admission;
+    /**
+     * Graceful brownout ladder mapping overload signals to service
+     * degradations (shed best-effort, stop cache publishes, shrink
+     * the CFS slice, prefer the DRAM backend, reject new). nullopt =
+     * off.
+     */
+    std::optional<overload::BrownoutConfig> brownout;
 };
 
 /** Sharing-path counters kept by the engine (all zero when off). */
@@ -144,6 +167,20 @@ class VllmEngine
      */
     void attachAquaLib(core::AquaLib *lib);
 
+    /**
+     * Trace overload-control events ("shed", "brownout_level") into
+     * @p log (non-owning; null disables).
+     */
+    void setTraceLog(trace::TraceLog *log);
+
+    /**
+     * Fallback offload backend (typically host DRAM) the brownout
+     * circuit breaker diverts swaps to at ForceDramOffload while the
+     * primary (NVLink donor) path is reclaiming or degraded.
+     * Non-owning; must outlive the engine.
+     */
+    void setFallbackBackend(OffloadBackend *fallbackBackend);
+
     /** Submit a request (call at its arrival time). */
     void submit(const workload::Request &request);
 
@@ -180,6 +217,28 @@ class VllmEngine
     std::uint64_t swapInCount() const { return nSwapIns; }
     /** Preemptions resolved by dropping KV (Recompute mode). */
     std::uint64_t recomputeCount() const { return nRecomputes; }
+
+    //
+    // Overload control (null / zero unless configured).
+    //
+
+    /** Requests shed by admission control or brownout. */
+    std::uint64_t shedCount() const { return nSheds; }
+    /** Swaps diverted to the fallback backend by the circuit breaker. */
+    std::uint64_t fallbackSwapCount() const { return nFallbackSwaps; }
+    const overload::AdmissionController *
+    admissionController() const
+    {
+        return admission.get();
+    }
+    const overload::BrownoutController *
+    brownoutController() const
+    {
+        return brownout.get();
+    }
+    /** Admission queue delay (admit - arrival, seconds) of every
+     *  admitted request. */
+    const stats::Summary &queueDelay() const { return queueDelays; }
 
     /** Sharing-path counters (all zero unless cfg.prefixCache). */
     const PrefixCacheEngineStats &
@@ -227,6 +286,23 @@ class VllmEngine
     /** Finish bookkeeping for a sequence at @p when. */
     void finishSeq(Sequence *s, aqua::sim::Tick when);
 
+    /** Drop a waiting sequence unserved (admission/brownout shed). */
+    void shedSeq(Sequence *s, overload::ShedReason reason,
+                 aqua::sim::Tick when);
+
+    /** Sample overload signals and advance the brownout ladder. */
+    void updateBrownout(aqua::sim::Tick now);
+
+    /** CFS slice length after brownout shrinking. */
+    std::uint32_t effectiveSliceTokens() const;
+
+    /** Backend a swap-out should target right now (the fallback when
+     *  the circuit breaker is open). */
+    OffloadBackend &swapTarget();
+
+    /** Age of the oldest waiting request, seconds. */
+    double oldestWaitingSec(aqua::sim::Tick now) const;
+
     /** Remove a sequence pointer from a list. */
     static void removeFrom(std::vector<Sequence *> &list, Sequence *s);
 
@@ -261,6 +337,11 @@ class VllmEngine
     std::unique_ptr<SchedulerPolicy> policy;
     OffloadBackend &backend;
     core::AquaLib *aquaLib = nullptr;
+    OffloadBackend *fallback = nullptr;
+    trace::TraceLog *tracer = nullptr;
+
+    std::unique_ptr<overload::AdmissionController> admission;
+    std::unique_ptr<overload::BrownoutController> brownout;
 
     /** Weights + runtime overhead reservation. */
     std::optional<aqua::mem::Region> weightsRegion;
@@ -287,6 +368,10 @@ class VllmEngine
     std::uint64_t nSwapOuts = 0;
     std::uint64_t nSwapIns = 0;
     std::uint64_t nRecomputes = 0;
+    std::uint64_t nSheds = 0;
+    std::uint64_t shedsSinceInform = 0;
+    std::uint64_t nFallbackSwaps = 0;
+    stats::Summary queueDelays;
 
     /** Shared-prefix offload copies, by chain key. */
     std::map<std::uint64_t, SharedGroup> sharedGroups;

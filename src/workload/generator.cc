@@ -47,6 +47,22 @@ TraceBuilder::TraceBuilder(Random rng)
     lengths = ShareGptSampler(Random(this->rng.next64()));
 }
 
+void
+TraceBuilder::stampSlo(Request &r)
+{
+    if (slo.multiple <= 0.0)
+        return;
+    if (slo.bestEffortFraction > 0.0 &&
+        rng.uniform(0.0, 1.0) < slo.bestEffortFraction) {
+        r.bestEffort = true;
+        return;
+    }
+    // Fault-free baseline: queue-free TTFT plus the decode tail.
+    double baseline = slo.baseTtftSec +
+                      double(r.maxNewTokens) * slo.basePerTokenSec;
+    r.deadline = r.arrival + secToTicks(slo.multiple * baseline);
+}
+
 std::vector<Request>
 TraceBuilder::interactive(double ratePerSec, std::size_t count,
                           Tick start)
@@ -61,6 +77,7 @@ TraceBuilder::interactive(double ratePerSec, std::size_t count,
         r.arrival = when;
         r.promptTokens = lengths.samplePromptTokens();
         r.maxNewTokens = lengths.sampleOutputTokens();
+        stampSlo(r);
         out.push_back(r);
     }
     return out;
@@ -85,6 +102,7 @@ TraceBuilder::bursty(double quietRate, double burstRate,
         r.arrival = when;
         r.promptTokens = lengths.samplePromptTokens();
         r.maxNewTokens = lengths.sampleOutputTokens();
+        stampSlo(r);
         out.push_back(r);
     }
     return out;
@@ -108,6 +126,7 @@ TraceBuilder::codeSummary(double ratePerSec, std::size_t count,
         // Detailed summaries.
         r.maxNewTokens = static_cast<std::uint32_t>(
             rng.uniformInt(256, 512));
+        stampSlo(r);
         out.push_back(r);
     }
     return out;
@@ -146,6 +165,7 @@ TraceBuilder::sharedPrefix(double ratePerSec, std::size_t count,
         r.prefixTokens = prefixTokens;
         r.promptTokens = prefixTokens + lengths.samplePromptTokens();
         r.maxNewTokens = lengths.sampleOutputTokens();
+        stampSlo(r);
         out.push_back(r);
     }
     return out;

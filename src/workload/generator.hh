@@ -46,12 +46,38 @@ class ShareGptSampler
 };
 
 /**
+ * Deadline-stamping policy for generated traces: each request's SLO
+ * is a configurable multiple of its fault-free baseline latency
+ * (baseline TTFT plus a per-output-token cost). A multiple of 0
+ * disables stamping, which is the default — existing traces are
+ * unchanged.
+ */
+struct SloSpec
+{
+    /** Deadline = arrival + multiple x baseline latency; 0 = off. */
+    double multiple = 0.0;
+    /** Fault-free baseline time-to-first-token, seconds. */
+    double baseTtftSec = 0.5;
+    /** Fault-free baseline latency per generated token, seconds. */
+    double basePerTokenSec = 0.05;
+    /** Fraction of requests marked best-effort (no deadline; shed
+     *  first under brownout). */
+    double bestEffortFraction = 0.0;
+};
+
+/**
  * Builds request traces.
  */
 class TraceBuilder
 {
   public:
     explicit TraceBuilder(aqua::sim::Random rng);
+
+    /** Stamp deadlines on subsequently built traces (Poisson-arrival
+     *  builders: interactive, bursty, codeSummary, sharedPrefix and
+     *  the LoRA variants). */
+    void setSlo(SloSpec spec) { slo = spec; }
+    const SloSpec &sloSpec() const { return slo; }
 
     /**
      * Interactive ShareGPT-like trace: Poisson arrivals.
@@ -162,9 +188,13 @@ class TraceBuilder
     ShareGptSampler &sampler() { return lengths; }
 
   private:
+    /** Apply the SLO spec to a freshly built request. */
+    void stampSlo(Request &r);
+
     RequestId nextId = 0;
     aqua::sim::Random rng;
     ShareGptSampler lengths;
+    SloSpec slo;
 };
 
 } // namespace aqua::workload

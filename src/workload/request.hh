@@ -39,6 +39,11 @@ struct Request
     std::uint32_t userId = 0;
     /** Conversation turn index (multi-turn workloads). */
     std::uint32_t turn = 0;
+    /** Absolute completion deadline (SLO); 0 = no deadline. */
+    aqua::sim::Tick deadline = 0;
+    /** Best-effort: no SLO and first in line to be shed under
+     *  brownout (background summarisation, speculative work). */
+    bool bestEffort = false;
 
     //
     // Simulated token content. Requests do not carry literal token
@@ -85,9 +90,30 @@ struct RequestMetrics
     /** When the request finished; 0 if unfinished. */
     aqua::sim::Tick finish = 0;
     std::uint32_t tokensGenerated = 0;
+    /** Copied from the request: completion SLO, 0 = none. */
+    aqua::sim::Tick deadline = 0;
+    /** When the request was first admitted to the GPU; 0 if never
+     *  (queue delay = admitted - arrival). */
+    aqua::sim::Tick admitted = 0;
+    /** Shed by admission control / brownout instead of served. */
+    bool shed = false;
 
     bool started() const { return firstToken != 0; }
     bool finished() const { return finish != 0; }
+
+    /** Finished within the SLO (no-deadline finishes count as met). */
+    bool
+    metDeadline() const
+    {
+        return finished() && (deadline == 0 || finish <= deadline);
+    }
+
+    /** Admission queue delay in seconds; requires admitted != 0. */
+    double
+    queueDelaySec() const
+    {
+        return aqua::sim::ticksToSec(admitted - arrival);
+    }
 
     /** Time to first token in seconds; requires started(). */
     double ttftSec() const

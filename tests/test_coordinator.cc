@@ -435,3 +435,73 @@ TEST(Coordinator, LeaseAfterReclaimServesNewAllocations)
     c.free(b.id);
     c.free(d.id);
 }
+
+TEST(Coordinator, GracefulReclaimIsStaged)
+{
+    Coordinator c;
+    c.setGracefulEvacBatch(2);
+    c.assignProducer(0, 1);
+    c.lease(1, 10 * gb);
+    for (int i = 0; i < 5; ++i)
+        c.allocate(0, gb);
+    c.requestReclaim(1, ReclaimUrgency::Graceful);
+
+    // Two orders per respond: the consumer iterates between copies
+    // instead of absorbing a stop-the-world flush.
+    std::vector<MigrationOrder> round1 = c.respond(0);
+    ASSERT_EQ(round1.size(), 2u);
+    for (const MigrationOrder &o : round1) {
+        EXPECT_EQ(o.urgency, ReclaimUrgency::Graceful);
+        EXPECT_FALSE(o.emergency);
+        c.doneMoving(o);
+    }
+    std::vector<MigrationOrder> round2 = c.respond(0);
+    ASSERT_EQ(round2.size(), 2u);
+    for (const MigrationOrder &o : round2)
+        c.doneMoving(o);
+    std::vector<MigrationOrder> round3 = c.respond(0);
+    ASSERT_EQ(round3.size(), 1u);
+    c.doneMoving(round3[0]);
+    EXPECT_TRUE(c.reclaimComplete(1));
+}
+
+TEST(Coordinator, UrgentRerequestUpgradesGracefulReclaim)
+{
+    Coordinator c;
+    c.setGracefulEvacBatch(1);
+    c.assignProducer(0, 1);
+    c.lease(1, 10 * gb);
+    for (int i = 0; i < 4; ++i)
+        c.allocate(0, gb);
+    c.requestReclaim(1, ReclaimUrgency::Graceful);
+    std::vector<MigrationOrder> staged = c.respond(0);
+    ASSERT_EQ(staged.size(), 1u);
+    c.doneMoving(staged[0]);
+
+    // Load spiked mid-drain: the urgent re-request flushes the rest
+    // in one respond. A graceful re-request must never downgrade an
+    // urgent reclaim (urgency only ratchets up).
+    c.requestReclaim(1, ReclaimUrgency::Urgent);
+    c.requestReclaim(1, ReclaimUrgency::Graceful);
+    EXPECT_EQ(c.producerState(1).reclaimUrgency,
+              ReclaimUrgency::Urgent);
+    std::vector<MigrationOrder> flush = c.respond(0);
+    ASSERT_EQ(flush.size(), 3u);
+    for (const MigrationOrder &o : flush) {
+        EXPECT_EQ(o.urgency, ReclaimUrgency::Urgent);
+        c.doneMoving(o);
+    }
+    EXPECT_TRUE(c.reclaimComplete(1));
+}
+
+TEST(Coordinator, UrgentReclaimIgnoresStagingCap)
+{
+    Coordinator c;
+    c.setGracefulEvacBatch(1);
+    c.assignProducer(0, 1);
+    c.lease(1, 10 * gb);
+    for (int i = 0; i < 3; ++i)
+        c.allocate(0, gb);
+    c.requestReclaim(1, ReclaimUrgency::Urgent);
+    EXPECT_EQ(c.respond(0).size(), 3u);
+}

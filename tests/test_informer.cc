@@ -100,6 +100,95 @@ TEST(LlmInformer, ReclaimsOnQueueBuildup)
     EXPECT_EQ(d.action, InformerDecision::Action::Reclaim);
 }
 
+TEST(LlmInformer, QueueDelayReclaimsBeforeRateWindow)
+{
+    // During a ramp-up the 10 s window still averages in the quiet
+    // past, but the oldest waiter is already aging: the delay signal
+    // must fire first, and urgently.
+    LlmInformer inf;
+    EngineStats s = stats(1.0, 2, 1, 1 * gb, 5 * gb);
+    s.queueDelaySec = 3.0;
+    InformerDecision d = inf.evaluate(s, true);
+    EXPECT_EQ(d.action, InformerDecision::Action::Reclaim);
+    EXPECT_EQ(d.urgency, ReclaimUrgency::Urgent);
+    EXPECT_LT(inf.currentRate(), 3.0);
+}
+
+TEST(LlmInformer, ShedsTriggerUrgentReclaim)
+{
+    // Any overload shed means the engine is past capacity — the
+    // strongest reclaim signal, independent of rate and queue.
+    LlmInformer inf;
+    EngineStats s = stats(1.0, 0, 0, 1 * gb, 5 * gb);
+    s.shedsSinceLast = 1;
+    InformerDecision d = inf.evaluate(s, true);
+    EXPECT_EQ(d.action, InformerDecision::Action::Reclaim);
+    EXPECT_EQ(d.urgency, ReclaimUrgency::Urgent);
+}
+
+TEST(LlmInformer, RateOnlyReclaimIsGraceful)
+{
+    // A rate crossing without queue buildup is anticipatory: the
+    // consumer gets a graceful (staged) evacuation.
+    LlmInformer inf;
+    InformerDecision d =
+        inf.evaluate(stats(1.0, 40, 0, 1 * gb, 5 * gb), true);
+    EXPECT_EQ(d.action, InformerDecision::Action::Reclaim);
+    EXPECT_EQ(d.urgency, ReclaimUrgency::Graceful);
+}
+
+TEST(LlmInformer, SawtoothLoadDoesNotThrashTheLease)
+{
+    // Load alternating above/below the thresholds every 5 s: with the
+    // re-donate cooldown armed, each reclaim pins the lease down for
+    // the cooldown window, bounding donate/reclaim flips.
+    LlmInformerConfig cfg;
+    cfg.window = secToTicks(5.0);
+    cfg.redonateCooldown = secToTicks(60.0);
+    LlmInformer inf(cfg);
+    bool donated = false;
+    int flips = 0;
+    for (int i = 0; i < 24; ++i) {
+        double t = 5.0 * (i + 1);
+        bool burst = (i / 3) % 2 == 0; // 15 s teeth, 5 s reports
+        InformerDecision d = inf.evaluate(
+            stats(t, burst ? 40 : 0, 0, 40 * gb, 45 * gb), donated);
+        if (d.action == InformerDecision::Action::Donate) {
+            donated = true;
+            ++flips;
+        } else if (d.action == InformerDecision::Action::Reclaim) {
+            donated = false;
+            ++flips;
+        }
+    }
+    // 120 s of sawtooth with a 60 s cooldown: at most two
+    // donate/reclaim round trips, not one per tooth.
+    EXPECT_LE(flips, 4);
+}
+
+TEST(LlmInformer, SawtoothThrashesWithoutCooldown)
+{
+    // Control for the test above: the same sawtooth with no cooldown
+    // flips the lease continually, which is exactly the thrash the
+    // cooldown exists to stop.
+    LlmInformerConfig cfg;
+    cfg.window = secToTicks(5.0);
+    LlmInformer inf(cfg);
+    bool donated = false;
+    int flips = 0;
+    for (int i = 0; i < 24; ++i) {
+        double t = 5.0 * (i + 1);
+        bool burst = (i / 3) % 2 == 0; // 15 s teeth, 5 s reports
+        InformerDecision d = inf.evaluate(
+            stats(t, burst ? 40 : 0, 0, 40 * gb, 45 * gb), donated);
+        if (d.action != InformerDecision::Action::None) {
+            donated = d.action == InformerDecision::Action::Donate;
+            ++flips;
+        }
+    }
+    EXPECT_GT(flips, 4);
+}
+
 TEST(LlmInformer, HoldsLeaseUnderLightLoad)
 {
     LlmInformer inf;

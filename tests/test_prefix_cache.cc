@@ -365,3 +365,53 @@ TEST(PrefixCacheEngine, OffByDefaultKeepsCountersZero)
     EXPECT_EQ(engine.kvCache().prefixStats().hits, 0u);
     EXPECT_EQ(engine.kvCache().evictableBlocks(), 0u);
 }
+
+TEST(PrefixCache, MaxCacheShareCapsCacheOnlyBlocks)
+{
+    Fixture f;
+    KvCache kv(f.gpu, model::codellama34b(), 1 * gib, 16);
+
+    // Publish an 8-block chain and release it: all 8 cache-only.
+    TokenFn a = stream(0xaaa);
+    auto blocksA = kv.allocateBlocks(8);
+    ASSERT_TRUE(blocksA);
+    kv.publishPrefix(a, 8 * 16, *blocksA, 10);
+    kv.freeBlocks(*blocksA);
+    ASSERT_EQ(kv.evictableBlocks(), 8u);
+
+    // Cap the cache-only share at 4 blocks: lowering the share evicts
+    // down to the cap immediately.
+    double share = 4.5 / static_cast<double>(kv.totalBlocks());
+    kv.setMaxCacheShare(share);
+    ASSERT_EQ(kv.cacheBlockCap(), 4u);
+    EXPECT_LE(kv.evictableBlocks(), 4u);
+
+    // Publishing a fresh chain past the cap evicts the LRU chain
+    // rather than growing retention: the cap holds afterwards, and the
+    // newest chain is the one still resident.
+    TokenFn b = stream(0xbbb);
+    auto blocksB = kv.allocateBlocks(4);
+    ASSERT_TRUE(blocksB);
+    kv.publishPrefix(b, 4 * 16, *blocksB, 20);
+    kv.freeBlocks(*blocksB);
+    EXPECT_LE(kv.evictableBlocks(), 4u);
+    KvCache::PrefixAcquire hitB = kv.acquirePrefix(b, 4 * 16, 30);
+    EXPECT_EQ(hitB.blocks.size(), 4u);
+    kv.freeBlocks(hitB.blocks);
+    KvCache::PrefixAcquire missA = kv.acquirePrefix(a, 8 * 16, 40);
+    EXPECT_TRUE(missA.blocks.empty());
+
+    // Share 0 forbids any cache-only retention at all.
+    kv.setMaxCacheShare(0.0);
+    EXPECT_EQ(kv.evictableBlocks(), 0u);
+    auto blocksC = kv.allocateBlocks(2);
+    ASSERT_TRUE(blocksC);
+    kv.publishPrefix(stream(0xccc), 2 * 16, *blocksC, 50);
+    kv.freeBlocks(*blocksC);
+    EXPECT_EQ(kv.evictableBlocks(), 0u);
+
+    // Out-of-range shares clamp instead of misbehaving.
+    kv.setMaxCacheShare(7.0);
+    EXPECT_DOUBLE_EQ(kv.maxCacheShare(), 1.0);
+    EXPECT_EQ(kv.cacheBlockCap(), kv.totalBlocks());
+}

@@ -144,3 +144,50 @@ TEST(RequestMetrics, DerivedTimes)
     EXPECT_DOUBLE_EQ(m.ttftSec(), 2.5);
     EXPECT_DOUBLE_EQ(m.rctSec(), 10.0);
 }
+
+TEST(TraceBuilder, SloStampsDeadlinesDeterministically)
+{
+    SloSpec slo;
+    slo.multiple = 3.0;
+    slo.bestEffortFraction = 0.25;
+
+    auto build = [&slo]() {
+        TraceBuilder b(Random(7));
+        b.setSlo(slo);
+        return b.bursty(0.5, 1.5, 15.0, 200);
+    };
+    std::vector<Request> a = build();
+    std::vector<Request> c = build();
+    ASSERT_EQ(a.size(), c.size());
+
+    std::size_t bestEffort = 0;
+    std::size_t withDeadline = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        // Two same-seed builds stamp byte-identical SLOs.
+        EXPECT_EQ(a[i].deadline, c[i].deadline);
+        EXPECT_EQ(a[i].bestEffort, c[i].bestEffort);
+        if (a[i].bestEffort) {
+            // Best-effort requests carry no deadline.
+            EXPECT_EQ(a[i].deadline, 0u);
+            ++bestEffort;
+        } else {
+            // Deadline = arrival + multiple x (ttft + perToken x out)
+            // baseline: always strictly after arrival.
+            EXPECT_GT(a[i].deadline, a[i].arrival);
+            ++withDeadline;
+        }
+    }
+    EXPECT_GT(withDeadline, 0u);
+    // ~25% best-effort, loosely checked.
+    EXPECT_GT(bestEffort, a.size() / 8);
+    EXPECT_LT(bestEffort, a.size() / 2);
+}
+
+TEST(TraceBuilder, NoSloByDefault)
+{
+    TraceBuilder b(Random(7));
+    for (const Request &r : b.bursty(0.5, 1.5, 15.0, 50)) {
+        EXPECT_EQ(r.deadline, 0u);
+        EXPECT_FALSE(r.bestEffort);
+    }
+}

@@ -2,14 +2,19 @@
 # Build the simulator and run the full test suite, optionally under
 # AddressSanitizer + UndefinedBehaviorSanitizer.
 #
-#   tools/run_tests.sh              # regular RelWithDebInfo build
-#   tools/run_tests.sh --sanitize   # ASan+UBSan build in build-asan/
-#   tools/run_tests.sh -R Staging   # extra args forwarded to ctest
+#   tools/run_tests.sh               # regular RelWithDebInfo build
+#   tools/run_tests.sh --sanitize    # ASan+UBSan build in build-asan/
+#   tools/run_tests.sh --bench-smoke # + chaos/overload bench smoke
+#   tools/run_tests.sh -R Staging    # extra args forwarded to ctest
+#
+# --sanitize and --bench-smoke compose (in that order): the chaos and
+# overload smoke runs then execute under the sanitizers too.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build"
 cmake_args=()
+bench_smoke=0
 
 if [[ "${1:-}" == "--sanitize" ]]; then
     shift
@@ -18,7 +23,16 @@ if [[ "${1:-}" == "--sanitize" ]]; then
     # Death tests fork; keep ASan quiet about intentional aborts.
     export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}"
 fi
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    shift
+    bench_smoke=1
+fi
 
 cmake -B "$build" -S "$repo" "${cmake_args[@]}"
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" "$@"
+
+if [[ "$bench_smoke" == 1 ]]; then
+    "$build/bench/seed_robustness" --smoke
+    "$build/bench/abl_overload" --smoke
+fi
