@@ -80,6 +80,13 @@ main(int argc, char **argv)
     capped.maxCacheShare = 0.25;
     exp::PrefixAblationResult capR = exp::runPrefixAblation(capped);
 
+    // Capped again, but victims picked cost-aware (chain depth x hit
+    // count) instead of pure LRU: deep, hot preamble blocks survive
+    // pressure that would rotate them out under recency alone.
+    exp::PrefixAblationConfig costAware = capped;
+    costAware.eviction = serve::EvictionPolicy::CostAware;
+    exp::PrefixAblationResult costR = exp::runPrefixAblation(costAware);
+
     const exp::PrefixCacheReport &pc = onR.prefix;
     double hbmSaved =
         offR.peakLiveKvBytes > onR.peakLiveKvBytes
@@ -90,38 +97,44 @@ main(int argc, char **argv)
     std::uint64_t offloadOn =
         onR.offloadWriteBytes + onR.offloadReadBytes;
 
-    stats::Table t(
-        {"metric", "sharing_off", "sharing_on", "capped_25pct"});
+    stats::Table t({"metric", "sharing_off", "sharing_on",
+                    "capped_25pct", "capped_cost_aware"});
     t.newRow()
         .cell("peak_live_kv_mib")
         .cell(double(offR.peakLiveKvBytes) / (1 << 20), 1)
         .cell(double(onR.peakLiveKvBytes) / (1 << 20), 1)
-        .cell(double(capR.peakLiveKvBytes) / (1 << 20), 1);
+        .cell(double(capR.peakLiveKvBytes) / (1 << 20), 1)
+        .cell(double(costR.peakLiveKvBytes) / (1 << 20), 1);
     t.newRow()
         .cell("offload_write_mib")
         .cell(double(offR.offloadWriteBytes) / (1 << 20), 1)
         .cell(double(onR.offloadWriteBytes) / (1 << 20), 1)
-        .cell(double(capR.offloadWriteBytes) / (1 << 20), 1);
+        .cell(double(capR.offloadWriteBytes) / (1 << 20), 1)
+        .cell(double(costR.offloadWriteBytes) / (1 << 20), 1);
     t.newRow()
         .cell("offload_read_mib")
         .cell(double(offR.offloadReadBytes) / (1 << 20), 1)
         .cell(double(onR.offloadReadBytes) / (1 << 20), 1)
-        .cell(double(capR.offloadReadBytes) / (1 << 20), 1);
+        .cell(double(capR.offloadReadBytes) / (1 << 20), 1)
+        .cell(double(costR.offloadReadBytes) / (1 << 20), 1);
     t.newRow()
         .cell("tokens_per_sec")
         .cell(offR.tokensPerSec, 1)
         .cell(onR.tokensPerSec, 1)
-        .cell(capR.tokensPerSec, 1);
+        .cell(capR.tokensPerSec, 1)
+        .cell(costR.tokensPerSec, 1);
     t.newRow()
         .cell("swap_outs")
         .cell(std::uint64_t(offR.swapOuts))
         .cell(std::uint64_t(onR.swapOuts))
-        .cell(std::uint64_t(capR.swapOuts));
+        .cell(std::uint64_t(capR.swapOuts))
+        .cell(std::uint64_t(costR.swapOuts));
     t.newRow()
         .cell("hit_rate_pct")
         .cell(0.0, 1)
         .cell(100.0 * pc.hitRate, 1)
-        .cell(100.0 * capR.prefix.hitRate, 1);
+        .cell(100.0 * capR.prefix.hitRate, 1)
+        .cell(100.0 * costR.prefix.hitRate, 1);
     bench::show(t);
 
     std::printf("hit rate %.1f%% (%llu hits / %llu misses, %llu "
@@ -145,12 +158,19 @@ main(int argc, char **argv)
     bool okPeak = onR.peakLiveKvBytes < offR.peakLiveKvBytes;
     bool okOffload = onR.offloadWriteBytes <= offR.offloadWriteBytes;
     bool okIdentity = pc.sigMismatches == 0 &&
-                      capR.prefix.sigMismatches == 0;
+                      capR.prefix.sigMismatches == 0 &&
+                      costR.prefix.sigMismatches == 0;
+    // Under the same retention cap, cost-aware victim selection must
+    // not lose hit rate to LRU on a depth-skewed workload.
+    bool okCostAware =
+        costR.prefix.hitRate >= capR.prefix.hitRate - 0.02;
     std::printf("acceptance: hit_rate>50%% %s, peak_live on<off %s, "
-                "offload_write on<=off %s, byte_identity %s\n",
+                "offload_write on<=off %s, byte_identity %s, "
+                "cost_aware_no_regression %s\n",
                 okHitRate ? "PASS" : "FAIL", okPeak ? "PASS" : "FAIL",
                 okOffload ? "PASS" : "FAIL",
-                okIdentity ? "PASS" : "FAIL");
+                okIdentity ? "PASS" : "FAIL",
+                okCostAware ? "PASS" : "FAIL");
 
     bench::JsonReporter report("prefix_cache");
     report.set("smoke", smoke)
@@ -163,6 +183,12 @@ main(int argc, char **argv)
     cappedJson["max_cache_share"] = capped.maxCacheShare;
     cappedJson["hit_rate"] = capR.prefix.hitRate;
     report.set("sharing_capped", std::move(cappedJson));
+    json::Object costJson = modeJson(costR);
+    costJson["max_cache_share"] = costAware.maxCacheShare;
+    costJson["hit_rate"] = costR.prefix.hitRate;
+    costJson["evictions"] =
+        static_cast<std::int64_t>(costR.prefix.evictions);
+    report.set("sharing_cost_aware", std::move(costJson));
     json::Object prefix;
     prefix["hit_rate"] = pc.hitRate;
     prefix["hits"] = static_cast<std::int64_t>(pc.hits);
@@ -178,14 +204,24 @@ main(int argc, char **argv)
         static_cast<std::int64_t>(pc.residentReuseBytes);
     prefix["sig_mismatches"] =
         static_cast<std::int64_t>(pc.sigMismatches);
+    prefix["hit_tokens_local"] =
+        static_cast<std::int64_t>(pc.hitTokensLocal);
+    prefix["hit_tokens_remote_peer"] =
+        static_cast<std::int64_t>(pc.hitTokensRemote);
+    prefix["hit_tokens_dram"] =
+        static_cast<std::int64_t>(pc.hitTokensDram);
     report.set("prefix_cache", std::move(prefix));
     json::Object accept;
     accept["hit_rate_gt_50pct"] = okHitRate;
     accept["peak_live_reduced"] = okPeak;
     accept["offload_write_not_worse"] = okOffload;
     accept["byte_identity"] = okIdentity;
+    accept["cost_aware_no_regression"] = okCostAware;
     report.set("acceptance", std::move(accept));
     report.write();
 
-    return (okHitRate && okPeak && okOffload && okIdentity) ? 0 : 1;
+    return (okHitRate && okPeak && okOffload && okIdentity &&
+            okCostAware)
+               ? 0
+               : 1;
 }

@@ -109,6 +109,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(pc.cachedTokens),
                 static_cast<unsigned long long>(pc.cowForks),
                 static_cast<unsigned long long>(pc.sigMismatches));
+    std::printf("hit origin: %llu tokens local HBM, %llu remote "
+                "peer, %llu host DRAM\n",
+                static_cast<unsigned long long>(pc.hitTokensLocal),
+                static_cast<unsigned long long>(pc.hitTokensRemote),
+                static_cast<unsigned long long>(pc.hitTokensDram));
 
     bench::JsonReporter report("chatbot");
     report.set("users", users).set("turns", turns);
@@ -137,6 +142,12 @@ main(int argc, char **argv)
         static_cast<std::int64_t>(pc.dedupSavedBytes);
     prefix["sig_mismatches"] =
         static_cast<std::int64_t>(pc.sigMismatches);
+    prefix["hit_tokens_local"] =
+        static_cast<std::int64_t>(pc.hitTokensLocal);
+    prefix["hit_tokens_remote_peer"] =
+        static_cast<std::int64_t>(pc.hitTokensRemote);
+    prefix["hit_tokens_dram"] =
+        static_cast<std::int64_t>(pc.hitTokensDram);
     report.set("prefix_cache", std::move(prefix));
     report.write();
     return 0;

@@ -559,4 +559,138 @@ AquaLib::confirmDonate(std::uint64_t bytes)
     traceEvent("lease", std::move(ev));
 }
 
+AquaLib::PrefixPublishOutcome
+AquaLib::prefixPublish(std::uint64_t key, std::uint64_t verify,
+                       std::uint32_t blocks, std::uint64_t tokens,
+                       std::uint64_t bytes, std::uint64_t chainSig)
+{
+    ++counters.prefixCalls;
+    Value req;
+    req["gpu"] = myGpu;
+    req["key"] = static_cast<std::int64_t>(key);
+    req["verify"] = static_cast<std::int64_t>(verify);
+    req["blocks"] = static_cast<std::int64_t>(blocks);
+    req["tokens"] = static_cast<std::int64_t>(tokens);
+    req["bytes"] = static_cast<std::int64_t>(bytes);
+    req["chain_sig"] = static_cast<std::int64_t>(chainSig);
+    CallOutcome out = tryCall("POST /prefix/publish", std::move(req));
+    PrefixPublishOutcome res;
+    if (!out.resp.ok())
+        return res;
+    std::string role = out.resp.body.getString("role", "");
+    if (role == "home")
+        res.role = PrefixPublishOutcome::Role::Home;
+    else if (role == "replica")
+        res.role = PrefixPublishOutcome::Role::Replica;
+    else if (role == "collision")
+        res.role = PrefixPublishOutcome::Role::Collision;
+    else
+        return res;
+    res.home = static_cast<hw::GpuId>(
+        out.resp.body.getInt("home", hw::hostDramId));
+    return res;
+}
+
+AquaLib::PrefixLookupOutcome
+AquaLib::prefixLookup(const std::vector<PrefixCandidate> &candidates)
+{
+    ++counters.prefixCalls;
+    json::Array list;
+    for (const PrefixCandidate &c : candidates) {
+        Value cand;
+        cand["key"] = static_cast<std::int64_t>(c.key);
+        cand["verify"] = static_cast<std::int64_t>(c.verify);
+        cand["blocks"] = static_cast<std::int64_t>(c.blocks);
+        list.push_back(std::move(cand));
+    }
+    Value req;
+    req["gpu"] = myGpu;
+    req["candidates"] = std::move(list);
+    CallOutcome out = tryCall("POST /prefix/lookup", std::move(req));
+    PrefixLookupOutcome res;
+    if (!out.resp.ok() || !out.resp.body.getBool("found", false))
+        return res;
+    res.found = true;
+    res.key = static_cast<std::uint64_t>(out.resp.body.getInt("key", 0));
+    res.verify =
+        static_cast<std::uint64_t>(out.resp.body.getInt("verify", 0));
+    res.home = static_cast<hw::GpuId>(
+        out.resp.body.getInt("home", hw::hostDramId));
+    res.blocks = static_cast<std::uint32_t>(
+        out.resp.body.getInt("blocks", 0));
+    res.tokens =
+        static_cast<std::uint64_t>(out.resp.body.getInt("tokens", 0));
+    res.bytes =
+        static_cast<std::uint64_t>(out.resp.body.getInt("bytes", 0));
+    res.chainSig = static_cast<std::uint64_t>(
+        out.resp.body.getInt("chain_sig", 0));
+    return res;
+}
+
+AquaLib::PrefixPinOutcome
+AquaLib::prefixPin(std::uint64_t key, std::uint64_t verify)
+{
+    ++counters.prefixCalls;
+    Value req;
+    req["gpu"] = myGpu;
+    req["key"] = static_cast<std::int64_t>(key);
+    req["verify"] = static_cast<std::int64_t>(verify);
+    CallOutcome out = tryCall("POST /prefix/pin", std::move(req));
+    PrefixPinOutcome res;
+    if (!out.resp.ok())
+        return res;
+    res.ok = true;
+    res.pin =
+        static_cast<std::uint64_t>(out.resp.body.getInt("pin", 0));
+    res.home = static_cast<hw::GpuId>(
+        out.resp.body.getInt("home", hw::hostDramId));
+    return res;
+}
+
+void
+AquaLib::prefixUnpin(std::uint64_t pin)
+{
+    ++counters.prefixCalls;
+    Value req;
+    req["gpu"] = myGpu;
+    req["pin"] = static_cast<std::int64_t>(pin);
+    tryCall("POST /prefix/unpin", std::move(req));
+}
+
+void
+AquaLib::prefixEvictNotify(std::uint64_t key, std::uint64_t verify)
+{
+    ++counters.prefixCalls;
+    Value req;
+    req["gpu"] = myGpu;
+    req["key"] = static_cast<std::int64_t>(key);
+    req["verify"] = static_cast<std::int64_t>(verify);
+    tryCall("POST /prefix/evict_notify", std::move(req));
+}
+
+hw::TransferTiming
+AquaLib::readPeerPrefix(hw::GpuId home, std::uint64_t bytes,
+                        std::uint64_t nChunks, Tick earliest)
+{
+    counters.prefixRemoteReadBytes += bytes;
+    counters.bytesFromPeer += bytes;
+    if (cfg.useStaging) {
+        return engine.transferIn(
+            home, StagingEngine::uniformChunks(bytes, nChunks),
+            earliest);
+    }
+    // Unstaged: one per-block copy after another.
+    hw::Topology &topo = server.topology();
+    std::uint64_t chunk = nChunks ? bytes / nChunks : bytes;
+    hw::TransferTiming total{0, earliest};
+    for (std::uint64_t i = 0; i < nChunks; ++i) {
+        hw::TransferTiming t =
+            topo.copy(home, myGpu, chunk, {}, total.complete);
+        if (i == 0)
+            total.start = t.start;
+        total.complete = t.complete;
+    }
+    return total;
+}
+
 } // namespace aqua::core

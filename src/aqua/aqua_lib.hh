@@ -91,6 +91,10 @@ struct AquaLibStats
     std::uint64_t heartbeats = 0;
     /** Evacuations off a dead producer (emergency orders). */
     std::uint64_t emergencyMigrations = 0;
+    /** Cluster prefix-registry calls (publish/lookup/pin/...). */
+    std::uint64_t prefixCalls = 0;
+    /** Bytes of home-chain KV streamed in from peer GPUs. */
+    std::uint64_t prefixRemoteReadBytes = 0;
 };
 
 /**
@@ -199,6 +203,86 @@ class AquaLib
 
     /** Number of tensors this instance currently owns. */
     std::size_t ownedTensors() const { return tensors.size(); }
+
+    //
+    // Cluster prefix registry (southbound; cluster/registry_rest).
+    //
+    // All wrappers are non-panicking: a coordinator outage degrades
+    // to engine-local caching (Unreachable / not-found outcomes),
+    // never to a stall.
+    //
+
+    struct PrefixPublishOutcome
+    {
+        enum class Role
+        {
+            Home,
+            Replica,
+            Collision,
+            /** Coordinator unreachable: stay engine-local. */
+            Unreachable,
+        };
+        Role role = Role::Unreachable;
+        hw::GpuId home = hw::hostDramId;
+    };
+
+    /** One candidate chain boundary for prefixLookup(). */
+    struct PrefixCandidate
+    {
+        std::uint64_t key = 0;
+        std::uint64_t verify = 0;
+        std::uint32_t blocks = 0;
+    };
+
+    struct PrefixLookupOutcome
+    {
+        bool found = false;
+        std::uint64_t key = 0;
+        std::uint64_t verify = 0;
+        hw::GpuId home = hw::hostDramId;
+        std::uint32_t blocks = 0;
+        std::uint64_t tokens = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t chainSig = 0;
+    };
+
+    struct PrefixPinOutcome
+    {
+        bool ok = false;
+        std::uint64_t pin = 0;
+        hw::GpuId home = hw::hostDramId;
+    };
+
+    /** POST /prefix/publish: register a resident chain. */
+    PrefixPublishOutcome
+    prefixPublish(std::uint64_t key, std::uint64_t verify,
+                  std::uint32_t blocks, std::uint64_t tokens,
+                  std::uint64_t bytes, std::uint64_t chainSig);
+
+    /** POST /prefix/lookup: longest registered match (longest-first
+     *  candidates). found=false covers misses and outages alike. */
+    PrefixLookupOutcome
+    prefixLookup(const std::vector<PrefixCandidate> &candidates);
+
+    /** POST /prefix/pin: take a read lease on a home chain. */
+    PrefixPinOutcome prefixPin(std::uint64_t key,
+                               std::uint64_t verify);
+
+    /** POST /prefix/unpin: release a lease (best effort). */
+    void prefixUnpin(std::uint64_t pin);
+
+    /** POST /prefix/evict_notify: this GPU dropped a chain copy. */
+    void prefixEvictNotify(std::uint64_t key, std::uint64_t verify);
+
+    /**
+     * Stream @p bytes of a pinned home chain from @p home into
+     * @p nChunks scattered local cache blocks through the staging
+     * engine (the NVLink bandwidth ramp applies).
+     */
+    hw::TransferTiming readPeerPrefix(hw::GpuId home,
+                                      std::uint64_t bytes,
+                                      std::uint64_t nChunks,
+                                      aqua::sim::Tick earliest = 0);
 
     //
     // Producer control loop (northbound interface).

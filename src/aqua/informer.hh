@@ -58,6 +58,12 @@ struct EngineStats
      *  Any shedding at all means the engine is past its capacity —
      *  the strongest possible reclaim signal. */
     std::uint64_t shedsSinceLast = 0;
+    /** Cluster prefix-registry lookups that found a remote home. */
+    std::uint64_t registryHits = 0;
+    /** Lookups the registry could not serve. */
+    std::uint64_t registryMisses = 0;
+    /** Prefix KV bytes read from peer GPUs (copies + borrows). */
+    std::uint64_t remotePrefixBytes = 0;
 };
 
 /** What the informer wants done with the GPU's memory. */

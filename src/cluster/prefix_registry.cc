@@ -1,0 +1,326 @@
+#include "cluster/prefix_registry.hh"
+
+#include <algorithm>
+
+namespace aqua::cluster {
+
+using aqua::sim::Tick;
+
+bool
+PrefixRegistry::gpuAlive(hw::GpuId gpu) const
+{
+    return !alive || alive(gpu);
+}
+
+void
+PrefixRegistry::traceChain(Tick now, const char *category,
+                           const Chain &chain)
+{
+    if (!tracer)
+        return;
+    json::Object fields;
+    fields["chain"] = static_cast<std::int64_t>(chain.key);
+    fields["home"] = chain.home;
+    fields["blocks"] = static_cast<std::int64_t>(chain.blocks);
+    fields["replicas"] =
+        static_cast<std::int64_t>(chain.replicas.size());
+    tracer->emit(now, category, json::Value(std::move(fields)));
+}
+
+PublishResult
+PrefixRegistry::publish(hw::GpuId gpu, std::uint64_t key,
+                        std::uint64_t verify, std::uint32_t blocks,
+                        std::uint64_t tokens, std::uint64_t bytes,
+                        std::uint64_t chainSig, Tick now)
+{
+    key &= keyMask;
+    ++counters.publishes;
+    auto it = chains.find(key);
+    if (it != chains.end() && it->second.verify == verify &&
+        !gpuAlive(it->second.home) &&
+        !promoteOrInvalidate(it->second, now)) {
+        // The dead home's chain was invalidated: a fresh publisher of
+        // the same content takes over below.
+        it = chains.end();
+    }
+    if (it == chains.end()) {
+        Chain chain;
+        chain.key = key;
+        chain.verify = verify;
+        chain.blocks = blocks;
+        chain.tokens = tokens;
+        chain.bytes = bytes;
+        chain.chainSig = chainSig;
+        chain.home = gpu;
+        chain.publishers = 1;
+        traceChain(now, "registry_home", chain);
+        chains.emplace(key, std::move(chain));
+        return {PublishRole::Home, gpu};
+    }
+    Chain &chain = it->second;
+    if (chain.verify != verify) {
+        ++counters.collisions;
+        return {PublishRole::Collision, chain.home};
+    }
+    if (gpu == chain.home)
+        return {PublishRole::Home, gpu};
+    if (std::find(chain.replicas.begin(), chain.replicas.end(), gpu) ==
+        chain.replicas.end()) {
+        chain.replicas.push_back(gpu);
+        ++chain.publishers;
+        ++counters.replicaPublishes;
+    }
+    return {PublishRole::Replica, chain.home};
+}
+
+LookupResult
+PrefixRegistry::lookup(hw::GpuId gpu,
+                       const std::vector<CandidateKey> &candidates,
+                       Tick now)
+{
+    (void)gpu;
+    ++counters.lookups;
+    for (const CandidateKey &cand : candidates) {
+        auto it = chains.find(cand.key & keyMask);
+        if (it == chains.end())
+            continue;
+        Chain &chain = it->second;
+        if (chain.verify != cand.verify) {
+            // Cluster-wide primary-hash collision: fall through to
+            // the next (shorter) candidate boundary.
+            ++counters.collisions;
+            continue;
+        }
+        if (!gpuAlive(chain.home) &&
+            !promoteOrInvalidate(chain, now))
+            continue; // invalidated; `chain` is gone
+        ++counters.hits;
+        LookupResult r;
+        r.found = true;
+        r.key = chain.key;
+        r.verify = chain.verify;
+        r.home = chain.home;
+        r.blocks = chain.blocks;
+        r.tokens = chain.tokens;
+        r.bytes = chain.bytes;
+        r.chainSig = chain.chainSig;
+        return r;
+    }
+    ++counters.misses;
+    return {};
+}
+
+PinResult
+PrefixRegistry::pin(hw::GpuId consumer, std::uint64_t key,
+                    std::uint64_t verify, Tick now)
+{
+    auto it = chains.find(key & keyMask);
+    if (it == chains.end() || it->second.verify != verify) {
+        ++counters.pinRejects;
+        return {};
+    }
+    Chain &chain = it->second;
+    if (!gpuAlive(chain.home) && !promoteOrInvalidate(chain, now)) {
+        ++counters.pinRejects;
+        return {};
+    }
+    if (chain.pins.empty()) {
+        // First lease: ask the home engine to pin the blocks. A
+        // refusal means the chain is no longer resident there.
+        auto agent = agents.find(chain.home);
+        if (agent == agents.end() ||
+            !agent->second.setPinned(chain.key, true)) {
+            ++counters.pinRejects;
+            hw::GpuId home = chain.home;
+            evictNotify(home, chain.key, verify, now);
+            return {};
+        }
+    }
+    std::uint64_t id = nextPin++;
+    chain.pins.emplace(id, consumer);
+    pinChain.emplace(id, chain.key);
+    ++counters.pins;
+    return {true, id, chain.home};
+}
+
+void
+PrefixRegistry::unpin(std::uint64_t pin, Tick now)
+{
+    (void)now;
+    auto ref = pinChain.find(pin);
+    if (ref == pinChain.end())
+        return;
+    std::uint64_t key = ref->second;
+    pinChain.erase(ref);
+    ++counters.unpins;
+    auto it = chains.find(key);
+    if (it == chains.end())
+        return;
+    Chain &chain = it->second;
+    chain.pins.erase(pin);
+    if (chain.pins.empty() && gpuAlive(chain.home)) {
+        auto agent = agents.find(chain.home);
+        if (agent != agents.end())
+            agent->second.setPinned(chain.key, false);
+    }
+}
+
+void
+PrefixRegistry::breakPins(Chain &chain)
+{
+    counters.brokenPins += chain.pins.size();
+    for (const auto &[id, consumer] : chain.pins)
+        pinChain.erase(id);
+    chain.pins.clear();
+}
+
+bool
+PrefixRegistry::promoteOrInvalidate(Chain &chain, Tick now)
+{
+    breakPins(chain);
+    while (!chain.replicas.empty()) {
+        hw::GpuId next = chain.replicas.front();
+        chain.replicas.erase(chain.replicas.begin());
+        --chain.publishers;
+        if (!gpuAlive(next))
+            continue;
+        auto agent = agents.find(next);
+        if (agent == agents.end() ||
+            !agent->second.promote(chain.key))
+            continue;
+        traceChain(now, "registry_unhome", chain);
+        chain.home = next;
+        ++counters.promotions;
+        traceChain(now, "registry_promote", chain);
+        traceChain(now, "registry_home", chain);
+        return true;
+    }
+    ++counters.invalidations;
+    traceChain(now, "registry_unhome", chain);
+    traceChain(now, "registry_invalidate", chain);
+    std::uint64_t key = chain.key;
+    chains.erase(key);
+    return false;
+}
+
+EvictAction
+PrefixRegistry::evictNotify(hw::GpuId gpu, std::uint64_t key,
+                            std::uint64_t verify, Tick now)
+{
+    ++counters.evictNotices;
+    auto it = chains.find(key & keyMask);
+    if (it == chains.end() || it->second.verify != verify)
+        return EvictAction::Ignored;
+    Chain &chain = it->second;
+    if (gpu != chain.home) {
+        auto pos = std::find(chain.replicas.begin(),
+                             chain.replicas.end(), gpu);
+        if (pos != chain.replicas.end()) {
+            chain.replicas.erase(pos);
+            --chain.publishers;
+        }
+        return EvictAction::Ignored;
+    }
+    return promoteOrInvalidate(chain, now) ? EvictAction::Promoted
+                                           : EvictAction::Invalidated;
+}
+
+void
+PrefixRegistry::onGpuFailed(hw::GpuId gpu, Tick now)
+{
+    // Leases held *by* the failed GPU evaporate; releasing the last
+    // one unpins the home engine's blocks.
+    std::vector<std::uint64_t> stale;
+    for (const auto &[id, key] : pinChain) {
+        auto it = chains.find(key);
+        if (it == chains.end())
+            continue;
+        auto pin = it->second.pins.find(id);
+        if (pin != it->second.pins.end() && pin->second == gpu)
+            stale.push_back(id);
+    }
+    for (std::uint64_t id : stale) {
+        auto ref = pinChain.find(id);
+        if (ref == pinChain.end())
+            continue;
+        std::uint64_t key = ref->second;
+        pinChain.erase(ref);
+        ++counters.brokenPins;
+        auto it = chains.find(key);
+        if (it == chains.end())
+            continue;
+        Chain &chain = it->second;
+        chain.pins.erase(id);
+        if (chain.pins.empty() && gpuAlive(chain.home)) {
+            auto agent = agents.find(chain.home);
+            if (agent != agents.end())
+                agent->second.setPinned(chain.key, false);
+        }
+    }
+
+    std::vector<std::uint64_t> homed;
+    for (auto &[key, chain] : chains) {
+        auto pos = std::find(chain.replicas.begin(),
+                             chain.replicas.end(), gpu);
+        if (pos != chain.replicas.end()) {
+            chain.replicas.erase(pos);
+            --chain.publishers;
+        }
+        if (chain.home == gpu)
+            homed.push_back(key);
+    }
+    for (std::uint64_t key : homed) {
+        auto it = chains.find(key);
+        if (it != chains.end())
+            promoteOrInvalidate(it->second, now);
+    }
+    agents.erase(gpu);
+}
+
+void
+PrefixRegistry::setAgent(hw::GpuId gpu, RegistryAgent agent)
+{
+    agents[gpu] = std::move(agent);
+}
+
+void
+PrefixRegistry::clearAgent(hw::GpuId gpu)
+{
+    agents.erase(gpu);
+}
+
+std::size_t
+PrefixRegistry::activePins() const
+{
+    return pinChain.size();
+}
+
+std::size_t
+PrefixRegistry::pinsHeldBy(hw::GpuId consumer) const
+{
+    std::size_t n = 0;
+    for (const auto &[key, chain] : chains)
+        for (const auto &[id, gpu] : chain.pins)
+            if (gpu == consumer)
+                ++n;
+    return n;
+}
+
+hw::GpuId
+PrefixRegistry::homeOf(std::uint64_t key) const
+{
+    auto it = chains.find(key & keyMask);
+    return it == chains.end() ? hw::hostDramId : it->second.home;
+}
+
+std::uint32_t
+PrefixRegistry::chainRefs(std::uint64_t key) const
+{
+    auto it = chains.find(key & keyMask);
+    if (it == chains.end())
+        return 0;
+    return it->second.publishers +
+           static_cast<std::uint32_t>(it->second.pins.size());
+}
+
+} // namespace aqua::cluster

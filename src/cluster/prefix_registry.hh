@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Coordinator-hosted cluster prefix registry.
+ *
+ * The CoW prefix cache (serve/PrefixIndex) dedups a hot shared prefix
+ * *within* one engine; across a scale-up domain every consumer GPU
+ * still rematerialises its own copy. The registry tracks which prefix
+ * chains (by the engines' dual-rolling-hash keys) are resident on
+ * which GPU, designates a single *home replica* per chain per domain,
+ * and hands out lease-style pins so the home GPU cannot donate or
+ * evict blocks a remote consumer is actively reading over NVLink.
+ *
+ * The registry is pure control-plane state: engines talk to it over
+ * the coordinator REST surface (see registry_rest.hh), and it calls
+ * back into registered per-GPU agents (RegistryAgent) to pin blocks
+ * on the home engine or to promote a replica to home after a failure
+ * or eviction.
+ */
+
+#ifndef AQUA_CLUSTER_PREFIX_REGISTRY_HH
+#define AQUA_CLUSTER_PREFIX_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/gpu.hh"
+#include "sim/simulation.hh"
+#include "trace/trace.hh"
+
+namespace aqua::cluster {
+
+/**
+ * Callbacks into the engine that owns a GPU's prefix blocks. The
+ * registry invokes them synchronously while handling REST calls;
+ * both return false when the chain is no longer resident there.
+ */
+struct RegistryAgent
+{
+    /** Pin (or release) the chain's blocks on this GPU. */
+    std::function<bool(std::uint64_t key, bool pinned)> setPinned;
+    /** Become home for a chain this GPU holds as a replica. */
+    std::function<bool(std::uint64_t key)> promote;
+};
+
+/** Outcome role of a publish. */
+enum class PublishRole
+{
+    /** First publisher (or re-publish by the current home): this GPU
+     *  is the chain's designated resident copy. */
+    Home,
+    /** The chain is already homed elsewhere; the publisher should not
+     *  retain its own cache-only copy. */
+    Replica,
+    /** Primary keys matched but verification hashes differ: a
+     *  cluster-wide hash collision. The publisher falls back to
+     *  engine-local caching and the registry ignores the chain. */
+    Collision,
+};
+
+struct PublishResult
+{
+    PublishRole role = PublishRole::Home;
+    hw::GpuId home = hw::hostDramId;
+};
+
+/** One candidate (key, verify) pair at a full-block chain boundary. */
+struct CandidateKey
+{
+    std::uint64_t key = 0;
+    std::uint64_t verify = 0;
+    std::uint32_t blocks = 0;
+};
+
+struct LookupResult
+{
+    bool found = false;
+    std::uint64_t key = 0;
+    std::uint64_t verify = 0;
+    hw::GpuId home = hw::hostDramId;
+    std::uint32_t blocks = 0;
+    std::uint64_t tokens = 0;
+    std::uint64_t bytes = 0;
+    /** FNV-1a content signature over the whole chain; consumers check
+     *  it against their own prompt before trusting the match. */
+    std::uint64_t chainSig = 0;
+};
+
+struct PinResult
+{
+    bool ok = false;
+    /** Lease id to pass to unpin(). */
+    std::uint64_t pin = 0;
+    hw::GpuId home = hw::hostDramId;
+};
+
+/** What evictNotify() did about the chain. */
+enum class EvictAction
+{
+    /** Not the home copy (or unknown chain): registry state pruned. */
+    Ignored,
+    /** A replica took over as home. */
+    Promoted,
+    /** No replica left: the chain is gone from the registry. */
+    Invalidated,
+};
+
+struct PrefixRegistryStats
+{
+    std::uint64_t publishes = 0;
+    std::uint64_t replicaPublishes = 0;
+    std::uint64_t collisions = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t pins = 0;
+    std::uint64_t unpins = 0;
+    std::uint64_t pinRejects = 0;
+    std::uint64_t evictNotices = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t invalidations = 0;
+    /** Pins force-released by a home failure or eviction. */
+    std::uint64_t brokenPins = 0;
+};
+
+/**
+ * The registry proper. One instance per scale-up domain, colocated
+ * with the coordinator.
+ */
+class PrefixRegistry
+{
+  public:
+    /**
+     * Record a chain resident on @p gpu.
+     *
+     * The first publisher becomes the chain's home; later publishers
+     * of the same (key, verify) are replicas; a verify mismatch is a
+     * cluster-wide collision and the chain stays engine-local.
+     */
+    PublishResult publish(hw::GpuId gpu, std::uint64_t key,
+                          std::uint64_t verify, std::uint32_t blocks,
+                          std::uint64_t tokens, std::uint64_t bytes,
+                          std::uint64_t chainSig, aqua::sim::Tick now);
+
+    /**
+     * Find the longest registered chain matching one of
+     * @p candidates (ordered longest-first). Dead homes are promoted
+     * or invalidated on the way; verify mismatches fall through to
+     * the next (shorter) candidate.
+     */
+    LookupResult lookup(hw::GpuId gpu,
+                        const std::vector<CandidateKey> &candidates,
+                        aqua::sim::Tick now);
+
+    /**
+     * Take a read lease on a chain for @p consumer. While any pin is
+     * active the home engine keeps the chain's blocks pinned
+     * (non-evictable, non-donatable).
+     */
+    PinResult pin(hw::GpuId consumer, std::uint64_t key,
+                  std::uint64_t verify, aqua::sim::Tick now);
+
+    /** Release a lease; idempotent (stale ids are ignored). */
+    void unpin(std::uint64_t pin, aqua::sim::Tick now);
+
+    /**
+     * A GPU dropped its copy of a chain (cache eviction, shrink,
+     * engine teardown). Home copies promote a replica or invalidate;
+     * replica copies are pruned.
+     */
+    EvictAction evictNotify(hw::GpuId gpu, std::uint64_t key,
+                            std::uint64_t verify, aqua::sim::Tick now);
+
+    /**
+     * A GPU went dark: break its consumers' pins, prune its replicas
+     * and promote or invalidate every chain it homed. Wired to
+     * fault::FaultInjector::setGpuFailObserver by the benches.
+     */
+    void onGpuFailed(hw::GpuId gpu, aqua::sim::Tick now);
+
+    /** Register the engine-side callbacks for a GPU. */
+    void setAgent(hw::GpuId gpu, RegistryAgent agent);
+    void clearAgent(hw::GpuId gpu);
+
+    /** Liveness oracle for home GPUs (e.g. !Topology::gpuFailed). */
+    void
+    setAliveFn(std::function<bool(hw::GpuId)> fn)
+    {
+        alive = std::move(fn);
+    }
+
+    /** Optional event log (registry_home/unhome, promote, ...). */
+    void setTraceLog(trace::TraceLog *log) { tracer = log; }
+
+    /**
+     * Test hook: AND every primary key with @p mask to force
+     * cluster-wide collisions (verification hashes still differ).
+     */
+    void setKeyMask(std::uint64_t mask) { keyMask = mask; }
+
+    const PrefixRegistryStats &stats() const { return counters; }
+
+    /** Outstanding read leases across all chains. */
+    std::size_t activePins() const;
+    /** Leases held by one consumer GPU. */
+    std::size_t pinsHeldBy(hw::GpuId consumer) const;
+    /** Registered chains (homes only; collisions are not entered). */
+    std::size_t size() const { return chains.size(); }
+    /** Home GPU of a chain, or hw::hostDramId when unknown. */
+    hw::GpuId homeOf(std::uint64_t key) const;
+    /** Cluster-wide publish refcount of a chain (0 = unknown). */
+    std::uint32_t chainRefs(std::uint64_t key) const;
+
+  private:
+    struct Chain
+    {
+        std::uint64_t key = 0;
+        std::uint64_t verify = 0;
+        std::uint32_t blocks = 0;
+        std::uint64_t tokens = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t chainSig = 0;
+        hw::GpuId home = hw::hostDramId;
+        /** Non-home GPUs that also published the chain. */
+        std::vector<hw::GpuId> replicas;
+        /** Cluster-wide publish refcount (home + replicas). */
+        std::uint32_t publishers = 0;
+        /** Active read leases: pin id -> consumer GPU. */
+        std::map<std::uint64_t, hw::GpuId> pins;
+    };
+
+    bool gpuAlive(hw::GpuId gpu) const;
+    /** Home of @p chain died or evicted: promote or invalidate.
+     *  @return false when the chain was erased. */
+    bool promoteOrInvalidate(Chain &chain, aqua::sim::Tick now);
+    void breakPins(Chain &chain);
+    void traceChain(aqua::sim::Tick now, const char *category,
+                    const Chain &chain);
+
+    std::unordered_map<std::uint64_t, Chain> chains;
+    std::unordered_map<std::uint64_t, std::uint64_t> pinChain;
+    std::map<hw::GpuId, RegistryAgent> agents;
+    std::function<bool(hw::GpuId)> alive;
+    trace::TraceLog *tracer = nullptr;
+    std::uint64_t keyMask = ~0ull;
+    std::uint64_t nextPin = 1;
+    PrefixRegistryStats counters;
+};
+
+} // namespace aqua::cluster
+
+#endif // AQUA_CLUSTER_PREFIX_REGISTRY_HH

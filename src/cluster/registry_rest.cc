@@ -1,0 +1,148 @@
+#include "cluster/registry_rest.hh"
+
+namespace aqua::cluster {
+
+using aqua::sim::Tick;
+using core::RestResponse;
+using core::RestStatus;
+
+namespace {
+
+std::uint64_t
+asU64(const json::Value &v, const char *field)
+{
+    return static_cast<std::uint64_t>(v.getInt(field, 0));
+}
+
+Tick
+bodyNow(const json::Value &v)
+{
+    return static_cast<Tick>(v.getInt("now", 0));
+}
+
+RestResponse
+okBody(json::Object body)
+{
+    RestResponse r;
+    r.body = json::Value(std::move(body));
+    return r;
+}
+
+} // anonymous namespace
+
+const char *
+publishRoleName(PublishRole role)
+{
+    switch (role) {
+      case PublishRole::Home: return "home";
+      case PublishRole::Replica: return "replica";
+      case PublishRole::Collision: return "collision";
+    }
+    return "?";
+}
+
+const char *
+evictActionName(EvictAction action)
+{
+    switch (action) {
+      case EvictAction::Ignored: return "ignored";
+      case EvictAction::Promoted: return "promoted";
+      case EvictAction::Invalidated: return "invalidated";
+    }
+    return "?";
+}
+
+void
+bindClusterRoutes(core::RestRouter &router, PrefixRegistry &registry)
+{
+    router.route(
+        "POST /prefix/publish",
+        [&registry](const json::Value &body) {
+            PublishResult res = registry.publish(
+                static_cast<hw::GpuId>(body.getInt("gpu", -1)),
+                asU64(body, "key"), asU64(body, "verify"),
+                static_cast<std::uint32_t>(body.getInt("blocks", 0)),
+                asU64(body, "tokens"), asU64(body, "bytes"),
+                asU64(body, "chain_sig"), bodyNow(body));
+            json::Object out;
+            out["role"] = publishRoleName(res.role);
+            out["home"] = res.home;
+            return okBody(std::move(out));
+        });
+
+    router.route(
+        "POST /prefix/lookup",
+        [&registry](const json::Value &body) {
+            std::vector<CandidateKey> candidates;
+            if (const json::Value *list = body.find("candidates")) {
+                for (const json::Value &c : list->asArray()) {
+                    CandidateKey k;
+                    k.key = asU64(c, "key");
+                    k.verify = asU64(c, "verify");
+                    k.blocks = static_cast<std::uint32_t>(
+                        c.getInt("blocks", 0));
+                    candidates.push_back(k);
+                }
+            }
+            LookupResult res = registry.lookup(
+                static_cast<hw::GpuId>(body.getInt("gpu", -1)),
+                candidates, bodyNow(body));
+            json::Object out;
+            out["found"] = res.found;
+            if (res.found) {
+                out["key"] = static_cast<std::int64_t>(res.key);
+                out["verify"] = static_cast<std::int64_t>(res.verify);
+                out["home"] = res.home;
+                out["blocks"] =
+                    static_cast<std::int64_t>(res.blocks);
+                out["tokens"] =
+                    static_cast<std::int64_t>(res.tokens);
+                out["bytes"] = static_cast<std::int64_t>(res.bytes);
+                out["chain_sig"] =
+                    static_cast<std::int64_t>(res.chainSig);
+            }
+            return okBody(std::move(out));
+        });
+
+    router.route(
+        "POST /prefix/pin",
+        [&registry](const json::Value &body) {
+            PinResult res = registry.pin(
+                static_cast<hw::GpuId>(body.getInt("gpu", -1)),
+                asU64(body, "key"), asU64(body, "verify"),
+                bodyNow(body));
+            if (!res.ok) {
+                RestResponse r;
+                r.status = RestStatus::Conflict;
+                json::Object out;
+                out["error"] = "chain not pinnable";
+                r.body = json::Value(std::move(out));
+                return r;
+            }
+            json::Object out;
+            out["pin"] = static_cast<std::int64_t>(res.pin);
+            out["home"] = res.home;
+            return okBody(std::move(out));
+        });
+
+    router.route("POST /prefix/unpin",
+                 [&registry](const json::Value &body) {
+                     registry.unpin(asU64(body, "pin"),
+                                    bodyNow(body));
+                     return okBody({});
+                 });
+
+    router.route(
+        "POST /prefix/evict_notify",
+        [&registry](const json::Value &body) {
+            EvictAction action = registry.evictNotify(
+                static_cast<hw::GpuId>(body.getInt("gpu", -1)),
+                asU64(body, "key"), asU64(body, "verify"),
+                bodyNow(body));
+            json::Object out;
+            out["action"] = evictActionName(action);
+            return okBody(std::move(out));
+        });
+}
+
+} // namespace aqua::cluster

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * REST surface of the cluster prefix registry.
+ *
+ * Five endpoints extend the coordinator's router (docs/PROTOCOL.md,
+ * docs/cluster_registry.md):
+ *
+ *   POST /prefix/publish       chain resident on a GPU
+ *   POST /prefix/lookup        longest registered match of candidates
+ *   POST /prefix/pin           take a read lease on the home copy
+ *   POST /prefix/unpin         release a lease
+ *   POST /prefix/evict_notify  a GPU dropped its copy
+ *
+ * uint64 hash keys ride through JSON as bit-cast int64 (the json
+ * layer stores signed 64-bit integers); both sides cast back.
+ */
+
+#ifndef AQUA_CLUSTER_REGISTRY_REST_HH
+#define AQUA_CLUSTER_REGISTRY_REST_HH
+
+#include "aqua/rest.hh"
+#include "cluster/prefix_registry.hh"
+
+namespace aqua::cluster {
+
+/** Register the five prefix-registry routes on @p router. */
+void bindClusterRoutes(core::RestRouter &router,
+                       PrefixRegistry &registry);
+
+/** Name of a publish role as carried on the wire. */
+const char *publishRoleName(PublishRole role);
+
+/** Name of an evict action as carried on the wire. */
+const char *evictActionName(EvictAction action);
+
+} // namespace aqua::cluster
+
+#endif // AQUA_CLUSTER_REGISTRY_REST_HH

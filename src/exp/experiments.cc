@@ -137,6 +137,9 @@ prefixReportFrom(const serve::VllmEngine &engine)
     r.dedupSavedBytes = es.dedupSavedBytes;
     r.residentReuseBytes = es.residentReuseBytes;
     r.sigMismatches = es.sigMismatches;
+    r.hitTokensLocal = es.hitTokensLocal;
+    r.hitTokensRemote = es.hitTokensRemote;
+    r.hitTokensDram = es.hitTokensDram;
     return r;
 }
 
@@ -581,6 +584,7 @@ runPrefixAblation(const PrefixAblationConfig &cfg)
     serve::VllmEngineConfig engineCfg;
     engineCfg.prefixCache = cfg.prefixCache;
     engineCfg.maxCacheShare = cfg.maxCacheShare;
+    engineCfg.prefixEviction = cfg.eviction;
     serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
                                std::move(policy), *backend, engineCfg);
     Producer producer = makeProducer(tb, producerGpu,
@@ -611,6 +615,247 @@ runPrefixAblation(const PrefixAblationConfig &cfg)
         elapsed > 0.0
             ? static_cast<double>(consumer.totalTokens()) / elapsed
             : 0.0;
+    return result;
+}
+
+ClusterPrefixResult
+runClusterPrefix(const ClusterPrefixConfig &cfg)
+{
+    std::size_t n = std::max<std::size_t>(1, cfg.consumers);
+    Testbed tb(std::max<std::size_t>(n, 2), hw::TopologyKind::NvSwitch,
+               cfg.seed);
+    ModelSpec spec = presetByName(cfg.consumerModel);
+
+    cluster::PrefixRegistry *registry = nullptr;
+    if (cfg.registry) {
+        registry = &tb.makePrefixRegistry();
+        if (cfg.traceLog)
+            registry->setTraceLog(cfg.traceLog);
+    }
+
+    std::vector<std::unique_ptr<serve::VllmEngine>> engines;
+    std::vector<core::AquaLib *> engineLibs;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto gpu = static_cast<hw::GpuId>(i);
+        serve::DramBackend &backend = tb.makeDramBackend(gpu);
+        serve::VllmEngineConfig engineCfg;
+        engineCfg.prefixCache = true;
+        engineCfg.prefixEviction = cfg.eviction;
+        engineCfg.clusterPrefix = cfg.registry;
+        engineCfg.clusterBorrowMaxBlocks = cfg.borrowMaxBlocks;
+        engines.push_back(std::make_unique<serve::VllmEngine>(
+            tb.server(), gpu, spec,
+            std::make_unique<serve::CfsPolicy>(), backend, engineCfg));
+        if (registry) {
+            core::AquaLib &lib = tb.makeAquaLib(gpu);
+            engineLibs.push_back(&lib);
+            engines.back()->attachClusterPrefix(registry, &lib);
+        }
+        if (cfg.traceLog)
+            engines.back()->setTraceLog(cfg.traceLog);
+    }
+
+    // The chaos cell permanently kills gpu 0 — the preamble chain's
+    // home, since the first request lands there — once the drain
+    // margin has idled its engine, and audits recovery on survivors.
+    Tick chaosAt = secToTicks(cfg.chaosAtSec);
+    Tick avoidGpu0After =
+        cfg.chaosAtSec > cfg.chaosDrainSec
+            ? secToTicks(cfg.chaosAtSec - cfg.chaosDrainSec)
+            : 0;
+    bool chaos = cfg.chaos && n > 1;
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (chaos) {
+        inj = std::make_unique<fault::FaultInjector>(
+            tb.sim(), tb.server().topology(), tb.rest().router());
+        for (core::AquaLib *lib : engineLibs)
+            inj->registerLib(*lib);
+        if (cfg.traceLog)
+            inj->setTraceLog(cfg.traceLog);
+        if (registry) {
+            inj->setGpuFailObserver([&tb, registry](hw::GpuId gpu) {
+                registry->onGpuFailed(gpu, tb.sim().now());
+            });
+        }
+        fault::FaultPlan plan;
+        fault::FaultSpec f;
+        f.kind = fault::FaultKind::GpuFail;
+        f.at = chaosAt;
+        f.duration = 0; // permanent
+        f.gpu = 0;
+        f.grace = msToTicks(200.0);
+        plan.add(f);
+        inj->arm(plan);
+    }
+
+    auto engineFor = [&](std::size_t idx, Tick arrival) {
+        std::size_t e = idx % n;
+        if (chaos && arrival >= avoidGpu0After)
+            e = 1 + idx % (n - 1);
+        return e;
+    };
+
+    std::size_t expected = 0;
+    std::uint64_t promptTotal = 0;
+    auto traces = std::make_shared<workload::TraceBuilder>(
+        tb.sim().makeRandom());
+    /** Group representatives for the residency probe. */
+    std::vector<workload::Request> groupReps;
+    auto noteGroup = [&](const workload::Request &r) {
+        for (const workload::Request &g : groupReps)
+            if (g.prefixStream == r.prefixStream)
+                return;
+        groupReps.push_back(r);
+    };
+
+    if (cfg.chatbot) {
+        auto turnOf = std::make_shared<std::map<std::uint64_t,
+                                                std::uint32_t>>();
+        auto userOf = std::make_shared<std::map<std::uint64_t,
+                                                std::uint32_t>>();
+        auto promptOf = std::make_shared<std::map<std::uint64_t,
+                                                  std::uint32_t>>();
+        std::vector<workload::Request> first =
+            traces->chatbotFirstTurn(cfg.users, 0, cfg.prefixTokens);
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            const workload::Request &r = first[i];
+            (*turnOf)[r.id] = 0;
+            (*userOf)[r.id] = r.userId;
+            (*promptOf)[r.id] = r.promptTokens;
+            promptTotal += r.promptTokens;
+            noteGroup(r);
+            serve::VllmEngine &eng =
+                *engines[engineFor(r.userId, r.arrival)];
+            tb.sim().queue().schedule(r.arrival, [&eng, r] {
+                eng.submit(r);
+            });
+        }
+        std::uint32_t turns = cfg.turns;
+        std::uint32_t sysTokens = cfg.prefixTokens;
+        // Each completion issues the user's next turn on a *different*
+        // engine, so the re-sent history is a cluster-remote prefix.
+        auto followUp = [&, traces, turnOf, userOf, promptOf, sysTokens,
+                         turns](const workload::RequestMetrics &m) {
+            std::uint32_t turn = (*turnOf)[m.id];
+            std::uint32_t user = (*userOf)[m.id];
+            if (turn + 1 >= turns)
+                return;
+            std::uint32_t history =
+                (*promptOf)[m.id] + m.tokensGenerated;
+            workload::Request next = traces->chatbotFollowUp(
+                user, turn + 1, tb.sim().now(), history, sysTokens);
+            (*turnOf)[next.id] = turn + 1;
+            (*userOf)[next.id] = user;
+            (*promptOf)[next.id] = next.promptTokens;
+            promptTotal += next.promptTokens;
+            serve::VllmEngine &eng = *engines[engineFor(
+                std::size_t(user) + turn + 1, next.arrival)];
+            tb.sim().queue().schedule(next.arrival, [&eng, next] {
+                eng.submit(next);
+            });
+        };
+        for (auto &engine : engines)
+            engine->onComplete(followUp);
+        expected = std::size_t(cfg.users) * cfg.turns;
+    } else {
+        std::vector<workload::Request> trace = traces->sharedPrefix(
+            cfg.ratePerSec, cfg.numRequests, cfg.prefixTokens,
+            cfg.numGroups);
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            const workload::Request &r = trace[i];
+            promptTotal += r.promptTokens;
+            noteGroup(r);
+            serve::VllmEngine &eng = *engines[engineFor(i, r.arrival)];
+            tb.sim().queue().schedule(r.arrival, [&eng, r] {
+                eng.submit(r);
+            });
+        }
+        expected = trace.size();
+    }
+
+    runUntilDone(tb.sim(), cfg.maxSimSeconds, [&] {
+        std::size_t done = 0;
+        for (const auto &engine : engines)
+            done += engine->finished().size();
+        return done >= expected;
+    });
+
+    ClusterPrefixResult result;
+    std::uint64_t tokens = 0;
+    for (const auto &engine : engines) {
+        for (const workload::RequestMetrics &m : engine->finished())
+            result.metrics.push_back(m);
+        const serve::PrefixCacheEngineStats &es =
+            engine->prefixEngineStats();
+        result.cachedTokens += es.cachedTokens;
+        result.registryHits += es.registryHits;
+        result.registryMisses += es.registryMisses;
+        result.borrowAdmissions += es.borrowAdmissions;
+        result.copyAdmissions += es.copyAdmissions;
+        result.remoteCopyBytes += es.remoteCopyBytes;
+        result.remoteDecodeReadBytes += es.remoteDecodeReadBytes;
+        result.remoteBrokenChains += es.remoteBrokenChains;
+        result.sigMismatches += es.sigMismatches;
+        result.clusterSigMismatches += es.clusterSigMismatches;
+        result.hitTokensLocal += es.hitTokensLocal;
+        result.hitTokensRemote += es.hitTokensRemote;
+        result.hitTokensDram += es.hitTokensDram;
+        tokens += engine->totalTokens();
+    }
+    sortById(result.metrics);
+    result.unfinished = expected > result.metrics.size()
+                            ? expected - result.metrics.size()
+                            : 0;
+    result.promptTokens = promptTotal;
+    result.aggregateHitRate =
+        promptTotal > 0
+            ? static_cast<double>(result.cachedTokens) / promptTotal
+            : 0.0;
+
+    // Residency: full preamble blocks each engine still has indexed.
+    for (const workload::Request &rep : groupReps) {
+        serve::TokenFn tok = serve::tokenFnFor(rep);
+        std::uint32_t preamble = cfg.chatbot
+                                     ? cfg.prefixTokens
+                                     : rep.prefixTokens;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (tb.server().topology().gpuFailed(
+                    static_cast<hw::GpuId>(i)))
+                continue;
+            const serve::KvCache &kv = engines[i]->kvCache();
+            std::uint64_t full = preamble -
+                preamble % kv.tokensPerBlock();
+            if (full == 0)
+                continue;
+            result.residentPrefixBytes +=
+                kv.probePrefixBlocks(tok, full) * kv.blockBytes();
+        }
+        const serve::KvCache &kv0 = engines[0]->kvCache();
+        std::uint64_t full = preamble - preamble % kv0.tokensPerBlock();
+        result.singleCopyBytes +=
+            kv0.blocksForTokens(full) * kv0.blockBytes();
+    }
+    result.residencyFactor =
+        result.singleCopyBytes > 0
+            ? static_cast<double>(result.residentPrefixBytes) /
+                  static_cast<double>(result.singleCopyBytes)
+            : 0.0;
+
+    if (registry) {
+        const cluster::PrefixRegistryStats &rs = registry->stats();
+        result.regPublishes = rs.publishes;
+        result.regReplicaPublishes = rs.replicaPublishes;
+        result.regCollisions = rs.collisions;
+        result.regPromotions = rs.promotions;
+        result.regInvalidations = rs.invalidations;
+        result.regBrokenPins = rs.brokenPins;
+        result.activePins = registry->activePins();
+    }
+
+    double elapsed = ticksToSec(tb.sim().now());
+    result.elapsedSec = elapsed;
+    result.tokensPerSec =
+        elapsed > 0.0 ? static_cast<double>(tokens) / elapsed : 0.0;
     return result;
 }
 

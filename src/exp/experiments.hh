@@ -16,6 +16,7 @@
 
 #include "model/model_spec.hh"
 #include "placer/placer.hh"
+#include "serve/prefix_index.hh"
 #include "stats/timeseries.hh"
 #include "workload/request.hh"
 
@@ -224,6 +225,11 @@ struct PrefixCacheReport
     std::uint64_t residentReuseBytes = 0;
     /** Byte-identity violations across offload round trips. */
     std::uint64_t sigMismatches = 0;
+    /** Prefix-hit tokens by origin (satellite of the cluster
+     *  registry: local HBM vs a peer GPU's copy vs host DRAM). */
+    std::uint64_t hitTokensLocal = 0;
+    std::uint64_t hitTokensRemote = 0;
+    std::uint64_t hitTokensDram = 0;
 };
 
 struct ChatbotResult
@@ -259,6 +265,8 @@ struct PrefixAblationConfig
     bool prefixCache = true;
     /** Cap on cache-only blocks as a pool fraction (1.0 = uncapped). */
     double maxCacheShare = 1.0;
+    /** Cache-only block victim selection (LRU vs cost-aware). */
+    serve::EvictionPolicy eviction = serve::EvictionPolicy::Lru;
     ServeMode mode = ServeMode::CfsAqua;
     double ratePerSec = 6.0;
     std::size_t numRequests = 120;
@@ -285,6 +293,105 @@ struct PrefixAblationResult
 };
 
 PrefixAblationResult runPrefixAblation(const PrefixAblationConfig &cfg);
+
+//
+// Cluster prefix registry: N consumer engines on one NVSwitch server
+// share a hot prompt preamble. With the registry on, exactly one
+// engine keeps the preamble's KV resident (the chain's *home*) and
+// the others borrow or copy it over NVLink; with it off, every engine
+// rematerialises and retains its own copy. The chaos variant kills
+// the home GPU mid-run and audits recovery.
+//
+
+struct ClusterPrefixConfig
+{
+    /** Consumer engines (one per GPU, 2-8 on the NVSwitch server). */
+    std::size_t consumers = 4;
+    /** false = per-engine prefix caching only (the baseline). */
+    bool registry = true;
+    /** true = multi-turn chatbot with cross-engine turn routing;
+     *  false = single-shot shared-preamble trace. */
+    bool chatbot = false;
+    double ratePerSec = 4.0;
+    std::size_t numRequests = 96;
+    /** Shared preamble (system prompt) length, tokens. */
+    std::uint32_t prefixTokens = 768;
+    /** Distinct preambles in play. */
+    std::uint32_t numGroups = 1;
+    /** Chatbot users and turns (chatbot = true). */
+    std::uint32_t users = 16;
+    std::uint32_t turns = 3;
+    /** Max chain length served in place from the home GPU; longer
+     *  chains are copied into local blocks. */
+    std::uint32_t borrowMaxBlocks = 4;
+    /** Cache-only block victim selection. */
+    serve::EvictionPolicy eviction = serve::EvictionPolicy::Lru;
+    /** Chaos: permanently kill the preamble's home GPU (gpu 0)
+     *  mid-run and audit recovery on the survivors. */
+    bool chaos = false;
+    double chaosAtSec = 40.0;
+    /** Arrivals later than chaosAtSec - chaosDrainSec avoid gpu 0,
+     *  so the dying engine is idle when its memory goes dark. */
+    double chaosDrainSec = 30.0;
+    std::string consumerModel = "Codellama-34B";
+    std::uint64_t seed = 1;
+    double maxSimSeconds = 8000.0;
+    /** Optional external log capturing fault/registry events. */
+    trace::TraceLog *traceLog = nullptr;
+};
+
+struct ClusterPrefixResult
+{
+    /** All finished metrics across engines, id order. */
+    std::vector<workload::RequestMetrics> metrics;
+    /** Requests submitted but never finished (must be 0). */
+    std::uint64_t unfinished = 0;
+
+    /** Prefill tokens served from cache (local + remote), summed. */
+    std::uint64_t cachedTokens = 0;
+    /** Prompt tokens across finished requests. */
+    std::uint64_t promptTokens = 0;
+    /** cachedTokens / promptTokens (the aggregate hit rate). */
+    double aggregateHitRate = 0.0;
+
+    /** Engine-side registry counters, summed over engines. */
+    std::uint64_t registryHits = 0;
+    std::uint64_t registryMisses = 0;
+    std::uint64_t borrowAdmissions = 0;
+    std::uint64_t copyAdmissions = 0;
+    std::uint64_t remoteCopyBytes = 0;
+    std::uint64_t remoteDecodeReadBytes = 0;
+    std::uint64_t remoteBrokenChains = 0;
+    /** Byte-identity violations (offload + cluster; must be 0). */
+    std::uint64_t sigMismatches = 0;
+    std::uint64_t clusterSigMismatches = 0;
+    /** Prefix-hit tokens by origin, summed over engines. */
+    std::uint64_t hitTokensLocal = 0;
+    std::uint64_t hitTokensRemote = 0;
+    std::uint64_t hitTokensDram = 0;
+
+    /** Preamble KV bytes resident across all engines at the end. */
+    std::uint64_t residentPrefixBytes = 0;
+    /** Bytes of one resident copy of every preamble. */
+    std::uint64_t singleCopyBytes = 0;
+    /** residentPrefixBytes / singleCopyBytes (1.0 = one copy). */
+    double residencyFactor = 0.0;
+
+    /** Registry-side counters (zero when registry = false). */
+    std::uint64_t regPublishes = 0;
+    std::uint64_t regReplicaPublishes = 0;
+    std::uint64_t regCollisions = 0;
+    std::uint64_t regPromotions = 0;
+    std::uint64_t regInvalidations = 0;
+    std::uint64_t regBrokenPins = 0;
+    /** Leases still outstanding after the drain (must be 0). */
+    std::uint64_t activePins = 0;
+
+    double tokensPerSec = 0.0;
+    double elapsedSec = 0.0;
+};
+
+ClusterPrefixResult runClusterPrefix(const ClusterPrefixConfig &cfg);
 
 //
 // Overload control: deadline-stamped bursty traffic at a load

@@ -1,5 +1,7 @@
 #include "exp/testbed.hh"
 
+#include "cluster/registry_rest.hh"
+
 namespace aqua::exp {
 
 using namespace aqua::sim;
@@ -46,6 +48,19 @@ void
 Testbed::assign(hw::GpuId consumer, hw::GpuId producer)
 {
     coord.assignProducer(consumer, producer);
+}
+
+cluster::PrefixRegistry &
+Testbed::makePrefixRegistry()
+{
+    if (!registry) {
+        registry = std::make_unique<cluster::PrefixRegistry>();
+        registry->setAliveFn([this](hw::GpuId gpu) {
+            return !srv->topology().gpuFailed(gpu);
+        });
+        cluster::bindClusterRoutes(restService->router(), *registry);
+    }
+    return *registry;
 }
 
 } // namespace aqua::exp

@@ -17,6 +17,7 @@
 #include "aqua/coordinator.hh"
 #include "aqua/informer.hh"
 #include "aqua/rest.hh"
+#include "cluster/prefix_registry.hh"
 #include "hw/server.hh"
 #include "serve/offload_backend.hh"
 #include "sim/simulation.hh"
@@ -66,11 +67,20 @@ class Testbed
     /** Statically pair a consumer GPU with a producer GPU. */
     void assign(hw::GpuId consumer, hw::GpuId producer);
 
+    /**
+     * Create (and own) the domain's cluster prefix registry, bind its
+     * five prefix routes on the coordinator REST router and wire
+     * its liveness oracle to the server topology. Idempotent: repeat
+     * calls return the same instance.
+     */
+    cluster::PrefixRegistry &makePrefixRegistry();
+
   private:
     std::unique_ptr<aqua::sim::Simulation> simulation;
     std::unique_ptr<hw::Server> srv;
     core::Coordinator coord;
     std::unique_ptr<core::CoordinatorRestService> restService;
+    std::unique_ptr<cluster::PrefixRegistry> registry;
     std::vector<std::unique_ptr<core::AquaLib>> libs;
     std::vector<std::unique_ptr<serve::OffloadBackend>> backends;
 };

@@ -370,6 +370,8 @@ FaultInjector::inject(std::uint64_t faultId, const FaultSpec &f)
             sim.queue().schedule(sim.now() + f.grace,
                                  [this, gpu = f.gpu] {
                 topo.markGpuFailed(gpu, true);
+                if (gpuFailObserver)
+                    gpuFailObserver(gpu);
             });
         }
         break;

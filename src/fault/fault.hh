@@ -39,6 +39,7 @@
 #define AQUA_FAULT_FAULT_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -256,6 +257,17 @@ class FaultInjector
     void registerLib(core::AquaLib &lib);
 
     /**
+     * Called when a gpu_fail fault's grace window closes and the
+     * GPU's memory goes dark (after Topology::markGpuFailed). Lets
+     * cluster-level services — e.g. the prefix registry — react to
+     * the death: break leases, promote replicas, invalidate chains.
+     */
+    void setGpuFailObserver(std::function<void(hw::GpuId)> observer)
+    {
+        gpuFailObserver = std::move(observer);
+    }
+
+    /**
      * Schedule every fault of @p plan on the event queue and install
      * the REST fault hook. May be called once per injector.
      */
@@ -282,6 +294,7 @@ class FaultInjector
     hw::Topology &topo;
     core::RestRouter &router;
     trace::TraceLog *tracer = nullptr;
+    std::function<void(hw::GpuId)> gpuFailObserver;
     std::map<hw::GpuId, core::AquaLib *> libs;
     aqua::sim::Random rng;
     bool armed = false;

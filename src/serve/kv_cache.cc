@@ -64,7 +64,9 @@ KvCache::updateEvictable(BlockId id)
 {
     if (evictableFlag.size() <= id)
         evictableFlag.resize(id + 1, false);
-    bool now = cacheOnly(id);
+    // Pinned blocks are lease-held by a remote reader: not headroom,
+    // not eviction victims.
+    bool now = cacheOnly(id) && !blockPinned(id);
     if (now == static_cast<bool>(evictableFlag[id]))
         return;
     evictableFlag[id] = now;
@@ -88,9 +90,49 @@ KvCache::allocateBlocks(std::size_t count)
     if (blocks.freeBlocks() < count)
         evictCached(count - blocks.freeBlocks());
     auto out = blocks.allocateMany(count);
-    if (out)
+    if (out) {
+        // A reused block starts a fresh life as locally computed KV.
+        for (BlockId id : *out)
+            setBlockOrigin(id, BlockOrigin::Local);
         notePeak();
+    }
     return out;
+}
+
+void
+KvCache::pinBlock(BlockId id)
+{
+    if (pinCounts.size() <= id)
+        pinCounts.resize(id + 1, 0);
+    if (pinCounts[id]++ == 0)
+        ++numPinned;
+    updateEvictable(id);
+}
+
+void
+KvCache::unpinBlock(BlockId id)
+{
+    if (id >= pinCounts.size() || pinCounts[id] == 0)
+        return;
+    if (--pinCounts[id] == 0)
+        --numPinned;
+    updateEvictable(id);
+}
+
+void
+KvCache::setBlockOrigin(BlockId id, BlockOrigin origin)
+{
+    if (origins.size() <= id)
+        origins.resize(id + 1,
+                       static_cast<std::uint8_t>(BlockOrigin::Local));
+    origins[id] = static_cast<std::uint8_t>(origin);
+}
+
+BlockOrigin
+KvCache::blockOrigin(BlockId id) const
+{
+    return id < origins.size() ? static_cast<BlockOrigin>(origins[id])
+                               : BlockOrigin::Local;
 }
 
 void
@@ -193,7 +235,8 @@ KvCache::probePrefixBlocks(const TokenFn &tok,
 void
 KvCache::publishPrefix(const TokenFn &tok, std::uint64_t tokens,
                        const std::vector<BlockId> &blockIds,
-                       aqua::sim::Tick now, bool insert)
+                       aqua::sim::Tick now, bool insert,
+                       std::uint64_t insertTokens)
 {
     // Refresh content signatures for every covered block so offload
     // round trips can be checked for byte identity.
@@ -205,9 +248,10 @@ KvCache::publishPrefix(const TokenFn &tok, std::uint64_t tokens,
             std::min<std::uint64_t>(blockTokens, covered - first));
         setBlockSig(blockIds[i], contentSig(tok, first, count));
     }
-    if (!insert)
+    std::uint64_t indexed = std::min(covered, insertTokens);
+    if (!insert || indexed == 0)
         return;
-    std::vector<BlockId> newly = index.insert(tok, covered, blockIds, now);
+    std::vector<BlockId> newly = index.insert(tok, indexed, blockIds, now);
     for (BlockId id : newly) {
         blocks.ref(id);
         updateEvictable(id);
@@ -245,8 +289,9 @@ KvCache::evictCached(std::size_t want)
     std::size_t freed = 0;
     while (freed < want) {
         std::vector<BlockId> evicted = index.evictLru(
-            want - freed,
-            [this](BlockId id) { return cacheOnly(id); });
+            want - freed, [this](BlockId id) {
+                return cacheOnly(id) && !blockPinned(id);
+            });
         if (evicted.empty())
             break;
         for (BlockId id : evicted) {
@@ -254,6 +299,8 @@ KvCache::evictCached(std::size_t want)
             updateEvictable(id);
             if (blocks.refCount(id) == 0)
                 ++freed;
+            if (evictionObserver)
+                evictionObserver(id);
         }
     }
     return freed;
@@ -269,6 +316,8 @@ KvCache::dropCache()
         updateEvictable(id);
         if (blocks.refCount(id) == 0)
             ++freed;
+        if (evictionObserver)
+            evictionObserver(id);
     }
     return freed;
 }

@@ -31,6 +31,17 @@
 
 namespace aqua::serve {
 
+/** Where a cached block's KV content was materialised from. */
+enum class BlockOrigin : std::uint8_t
+{
+    /** Prefilled locally (default). */
+    Local,
+    /** Streamed from a peer GPU's home replica over NVLink. */
+    RemotePeer,
+    /** Restored from a DRAM/offload backend on swap-in. */
+    Dram,
+};
+
 /**
  * Block-granular KV-cache pool bound to a GPU's HBM.
  */
@@ -67,7 +78,9 @@ class KvCache
     /** KV bytes of a sequence of @p tokens tokens (exact, unpadded). */
     std::uint64_t kvBytes(std::uint64_t tokens) const;
 
-    /** Free plus cache-evictable blocks (admission headroom). */
+    /** Free plus cache-evictable blocks (admission headroom). Pinned
+     *  blocks are excluded: a block pinned by a remote read lease
+     *  cannot be reclaimed yet. */
     std::size_t
     availableBlocks() const
     {
@@ -145,10 +158,15 @@ class KvCache
      * after the owning sequence releases its blocks.
      *
      * @param insert false recomputes signatures only (no indexing).
+     * @param insertTokens Cap on tokens actually indexed (signatures
+     *        still cover all of @p tokens). Lets an engine that is a
+     *        cluster *replica* for the chain's tail refresh signatures
+     *        without retaining a duplicate resident copy.
      */
     void publishPrefix(const TokenFn &tok, std::uint64_t tokens,
                        const std::vector<aqua::mem::BlockId> &blockIds,
-                       aqua::sim::Tick now, bool insert = true);
+                       aqua::sim::Tick now, bool insert = true,
+                       std::uint64_t insertTokens = ~std::uint64_t(0));
 
     /**
      * Copy-on-write fork: allocate a private copy of @p shared (same
@@ -169,6 +187,63 @@ class KvCache
      *  (names a shared block group on the offload path). */
     std::uint64_t prefixChainKey(const TokenFn &tok,
                                  std::size_t fullBlocks) const;
+
+    /** Dual chain hashes at one full-block boundary. */
+    PrefixIndex::ChainKeys
+    prefixChainKeysAt(const TokenFn &tok, std::size_t fullBlocks) const
+    {
+        return index.chainKeysAt(tok, fullBlocks);
+    }
+
+    /** Dual chain hashes at every boundary up to @p fullBlocks. */
+    std::vector<PrefixIndex::ChainKeys>
+    prefixChainKeysUpTo(const TokenFn &tok,
+                        std::size_t fullBlocks) const
+    {
+        return index.chainKeysUpTo(tok, fullBlocks);
+    }
+
+    /** Select the prefix-cache eviction policy (default Lru). */
+    void
+    setEvictionPolicy(EvictionPolicy policy)
+    {
+        index.setEvictionPolicy(policy);
+    }
+
+    //
+    // Pins (lease-held blocks) and block origins.
+    //
+
+    /**
+     * Pin a block: it stays resident even when cache-only, is never
+     * counted as admission headroom and is never evicted or donated.
+     * Pins nest (counted); used by cluster registry read leases on
+     * home chains.
+     */
+    void pinBlock(aqua::mem::BlockId id);
+    void unpinBlock(aqua::mem::BlockId id);
+    bool
+    blockPinned(aqua::mem::BlockId id) const
+    {
+        return id < pinCounts.size() && pinCounts[id] > 0;
+    }
+    /** Blocks with at least one pin. */
+    std::size_t pinnedBlocks() const { return numPinned; }
+
+    /** Record where a block's content came from (default Local). */
+    void setBlockOrigin(aqua::mem::BlockId id, BlockOrigin origin);
+    BlockOrigin blockOrigin(aqua::mem::BlockId id) const;
+
+    /**
+     * Observer invoked whenever a cache-held block leaves the prefix
+     * index (eviction, cap enforcement, dropCache). Engines use it to
+     * notify the cluster registry that a home chain lost a block.
+     */
+    void
+    setEvictionObserver(std::function<void(aqua::mem::BlockId)> fn)
+    {
+        evictionObserver = std::move(fn);
+    }
 
     /** Evict up to @p want cache-only blocks (LRU). @return evicted. */
     std::size_t evictCached(std::size_t want);
@@ -257,6 +332,10 @@ class KvCache
     mutable PrefixIndex index;
     std::vector<bool> evictableFlag;
     std::size_t numEvictable = 0;
+    std::vector<std::uint32_t> pinCounts;
+    std::size_t numPinned = 0;
+    std::vector<std::uint8_t> origins;
+    std::function<void(aqua::mem::BlockId)> evictionObserver;
     /** Cache-only share cap (fraction of totalBlocks; 1.0 = off). */
     double cacheShare = 1.0;
     std::uint64_t peakLive = 0;

@@ -102,6 +102,7 @@ PrefixIndex::lookup(const TokenFn &tok, std::uint64_t maxTokens,
         m.tokens += blockTokens;
         if (touch) {
             e.lastUse = now;
+            ++e.uses;
             ++counters.hits;
         }
     }
@@ -124,6 +125,7 @@ PrefixIndex::lookup(const TokenFn &tok, std::uint64_t maxTokens,
                 m.partialTokens = rem;
                 if (touch) {
                     e.lastUse = now;
+                    ++e.uses;
                     ++counters.partialHits;
                 }
             } else if (touch) {
@@ -146,11 +148,13 @@ PrefixIndex::insert(const TokenFn &tok, std::uint64_t tokens,
                          "%llu tokens", blocks.size(),
                          static_cast<unsigned long long>(tokens));
     }
+    std::uint32_t depth = 0;
     auto place = [&](std::uint64_t key, std::uint64_t verify,
                      aqua::mem::BlockId block, std::uint32_t count) {
+        ++depth;
         auto it = map.find(key);
         if (it == map.end()) {
-            map.emplace(key, Entry{block, verify, count, now});
+            map.emplace(key, Entry{block, verify, count, now, depth, 0});
             ++held[block];
             ++counters.insertions;
             newly.push_back(block);
@@ -198,6 +202,14 @@ PrefixIndex::evictLru(
               [this](std::uint64_t a, std::uint64_t b) {
                   const Entry &ea = map.find(a)->second;
                   const Entry &eb = map.find(b)->second;
+                  if (eviction == EvictionPolicy::CostAware) {
+                      // Cheapest loss first: chain depth x hit count
+                      // approximates the recompute bill of evicting.
+                      std::uint64_t ca = ea.depth * ea.uses;
+                      std::uint64_t cb = eb.depth * eb.uses;
+                      if (ca != cb)
+                          return ca < cb;
+                  }
                   if (ea.lastUse != eb.lastUse)
                       return ea.lastUse < eb.lastUse;
                   return ea.block < eb.block;
@@ -247,6 +259,31 @@ PrefixIndex::chainKey(const TokenFn &tok, std::size_t fullBlocks) const
                         static_cast<std::uint32_t>(fullBlocks) *
                             blockTokens);
     return chain.key;
+}
+
+PrefixIndex::ChainKeys
+PrefixIndex::chainKeysAt(const TokenFn &tok,
+                         std::size_t fullBlocks) const
+{
+    ChainState chain{kSeedKey, kSeedVerify};
+    chain = extendChain(chain, tok, 0,
+                        static_cast<std::uint32_t>(fullBlocks) *
+                            blockTokens);
+    return {chain.key, chain.verify};
+}
+
+std::vector<PrefixIndex::ChainKeys>
+PrefixIndex::chainKeysUpTo(const TokenFn &tok,
+                           std::size_t fullBlocks) const
+{
+    std::vector<ChainKeys> out;
+    out.reserve(fullBlocks);
+    ChainState chain{kSeedKey, kSeedVerify};
+    for (std::size_t i = 0; i < fullBlocks; ++i) {
+        chain = extendChain(chain, tok, i * blockTokens, blockTokens);
+        out.push_back({chain.key, chain.verify});
+    }
+    return out;
 }
 
 } // namespace aqua::serve

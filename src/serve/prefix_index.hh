@@ -36,6 +36,19 @@ using TokenFn = std::function<std::uint64_t(std::uint64_t)>;
 /** Token function for a request (simulated token contents). */
 TokenFn tokenFnFor(const workload::Request &request);
 
+/**
+ * How the index picks eviction victims.
+ */
+enum class EvictionPolicy
+{
+    /** Strict least-recently-used (default). */
+    Lru,
+    /** Cheapest-to-lose first: score = chain depth x hit count, so a
+     *  deep, frequently reused chain (an expensive recompute) outlives
+     *  a shallow or cold one even when recently touched. */
+    CostAware,
+};
+
 /** Counters kept by the index (block granularity). */
 struct PrefixIndexStats
 {
@@ -129,6 +142,29 @@ class PrefixIndex
     std::uint64_t chainKey(const TokenFn &tok,
                            std::size_t fullBlocks) const;
 
+    /** Primary + verification hash of one chain boundary. */
+    struct ChainKeys
+    {
+        std::uint64_t key = 0;
+        std::uint64_t verify = 0;
+    };
+
+    /** Both chain hashes over the first @p fullBlocks blocks. */
+    ChainKeys chainKeysAt(const TokenFn &tok,
+                          std::size_t fullBlocks) const;
+
+    /**
+     * Both chain hashes at every full-block boundary up to
+     * @p fullBlocks: element i covers blocks [0, i]. One rolling pass;
+     * feeds the cluster registry's candidate-key lookups.
+     */
+    std::vector<ChainKeys> chainKeysUpTo(const TokenFn &tok,
+                                         std::size_t fullBlocks) const;
+
+    /** Select the eviction victim ordering (default Lru). */
+    void setEvictionPolicy(EvictionPolicy policy) { eviction = policy; }
+    EvictionPolicy evictionPolicy() const { return eviction; }
+
     std::size_t entries() const { return map.size(); }
     const PrefixIndexStats &stats() const { return counters; }
 
@@ -149,6 +185,11 @@ class PrefixIndex
          *  full blocks, fewer for a partial tail). */
         std::uint32_t tokens = 0;
         aqua::sim::Tick lastUse = 0;
+        /** Blocks from the chain root to this entry (1-based): the
+         *  recompute depth a loss would cost (CostAware scoring). */
+        std::uint32_t depth = 1;
+        /** Lookup hits served (CostAware scoring). */
+        std::uint64_t uses = 0;
     };
 
     /** Dual rolling hash state over one block's tokens. */
@@ -166,6 +207,7 @@ class PrefixIndex
                              std::uint32_t tokens) const;
 
     std::uint32_t blockTokens;
+    EvictionPolicy eviction = EvictionPolicy::Lru;
     std::uint64_t primaryMask = ~std::uint64_t(0);
     std::unordered_map<std::uint64_t, Entry> map;
     /** Entries per block (a block can back a full and a stale partial

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "hw/gpu.hh"
 #include "mem/block_allocator.hh"
 #include "serve/offload_backend.hh"
 #include "workload/request.hh"
@@ -76,6 +77,26 @@ struct Sequence
     /** Per-block content signatures captured at swap-out, block
      *  order; checked for byte identity on swap-in. */
     std::vector<std::uint64_t> swapSigs;
+
+    //
+    // Cluster prefix-registry state (zero when the cluster path is
+    // off). A *borrowed* sequence serves its leading prefix blocks
+    // directly from the home GPU's resident copy over NVLink: those
+    // blocks never appear in `blocks`, and a registry lease (pin)
+    // keeps them resident on the home until released.
+    //
+
+    /** Leading full blocks served remotely (0 = none borrowed). */
+    std::uint32_t remoteLeadBlocks = 0;
+
+    /** Tokens covered by the borrowed lead. */
+    std::uint64_t remoteLeadTokens = 0;
+
+    /** Home GPU serving the borrowed lead. */
+    hw::GpuId remoteHome = hw::hostDramId;
+
+    /** Registry lease id held on the home chain (0 = none). */
+    std::uint64_t remotePin = 0;
 
     workload::RequestMetrics metrics;
 

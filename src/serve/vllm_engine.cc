@@ -47,6 +47,7 @@ VllmEngine::VllmEngine(hw::Server &server, hw::GpuId gpu,
     kv = std::make_unique<KvCache>(dev, spec, pool, cfg.blockTokens);
     if (cfg.maxCacheShare < 1.0)
         kv->setMaxCacheShare(cfg.maxCacheShare);
+    kv->setEvictionPolicy(cfg.prefixEviction);
 
     if (cfg.admission) {
         // Service rates from the perf model: amortized prefill cost
@@ -68,6 +69,23 @@ VllmEngine::VllmEngine(hw::Server &server, hw::GpuId gpu,
 
 VllmEngine::~VllmEngine()
 {
+    // Unwind cluster-registry state first: outstanding read leases,
+    // then every chain this engine advertised (the registry promotes
+    // a surviving replica or invalidates). The agent is cleared last
+    // so the registry can still call back while unwinding.
+    if (clusterReg && clusterLib) {
+        for (auto &seq : all) {
+            if (seq->remotePin != 0)
+                clusterLib->prefixUnpin(seq->remotePin);
+        }
+        for (auto &[key, c] : homeChains)
+            clusterLib->prefixEvictNotify(key, c.verify);
+        homeChains.clear();
+        for (auto &[key, c] : replicaChains)
+            clusterLib->prefixEvictNotify(key, c.verify);
+        replicaChains.clear();
+        clusterReg->clearAgent(myGpu);
+    }
     // Release swapped sequences' backend storage (from whichever
     // backend holds it — the circuit breaker may have diverted some
     // swaps to the fallback).
@@ -97,6 +115,26 @@ VllmEngine::attachAquaLib(core::AquaLib *lib)
     aquaLib = lib;
     // Kick the housekeeping loop so an idle producer still informs.
     scheduleStep(server.simulation().now());
+}
+
+void
+VllmEngine::attachClusterPrefix(cluster::PrefixRegistry *registry,
+                                core::AquaLib *lib)
+{
+    clusterReg = registry;
+    clusterLib = lib;
+    if (!clusterReg || !clusterLib)
+        return;
+    cluster::RegistryAgent agent;
+    agent.setPinned = [this](std::uint64_t key, bool pinned) {
+        return clusterSetPinned(key, pinned);
+    };
+    agent.promote = [this](std::uint64_t key) {
+        return clusterPromote(key);
+    };
+    clusterReg->setAgent(myGpu, std::move(agent));
+    kv->setEvictionObserver(
+        [this](aqua::mem::BlockId id) { onCacheBlockEvicted(id); });
 }
 
 void
@@ -205,6 +243,10 @@ VllmEngine::doInform()
     // queue (and the shed rate) grows further.
     st.queueDelaySec = oldestWaitingSec(st.now);
     st.shedsSinceLast = shedsSinceInform;
+    st.registryHits = prefixStats.registryHits;
+    st.registryMisses = prefixStats.registryMisses;
+    st.remotePrefixBytes =
+        prefixStats.remoteCopyBytes + prefixStats.remoteDecodeReadBytes;
     shedsSinceInform = 0;
     arrivalsSinceInform = 0;
 
@@ -219,7 +261,7 @@ VllmEngine::doInform()
 }
 
 void
-VllmEngine::publishSeq(Sequence *s)
+VllmEngine::publishSeq(Sequence *s, bool atFinish)
 {
     if (!cfg.prefixCache || s->blocks.empty())
         return;
@@ -228,16 +270,360 @@ VllmEngine::publishSeq(Sequence *s)
     // the pool instead of lingering as evictable cache.
     if (brownout && brownout->publishDisabled())
         return;
-    // Simulated token contents are deterministic per request stream,
-    // so every computed position is publishable; publishPrefix caps
-    // coverage at what the blocks actually hold.
-    kv->publishPrefix(tokenFnFor(s->request), s->kvTokens(), s->blocks,
+    Tick now = server.simulation().now();
+    if (!clusterEnabled()) {
+        // Simulated token contents are deterministic per request
+        // stream, so every computed position is publishable;
+        // publishPrefix caps coverage at what the blocks hold.
+        kv->publishPrefix(tokenFnFor(s->request), s->kvTokens(),
+                          s->blocks, now);
+        return;
+    }
+    // Borrowed sequences hold only their tail blocks; there is no
+    // locally resident chain rooted at token zero to advertise.
+    if (s->remoteLeadBlocks > 0)
+        return;
+
+    TokenFn tok = tokenFnFor(s->request);
+    std::uint64_t kvTok = s->kvTokens();
+    std::size_t fullBlocks = std::min<std::size_t>(
+        s->blocks.size(),
+        static_cast<std::size_t>(kvTok / cfg.blockTokens));
+
+    // Register the shareable boundaries and derive how much of the
+    // chain to retain locally: a boundary homed elsewhere (Replica)
+    // is not duplicated past the previous boundary — unless a longer
+    // chain is homed here, since homing carries the duty to keep the
+    // whole chain resident.
+    using Role = core::AquaLib::PrefixPublishOutcome::Role;
+    std::uint64_t insertCap = kvTok;
+    bool replicaSeen = false;
+    std::uint64_t prevTokens = 0;
+    for (std::size_t b : chainBoundaries(s, fullBlocks, atFinish)) {
+        PrefixIndex::ChainKeys ck = kv->prefixChainKeysAt(tok, b);
+        std::uint64_t tokens = std::uint64_t(b) * cfg.blockTokens;
+        Role role;
+        if (homeChains.count(ck.key) != 0) {
+            role = Role::Home;
+        } else if (replicaChains.count(ck.key) != 0) {
+            role = Role::Replica;
+        } else if (collisionChains.count(ck.key) != 0) {
+            role = Role::Collision;
+        } else {
+            auto out = clusterLib->prefixPublish(
+                ck.key, ck.verify, static_cast<std::uint32_t>(b),
+                tokens, kv->kvBytes(tokens),
+                KvCache::contentSig(
+                    tok, 0, static_cast<std::uint32_t>(tokens)));
+            role = out.role;
+            if (role == Role::Collision)
+                collisionChains.insert(ck.key);
+        }
+        if (role == Role::Home || role == Role::Replica) {
+            ClusterChain rec;
+            rec.blocks.assign(s->blocks.begin(),
+                              s->blocks.begin() + b);
+            rec.tokens = tokens;
+            rec.verify = ck.verify;
+            rec.req = s->request;
+            rec.owner = role == Role::Replica ? s : nullptr;
+            auto &chains =
+                role == Role::Home ? homeChains : replicaChains;
+            chains[ck.key] = std::move(rec);
+        }
+        if (role == Role::Replica && !replicaSeen) {
+            insertCap = prevTokens;
+            replicaSeen = true;
+        } else if (role == Role::Home && replicaSeen) {
+            insertCap = tokens;
+        }
+        prevTokens = tokens;
+    }
+    kv->publishPrefix(tok, kvTok, s->blocks, now, true, insertCap);
+}
+
+std::vector<std::size_t>
+VllmEngine::chainBoundaries(const Sequence *s, std::size_t maxBlocks,
+                            bool atFinish) const
+{
+    std::vector<std::size_t> out;
+    const workload::Request &r = s->request;
+    std::size_t preamble =
+        r.prefixTokens >= cfg.blockTokens
+            ? std::min<std::size_t>(r.prefixTokens / cfg.blockTokens,
+                                    maxBlocks)
+            : 0;
+    if (preamble > 0)
+        out.push_back(preamble);
+    // Only *final* contexts of conversation streams recur (as the
+    // next turn's history prefix); intermediate contexts of a
+    // request-private stream never match anything.
+    if (atFinish && r.contentStream != 0 && maxBlocks > preamble)
+        out.push_back(maxBlocks);
+    return out;
+}
+
+void
+VllmEngine::tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
+                            Tick &transfersDone)
+{
+    std::uint64_t match = s->kvTokens() > 0 ? s->kvTokens() - 1 : 0;
+    std::size_t wantFull =
+        static_cast<std::size_t>(match / cfg.blockTokens);
+    std::size_t localFull =
+        acq.blocks.size() - (acq.partialTokens > 0 ? 1 : 0);
+    if (wantFull <= localFull)
+        return;
+
+    TokenFn tok = tokenFnFor(s->request);
+    // Candidate boundaries, longest first. Conversation streams scan
+    // densely — the previous turn's finish boundary is not knowable
+    // here — while for declared-preamble requests only the preamble
+    // boundary can match anything cluster-wide.
+    std::vector<PrefixIndex::ChainKeys> keys =
+        kv->prefixChainKeysUpTo(tok, wantFull);
+    std::vector<core::AquaLib::PrefixCandidate> cands;
+    if (s->request.contentStream != 0) {
+        constexpr std::size_t kMaxCandidates = 64;
+        for (std::size_t b = wantFull;
+             b > localFull && cands.size() < kMaxCandidates; --b) {
+            cands.push_back({keys[b - 1].key, keys[b - 1].verify,
+                             static_cast<std::uint32_t>(b)});
+        }
+    }
+    std::size_t preamble =
+        s->request.prefixTokens >= cfg.blockTokens
+            ? s->request.prefixTokens / cfg.blockTokens
+            : 0;
+    if (preamble > localFull && preamble <= wantFull) {
+        bool present = false;
+        for (const auto &c : cands)
+            present |= c.blocks == preamble;
+        if (!present) {
+            cands.push_back({keys[preamble - 1].key,
+                             keys[preamble - 1].verify,
+                             static_cast<std::uint32_t>(preamble)});
+        }
+    }
+    if (cands.empty())
+        return;
+
+    core::AquaLib::PrefixLookupOutcome rl =
+        clusterLib->prefixLookup(cands);
+    if (!rl.found || rl.home == myGpu || rl.blocks <= localFull) {
+        ++prefixStats.registryMisses;
+        return;
+    }
+    // Trust nothing across the wire: the registered chain's content
+    // signature must match this request's own tokens.
+    std::uint64_t wantSig = KvCache::contentSig(
+        tok, 0, rl.blocks * cfg.blockTokens);
+    if (wantSig != rl.chainSig) {
+        ++prefixStats.clusterSigMismatches;
+        ++prefixStats.registryMisses;
+        return;
+    }
+    if (server.topology().gpuFailed(rl.home)) {
+        ++prefixStats.registryMisses;
+        return;
+    }
+    core::AquaLib::PrefixPinOutcome pinr =
+        clusterLib->prefixPin(rl.key, rl.verify);
+    if (!pinr.ok) {
+        ++prefixStats.registryMisses;
+        return;
+    }
+
+    Tick now = server.simulation().now();
+    if (localFull == 0 && rl.blocks <= cfg.clusterBorrowMaxBlocks) {
+        // Short chain: serve the lead in place from the home GPU.
+        // The lease holds until the sequence releases it.
+        if (!acq.blocks.empty()) {
+            kv->freeBlocks(acq.blocks);
+            acq.blocks.clear();
+        }
+        acq.tokens = rl.tokens;
+        acq.partialTokens = 0;
+        s->remoteLeadBlocks = rl.blocks;
+        s->remoteLeadTokens = rl.tokens;
+        s->remoteHome = pinr.home;
+        s->remotePin = pinr.pin;
+        prefixStats.remoteHitBlocks += rl.blocks;
+        ++prefixStats.borrowAdmissions;
+        ++prefixStats.registryHits;
+        return;
+    }
+
+    // Stream a local copy of the missing lead blocks over NVLink; the
+    // lease holds the home copy resident until the transfer lands.
+    if (acq.partialTokens > 0) {
+        kv->freeBlocks({acq.blocks.back()});
+        acq.blocks.pop_back();
+        acq.tokens -= acq.partialTokens;
+        acq.partialTokens = 0;
+    }
+    std::size_t missing = rl.blocks - localFull;
+    auto fresh = kv->allocateBlocks(missing);
+    if (!fresh) {
+        clusterLib->prefixUnpin(pinr.pin);
+        ++prefixStats.registryMisses;
+        return;
+    }
+    std::uint64_t bytes =
+        kv->kvBytes(std::uint64_t(missing) * cfg.blockTokens);
+    hw::TransferTiming t =
+        clusterLib->readPeerPrefix(pinr.home, bytes, missing, now);
+    if (t.complete > transfersDone)
+        transfersDone = t.complete;
+    for (std::size_t i = 0; i < fresh->size(); ++i) {
+        std::uint64_t first =
+            std::uint64_t(localFull + i) * cfg.blockTokens;
+        kv->setBlockSig((*fresh)[i], KvCache::contentSig(
+                                         tok, first, cfg.blockTokens));
+        kv->setBlockOrigin((*fresh)[i], BlockOrigin::RemotePeer);
+    }
+    acq.blocks.insert(acq.blocks.end(), fresh->begin(), fresh->end());
+    acq.tokens = std::uint64_t(rl.blocks) * cfg.blockTokens;
+    prefixStats.remoteHitBlocks += missing;
+    prefixStats.remoteCopyBytes += bytes;
+    ++prefixStats.copyAdmissions;
+    ++prefixStats.registryHits;
+    // Release the lease once the stream has landed on this GPU.
+    std::uint64_t pin = pinr.pin;
+    server.simulation().queue().schedule(t.complete, [this, pin] {
+        if (clusterLib)
+            clusterLib->prefixUnpin(pin);
+    });
+}
+
+void
+VllmEngine::releaseRemoteLead(Sequence *s)
+{
+    if (s->remotePin != 0 && clusterLib)
+        clusterLib->prefixUnpin(s->remotePin);
+    s->remotePin = 0;
+    s->remoteLeadBlocks = 0;
+    s->remoteLeadTokens = 0;
+    s->remoteHome = hw::hostDramId;
+}
+
+void
+VllmEngine::dropChainsOwnedBy(const Sequence *s)
+{
+    if (replicaChains.empty() || !clusterLib)
+        return;
+    for (auto it = replicaChains.begin();
+         it != replicaChains.end();) {
+        if (it->second.owner == s) {
+            std::uint64_t key = it->first;
+            std::uint64_t verify = it->second.verify;
+            it = replicaChains.erase(it);
+            clusterLib->prefixEvictNotify(key, verify);
+        } else {
+            ++it;
+        }
+    }
+}
+
+bool
+VllmEngine::clusterSetPinned(std::uint64_t key, bool pinned)
+{
+    auto it = homeChains.find(key);
+    if (it == homeChains.end())
+        return false;
+    for (aqua::mem::BlockId id : it->second.blocks) {
+        if (pinned)
+            kv->pinBlock(id);
+        else
+            kv->unpinBlock(id);
+    }
+    return true;
+}
+
+bool
+VllmEngine::clusterPromote(std::uint64_t key)
+{
+    auto it = replicaChains.find(key);
+    if (it == replicaChains.end())
+        return false;
+    ClusterChain c = std::move(it->second);
+    replicaChains.erase(it);
+    c.owner = nullptr;
+    // Adopt the chain: index it locally so it stays resident (and
+    // pinnable) after the owning sequence releases its blocks.
+    kv->publishPrefix(tokenFnFor(c.req), c.tokens, c.blocks,
                       server.simulation().now());
+    homeChains.emplace(key, std::move(c));
+    return true;
+}
+
+void
+VllmEngine::onCacheBlockEvicted(aqua::mem::BlockId id)
+{
+    if (!clusterLib || homeChains.empty())
+        return;
+    for (auto it = homeChains.begin(); it != homeChains.end();) {
+        ClusterChain &c = it->second;
+        if (std::find(c.blocks.begin(), c.blocks.end(), id) !=
+            c.blocks.end()) {
+            std::uint64_t key = it->first;
+            std::uint64_t verify = c.verify;
+            it = homeChains.erase(it);
+            clusterLib->prefixEvictNotify(key, verify);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+VllmEngine::countPrefixHit(const Sequence *s,
+                           const KvCache::PrefixAcquire &acq)
+{
+    std::uint64_t local = 0;
+    std::uint64_t remote = 0;
+    std::uint64_t dram = 0;
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0;
+         i < acq.blocks.size() && covered < acq.tokens; ++i) {
+        std::uint64_t tk = std::min<std::uint64_t>(
+            cfg.blockTokens, acq.tokens - covered);
+        switch (kv->blockOrigin(acq.blocks[i])) {
+          case BlockOrigin::Local:
+            local += tk;
+            break;
+          case BlockOrigin::RemotePeer:
+            remote += tk;
+            break;
+          case BlockOrigin::Dram:
+            dram += tk;
+            break;
+        }
+        covered += tk;
+    }
+    // A borrowed lead serves from the peer with no local blocks.
+    remote += s->remoteLeadTokens;
+    prefixStats.hitTokensLocal += local;
+    prefixStats.hitTokensRemote += remote;
+    prefixStats.hitTokensDram += dram;
+    if (tracer) {
+        json::Value f;
+        f["request"] = static_cast<std::int64_t>(s->request.id);
+        f["tokens"] = static_cast<std::int64_t>(acq.tokens);
+        f["local"] = static_cast<std::int64_t>(local);
+        f["remote_peer"] = static_cast<std::int64_t>(remote);
+        f["dram"] = static_cast<std::int64_t>(dram);
+        tracer->emit(server.simulation().now(), "prefix_hit",
+                     std::move(f));
+    }
 }
 
 std::size_t
 VllmEngine::sharedLeadBlocks(const Sequence *s) const
 {
+    // A borrowed lead lives on the home GPU, not in s->blocks.
+    if (s->remoteLeadBlocks > 0)
+        return 0;
     // Leading run of full blocks some other holder (the index or a
     // peer sequence) also references: exactly the blocks whose
     // contents are recoverable from a shared-group backend copy.
@@ -269,16 +655,20 @@ void
 VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
 {
     if (cfg.preemption == PreemptionMode::Recompute ||
-        !s->prefilled) {
+        !s->prefilled || s->remoteLeadBlocks > 0) {
         // vLLM's recompute policy: drop the KV; the sequence will
         // re-prefill its whole context (prompt + generated) when it
         // is scheduled again. No transfer, but FLOPs later. Also
         // used for sequences caught mid-prefill: vLLM never swaps
         // an unprefilled sequence. With prefix caching the computed
         // context is published first, so the re-prefill resumes from
-        // whatever the cache still holds at readmission.
+        // whatever the cache still holds at readmission. A borrowed
+        // remote lead can never swap — the lease is released and the
+        // context recomputed (or re-fetched) on readmission.
         if (s->prefilled)
             publishSeq(s);
+        releaseRemoteLead(s);
+        dropChainsOwnedBy(s);
         kv->freeBlocks(s->blocks);
         s->blocks.clear();
         s->prefilled = false;
@@ -377,6 +767,7 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
             ++nFallbackSwaps;
         }
     }
+    dropChainsOwnedBy(s);
     kv->freeBlocks(s->blocks);
     s->blocks.clear();
     s->state = Sequence::State::Swapped;
@@ -450,6 +841,11 @@ VllmEngine::swapInSeq(Sequence *s, Tick &transfersDone)
     s->blocks = std::move(resident);
     s->blocks.insert(s->blocks.end(), blocks->begin(), blocks->end());
 
+    // Restored blocks came back through the offload/DRAM path; keep
+    // the origin tag honest for the prefix-hit breakdown.
+    for (aqua::mem::BlockId b : *blocks)
+        kv->setBlockOrigin(b, BlockOrigin::Dram);
+
     // Byte-identity check: every block must carry the signature it
     // had at swap-out, whether it stayed resident or round-tripped
     // through the backend (restored blocks take their snapshot).
@@ -505,6 +901,10 @@ VllmEngine::admitSeq(Sequence *s, Tick &transfersDone)
         std::uint64_t match = s->kvTokens() > 0 ? s->kvTokens() - 1 : 0;
         acq = kv->acquirePrefix(tokenFnFor(s->request), match,
                                 server.simulation().now());
+        // Local miss (or partial coverage): ask the cluster registry
+        // whether a peer GPU homes a longer chain.
+        if (clusterEnabled())
+            tryRemotePrefix(s, acq, transfersDone);
         if (acq.partialTokens > 0) {
             // The shared tail will be appended to during prefill:
             // copy-on-write it now (the cached original stays valid
@@ -523,23 +923,28 @@ VllmEngine::admitSeq(Sequence *s, Tick &transfersDone)
         }
     }
 
+    // A borrowed lead lives on the home GPU; it needs no local blocks.
+    need -= s->remoteLeadBlocks;
+
     auto blocks = kv->allocateBlocks(need - acq.blocks.size());
     if (!blocks) {
         if (!acq.blocks.empty())
             kv->freeBlocks(acq.blocks);
+        releaseRemoteLead(s);
         if (s->adapterHeld) {
             lora->release(s->request.adapter);
             s->adapterHeld = false;
         }
         return false;
     }
-    s->blocks = std::move(acq.blocks);
-    s->blocks.insert(s->blocks.end(), blocks->begin(), blocks->end());
     if (acq.tokens > 0) {
         s->prefilledTokens = static_cast<std::uint32_t>(acq.tokens);
         s->cachedTokens = static_cast<std::uint32_t>(acq.tokens);
         prefixStats.cachedTokens += acq.tokens;
+        countPrefixHit(s, acq);
     }
+    s->blocks = std::move(acq.blocks);
+    s->blocks.insert(s->blocks.end(), blocks->begin(), blocks->end());
     s->state = Sequence::State::Running;
     removeFrom(waiting, s);
     running.push_back(s);
@@ -560,7 +965,9 @@ VllmEngine::finishSeq(Sequence *s, Tick when)
     s->state = Sequence::State::Finished;
     // Leave the conversation's KV behind as cache: a follow-up turn
     // that re-sends this context will match it block for block.
-    publishSeq(s);
+    publishSeq(s, /*atFinish=*/true);
+    releaseRemoteLead(s);
+    dropChainsOwnedBy(s);
     kv->freeBlocks(s->blocks);
     s->blocks.clear();
     if (s->adapterHeld) {
@@ -804,7 +1211,18 @@ VllmEngine::step()
             Sequence *s = batch[i];
             if (s->state != Sequence::State::Running)
                 continue;
-            std::size_t need = kv->blocksForTokens(s->kvTokens() + 1);
+            if (s->remoteLeadBlocks > 0 &&
+                server.topology().gpuFailed(s->remoteHome)) {
+                // The home GPU died under the borrowed lead: release
+                // the (already broken) lease and re-prefill locally.
+                ++prefixStats.remoteBrokenChains;
+                swapOutSeq(s, transfersDone);
+                didTransfers = true;
+                continue;
+            }
+            std::size_t need =
+                kv->blocksForTokens(s->kvTokens() + 1) -
+                s->remoteLeadBlocks;
             while (s->blocks.size() < need) {
                 auto block = kv->allocateBlocks(1);
                 if (block) {
@@ -832,12 +1250,20 @@ VllmEngine::step()
         }
         batch.clear();
         std::uint64_t residentKv = 0;
+        std::uint64_t remoteKv = 0;
         for (Sequence *s : running) {
             batch.push_back(s);
             residentKv += kv->kvBytes(s->kvTokens());
+            remoteKv += kv->kvBytes(s->remoteLeadTokens);
         }
         if (!batch.empty()) {
             Tick t = perf.decodeStepTime(batch.size(), residentKv);
+            // Borrowed leads are attended out of their home GPUs'
+            // HBM: charge the peer-link read on top of the compute.
+            if (remoteKv > 0) {
+                t += server.topology().peerTransferDuration(remoteKv);
+                prefixStats.remoteDecodeReadBytes += remoteKv;
+            }
             completion = server.gpu(myGpu).submitComputeAfter(
                 transfersDone, t);
             if (iterationCb) {

@@ -21,9 +21,11 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "aqua/aqua_lib.hh"
+#include "cluster/prefix_registry.hh"
 #include "model/perf_model.hh"
 #include "overload/admission.hh"
 #include "overload/brownout.hh"
@@ -98,6 +100,23 @@ struct VllmEngineConfig
      * cap; see KvCacheConfig::maxCacheShare.
      */
     double maxCacheShare = 1.0;
+    /** Prefix-cache eviction victim ordering (Lru or CostAware). */
+    EvictionPolicy prefixEviction = EvictionPolicy::Lru;
+    /**
+     * Cluster prefix registry: publish resident shared-prefix chains
+     * to the coordinator, and on a local miss look up a remote home
+     * copy and stream (or borrow) it over NVLink instead of
+     * re-prefilling. Requires attachClusterPrefix() and
+     * cfg.prefixCache. Off by default.
+     */
+    bool clusterPrefix = false;
+    /**
+     * Longest remote chain (in blocks) a consumer serves in place
+     * from the home GPU instead of streaming a local copy. Borrowed
+     * leads charge every decode step a peer read of the lead's KV,
+     * so only short chains are worth borrowing.
+     */
+    std::uint32_t clusterBorrowMaxBlocks = 4;
     /**
      * Deadline-aware admission control: shed waiting requests whose
      * predicted completion already misses their deadline instead of
@@ -131,6 +150,35 @@ struct PrefixCacheEngineStats
     /** Byte-identity violations across offload round trips (must
      *  stay zero; checked via block content signatures). */
     std::uint64_t sigMismatches = 0;
+
+    //
+    // Cluster registry path (zero unless cfg.clusterPrefix).
+    //
+
+    /** Registry lookups that yielded a usable remote home chain. */
+    std::uint64_t registryHits = 0;
+    /** Registry lookups that missed or were unusable (dead home,
+     *  signature mismatch, pin refused, self-home). */
+    std::uint64_t registryMisses = 0;
+    /** Full blocks admitted from remote home chains. */
+    std::uint64_t remoteHitBlocks = 0;
+    /** Bytes streamed from peer homes into local blocks at admission. */
+    std::uint64_t remoteCopyBytes = 0;
+    /** Bytes read from peer homes by decode steps of borrowed leads. */
+    std::uint64_t remoteDecodeReadBytes = 0;
+    /** Admissions serving the lead in place from the home GPU. */
+    std::uint64_t borrowAdmissions = 0;
+    /** Admissions that streamed a local copy of the remote chain. */
+    std::uint64_t copyAdmissions = 0;
+    /** Remote matches rejected by the consumer-side chain-signature
+     *  check (must stay zero outside collision-injection tests). */
+    std::uint64_t clusterSigMismatches = 0;
+    /** Borrowed leads lost to a home-GPU failure mid-sequence. */
+    std::uint64_t remoteBrokenChains = 0;
+    /** Prefix-hit tokens by origin of the blocks that served them. */
+    std::uint64_t hitTokensLocal = 0;
+    std::uint64_t hitTokensRemote = 0;
+    std::uint64_t hitTokensDram = 0;
 };
 
 /**
@@ -166,6 +214,16 @@ class VllmEngine
      * will feed informStats() and honour donate/reclaim deltas.
      */
     void attachAquaLib(core::AquaLib *lib);
+
+    /**
+     * Attach the cluster prefix registry plus the AquaLib carrying
+     * this engine's southbound REST access. Registers this GPU's
+     * RegistryAgent (pin/promote callbacks) and enables the remote
+     * prefix-read admission path when cfg.clusterPrefix is set. Both
+     * non-owning; must outlive the engine.
+     */
+    void attachClusterPrefix(cluster::PrefixRegistry *registry,
+                             core::AquaLib *lib);
 
     /**
      * Trace overload-control events ("shed", "brownout_level") into
@@ -320,14 +378,80 @@ class VllmEngine
         std::uint32_t blocks = 0;
     };
 
-    /** Publish a sequence's computed KV into the prefix index. */
-    void publishSeq(Sequence *s);
+    /**
+     * Publish a sequence's computed KV into the prefix index, and —
+     * on the cluster path — register its shareable chain boundaries
+     * with the registry. @p atFinish additionally publishes the full
+     * conversation-history boundary (only final contexts recur as a
+     * follow-up turn's prefix).
+     */
+    void publishSeq(Sequence *s, bool atFinish = false);
 
     /** Leading run of s->blocks shared with the index or peers. */
     std::size_t sharedLeadBlocks(const Sequence *s) const;
 
     /** Drop a swapped borrower's reference on its shared group. */
     void releaseSwapGroup(Sequence *s);
+
+    //
+    // Cluster prefix registry (active only with cfg.clusterPrefix
+    // and attachClusterPrefix()).
+    //
+
+    /** A chain this engine published to the registry. */
+    struct ClusterChain
+    {
+        /** Resident blocks backing the chain, chain order. */
+        std::vector<aqua::mem::BlockId> blocks;
+        std::uint64_t tokens = 0;
+        std::uint64_t verify = 0;
+        /** Request whose token stream names the chain contents. */
+        workload::Request req;
+        /** Replica chains only: the live sequence whose blocks back
+         *  the (un-indexed) copy; home chains are index-owned. */
+        const Sequence *owner = nullptr;
+    };
+
+    bool
+    clusterEnabled() const
+    {
+        return cfg.clusterPrefix && clusterReg && clusterLib;
+    }
+
+    /** Shareable chain boundaries (in full blocks, ascending) of a
+     *  sequence's context: the declared preamble, plus the full
+     *  context for conversation streams when @p atFinish. */
+    std::vector<std::size_t> chainBoundaries(const Sequence *s,
+                                             std::size_t maxBlocks,
+                                             bool atFinish) const;
+
+    /** Registry remote-read path for an admission whose local prefix
+     *  match fell short: lookup, signature check, pin, then stream a
+     *  local copy or borrow the home's blocks in place. */
+    void tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
+                         aqua::sim::Tick &transfersDone);
+
+    /** Release a borrowed remote lead (unpin the registry lease). */
+    void releaseRemoteLead(Sequence *s);
+
+    /** Drop replica-chain records backed by @p s's blocks (called
+     *  before the sequence frees them). */
+    void dropChainsOwnedBy(const Sequence *s);
+
+    /** Registry callback: pin/unpin a home chain's blocks. */
+    bool clusterSetPinned(std::uint64_t key, bool pinned);
+
+    /** Registry callback: adopt a replica chain as the new home. */
+    bool clusterPromote(std::uint64_t key);
+
+    /** KvCache eviction observer: a cached block left the index; any
+     *  home chain containing it is gone from this GPU. */
+    void onCacheBlockEvicted(aqua::mem::BlockId id);
+
+    /** Tally a prefix hit's tokens by serving-block origin and emit a
+     *  "prefix_hit" trace event. */
+    void countPrefixHit(const Sequence *s,
+                        const KvCache::PrefixAcquire &acq);
 
     hw::Server &server;
     hw::GpuId myGpu;
@@ -375,6 +499,17 @@ class VllmEngine
 
     /** Shared-prefix offload copies, by chain key. */
     std::map<std::uint64_t, SharedGroup> sharedGroups;
+
+    cluster::PrefixRegistry *clusterReg = nullptr;
+    core::AquaLib *clusterLib = nullptr;
+    /** Chains this engine homes (pinned on registry demand). */
+    std::map<std::uint64_t, ClusterChain> homeChains;
+    /** Chains homed elsewhere that this engine could adopt. */
+    std::map<std::uint64_t, ClusterChain> replicaChains;
+    /** Chain keys the registry rejected as cluster-wide collisions
+     *  (stay engine-local; never re-published). */
+    std::set<std::uint64_t> collisionChains;
+
     PrefixCacheEngineStats prefixStats;
     std::uint64_t nWriteBytes = 0;
     std::uint64_t nReadBytes = 0;

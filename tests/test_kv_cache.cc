@@ -119,3 +119,45 @@ TEST(KvCache, OversizedPoolPanics)
     EXPECT_DEATH(KvCache(f.gpu, model::codellama34b(), 100 * gib),
                  "reserve");
 }
+
+TEST(KvCache, PinnedCacheBlocksAreNotAdmissionHeadroom)
+{
+    Fixture f;
+    KvCache kv(f.gpu, model::codellama34b(), 1 * gib, 16);
+    TokenFn tok = [](std::uint64_t pos) { return 0x90 ^ (pos + 1); };
+    std::size_t total = kv.totalBlocks();
+
+    auto owner = kv.allocateBlocks(3);
+    ASSERT_TRUE(owner);
+    kv.publishPrefix(tok, 48, *owner, 10);
+    kv.freeBlocks(*owner); // cache-only: all three count as headroom
+    EXPECT_EQ(kv.evictableBlocks(), 3u);
+    EXPECT_EQ(kv.availableBlocks(), total);
+
+    // A registry read lease pins the middle block: it must leave the
+    // admission headroom immediately.
+    mem::BlockId leased = (*owner)[1];
+    kv.pinBlock(leased);
+    EXPECT_TRUE(kv.blockPinned(leased));
+    EXPECT_EQ(kv.pinnedBlocks(), 1u);
+    EXPECT_EQ(kv.evictableBlocks(), 2u);
+    EXPECT_EQ(kv.availableBlocks(), total - 1);
+
+    // Eviction pressure reclaims the two unpinned blocks only.
+    EXPECT_EQ(kv.evictCached(3), 2u);
+    EXPECT_TRUE(kv.blockPinned(leased));
+    EXPECT_GE(kv.blockRefCount(leased), 1u);
+    EXPECT_EQ(kv.evictableBlocks(), 0u);
+    EXPECT_EQ(kv.availableBlocks(), total - 1);
+
+    // Pins nest; the lease draining restores the block to headroom.
+    kv.pinBlock(leased);
+    kv.unpinBlock(leased);
+    EXPECT_TRUE(kv.blockPinned(leased));
+    kv.unpinBlock(leased);
+    EXPECT_FALSE(kv.blockPinned(leased));
+    EXPECT_EQ(kv.pinnedBlocks(), 0u);
+    EXPECT_EQ(kv.evictableBlocks(), 1u);
+    EXPECT_EQ(kv.availableBlocks(), total);
+    EXPECT_EQ(kv.evictCached(1), 1u);
+}

@@ -415,3 +415,45 @@ TEST(PrefixCache, MaxCacheShareCapsCacheOnlyBlocks)
     EXPECT_DOUBLE_EQ(kv.maxCacheShare(), 1.0);
     EXPECT_EQ(kv.cacheBlockCap(), kv.totalBlocks());
 }
+
+TEST(PrefixCache, CostAwareEvictionKeepsDeepHotChains)
+{
+    // Chain A: deep (3 blocks) and hot, but last touched *before*
+    // chain B. Chain B: shallow, cold, most recently published. LRU
+    // sacrifices A first; cost-aware (depth x hits) keeps the chain
+    // whose recompute bill is highest and evicts B instead.
+    auto build = [](KvCache &kv, const TokenFn &a, const TokenFn &b) {
+        auto blocksA = kv.allocateBlocks(3);
+        ASSERT_TRUE(blocksA);
+        kv.publishPrefix(a, 48, *blocksA, 10);
+        kv.freeBlocks(*blocksA);
+        for (Tick t : {15, 20}) { // two reuses bump every A entry
+            KvCache::PrefixAcquire hit = kv.acquirePrefix(a, 48, t);
+            ASSERT_EQ(hit.blocks.size(), 3u);
+            kv.freeBlocks(hit.blocks);
+        }
+        auto blocksB = kv.allocateBlocks(1);
+        ASSERT_TRUE(blocksB);
+        kv.publishPrefix(b, 16, *blocksB, 30); // newest entry
+        kv.freeBlocks(*blocksB);
+        ASSERT_EQ(kv.evictableBlocks(), 4u);
+    };
+    TokenFn a = stream(0xd1);
+    TokenFn b = stream(0xd2);
+
+    Fixture lruF;
+    KvCache lru(lruF.gpu, model::codellama34b(), 1 * gib, 16);
+    build(lru, a, b);
+    EXPECT_EQ(lru.evictCached(1), 1u);
+    // Recency alone rotates out part of the expensive chain.
+    EXPECT_LT(lru.probePrefixBlocks(a, 48), 3u);
+    EXPECT_EQ(lru.probePrefixBlocks(b, 16), 1u);
+
+    Fixture costF;
+    KvCache cost(costF.gpu, model::codellama34b(), 1 * gib, 16);
+    cost.setEvictionPolicy(EvictionPolicy::CostAware);
+    build(cost, a, b);
+    EXPECT_EQ(cost.evictCached(1), 1u);
+    EXPECT_EQ(cost.probePrefixBlocks(a, 48), 3u);
+    EXPECT_EQ(cost.probePrefixBlocks(b, 16), 0u);
+}

@@ -4,11 +4,12 @@
 #
 #   tools/run_tests.sh               # regular RelWithDebInfo build
 #   tools/run_tests.sh --sanitize    # ASan+UBSan build in build-asan/
-#   tools/run_tests.sh --bench-smoke # + chaos/overload bench smoke
+#   tools/run_tests.sh --bench-smoke # + chaos/overload/cluster smoke
 #   tools/run_tests.sh -R Staging    # extra args forwarded to ctest
 #
-# --sanitize and --bench-smoke compose (in that order): the chaos and
-# overload smoke runs then execute under the sanitizers too.
+# --sanitize and --bench-smoke compose (in that order): the chaos,
+# overload and cluster-prefix smoke runs then execute under the
+# sanitizers too.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,4 +36,5 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)" "$@"
 if [[ "$bench_smoke" == 1 ]]; then
     "$build/bench/seed_robustness" --smoke
     "$build/bench/abl_overload" --smoke
+    "$build/bench/abl_cluster_prefix" --smoke
 fi
