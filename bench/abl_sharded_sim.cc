@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Ablation: sharded cluster-scale simulation vs the sequential twin.
+ *
+ * The headline run is the issue's acceptance case: a 64-GPU cluster
+ * (8 NVLink domains x 8 GPUs) serving one million requests with live
+ * placement churn and cross-domain hot-prefix traffic, executed on
+ * the sequential single-queue reference and on the sharded
+ * conservative-lookahead executor. The differential harness then
+ * asserts bit-identical per-domain event digests, end-state stats and
+ * message counts. A seed matrix repeats the equivalence check on
+ * smaller instances for >= 8 seeds, plus run-twice determinism and
+ * worker-count invariance.
+ *
+ * Host wall-clock numbers (and the resulting speedup) are printed to
+ * stdout only; BENCH_sharded_sim.json carries exclusively
+ * deterministic values so two runs of the same seed are byte-equal
+ * (CI diffs the file).
+ *
+ * Flags: `--smoke` shrinks the workload for quick pipelines,
+ * `--seed N` rebases the seed matrix, `--threads N` pins the sharded
+ * executor's worker count (0 = auto).
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "exp/cluster_sim.hh"
+#include "stats/table.hh"
+
+using namespace aqua;
+using namespace aqua::exp;
+
+namespace {
+
+ClusterSimConfig
+clusterConfig(std::uint64_t seed, std::uint64_t requests)
+{
+    ClusterSimConfig cfg;
+    cfg.numDomains = 8;
+    cfg.gpusPerDomain = 8;
+    cfg.modelsPerDomain = 2;
+    cfg.seed = seed;
+    cfg.numRequests = requests;
+    cfg.arrivalRatePerDomain = 4000.0;
+    cfg.prefixProb = 0.3;
+    cfg.prefixPool = 64;
+    cfg.placementEvents = 12;
+    cfg.churnIntervalSec = requests >= 500000 ? 2.0 : 0.05;
+    return cfg;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::uint64_t baseSeed = 1;
+    unsigned threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--smoke"))
+            smoke = true;
+        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
+            baseSeed = std::strtoull(argv[++i], nullptr, 10);
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+    }
+
+    std::uint64_t headlineRequests = smoke ? 50000 : 1000000;
+    std::uint64_t seedRequests = smoke ? 5000 : 50000;
+
+    bench::banner("Ablation: sharded simulation",
+                  "conservative-lookahead shards vs the sequential "
+                  "twin (64 GPUs, differential equivalence)");
+
+    bench::JsonReporter json("sharded_sim");
+    json::Object cfgJson;
+    cfgJson["domains"] = 8;
+    cfgJson["gpus_per_domain"] = 8;
+    cfgJson["headline_requests"] = headlineRequests;
+    cfgJson["seed_requests"] = seedRequests;
+    cfgJson["base_seed"] = baseSeed;
+    cfgJson["smoke"] = smoke;
+    json.set("config", std::move(cfgJson));
+
+    //
+    // Headline: 1M requests through both executors, diffed.
+    //
+    ClusterSimConfig headline = clusterConfig(baseSeed,
+                                              headlineRequests);
+    std::printf("[headline] sequential executor (%llu requests)...\n",
+                static_cast<unsigned long long>(headlineRequests));
+    ClusterRunResult seq = runClusterSequential(headline);
+    std::printf("[headline] sharded executor...\n");
+    ClusterRunResult shard = runClusterSharded(headline, threads);
+
+    std::string why;
+    bool headlineEq = equivalentRuns(seq, shard, &why);
+
+    stats::Table t({"executor", "events", "cross msgs", "windows",
+                    "threads", "wall (s)"});
+    t.addRow({"sequential", std::to_string(seq.eventsFired),
+              std::to_string(seq.crossMessages), "-", "1",
+              std::to_string(seq.wallSeconds)});
+    t.addRow({"sharded", std::to_string(shard.eventsFired),
+              std::to_string(shard.crossMessages),
+              std::to_string(shard.windows),
+              std::to_string(shard.threads),
+              std::to_string(shard.wallSeconds)});
+    bench::show(t);
+    std::printf("headline equivalent: %s%s%s\n",
+                headlineEq ? "yes" : "NO",
+                headlineEq ? "" : " — ", why.c_str());
+    if (shard.wallSeconds > 0.0)
+        std::printf("wall speedup (host-dependent, stdout only): "
+                    "%.2fx\n", seq.wallSeconds / shard.wallSeconds);
+
+    json::Object head;
+    head["requests"] = headlineRequests;
+    head["events_fired"] = seq.eventsFired;
+    head["cross_messages"] = seq.crossMessages;
+    head["sharded_windows"] = shard.windows;
+    head["equivalent"] = headlineEq;
+    head["stats"] = seq.stats;
+    json.set("headline", std::move(head));
+
+    //
+    // Seed matrix: >= 8 seeds, sequential vs sharded at a smaller
+    // size (CI runs this under sanitizers too).
+    //
+    bool allSeeds = true;
+    json::Array seedRows;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+        std::uint64_t seed = baseSeed + s;
+        ClusterSimConfig cfg = clusterConfig(seed, seedRequests);
+        ClusterRunResult a = runClusterSequential(cfg);
+        ClusterRunResult b = runClusterSharded(cfg, threads);
+        std::string seedWhy;
+        bool eq = equivalentRuns(a, b, &seedWhy);
+        allSeeds = allSeeds && eq;
+        std::printf("[seed %llu] %s%s%s\n",
+                    static_cast<unsigned long long>(seed),
+                    eq ? "equivalent" : "MISMATCH",
+                    eq ? "" : ": ", seedWhy.c_str());
+        json::Object row;
+        row["seed"] = seed;
+        row["equivalent"] = eq;
+        row["digest0"] = a.digests.empty() ? 0 : a.digests[0];
+        seedRows.push_back(std::move(row));
+    }
+    json.set("seeds", std::move(seedRows));
+
+    //
+    // Determinism and invariance booleans.
+    //
+    ClusterSimConfig detCfg = clusterConfig(baseSeed, seedRequests);
+    ClusterRunResult d1 = runClusterSharded(detCfg, threads);
+    ClusterRunResult d2 = runClusterSharded(detCfg, threads);
+    bool runTwice = equivalentRuns(d1, d2);
+
+    ClusterRunResult one = runClusterSharded(detCfg, 1);
+    ClusterRunResult many = runClusterSharded(detCfg, 4);
+    bool threadsInvariant = equivalentRuns(one, many);
+
+    std::printf("run twice identical: %s\n", runTwice ? "yes" : "NO");
+    std::printf("worker-count invariant: %s\n",
+                threadsInvariant ? "yes" : "NO");
+
+    json.set("equivalent_headline", headlineEq);
+    json.set("equivalent_all_seeds", allSeeds);
+    json.set("run_twice_identical", runTwice);
+    json.set("threads_invariant", threadsInvariant);
+    json.write();
+
+    bool ok = headlineEq && allSeeds && runTwice && threadsInvariant;
+    std::printf("%s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}

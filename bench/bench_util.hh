@@ -96,10 +96,18 @@ sloAttainment(const std::vector<workload::RequestMetrics> &metrics,
 /**
  * Machine-readable benchmark reporter.
  *
- * Collects named metrics into an insertion-ordered JSON document and
- * writes it as BENCH_<name>.json in the working directory, so CI can
- * archive runs as artifacts and diff them across commits. The text
- * tables stay the human-facing output; this is the scriptable twin.
+ * Collects named metrics into a JSON document and writes it as
+ * BENCH_<name>.json in the working directory, so CI can archive runs
+ * as artifacts and diff them across commits. The text tables stay the
+ * human-facing output; this is the scriptable twin.
+ *
+ * The written file is *byte-deterministic* for a deterministic bench:
+ * keys are serialized in sorted order regardless of insertion order,
+ * and the reporter never stamps wall-clock times or dates into the
+ * document. Benches must follow the same policy — report simulated
+ * time, seeds and counts, and keep host timings on stdout (or under
+ * keys the consumer knows to ignore) so two runs of the same seed
+ * diff clean. CI's determinism check relies on this.
  */
 class JsonReporter
 {
@@ -146,6 +154,15 @@ class JsonReporter
         return "BENCH_" + benchName + ".json";
     }
 
+    /** The document exactly as write() serializes it. */
+    std::string
+    dumpCanonical() const
+    {
+        std::string out = json::canonicalized(json::Value(doc)).dump(2);
+        out.push_back('\n');
+        return out;
+    }
+
     /**
      * Write the document. @return false (with a note on stderr) if
      * the file cannot be created; benches report but don't fail.
@@ -153,8 +170,7 @@ class JsonReporter
     bool
     write() const
     {
-        std::string out = json::Value(doc).dump(2);
-        out.push_back('\n');
+        std::string out = dumpCanonical();
         std::string file = path();
         std::FILE *fp = std::fopen(file.c_str(), "w");
         if (!fp) {

@@ -1,8 +1,10 @@
 #include "json/json.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -718,6 +720,32 @@ parseOrDie(const std::string &text)
               r.line, r.column, r.error.c_str());
     }
     return std::move(r.value);
+}
+
+Value
+canonicalized(const Value &v)
+{
+    if (v.isArray()) {
+        Array out;
+        out.reserve(v.asArray().size());
+        for (const Value &item : v.asArray())
+            out.push_back(canonicalized(item));
+        return Value(std::move(out));
+    }
+    if (v.isObject()) {
+        std::vector<const Object::Item *> items;
+        for (const Object::Item &item : v.asObject())
+            items.push_back(&item);
+        std::sort(items.begin(), items.end(),
+                  [](const Object::Item *a, const Object::Item *b) {
+                      return a->first < b->first;
+                  });
+        Object out;
+        for (const Object::Item *item : items)
+            out[item->first] = canonicalized(item->second);
+        return Value(std::move(out));
+    }
+    return v;
 }
 
 } // namespace aqua::json

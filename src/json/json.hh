@@ -170,6 +170,15 @@ ParseResult parse(const std::string &text);
 /** Parse, panicking on error — for trusted internal payloads. */
 Value parseOrDie(const std::string &text);
 
+/**
+ * Canonical form: the same value with every object's keys sorted
+ * (recursively). Two structurally equal documents canonicalize to the
+ * same serialization, which is what lets byte-identity checks (e.g.
+ * run-twice bench determinism) compare dump() strings instead of
+ * values.
+ */
+Value canonicalized(const Value &v);
+
 } // namespace aqua::json
 
 #endif // AQUA_JSON_JSON_HH

@@ -37,70 +37,79 @@ evaluateObjective(const PlacementInput &input,
 }
 
 std::vector<Pairing>
+matchWithinServer(const PlacementInput &input,
+                  const std::vector<int> &server, std::size_t s)
+{
+    std::vector<Pairing> out;
+    std::vector<int> consumers;
+    std::vector<int> producers;
+    for (std::size_t m = 0; m < input.models.size(); ++m) {
+        if (server[m] != static_cast<int>(s))
+            continue;
+        if (input.models[m].isConsumer())
+            consumers.push_back(static_cast<int>(m));
+        else if (input.models[m].isProducer())
+            producers.push_back(static_cast<int>(m));
+    }
+    if (consumers.empty() || producers.empty())
+        return out;
+
+    // Preferences: consumers want the largest surplus; producers
+    // want the deepest deficit (the neediest consumer).
+    auto surplusDesc = [&](int a, int b) {
+        return input.models[a].memBytes > input.models[b].memBytes;
+    };
+    auto deficitDesc = [&](int a, int b) {
+        return input.models[a].memBytes < input.models[b].memBytes;
+    };
+    std::vector<int> producersRanked = producers;
+    std::sort(producersRanked.begin(), producersRanked.end(),
+              surplusDesc);
+    std::vector<int> consumersRanked = consumers;
+    std::sort(consumersRanked.begin(), consumersRanked.end(),
+              deficitDesc);
+
+    // Local index spaces for the matcher.
+    std::map<int, int> consumerIdx;
+    for (std::size_t i = 0; i < consumers.size(); ++i)
+        consumerIdx[consumers[i]] = static_cast<int>(i);
+    std::map<int, int> producerIdx;
+    for (std::size_t i = 0; i < producers.size(); ++i)
+        producerIdx[producers[i]] = static_cast<int>(i);
+
+    std::vector<std::vector<int>> consumerPrefs(consumers.size());
+    for (std::size_t c = 0; c < consumers.size(); ++c) {
+        for (int p : producersRanked)
+            consumerPrefs[c].push_back(producerIdx[p]);
+    }
+    std::vector<std::vector<int>> producerPrefs(producers.size());
+    for (std::size_t p = 0; p < producers.size(); ++p) {
+        for (int c : consumersRanked)
+            producerPrefs[p].push_back(consumerIdx[c]);
+    }
+
+    std::vector<int> match =
+        stableMatch(consumerPrefs, producerPrefs, producers.size());
+    for (std::size_t c = 0; c < consumers.size(); ++c) {
+        if (match[c] < 0)
+            continue;
+        Pairing pairing;
+        pairing.consumerModel = consumers[c];
+        pairing.producerModel = producers[match[c]];
+        pairing.server = static_cast<int>(s);
+        out.push_back(pairing);
+    }
+    return out;
+}
+
+std::vector<Pairing>
 matchWithinServers(const PlacementInput &input,
                    const std::vector<int> &server)
 {
     std::vector<Pairing> out;
     for (std::size_t s = 0; s < input.numServers; ++s) {
-        std::vector<int> consumers;
-        std::vector<int> producers;
-        for (std::size_t m = 0; m < input.models.size(); ++m) {
-            if (server[m] != static_cast<int>(s))
-                continue;
-            if (input.models[m].isConsumer())
-                consumers.push_back(static_cast<int>(m));
-            else if (input.models[m].isProducer())
-                producers.push_back(static_cast<int>(m));
-        }
-        if (consumers.empty() || producers.empty())
-            continue;
-
-        // Preferences: consumers want the largest surplus; producers
-        // want the deepest deficit (the neediest consumer).
-        auto surplusDesc = [&](int a, int b) {
-            return input.models[a].memBytes > input.models[b].memBytes;
-        };
-        auto deficitDesc = [&](int a, int b) {
-            return input.models[a].memBytes < input.models[b].memBytes;
-        };
-        std::vector<int> producersRanked = producers;
-        std::sort(producersRanked.begin(), producersRanked.end(),
-                  surplusDesc);
-        std::vector<int> consumersRanked = consumers;
-        std::sort(consumersRanked.begin(), consumersRanked.end(),
-                  deficitDesc);
-
-        // Local index spaces for the matcher.
-        std::map<int, int> consumerIdx;
-        for (std::size_t i = 0; i < consumers.size(); ++i)
-            consumerIdx[consumers[i]] = static_cast<int>(i);
-        std::map<int, int> producerIdx;
-        for (std::size_t i = 0; i < producers.size(); ++i)
-            producerIdx[producers[i]] = static_cast<int>(i);
-
-        std::vector<std::vector<int>> consumerPrefs(consumers.size());
-        for (std::size_t c = 0; c < consumers.size(); ++c) {
-            for (int p : producersRanked)
-                consumerPrefs[c].push_back(producerIdx[p]);
-        }
-        std::vector<std::vector<int>> producerPrefs(producers.size());
-        for (std::size_t p = 0; p < producers.size(); ++p) {
-            for (int c : consumersRanked)
-                producerPrefs[p].push_back(consumerIdx[c]);
-        }
-
-        std::vector<int> match =
-            stableMatch(consumerPrefs, producerPrefs,
-                        producers.size());
-        for (std::size_t c = 0; c < consumers.size(); ++c) {
-            if (match[c] < 0)
-                continue;
-            Pairing pairing;
-            pairing.consumerModel = consumers[c];
-            pairing.producerModel = producers[match[c]];
-            pairing.server = static_cast<int>(s);
-            out.push_back(pairing);
-        }
+        std::vector<Pairing> one = matchWithinServer(input, server, s);
+        out.insert(out.end(), one.begin(), one.end());
     }
     return out;
 }

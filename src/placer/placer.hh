@@ -120,6 +120,15 @@ class AquaPlacer
 std::vector<Pairing> matchWithinServers(const PlacementInput &input,
                                         const std::vector<int> &server);
 
+/**
+ * Stable matching for one server only — the delta unit the
+ * incremental placer re-runs when a repair touches a server.
+ * Entries with server[m] != s (including -1 tombstones) are ignored.
+ */
+std::vector<Pairing> matchWithinServer(const PlacementInput &input,
+                                       const std::vector<int> &server,
+                                       std::size_t s);
+
 } // namespace aqua::placer
 
 #endif // AQUA_PLACER_PLACER_HH

@@ -30,6 +30,12 @@ EventQueue::reserve(std::size_t events)
 EventId
 EventQueue::schedule(Tick when, Callback cb)
 {
+    return schedule(when, 0, std::move(cb));
+}
+
+EventId
+EventQueue::schedule(Tick when, int band, Callback cb)
+{
     if (when < _now) {
         panic("scheduling event in the past: when=%llu now=%llu",
               static_cast<unsigned long long>(when),
@@ -43,7 +49,7 @@ EventQueue::schedule(Tick when, Callback cb)
                                                cancelled.size() * 2),
                          false);
     }
-    heap.push_back(Entry{when, nextSeq++, id, std::move(cb)});
+    heap.push_back(Entry{when, band, nextSeq++, id, std::move(cb)});
     std::push_heap(heap.begin(), heap.end(), Later{});
     ++numPending;
     return id;
@@ -83,6 +89,13 @@ EventQueue::skipCancelled()
 {
     while (!heap.empty() && cancelled[heap.front().id])
         popTop();
+}
+
+Tick
+EventQueue::nextEventTick()
+{
+    skipCancelled();
+    return heap.empty() ? maxTick : heap.front().when;
 }
 
 bool

@@ -6,6 +6,13 @@
  * the same tick fire in schedule order (FIFO), which makes simulations
  * reproducible regardless of heap internals. Scheduled events can be
  * cancelled through the EventId token returned at schedule time.
+ *
+ * Same-tick ordering can additionally be controlled through a small
+ * signed *band*: at one tick, lower bands fire before higher bands,
+ * and within a band schedule order still applies. Bands exist for the
+ * sharded simulation's cross-domain deliveries, which must fire ahead
+ * of same-tick local events in an order that does not depend on when
+ * the delivery was enqueued (see sharded_sim.hh).
  */
 
 #ifndef AQUA_SIM_EVENT_QUEUE_HH
@@ -56,6 +63,15 @@ class EventQueue
      */
     EventId schedule(Tick when, Callback cb);
 
+    /**
+     * Schedule into an explicit same-tick band.
+     *
+     * At equal ticks, all band-b events fire before any band-(b+1)
+     * events regardless of schedule order; FIFO applies within a
+     * band. Plain schedule() uses band 0.
+     */
+    EventId schedule(Tick when, int band, Callback cb);
+
     /** Schedule a callback @p delay ticks after now(). */
     EventId scheduleAfter(Tick delay, Callback cb);
 
@@ -72,6 +88,13 @@ class EventQueue
 
     /** Number of pending (not cancelled) events. */
     std::size_t pending() const { return numPending; }
+
+    /**
+     * Timestamp of the earliest pending event, or maxTick when the
+     * queue is empty. Used by the sharded executor to size its
+     * synchronization windows without firing anything.
+     */
+    Tick nextEventTick();
 
     /**
      * Run events until the queue drains.
@@ -99,6 +122,7 @@ class EventQueue
     struct Entry
     {
         Tick when;
+        int band;
         std::uint64_t seq;
         EventId id;
         Callback cb;
@@ -111,6 +135,8 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
+            if (a.band != b.band)
+                return a.band > b.band;
             return a.seq > b.seq;
         }
     };

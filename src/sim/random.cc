@@ -133,4 +133,27 @@ Random::bernoulli(double p)
     return uniform() < p;
 }
 
+namespace {
+
+/** splitmix64 finalizer: decorrelates structured (seed, key) mixes. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // anonymous namespace
+
+Random
+domainStream(std::uint64_t seed, std::uint32_t domain,
+             std::uint32_t stream)
+{
+    std::uint64_t key = (static_cast<std::uint64_t>(domain) << 32) |
+                        static_cast<std::uint64_t>(stream);
+    return Random(mix64(mix64(seed) ^ key));
+}
+
 } // namespace aqua::sim

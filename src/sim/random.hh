@@ -69,6 +69,20 @@ class Random
     double spareNormal = 0.0;
 };
 
+/**
+ * Derive an independent stream keyed by (seed, domain, stream).
+ *
+ * Unlike Simulation::makeRandom(), whose streams are numbered in
+ * global creation order, the key here is structural: domain d's
+ * stream s is the same generator no matter what other domains exist
+ * or in which order they were built. The sharded executor and its
+ * sequential twin both draw per-domain randomness through this
+ * helper, which is what makes their runs comparable event-for-event
+ * (see docs/simulation.md).
+ */
+Random domainStream(std::uint64_t seed, std::uint32_t domain,
+                    std::uint32_t stream);
+
 } // namespace aqua::sim
 
 #endif // AQUA_SIM_RANDOM_HH

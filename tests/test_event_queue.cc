@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -196,3 +198,147 @@ TEST_P(EventQueueProperty, RandomWorkloadKeepsOrder)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
                          ::testing::Values(1, 2, 3, 7, 42, 1234));
+
+//
+// Differential property test: EventQueue against a naive reference
+// model. The model is a std::multimap keyed by (tick, band) — since
+// C++11 a multimap keeps equal keys in insertion order, which is
+// exactly the FIFO-within-band contract — plus an id table for
+// cancellation. Every operation is applied to both and every
+// observable (fire order, pending count, now(), cancel and step
+// results) must agree at every step.
+//
+
+namespace {
+
+/** Naive reference: multimap in (tick, band) order, FIFO per key. */
+class ReferenceQueue
+{
+  public:
+    void
+    schedule(Tick when, int band, int label, EventId id)
+    {
+        auto it = entries.emplace(std::make_pair(when, band),
+                                  std::make_pair(label, id));
+        byId[id] = it;
+    }
+
+    bool
+    cancel(EventId id)
+    {
+        auto it = byId.find(id);
+        if (it == byId.end())
+            return false;
+        entries.erase(it->second);
+        byId.erase(it);
+        return true;
+    }
+
+    /** Fire everything at or before @p limit, in order. */
+    void
+    runUntil(Tick limit, std::vector<int> *fired)
+    {
+        while (!entries.empty() &&
+               entries.begin()->first.first <= limit)
+            pop(fired);
+    }
+
+    /** Fire the earliest entry. @return false when empty. */
+    bool
+    step(std::vector<int> *fired, Tick *at)
+    {
+        if (entries.empty())
+            return false;
+        *at = entries.begin()->first.first;
+        pop(fired);
+        return true;
+    }
+
+    std::size_t pending() const { return entries.size(); }
+
+  private:
+    using Map = std::multimap<std::pair<Tick, int>,
+                              std::pair<int, EventId>>;
+
+    void
+    pop(std::vector<int> *fired)
+    {
+        fired->push_back(entries.begin()->second.first);
+        byId.erase(entries.begin()->second.second);
+        entries.erase(entries.begin());
+    }
+
+    Map entries;
+    std::map<EventId, Map::iterator> byId;
+};
+
+} // anonymous namespace
+
+class EventQueueModel : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EventQueueModel, MatchesMultimapReference)
+{
+    Random rng(static_cast<std::uint64_t>(GetParam()));
+    EventQueue q;
+    ReferenceQueue ref;
+    std::vector<int> actual;
+    std::vector<int> expected;
+    /** Every id ever issued, fired or not — cancel() of an already
+     *  fired (or already cancelled) id must agree too. */
+    std::vector<EventId> ids;
+    int label = 0;
+
+    for (int op = 0; op < 3000; ++op) {
+        double roll = rng.uniform();
+        if (roll < 0.55 || ids.empty()) {
+            Tick delta =
+                static_cast<Tick>(rng.uniformInt(0, 500));
+            int band = static_cast<int>(rng.uniformInt(-1, 1));
+            Tick when = q.now() + delta;
+            int l = label++;
+            EventId id;
+            if (band == 0 && rng.bernoulli(0.3))
+                id = q.scheduleAfter(delta, [&actual, l] {
+                    actual.push_back(l);
+                });
+            else
+                id = q.schedule(when, band, [&actual, l] {
+                    actual.push_back(l);
+                });
+            ref.schedule(when, band, l, id);
+            ids.push_back(id);
+        } else if (roll < 0.70) {
+            EventId id = ids[static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(ids.size()) - 1))];
+            EXPECT_EQ(q.cancel(id), ref.cancel(id));
+        } else if (roll < 0.85) {
+            Tick limit =
+                q.now() + static_cast<Tick>(rng.uniformInt(0, 300));
+            q.runUntil(limit);
+            ref.runUntil(limit, &expected);
+            EXPECT_EQ(q.now(), limit);
+        } else {
+            Tick at = 0;
+            bool refFired = ref.step(&expected, &at);
+            EXPECT_EQ(q.step(), refFired);
+            if (refFired)
+                EXPECT_EQ(q.now(), at);
+        }
+        ASSERT_EQ(q.pending(), ref.pending())
+            << "pending diverged after op " << op;
+        ASSERT_EQ(actual, expected)
+            << "fire sequence diverged after op " << op;
+    }
+
+    q.run();
+    ref.runUntil(maxTick, &expected);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(ref.pending(), 0u);
+    EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModel,
+                         ::testing::Values(1, 2, 3, 5, 7, 11, 42,
+                                           1234));

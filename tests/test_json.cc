@@ -7,6 +7,7 @@
 
 #include <cmath>
 
+#include "bench/bench_util.hh"
 #include "json/json.hh"
 #include "sim/random.hh"
 
@@ -192,6 +193,65 @@ TEST(JsonEquality, ObjectsCompareOrderInsensitive)
     Value a = parseOrDie(R"({"x":1,"y":2})");
     Value b = parseOrDie(R"({"y":2,"x":1})");
     EXPECT_TRUE(a == b);
+}
+
+//
+// Canonicalization: operator== is order-insensitive, so byte-level
+// determinism checks (bench JSON, differential harnesses) go through
+// canonicalized(), which must erase insertion order everywhere.
+//
+
+TEST(JsonCanonical, SortsKeysRecursively)
+{
+    Value a = parseOrDie(R"({"b":{"z":1,"a":2},"a":[{"y":0,"x":1}]})");
+    Value b = parseOrDie(R"({"a":[{"x":1,"y":0}],"b":{"a":2,"z":1}})");
+    EXPECT_NE(a.dump(), b.dump());
+    EXPECT_EQ(canonicalized(a).dump(), canonicalized(b).dump());
+    EXPECT_EQ(canonicalized(a).dump(),
+              R"({"a":[{"x":1,"y":0}],"b":{"a":2,"z":1}})");
+}
+
+TEST(JsonCanonical, IdempotentAndValuePreserving)
+{
+    Value v = parseOrDie(R"({"k":[1,2.5,"s",null,true],"m":{"q":7}})");
+    Value c = canonicalized(v);
+    EXPECT_TRUE(c == v);
+    EXPECT_EQ(canonicalized(c).dump(2), c.dump(2));
+}
+
+TEST(JsonCanonical, ScalarsAndArraysPassThrough)
+{
+    EXPECT_EQ(canonicalized(Value(42)).dump(), "42");
+    EXPECT_EQ(canonicalized(Value()).dump(), "null");
+    Value arr = parseOrDie("[3,1,2]");
+    // Arrays keep element order — only object keys sort.
+    EXPECT_EQ(canonicalized(arr).dump(), "[3,1,2]");
+}
+
+TEST(JsonCanonical, ReporterOutputIsByteDeterministic)
+{
+    // Two reporters built with the same data in different insertion
+    // orders must serialize to the same bytes — the property CI's
+    // run-twice bench identity check rests on.
+    auto build = [](bool reversed) {
+        aqua::bench::JsonReporter r("canon_test");
+        Object nested;
+        if (reversed) {
+            nested["beta"] = 2;
+            nested["alpha"] = 1;
+            r.set("zeta", 3.5).set("eta", std::move(nested));
+        } else {
+            nested["alpha"] = 1;
+            nested["beta"] = 2;
+            r.set("eta", std::move(nested)).set("zeta", 3.5);
+        }
+        return r.dumpCanonical();
+    };
+    std::string a = build(false);
+    std::string b = build(true);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a.back(), '\n');
 }
 
 TEST(JsonParse, LargeIntegerFallsBackToDouble)

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Sharded executor tests and the differential equivalence harness.
+ *
+ * The load-bearing property is that the sharded executor is
+ * *bit-identical* to the sequential twin for any DomainNet-conforming
+ * model: same per-domain event sequences (digests and full trace
+ * logs), same end-state stats, for every seed and any worker count.
+ * These tests check the executor primitives first, then run the
+ * cluster model through both executors and diff everything.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "exp/cluster_sim.hh"
+#include "sim/sharded_sim.hh"
+
+using namespace aqua::sim;
+using namespace aqua::exp;
+
+namespace {
+
+ShardedSimulation::Config
+shardCfg(std::size_t domains, Tick lookahead, unsigned threads = 0)
+{
+    ShardedSimulation::Config cfg;
+    cfg.numDomains = domains;
+    cfg.seed = 1;
+    cfg.lookahead = lookahead;
+    cfg.threads = threads;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(ShardedSimulation, EmptyRunFiresNothing)
+{
+    ShardedSimulation sim(shardCfg(4, 100));
+    EXPECT_EQ(sim.run(), 0u);
+    EXPECT_EQ(sim.crossMessages(), 0u);
+}
+
+TEST(ShardedSimulation, LocalEventsRunPerDomain)
+{
+    ShardedSimulation sim(shardCfg(3, 100));
+    std::vector<int> fired(3, 0);
+    for (std::size_t d = 0; d < 3; ++d) {
+        auto &q = sim.queueOf(d);
+        q.schedule(10, [&fired, d] { ++fired[d]; });
+        q.schedule(20, [&fired, d] { ++fired[d]; });
+    }
+    EXPECT_EQ(sim.run(), 6u);
+    for (int f : fired)
+        EXPECT_EQ(f, 2);
+}
+
+TEST(ShardedSimulation, CrossDomainSendDeliversAtTimestamp)
+{
+    ShardedSimulation sim(shardCfg(2, 50));
+    Tick delivered = 0;
+    sim.queueOf(0).schedule(10, [&] {
+        sim.send(0, 1, 10 + 50, [&] {
+            delivered = sim.queueOf(1).now();
+        });
+    });
+    sim.run();
+    EXPECT_EQ(delivered, 60u);
+    EXPECT_EQ(sim.crossMessages(), 1u);
+}
+
+TEST(ShardedSimulation, DeliveriesPrecedeSameTickLocalEvents)
+{
+    // A delivery landing at tick T must fire before local band-0
+    // events already scheduled at T — on both executors.
+    for (int sharded = 0; sharded < 2; ++sharded) {
+        std::vector<int> order;
+        auto body = [&](DomainNet &net) {
+            net.queueOf(1).schedule(60, [&] { order.push_back(2); });
+            net.queueOf(0).schedule(10, [&] {
+                net.send(0, 1, 60, [&] { order.push_back(1); });
+            });
+        };
+        if (sharded) {
+            ShardedSimulation sim(shardCfg(2, 50));
+            body(sim);
+            sim.run();
+        } else {
+            EventQueue q;
+            SequentialDomainNet net(q, 2, 1, 50);
+            body(net);
+            q.run();
+        }
+        EXPECT_EQ(order, (std::vector<int>{1, 2}))
+            << (sharded ? "sharded" : "sequential");
+    }
+}
+
+TEST(ShardedSimulation, SameTickDeliveriesOrderedBySourceDomain)
+{
+    // Domains 2 and 1 both send to domain 0 for the same tick; the
+    // canonical order is by source domain, not send or arrival order.
+    for (int sharded = 0; sharded < 2; ++sharded) {
+        std::vector<int> order;
+        auto body = [&](DomainNet &net) {
+            net.queueOf(2).schedule(5, [&] {
+                net.send(2, 0, 100, [&] { order.push_back(2); });
+            });
+            net.queueOf(1).schedule(7, [&] {
+                net.send(1, 0, 100, [&] { order.push_back(1); });
+            });
+        };
+        if (sharded) {
+            ShardedSimulation sim(shardCfg(3, 50));
+            body(sim);
+            sim.run();
+        } else {
+            EventQueue q;
+            SequentialDomainNet net(q, 3, 1, 50);
+            body(net);
+            q.run();
+        }
+        EXPECT_EQ(order, (std::vector<int>{1, 2}))
+            << (sharded ? "sharded" : "sequential");
+    }
+}
+
+TEST(ShardedSimulation, PingPongMatchesSequentialTwin)
+{
+    // A deterministic two-domain ping-pong: each side bounces the
+    // token back lookahead ticks later and records its local clock.
+    struct Bouncer
+    {
+        DomainNet &net;
+        std::vector<Tick> &ticks;
+        int left = 20;
+
+        void
+        bounce(std::size_t at)
+        {
+            ticks.push_back(net.queueOf(at).now());
+            if (--left == 0)
+                return;
+            std::size_t to = at ^ 1;
+            net.send(at, to, net.queueOf(at).now() + 70,
+                     [this, to] { bounce(to); });
+        }
+    };
+
+    std::vector<Tick> seqTicks;
+    {
+        EventQueue q;
+        SequentialDomainNet net(q, 2, 1, 70);
+        Bouncer b{net, seqTicks};
+        net.queueOf(0).schedule(3, [&b] { b.bounce(0); });
+        q.run();
+    }
+    std::vector<Tick> shardTicks;
+    {
+        ShardedSimulation sim(shardCfg(2, 70));
+        Bouncer b{sim, shardTicks};
+        sim.queueOf(0).schedule(3, [&b] { b.bounce(0); });
+        sim.run();
+        EXPECT_EQ(sim.crossMessages(), 19u);
+        EXPECT_GT(sim.windows(), 0u);
+    }
+    EXPECT_EQ(seqTicks.size(), 20u);
+    EXPECT_EQ(seqTicks, shardTicks);
+}
+
+TEST(ShardedSimulation, RunUntilStopsAtLimitAndResumes)
+{
+    ShardedSimulation sim(shardCfg(2, 10));
+    std::vector<Tick> fired;
+    sim.queueOf(0).schedule(100, [&] { fired.push_back(100); });
+    sim.queueOf(1).schedule(300, [&] { fired.push_back(300); });
+    EXPECT_EQ(sim.runUntil(200), 1u);
+    EXPECT_EQ(fired, (std::vector<Tick>{100}));
+    EXPECT_EQ(sim.runUntil(400), 1u);
+    EXPECT_EQ(fired, (std::vector<Tick>{100, 300}));
+}
+
+TEST(ShardedSimulation, DomainRandomIsStructural)
+{
+    // Stream identity depends only on (seed, domain, stream) — not on
+    // the executor or on how many domains exist.
+    EventQueue q;
+    SequentialDomainNet seq(q, 2, 42, 10);
+    ShardedSimulation shard([] {
+        auto c = shardCfg(8, 10);
+        c.seed = 42;
+        return c;
+    }());
+    Random a = seq.domainRandom(1, 3);
+    Random b = shard.domainRandom(1, 3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+namespace {
+
+/** Small cluster instance that still exercises every mechanism. */
+ClusterSimConfig
+smallCluster(std::uint64_t seed, bool captureTrace)
+{
+    ClusterSimConfig cfg;
+    cfg.numDomains = 4;
+    cfg.gpusPerDomain = 4;
+    cfg.modelsPerDomain = 2;
+    cfg.seed = seed;
+    cfg.numRequests = 2000;
+    cfg.arrivalRatePerDomain = 4000.0;
+    cfg.prefixProb = 0.4;
+    cfg.prefixPool = 16;
+    cfg.placementEvents = 3;
+    cfg.churnIntervalSec = 0.03;
+    cfg.captureTrace = captureTrace;
+    return cfg;
+}
+
+} // anonymous namespace
+
+TEST(ClusterEquivalence, SequentialAndShardedTracesAreIdentical)
+{
+    ClusterSimConfig cfg = smallCluster(1, true);
+    ClusterRunResult seq = runClusterSequential(cfg);
+    ClusterRunResult shard = runClusterSharded(cfg);
+
+    ASSERT_EQ(seq.traces.size(), cfg.numDomains);
+    std::string why;
+    EXPECT_TRUE(equivalentRuns(seq, shard, &why)) << why;
+
+    // The runs actually did something.
+    auto *completed = seq.stats.find("total_completed");
+    ASSERT_NE(completed, nullptr);
+    EXPECT_EQ(static_cast<std::uint64_t>(completed->asInt()),
+              cfg.numRequests);
+    EXPECT_GT(seq.crossMessages, 0u);
+    EXPECT_GT(shard.windows, 0u);
+}
+
+TEST(ClusterEquivalence, HoldsAcrossSeeds)
+{
+    for (std::uint64_t seed : {2, 3, 4, 5}) {
+        ClusterSimConfig cfg = smallCluster(seed, false);
+        ClusterRunResult seq = runClusterSequential(cfg);
+        ClusterRunResult shard = runClusterSharded(cfg);
+        std::string why;
+        EXPECT_TRUE(equivalentRuns(seq, shard, &why))
+            << "seed " << seed << ": " << why;
+    }
+}
+
+TEST(ClusterEquivalence, IndependentOfWorkerCount)
+{
+    ClusterSimConfig cfg = smallCluster(7, false);
+    ClusterRunResult one = runClusterSharded(cfg, 1);
+    ClusterRunResult four = runClusterSharded(cfg, 4);
+    EXPECT_EQ(one.threads, 1u);
+    std::string why;
+    EXPECT_TRUE(equivalentRuns(one, four, &why)) << why;
+}
+
+TEST(ClusterEquivalence, RunTwiceSameSeedIsIdentical)
+{
+    ClusterSimConfig cfg = smallCluster(11, true);
+    ClusterRunResult a = runClusterSharded(cfg);
+    ClusterRunResult b = runClusterSharded(cfg);
+    std::string why;
+    EXPECT_TRUE(equivalentRuns(a, b, &why)) << why;
+}
+
+TEST(ClusterEquivalence, DifferentSeedsDiverge)
+{
+    // The harness must be able to tell runs apart, or "equivalent"
+    // is vacuous.
+    ClusterRunResult a = runClusterSequential(smallCluster(20, false));
+    ClusterRunResult b = runClusterSequential(smallCluster(21, false));
+    EXPECT_FALSE(equivalentRuns(a, b));
+}
+
+TEST(ClusterEquivalence, MismatchReportsDomain)
+{
+    ClusterRunResult a = runClusterSequential(smallCluster(30, false));
+    ClusterRunResult b = a;
+    b.digests[2] ^= 1;
+    std::string why;
+    EXPECT_FALSE(equivalentRuns(a, b, &why));
+    EXPECT_NE(why.find("domain 2"), std::string::npos) << why;
+}

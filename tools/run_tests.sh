@@ -4,12 +4,13 @@
 #
 #   tools/run_tests.sh               # regular RelWithDebInfo build
 #   tools/run_tests.sh --sanitize    # ASan+UBSan build in build-asan/
+#   tools/run_tests.sh --tsan        # TSan build in build-tsan/
 #   tools/run_tests.sh --bench-smoke # + chaos/overload/cluster smoke
 #   tools/run_tests.sh -R Staging    # extra args forwarded to ctest
 #
-# --sanitize and --bench-smoke compose (in that order): the chaos,
-# overload and cluster-prefix smoke runs then execute under the
-# sanitizers too.
+# --sanitize (or --tsan) and --bench-smoke compose (in that order):
+# the chaos, overload and cluster-prefix smoke runs then execute
+# under the sanitizers too.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,6 +24,10 @@ if [[ "${1:-}" == "--sanitize" ]]; then
     cmake_args+=(-DAQUA_SANITIZE=ON)
     # Death tests fork; keep ASan quiet about intentional aborts.
     export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}"
+elif [[ "${1:-}" == "--tsan" ]]; then
+    shift
+    build="$repo/build-tsan"
+    cmake_args+=(-DAQUA_TSAN=ON)
 fi
 if [[ "${1:-}" == "--bench-smoke" ]]; then
     shift
