@@ -11,6 +11,7 @@
 #include "serve/flexgen_engine.hh"
 #include "serve/vllm_engine.hh"
 #include "sim/logging.hh"
+#include "tier/park_agent.hh"
 #include "workload/generator.hh"
 
 namespace aqua::exp {
@@ -1004,6 +1005,155 @@ runOverload(const OverloadRunConfig &cfg)
                             tb.sim().now());
         res.secondsDegraded = ticksToSec(degraded);
     }
+    return res;
+}
+
+TieringRunResult
+runTiering(const TieringRunConfig &cfg)
+{
+    Testbed tb(2, hw::TopologyKind::DirectP2P, cfg.seed);
+    constexpr hw::GpuId consumerGpu = 0;
+
+    ModelSpec consumerSpec = presetByName(cfg.consumerModel);
+    serve::DramBackend &backend = tb.makeDramBackend(consumerGpu);
+
+    if (cfg.ssdDegradeFactor < 1.0)
+        tb.server().topology().degradeSsd(cfg.ssdDegradeFactor);
+
+    serve::VllmEngineConfig engineCfg;
+    engineCfg.maxBatch = cfg.maxBatch;
+    engineCfg.kvPoolBytesOverride = cfg.kvPoolBytes;
+    engineCfg.prefixCache = cfg.prefixCache;
+    serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
+                               std::make_unique<serve::CfsPolicy>(),
+                               backend, engineCfg);
+    if (cfg.traceLog)
+        consumer.setTraceLog(cfg.traceLog);
+
+    std::unique_ptr<tier::ParkAgent> agent;
+    if (cfg.tiering) {
+        tier::ParkAgentConfig ac;
+        ac.tier.parkAfterSec = cfg.parkAfterSec;
+        ac.tier.resumeSafetyFactor = cfg.resumeSafetyFactor;
+        agent = std::make_unique<tier::ParkAgent>(tb.server(),
+                                                  consumerGpu, ac);
+        consumer.attachSessionTier(agent.get());
+    }
+
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (cfg.faults) {
+        inj = std::make_unique<fault::FaultInjector>(
+            tb.sim(), tb.server().topology(), tb.rest().router());
+        if (cfg.traceLog)
+            inj->setTraceLog(cfg.traceLog);
+        inj->arm(*cfg.faults);
+    }
+
+    auto traces = std::make_shared<workload::TraceBuilder>(
+        tb.sim().makeRandom());
+    workload::IdleSpec idle;
+    idle.coldFraction = cfg.coldFraction;
+    idle.meanIdleSec = cfg.meanIdleSec;
+    idle.minIdleSec = cfg.minIdleSec;
+    traces->setIdle(idle);
+
+    auto turnOf = std::make_shared<std::map<std::uint64_t,
+                                            std::uint32_t>>();
+    auto userOf = std::make_shared<std::map<std::uint64_t,
+                                            std::uint32_t>>();
+    auto promptOf = std::make_shared<std::map<std::uint64_t,
+                                              std::uint32_t>>();
+    auto gapOf = std::make_shared<std::map<std::uint64_t, double>>();
+    auto coldIds = std::make_shared<std::set<std::uint64_t>>();
+
+    std::vector<workload::Request> first =
+        traces->chatbotFirstTurn(cfg.users);
+    for (const workload::Request &r : first) {
+        (*turnOf)[r.id] = 0;
+        (*userOf)[r.id] = r.userId;
+        (*promptOf)[r.id] = r.promptTokens;
+        (*gapOf)[r.id] = r.idleGapSec;
+    }
+    driveTrace(tb.sim(), consumer, first);
+
+    std::uint32_t turns = cfg.turns;
+    consumer.onComplete([&, traces, turnOf, userOf, promptOf, gapOf,
+                         coldIds](const workload::RequestMetrics &m) {
+        std::uint32_t turn = (*turnOf)[m.id];
+        std::uint32_t user = (*userOf)[m.id];
+        if (turn + 1 >= turns)
+            return;
+        // A cold session's next turn arrives only after the idle gap;
+        // warm sessions reply at chat pace.
+        double gap = (*gapOf)[m.id];
+        Tick comeBack = tb.sim().now() + secToTicks(gap);
+        std::uint32_t history = (*promptOf)[m.id] + m.tokensGenerated;
+        workload::Request next =
+            traces->chatbotFollowUp(user, turn + 1, comeBack, history);
+        if (gap > 0.0)
+            next.coldResume = true;
+        (*turnOf)[next.id] = turn + 1;
+        (*userOf)[next.id] = user;
+        (*promptOf)[next.id] = next.promptTokens;
+        (*gapOf)[next.id] = next.idleGapSec;
+        if (next.coldResume)
+            coldIds->insert(next.id);
+        tb.sim().queue().schedule(next.arrival, [&consumer, next] {
+            consumer.submit(next);
+        });
+    });
+
+    std::size_t expected = std::size_t(cfg.users) * cfg.turns;
+    runUntilDone(tb.sim(), cfg.maxSimSeconds, [&] {
+        return consumer.finished().size() == expected;
+    });
+
+    TieringRunResult res;
+    res.metrics = consumer.finished();
+    sortById(res.metrics);
+    res.parks = consumer.parkCount();
+    res.streamResumes = consumer.streamResumeCount();
+    res.recomputeResumes = consumer.recomputeResumeCount();
+    res.tierDemotions = consumer.tierDemotionCount();
+    res.unfinished = expected > res.metrics.size()
+                         ? expected - res.metrics.size()
+                         : 0;
+    res.elapsedSec = ticksToSec(tb.sim().now());
+
+    stats::Summary coldTtft, warmTtft;
+    for (const workload::RequestMetrics &m : res.metrics) {
+        if (!m.started())
+            continue;
+        if (coldIds->count(m.id))
+            coldTtft.add(m.ttftSec());
+        else if ((*turnOf)[m.id] > 0)
+            warmTtft.add(m.ttftSec());
+    }
+    if (!coldTtft.empty()) {
+        res.coldTtftP50Sec = coldTtft.median();
+        res.coldTtftP99Sec = coldTtft.p99();
+    }
+    if (!warmTtft.empty())
+        res.warmTtftP50Sec = warmTtft.median();
+
+    if (agent) {
+        res.parkedAtEnd = agent->parkedCount();
+        const tier::PrefetchStats &ps = agent->pipeline().stats();
+        res.streamsStarted = ps.streamsStarted;
+        res.streamsCompleted = ps.streamsCompleted;
+        res.streamsCancelled = ps.streamsCancelled;
+        res.bytesStreamed = ps.bytesStreamed;
+        res.bytesWasted = ps.bytesWasted;
+        if (!ps.overlapEfficiency.empty())
+            res.overlapEfficiencyMean = ps.overlapEfficiency.mean();
+    }
+    res.ssdBytesRead = tb.server().ssd().bytesRead();
+    res.ssdBytesWritten = tb.server().ssd().bytesWritten();
+    res.tokensPerSec =
+        res.elapsedSec > 0.0
+            ? static_cast<double>(consumer.totalTokens()) /
+                  res.elapsedSec
+            : 0.0;
     return res;
 }
 

@@ -472,6 +472,85 @@ struct OverloadRunResult
 OverloadRunResult runOverload(const OverloadRunConfig &cfg);
 
 //
+// Storage tiering: a chatbot population whose sessions go cold
+// mid-conversation. With the SSD tier attached, cold sessions park
+// their KV on the drive and the follow-up turn streams it back
+// through the prefetch pipeline when that beats re-prefilling; the
+// baseline re-prefills every cold context from scratch.
+//
+
+struct TieringRunConfig
+{
+    /** Chat sessions. */
+    std::uint32_t users = 24;
+    /** Turns per session (turn boundaries are where sessions cool). */
+    std::uint32_t turns = 2;
+    /** Fraction of turns after which the user goes idle. */
+    double coldFraction = 1.0;
+    /** Idle gap distribution (exponential mean + floor), seconds. */
+    double meanIdleSec = 60.0;
+    double minIdleSec = 40.0;
+    /** Attach the SSD tier (false = cold turns always re-prefill). */
+    bool tiering = true;
+    /** Sessions idling past this park their KV on the SSD. */
+    double parkAfterSec = 30.0;
+    /** Streaming must beat recompute by this factor to be chosen. */
+    double resumeSafetyFactor = 1.1;
+    /** Static media degradation applied before the run (1 = healthy);
+     *  shifts the stream-vs-recompute crossover. */
+    double ssdDegradeFactor = 1.0;
+    std::uint32_t maxBatch = 16;
+    std::uint64_t kvPoolBytes = 6ull * 1000 * 1000 * 1000;
+    /** Prefix caching (off by default so the resume comparison is
+     *  purely stream-vs-recompute, not cache-hit luck). */
+    bool prefixCache = false;
+    std::string consumerModel = "Codellama-34B";
+    std::uint64_t seed = 1;
+    double maxSimSeconds = 4000.0;
+    /** Optional chaos (ssd_degrade / ssd_fail mid-run). */
+    const fault::FaultPlan *faults = nullptr;
+    trace::TraceLog *traceLog = nullptr;
+};
+
+struct TieringRunResult
+{
+    /** Per-request metrics, id order. */
+    std::vector<workload::RequestMetrics> metrics;
+
+    /** Engine-side tier activity. */
+    std::uint64_t parks = 0;
+    std::uint64_t streamResumes = 0;
+    std::uint64_t recomputeResumes = 0;
+    std::uint64_t tierDemotions = 0;
+    /** Sessions still parked when the run drained. */
+    std::uint64_t parkedAtEnd = 0;
+
+    /** TTFT of cold-resume turns vs. turns that stayed warm. */
+    double coldTtftP50Sec = 0.0;
+    double coldTtftP99Sec = 0.0;
+    double warmTtftP50Sec = 0.0;
+
+    /** Prefetch pipeline accounting (zero without tiering). */
+    std::uint64_t streamsStarted = 0;
+    std::uint64_t streamsCompleted = 0;
+    std::uint64_t streamsCancelled = 0;
+    std::uint64_t bytesStreamed = 0;
+    std::uint64_t bytesWasted = 0;
+    double overlapEfficiencyMean = 0.0;
+
+    /** Media traffic. */
+    std::uint64_t ssdBytesRead = 0;
+    std::uint64_t ssdBytesWritten = 0;
+
+    double tokensPerSec = 0.0;
+    /** Requests unfinished at the horizon (must be 0). */
+    std::uint64_t unfinished = 0;
+    double elapsedSec = 0.0;
+};
+
+TieringRunResult runTiering(const TieringRunConfig &cfg);
+
+//
 // Placement inputs (§6.1, Fig. 4, Fig. 14).
 //
 

@@ -35,6 +35,16 @@ Testbed::makeDramBackend(hw::GpuId gpu, serve::DramBackendConfig config)
     return ref;
 }
 
+tier::SsdBackend &
+Testbed::makeSsdBackend(hw::GpuId gpu, tier::SsdBackendConfig config)
+{
+    auto backend =
+        std::make_unique<tier::SsdBackend>(*srv, gpu, config);
+    tier::SsdBackend &ref = *backend;
+    backends.push_back(std::move(backend));
+    return ref;
+}
+
 serve::AquaBackend &
 Testbed::makeAquaBackend(core::AquaLib &lib)
 {

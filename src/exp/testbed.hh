@@ -21,6 +21,7 @@
 #include "hw/server.hh"
 #include "serve/offload_backend.hh"
 #include "sim/simulation.hh"
+#include "tier/ssd_backend.hh"
 #include "workload/request.hh"
 
 namespace aqua::exp {
@@ -63,6 +64,10 @@ class Testbed
 
     /** Create (and own) an AQUA offload backend over a library. */
     serve::AquaBackend &makeAquaBackend(core::AquaLib &lib);
+
+    /** Create (and own) an SSD offload backend for a GPU. */
+    tier::SsdBackend &
+    makeSsdBackend(hw::GpuId gpu, tier::SsdBackendConfig config = {});
 
     /** Statically pair a consumer GPU with a producer GPU. */
     void assign(hw::GpuId consumer, hw::GpuId producer);

@@ -25,6 +25,10 @@ faultKindName(FaultKind kind)
         return "message_drop";
       case FaultKind::MessageDelay:
         return "message_delay";
+      case FaultKind::SsdDegrade:
+        return "ssd_degrade";
+      case FaultKind::SsdFail:
+        return "ssd_fail";
     }
     return "unknown";
 }
@@ -35,7 +39,8 @@ faultKindFromName(const std::string &name)
     for (FaultKind kind :
          {FaultKind::GpuFail, FaultKind::LinkDegrade,
           FaultKind::CoordinatorOutage, FaultKind::MessageDrop,
-          FaultKind::MessageDelay}) {
+          FaultKind::MessageDelay, FaultKind::SsdDegrade,
+          FaultKind::SsdFail}) {
         if (name == faultKindName(kind))
             return kind;
     }
@@ -66,6 +71,11 @@ FaultSpec::toJson() const
         break;
       case FaultKind::MessageDelay:
         v["delay_ns"] = static_cast<std::int64_t>(delay);
+        break;
+      case FaultKind::SsdDegrade:
+        v["factor"] = factor;
+        break;
+      case FaultKind::SsdFail:
         break;
     }
     return v;
@@ -186,6 +196,17 @@ FaultPlan::fromJson(const Value &v)
             if (f.duration == 0)
                 return parseError(at +
                                   ": message_delay needs duration_ns");
+            break;
+          case FaultKind::SsdDegrade:
+            f.factor = entry.getDouble("factor", 1.0);
+            if (f.factor <= 0.0 || f.factor > 1.0)
+                return parseError(at + ": factor must be in (0, 1]");
+            if (f.duration == 0)
+                return parseError(at +
+                                  ": ssd_degrade needs duration_ns");
+            break;
+          case FaultKind::SsdFail:
+            // Like gpu_fail, duration 0 = the drive never comes back.
             break;
         }
         out.faults.push_back(f);
@@ -396,6 +417,12 @@ FaultInjector::inject(std::uint64_t faultId, const FaultSpec &f)
         delayEnd = f.at + f.duration;
         messageDelay = f.delay;
         break;
+      case FaultKind::SsdDegrade:
+        topo.degradeSsd(f.factor);
+        break;
+      case FaultKind::SsdFail:
+        topo.markSsdFailed(true);
+        break;
     }
     if (f.duration == 0)
         return; // permanent fault: no recovery event
@@ -426,6 +453,12 @@ FaultInjector::recover(std::uint64_t faultId, const FaultSpec &f)
       case FaultKind::MessageDrop:
       case FaultKind::MessageDelay:
         // Window faults expire by timestamp; nothing to undo.
+        break;
+      case FaultKind::SsdDegrade:
+        topo.degradeSsd(1.0);
+        break;
+      case FaultKind::SsdFail:
+        topo.markSsdFailed(false);
         break;
     }
     traceFault("fault_recover", faultId, f);

@@ -33,6 +33,11 @@
  *  | message_drop       | control messages dropped with a      |
  *  |                    | seeded probability                   |
  *  | message_delay      | control messages delivered late      |
+ *  | ssd_degrade        | storage-tier media slowdown (thermal |
+ *  |                    | throttle, GC storm); scales the      |
+ *  |                    | drive's bandwidth ramp               |
+ *  | ssd_fail           | drive offline; tier accesses panic,  |
+ *  |                    | resumes fall back to recompute       |
  */
 
 #ifndef AQUA_FAULT_FAULT_HH
@@ -66,6 +71,8 @@ enum class FaultKind
     CoordinatorOutage,
     MessageDrop,
     MessageDelay,
+    SsdDegrade,
+    SsdFail,
 };
 
 /** Wire name of a fault kind (e.g. "gpu_fail"). */
@@ -100,7 +107,8 @@ struct FaultSpec
 
     /** LinkDegrade: which link. */
     FaultLink link = FaultLink::Nvlink;
-    /** LinkDegrade: bandwidth multiplier while degraded, in (0, 1]. */
+    /** LinkDegrade / SsdDegrade: bandwidth multiplier while degraded,
+     *  in (0, 1]. */
     double factor = 1.0;
     /** LinkDegrade: number of degrade/recover cycles (a flap). */
     std::uint32_t flaps = 1;

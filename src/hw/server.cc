@@ -6,9 +6,22 @@ namespace aqua::hw {
 
 using namespace aqua::sim;
 
+namespace {
+
+SsdSpec
+makeSsdSpec(std::uint64_t ssdBytes)
+{
+    SsdSpec spec;
+    spec.capacityBytes = ssdBytes;
+    return spec;
+}
+
+} // anonymous namespace
+
 Server::Server(Simulation &sim, std::size_t numGpus, const GpuSpec &spec,
-               TopologyKind kind, std::uint64_t dramBytes)
-    : sim(sim), _dram(dramBytes)
+               TopologyKind kind, std::uint64_t dramBytes,
+               std::uint64_t ssdBytes)
+    : sim(sim), _dram(dramBytes), _ssd(makeSsdSpec(ssdBytes))
 {
     if (numGpus == 0)
         panic("Server: need at least one GPU");
@@ -20,6 +33,7 @@ Server::Server(Simulation &sim, std::size_t numGpus, const GpuSpec &spec,
         raw.push_back(_gpus.back().get());
     }
     topo = std::make_unique<Topology>(sim, std::move(raw), kind);
+    topo->attachSsd(_ssd);
 }
 
 Cluster::Cluster(Simulation &sim, std::size_t numServers,

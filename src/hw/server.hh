@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "hw/gpu.hh"
+#include "hw/ssd.hh"
 #include "hw/topology.hh"
 #include "mem/region_allocator.hh"
 #include "sim/simulation.hh"
@@ -47,10 +48,12 @@ class Server
      * @param spec Per-GPU hardware spec (homogeneous, as in §4).
      * @param kind Interconnect flavour.
      * @param dramBytes Host DRAM capacity.
+     * @param ssdBytes SSD tier capacity (default 4 TiB NVMe).
      */
     Server(aqua::sim::Simulation &sim, std::size_t numGpus,
            const GpuSpec &spec, TopologyKind kind,
-           std::uint64_t dramBytes = std::uint64_t(1024) << 30);
+           std::uint64_t dramBytes = std::uint64_t(1024) << 30,
+           std::uint64_t ssdBytes = std::uint64_t(4096) << 30);
 
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
@@ -67,12 +70,17 @@ class Server
 
     HostDram &dram() { return _dram; }
 
+    /** The SSD storage tier below DRAM. */
+    Ssd &ssd() { return _ssd; }
+    const Ssd &ssd() const { return _ssd; }
+
     aqua::sim::Simulation &simulation() { return sim; }
 
   private:
     aqua::sim::Simulation &sim;
     std::vector<std::unique_ptr<Gpu>> _gpus;
     HostDram _dram;
+    Ssd _ssd;
     std::unique_ptr<Topology> topo;
 };
 

@@ -1,0 +1,97 @@
+#include "hw/ssd.hh"
+
+#include "sim/logging.hh"
+
+namespace aqua::hw {
+
+using namespace aqua::sim;
+
+Ssd::Ssd(SsdSpec spec)
+    : _spec(spec), alloc(spec.capacityBytes),
+      readLink(spec.name + ".read", spec.readBandwidth, spec.rampBytes,
+               spec.readLatency),
+      writeLink(spec.name + ".write", spec.writeBandwidth,
+                spec.rampBytes, spec.writeLatency)
+{
+    if (_spec.queueDepth == 0)
+        panic("Ssd %s: queue depth must be positive",
+              _spec.name.c_str());
+    channels.reserve(_spec.queueDepth);
+    for (unsigned i = 0; i < _spec.queueDepth; ++i)
+        channels.emplace_back(_spec.name + ".ch" + std::to_string(i));
+}
+
+Tick
+Ssd::occupyChannels(Tick perAccess, std::uint64_t count, Tick earliest)
+{
+    // Greedy least-loaded channel assignment (ties go to the lowest
+    // index, so the schedule is deterministic): accesses run
+    // queueDepth-wide until the pool saturates, then queue.
+    Tick complete = earliest;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Resource *best = &channels[0];
+        for (auto &ch : channels) {
+            if (ch.freeAt() < best->freeAt())
+                best = &ch;
+        }
+        Tick done = best->occupy(earliest, perAccess);
+        if (done > complete)
+            complete = done;
+    }
+    return complete;
+}
+
+Tick
+Ssd::read(std::uint64_t chunkBytes, std::uint64_t count, Tick earliest)
+{
+    if (_failed)
+        panic("Ssd %s: read from failed device", _spec.name.c_str());
+    if (count == 0)
+        return earliest;
+    _bytesRead += chunkBytes * count;
+    return occupyChannels(readLink.transferTime(chunkBytes), count,
+                          earliest);
+}
+
+Tick
+Ssd::write(std::uint64_t chunkBytes, std::uint64_t count, Tick earliest)
+{
+    if (_failed)
+        panic("Ssd %s: write to failed device", _spec.name.c_str());
+    if (count == 0)
+        return earliest;
+    _bytesWritten += chunkBytes * count;
+    return occupyChannels(writeLink.transferTime(chunkBytes), count,
+                          earliest);
+}
+
+Tick
+Ssd::readDuration(std::uint64_t chunkBytes, std::uint64_t count) const
+{
+    if (count == 0)
+        return 0;
+    Tick per = readLink.transferTime(chunkBytes);
+    std::uint64_t rounds =
+        (count + _spec.queueDepth - 1) / _spec.queueDepth;
+    return per * rounds;
+}
+
+Tick
+Ssd::writeDuration(std::uint64_t chunkBytes, std::uint64_t count) const
+{
+    if (count == 0)
+        return 0;
+    Tick per = writeLink.transferTime(chunkBytes);
+    std::uint64_t rounds =
+        (count + _spec.queueDepth - 1) / _spec.queueDepth;
+    return per * rounds;
+}
+
+void
+Ssd::setDegradation(double factor)
+{
+    readLink.setDegradation(factor);
+    writeLink.setDegradation(factor);
+}
+
+} // namespace aqua::hw

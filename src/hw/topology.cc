@@ -54,6 +54,11 @@ Topology::checkEndpoint(GpuId id) const
 {
     if (id == hostDramId)
         return;
+    if (id == ssdId) {
+        if (!_ssd)
+            panic("Topology: ssd endpoint used without attachSsd()");
+        return;
+    }
     if (id < 0 || static_cast<std::size_t>(id) >= gpus.size())
         panic("Topology: bad endpoint id %d", id);
 }
@@ -80,6 +85,22 @@ void
 Topology::degradeHostLink(double factor)
 {
     pcie.setDegradation(factor);
+}
+
+void
+Topology::degradeSsd(double factor)
+{
+    if (!_ssd)
+        panic("Topology::degradeSsd: no SSD attached");
+    _ssd->setDegradation(factor);
+}
+
+void
+Topology::markSsdFailed(bool isFailed)
+{
+    if (!_ssd)
+        panic("Topology::markSsdFailed: no SSD attached");
+    _ssd->setFailed(isFailed);
 }
 
 void
@@ -164,9 +185,59 @@ Topology::route(GpuId src, GpuId dst, std::uint64_t bytes,
 }
 
 TransferTiming
+Topology::routeSsd(GpuId src, GpuId dst, std::uint64_t chunkBytes,
+                   std::uint64_t count, TransferCallback cb,
+                   Tick earliest_req)
+{
+    checkEndpoint(src);
+    checkEndpoint(dst);
+    if (src == dst)
+        panic("Topology: src == dst (%d)", src);
+
+    bool reading = (src == ssdId);
+    GpuId other = reading ? dst : src;
+    std::uint64_t bytes = chunkBytes * count;
+
+    Tick now = sim.now();
+    if (earliest_req > now)
+        now = earliest_req;
+
+    if (other == hostDramId) {
+        // Tier demotion/promotion: DRAM↔SSD moves touch only the
+        // media, not the PCIe ports the GPUs compete for.
+        Tick complete = reading ? _ssd->read(chunkBytes, count, now)
+                                : _ssd->write(chunkBytes, count, now);
+        if (cb)
+            sim.queue().schedule(complete, std::move(cb));
+        return TransferTiming{now, complete};
+    }
+
+    Tick pcieDuration = count <= 1
+        ? pcie.transferTime(bytes)
+        : pcie.transferTimeChunked(chunkBytes, count);
+    if (reading) {
+        // Media read first, then the PCIe hop up to the GPU.
+        Tick mediaDone = _ssd->read(chunkBytes, count, now);
+        TransferTiming up = route(hostDramId, other, bytes,
+                                  pcieDuration, std::move(cb),
+                                  mediaDone);
+        return TransferTiming{now, up.complete};
+    }
+    // PCIe hop down to DRAM, then the media write drains behind it.
+    TransferTiming down =
+        route(other, hostDramId, bytes, pcieDuration, {}, now);
+    Tick complete = _ssd->write(chunkBytes, count, down.complete);
+    if (cb)
+        sim.queue().schedule(complete, std::move(cb));
+    return TransferTiming{down.start, complete};
+}
+
+TransferTiming
 Topology::copy(GpuId src, GpuId dst, std::uint64_t bytes,
                TransferCallback cb, Tick earliest)
 {
+    if (src == ssdId || dst == ssdId)
+        return routeSsd(src, dst, bytes, 1, std::move(cb), earliest);
     bool via_pcie = (src == hostDramId || dst == hostDramId);
     Tick duration = via_pcie ? pcie.transferTime(bytes)
                              : nvlink.transferTime(bytes);
@@ -178,6 +249,9 @@ Topology::copyChunked(GpuId src, GpuId dst, std::uint64_t chunkBytes,
                       std::uint64_t count, TransferCallback cb,
                       Tick earliest)
 {
+    if (src == ssdId || dst == ssdId)
+        return routeSsd(src, dst, chunkBytes, count, std::move(cb),
+                        earliest);
     bool via_pcie = (src == hostDramId || dst == hostDramId);
     Tick duration = via_pcie
         ? pcie.transferTimeChunked(chunkBytes, count)

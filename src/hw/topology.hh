@@ -17,6 +17,7 @@
 
 #include "hw/gpu.hh"
 #include "hw/link.hh"
+#include "hw/ssd.hh"
 #include "sim/simulation.hh"
 
 namespace aqua::hw {
@@ -80,11 +81,23 @@ class Topology
     aqua::sim::Tick hostTransferDuration(std::uint64_t bytes) const;
 
     /**
-     * Issue an asynchronous copy between two GPUs (peer) or between a
-     * GPU and host DRAM (use hostDramId as one endpoint).
+     * Register the server's SSD so ssdId becomes a routable endpoint.
+     * GPU↔SSD copies chain a PCIe hop with media time; DRAM↔SSD
+     * copies are media-only (tier demotion/promotion below the GPUs).
+     */
+    void attachSsd(Ssd &ssd) { _ssd = &ssd; }
+
+    /** The attached SSD, or nullptr when the server has none. */
+    Ssd *ssd() { return _ssd; }
+    const Ssd *ssd() const { return _ssd; }
+
+    /**
+     * Issue an asynchronous copy between two GPUs (peer), between a
+     * GPU and host DRAM (use hostDramId as one endpoint), or to/from
+     * the SSD tier (use ssdId; requires attachSsd()).
      *
-     * @param src Source endpoint (GpuId or hostDramId).
-     * @param dst Destination endpoint (GpuId or hostDramId).
+     * @param src Source endpoint (GpuId, hostDramId or ssdId).
+     * @param dst Destination endpoint (GpuId, hostDramId or ssdId).
      * @param bytes Transfer size.
      * @param cb Invoked at completion (may be empty).
      * @param earliest Do not start before this tick (e.g. a staging
@@ -126,6 +139,15 @@ class Topology
     /** Degrade or restore the PCIe model's bandwidth. */
     void degradeHostLink(double factor);
 
+    /** Degrade or restore the attached SSD's media bandwidth. */
+    void degradeSsd(double factor);
+
+    /** Mark the attached SSD failed: accesses afterwards panic. */
+    void markSsdFailed(bool failed);
+
+    /** Whether the attached SSD is failed (false when none). */
+    bool ssdFailed() const { return _ssd && _ssd->failed(); }
+
     /**
      * Mark a GPU's memory dark after its grace window: any transfer
      * that touches it afterwards panics — a correct recovery path must
@@ -144,11 +166,18 @@ class Topology
                          aqua::sim::Tick duration, TransferCallback cb,
                          aqua::sim::Tick earliest);
 
+    /** Route a copy with ssdId as one endpoint. */
+    TransferTiming routeSsd(GpuId src, GpuId dst,
+                            std::uint64_t chunkBytes,
+                            std::uint64_t count, TransferCallback cb,
+                            aqua::sim::Tick earliest);
+
     aqua::sim::Simulation &sim;
     std::vector<Gpu *> gpus;
     TopologyKind _kind;
     Link nvlink;
     Link pcie;
+    Ssd *_ssd = nullptr;
     std::uint64_t _peerBytes = 0;
     std::uint64_t _hostBytes = 0;
     std::vector<bool> failed;

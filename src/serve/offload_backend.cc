@@ -118,6 +118,8 @@ hw::TransferTiming
 AquaBackend::write(const Handle &handle, std::uint64_t bytes,
                    std::uint64_t nChunks, Tick earliest)
 {
+    if (bytes > handle.bytes)
+        panic("AquaBackend::write beyond handle size");
     return lib.writeTensor(handle.id, bytes, nChunks, earliest);
 }
 
@@ -125,6 +127,8 @@ hw::TransferTiming
 AquaBackend::read(const Handle &handle, std::uint64_t bytes,
                   std::uint64_t nChunks, Tick earliest)
 {
+    if (bytes > handle.bytes)
+        panic("AquaBackend::read beyond handle size");
     return lib.readTensor(handle.id, bytes, nChunks, earliest);
 }
 

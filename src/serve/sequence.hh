@@ -60,6 +60,18 @@ struct Sequence
     bool adapterHeld = false;
 
     //
+    // Cold-session resume state (zero without a SessionTier).
+    //
+
+    /** A parked-session resume stream is in flight; admission waits
+     *  for it to land (or wind down cancelled). */
+    bool resumePending = false;
+
+    /** Context tokens the completed resume stream restored; applied
+     *  as pre-prefilled tokens at the next admission. */
+    std::uint32_t resumedTokens = 0;
+
+    //
     // Prefix-cache sharing state (zero when caching is off).
     //
 

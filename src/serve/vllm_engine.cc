@@ -152,6 +152,12 @@ VllmEngine::setFallbackBackend(OffloadBackend *fallbackBackend)
 }
 
 void
+VllmEngine::attachSessionTier(SessionTier *tier)
+{
+    sessionTier = tier;
+}
+
+void
 VllmEngine::submit(const workload::Request &request)
 {
     // Accept early submissions: the request only becomes visible to
@@ -189,8 +195,56 @@ VllmEngine::submit(const workload::Request &request)
             return;
         }
     }
+    maybeBeginResume(raw);
     needResched = true;
     scheduleStep(server.simulation().now());
+}
+
+void
+VllmEngine::maybeBeginResume(Sequence *s)
+{
+    if (!sessionTier || s->request.turn == 0)
+        return;
+    std::uint64_t key = s->request.userId;
+    std::uint32_t parked = sessionTier->parkedTokens(key);
+    if (parked == 0)
+        return;
+    // The follow-up's prompt re-sends the conversation history the
+    // parked KV covers; cap one short of the prompt so at least one
+    // token is always computed.
+    std::uint32_t cap =
+        s->request.promptTokens > 0 ? s->request.promptTokens - 1 : 0;
+    std::uint32_t usable = std::min(parked, cap);
+    if (usable == 0) {
+        sessionTier->cancelResume(key);
+        return;
+    }
+    Tick now = server.simulation().now();
+    // Stream-vs-recompute crossover: the tier compares the prefetch
+    // makespan against what re-prefilling the parked context costs at
+    // the roofline rate. Streaming starts immediately so the windows
+    // overlap whatever the GPU is already decoding.
+    bool streaming = sessionTier->beginResume(
+        key, now, perf.prefillTime(usable),
+        [this, s, key, usable](bool streamed) {
+            s->resumePending = false;
+            if (s->state != Sequence::State::Waiting)
+                return; // shed while the stream was in flight
+            if (streamed) {
+                s->resumedTokens = usable;
+                ++nStreamResumes;
+            } else {
+                // Cancelled mid-stream (device degradation/failure):
+                // fall back to a full re-prefill.
+                ++nRecomputeResumes;
+            }
+            needResched = true;
+            scheduleStep(server.simulation().now());
+        });
+    if (streaming)
+        s->resumePending = true;
+    else
+        ++nRecomputeResumes;
 }
 
 void
@@ -766,6 +820,18 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
             s->swapBackend = &target;
             ++nFallbackSwaps;
         }
+        // Register the private tail with the tier's demotion policy
+        // when it landed in a DRAM-class backend: a long-swapped
+        // sequence's KV ages out of DRAM onto the SSD. Shared-group
+        // copies are never registered — other borrowers may need them
+        // at DRAM speed (they are pinned to DRAM by omission).
+        if (sessionTier) {
+            OffloadBackend &holder =
+                s->swapBackend ? *s->swapBackend : backend;
+            if (holder.name() == "dram")
+                sessionTier->noteOffloaded(s->request.id, tailBytes,
+                                           server.simulation().now());
+        }
     }
     dropChainsOwnedBy(s);
     kv->freeBlocks(s->blocks);
@@ -833,6 +899,11 @@ VllmEngine::swapInSeq(Sequence *s, Tick &transfersDone)
         if (t.complete > transfersDone)
             transfersDone = t.complete;
         nReadBytes += s->swapHandle.bytes;
+        if (sessionTier)
+            sessionTier->forgetOffloaded(
+                s->request.id,
+                &holder == &sessionTier->demotionStore(),
+                server.simulation().now());
         holder.free(s->swapHandle);
         s->swapHandle = OffloadBackend::Handle{};
         s->swapBackend = nullptr;
@@ -874,6 +945,20 @@ VllmEngine::swapInSeq(Sequence *s, Tick &transfersDone)
 bool
 VllmEngine::admitSeq(Sequence *s, Tick &transfersDone)
 {
+    // A parked-session resume stream is still landing: hold the
+    // sequence in waiting rather than gate the whole iteration's
+    // compute on the media. The stream's completion callback
+    // reschedules.
+    if (s->resumePending)
+        return false;
+    // Completed resume stream: the restored context counts as already
+    // prefilled (its KV arrives in the blocks allocated below), so
+    // only the new turn's tail is computed.
+    if (s->resumedTokens > 0 && s->prefilledTokens == 0) {
+        s->prefilledTokens = s->resumedTokens;
+        s->cachedTokens = s->resumedTokens;
+        s->resumedTokens = 0;
+    }
     // Adapter residency comes first: a missing adapter stalls the
     // iteration for its load (vLLM loads adapters synchronously).
     // Recompute-preempted sequences keep their pin across preemption.
@@ -963,6 +1048,17 @@ void
 VllmEngine::finishSeq(Sequence *s, Tick when)
 {
     s->state = Sequence::State::Finished;
+    // A cold session parks its KV on the storage tier before the
+    // blocks go back to the pool: the trace's idle gap is the park
+    // predictor (the user is gone long enough that the prefix cache
+    // will have evicted this context by the time they return).
+    if (sessionTier && s->request.idleGapSec > 0.0) {
+        if (sessionTier->park(s->request.userId,
+                              kv->kvBytes(s->kvTokens()),
+                              static_cast<std::uint32_t>(s->kvTokens()),
+                              s->request.idleGapSec, when))
+            ++nParks;
+    }
     // Leave the conversation's KV behind as cache: a follow-up turn
     // that re-sends this context will match it block for block.
     publishSeq(s, /*atFinish=*/true);
@@ -995,6 +1091,10 @@ VllmEngine::shedSeq(Sequence *s, overload::ShedReason reason,
 {
     s->state = Sequence::State::Finished;
     removeFrom(waiting, s);
+    // Predictor miss: shedding a resuming request cancels its
+    // in-flight prefetch stream (windows already issued are wasted).
+    if (sessionTier && s->resumePending)
+        sessionTier->cancelResume(s->request.userId);
     if (s->adapterHeld) {
         lora->release(s->request.adapter);
         s->adapterHeld = false;
@@ -1057,6 +1157,41 @@ VllmEngine::updateBrownout(Tick now)
     brownout->update(sig);
 }
 
+void
+VllmEngine::settleTier(Tick now)
+{
+    // Under the brownout ladder's ForceDramOffload rung the tier
+    // drains DRAM aggressively: the rung reroutes new swaps to DRAM,
+    // and the settle pass gives that DRAM somewhere real to spill.
+    bool pressure = brownout && brownout->forceDramOffload();
+    for (std::uint64_t key : sessionTier->selectDemotions(now, pressure)) {
+        Sequence *victim = nullptr;
+        for (Sequence *s : swapped) {
+            if (s->request.id == key) {
+                victim = s;
+                break;
+            }
+        }
+        if (!victim || !victim->swapHandle.valid()) {
+            // The sequence moved on since registration; drop the
+            // stale policy entry.
+            sessionTier->forgetOffloaded(key, false, now);
+            continue;
+        }
+        OffloadBackend &from =
+            victim->swapBackend ? *victim->swapBackend : backend;
+        std::uint64_t nChunks = std::max<std::uint64_t>(
+            1, victim->swapHandle.bytes / kv->blockBytes());
+        auto moved = sessionTier->demote(key, from, victim->swapHandle,
+                                         nChunks, now);
+        if (!moved)
+            continue; // store full: the payload stays in DRAM
+        victim->swapHandle = *moved;
+        victim->swapBackend = &sessionTier->demotionStore();
+        ++nTierDemotions;
+    }
+}
+
 std::uint32_t
 VllmEngine::effectiveSliceTokens() const
 {
@@ -1101,6 +1236,10 @@ VllmEngine::step()
         Tick blocked = backend.respond();
         if (blocked > transfersDone)
             transfersDone = blocked;
+    }
+    if (sessionTier && ++itersSinceSettle >= cfg.tierSettleEveryIters) {
+        itersSinceSettle = 0;
+        settleTier(now);
     }
 
     // Sample overload signals before scheduling so this iteration's

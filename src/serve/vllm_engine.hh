@@ -34,6 +34,7 @@
 #include "serve/offload_backend.hh"
 #include "serve/scheduler.hh"
 #include "serve/sequence.hh"
+#include "serve/session_tier.hh"
 #include "stats/summary.hh"
 #include "stats/timeseries.hh"
 #include "trace/trace.hh"
@@ -72,6 +73,9 @@ struct VllmEngineConfig
     std::uint32_t cfsSliceTokens = 5;
     /** Call backend->respond() every this many iterations. */
     std::uint32_t respondEveryIters = 4;
+    /** Run the storage tier's demotion settle pass every this many
+     *  iterations (no-op unless a SessionTier is attached). */
+    std::uint32_t tierSettleEveryIters = 8;
     /** Call AQUA-LIB informStats() every this many iterations. */
     std::uint32_t informEveryIters = 8;
     /** Housekeeping cadence while idle. */
@@ -239,6 +243,17 @@ class VllmEngine
      */
     void setFallbackBackend(OffloadBackend *fallbackBackend);
 
+    /**
+     * Attach a storage tier (SSD) below the offload backends. Enables
+     * cold-session park/resume — sessions whose user idles past the
+     * tier's park threshold move their KV down instead of holding it,
+     * and a follow-up turn streams it back when that beats
+     * re-prefilling — plus the periodic demotion settle pass over
+     * swapped-out KV sitting in host DRAM. Non-owning; must outlive
+     * the engine.
+     */
+    void attachSessionTier(SessionTier *tier);
+
     /** Submit a request (call at its arrival time). */
     void submit(const workload::Request &request);
 
@@ -282,6 +297,23 @@ class VllmEngine
 
     /** Requests shed by admission control or brownout. */
     std::uint64_t shedCount() const { return nSheds; }
+
+    //
+    // Storage tier (all zero unless attachSessionTier()).
+    //
+
+    /** Cold sessions whose KV was parked on the tier. */
+    std::uint64_t parkCount() const { return nParks; }
+    /** Cold-session resumes served by streaming parked KV back. */
+    std::uint64_t streamResumeCount() const { return nStreamResumes; }
+    /** Cold-session resumes that fell back to re-prefill. */
+    std::uint64_t recomputeResumeCount() const
+    {
+        return nRecomputeResumes;
+    }
+    /** Swapped-out payloads the settle pass demoted DRAM→SSD. */
+    std::uint64_t tierDemotionCount() const { return nTierDemotions; }
+
     /** Swaps diverted to the fallback backend by the circuit breaker. */
     std::uint64_t fallbackSwapCount() const { return nFallbackSwaps; }
     const overload::AdmissionController *
@@ -350,6 +382,13 @@ class VllmEngine
 
     /** Sample overload signals and advance the brownout ladder. */
     void updateBrownout(aqua::sim::Tick now);
+
+    /** Try to start a parked-session resume stream for a fresh
+     *  follow-up arrival (no-op without a tier or a parked entry). */
+    void maybeBeginResume(Sequence *s);
+
+    /** Demotion settle pass: age out swapped KV from DRAM to SSD. */
+    void settleTier(aqua::sim::Tick now);
 
     /** CFS slice length after brownout shrinking. */
     std::uint32_t effectiveSliceTokens() const;
@@ -462,6 +501,7 @@ class VllmEngine
     OffloadBackend &backend;
     core::AquaLib *aquaLib = nullptr;
     OffloadBackend *fallback = nullptr;
+    SessionTier *sessionTier = nullptr;
     trace::TraceLog *tracer = nullptr;
 
     std::unique_ptr<overload::AdmissionController> admission;
@@ -485,6 +525,7 @@ class VllmEngine
     std::uint64_t iterCount = 0;
     std::uint32_t itersSinceInform = 0;
     std::uint32_t itersSinceRespond = 0;
+    std::uint32_t itersSinceSettle = 0;
     std::uint32_t tokensIntoSlice = 0;
     bool needResched = true;
     std::uint64_t arrivalsSinceInform = 0;
@@ -495,6 +536,10 @@ class VllmEngine
     std::uint64_t nSheds = 0;
     std::uint64_t shedsSinceInform = 0;
     std::uint64_t nFallbackSwaps = 0;
+    std::uint64_t nParks = 0;
+    std::uint64_t nStreamResumes = 0;
+    std::uint64_t nRecomputeResumes = 0;
+    std::uint64_t nTierDemotions = 0;
     stats::Summary queueDelays;
 
     /** Shared-prefix offload copies, by chain key. */

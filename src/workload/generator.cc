@@ -63,6 +63,20 @@ TraceBuilder::stampSlo(Request &r)
     r.deadline = r.arrival + secToTicks(slo.multiple * baseline);
 }
 
+void
+TraceBuilder::stampIdle(Request &r)
+{
+    if (idle.coldFraction <= 0.0)
+        return;
+    // Always burn one uniform draw so the arrival/length streams stay
+    // aligned whether or not this particular user goes idle.
+    bool cold = rng.uniform(0.0, 1.0) < idle.coldFraction;
+    double gap =
+        idle.minIdleSec + rng.exponential(1.0 / idle.meanIdleSec);
+    if (cold)
+        r.idleGapSec = gap;
+}
+
 std::vector<Request>
 TraceBuilder::interactive(double ratePerSec, std::size_t count,
                           Tick start)
@@ -245,6 +259,7 @@ TraceBuilder::chatbotFirstTurn(std::uint32_t users, Tick start,
         r.userId = u;
         r.turn = 0;
         tagChatStreams(r, u, systemPromptTokens);
+        stampIdle(r);
         out.push_back(r);
     }
     std::sort(out.begin(), out.end(),
@@ -273,6 +288,7 @@ TraceBuilder::chatbotFollowUp(std::uint32_t userId, std::uint32_t turn,
     r.userId = userId;
     r.turn = turn;
     tagChatStreams(r, userId, systemPromptTokens);
+    stampIdle(r);
     return r;
 }
 

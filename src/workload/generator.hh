@@ -66,6 +66,24 @@ struct SloSpec
 };
 
 /**
+ * Idle-gap stamping policy: a configurable fraction of chatbot/agent
+ * requests is followed by the user going idle for an exponentially
+ * distributed gap (plus a floor), modelling sessions that go cold.
+ * Draws come from the builder's seeded RNG, so gaps are deterministic
+ * per seed. The default fraction of 0 leaves existing traces
+ * unchanged.
+ */
+struct IdleSpec
+{
+    /** Fraction of requests whose user goes idle afterwards; 0 = off. */
+    double coldFraction = 0.0;
+    /** Mean of the exponential part of the idle gap, seconds. */
+    double meanIdleSec = 120.0;
+    /** Floor added to every stamped gap, seconds. */
+    double minIdleSec = 30.0;
+};
+
+/**
  * Builds request traces.
  */
 class TraceBuilder
@@ -78,6 +96,11 @@ class TraceBuilder
      *  the LoRA variants). */
     void setSlo(SloSpec spec) { slo = spec; }
     const SloSpec &sloSpec() const { return slo; }
+
+    /** Stamp idle gaps on subsequently built chatbot requests
+     *  (chatbotFirstTurn and chatbotFollowUp). */
+    void setIdle(IdleSpec spec) { idle = spec; }
+    const IdleSpec &idleSpec() const { return idle; }
 
     /**
      * Interactive ShareGPT-like trace: Poisson arrivals.
@@ -191,10 +214,14 @@ class TraceBuilder
     /** Apply the SLO spec to a freshly built request. */
     void stampSlo(Request &r);
 
+    /** Apply the idle spec to a freshly built chatbot request. */
+    void stampIdle(Request &r);
+
     RequestId nextId = 0;
     aqua::sim::Random rng;
     ShareGptSampler lengths;
     SloSpec slo;
+    IdleSpec idle;
 };
 
 } // namespace aqua::workload

@@ -46,6 +46,22 @@ struct Request
     bool bestEffort = false;
 
     //
+    // Session idle/resume modelling. Real chat and agent sessions do
+    // not decode continuously: users walk away mid-conversation and
+    // come back minutes later. The gap below is drawn deterministically
+    // per seed by the trace builder; serving engines use it as the
+    // park predictor (a session idling past the park threshold moves
+    // its KV to the storage tier instead of holding DRAM forever).
+    //
+
+    /** Seconds the user stays idle after this request completes,
+     *  before the session's next turn; 0 = stays warm. */
+    double idleGapSec = 0.0;
+    /** This request resumes a session that went cold (its arrival
+     *  already includes the previous turn's idle gap). */
+    bool coldResume = false;
+
+    //
     // Simulated token content. Requests do not carry literal token
     // ids; instead each token position maps to a deterministic content
     // id drawn from a stream (see tokenContent()). Two requests whose

@@ -191,3 +191,71 @@ TEST(TraceBuilder, NoSloByDefault)
         EXPECT_FALSE(r.bestEffort);
     }
 }
+
+TEST(TraceBuilder, IdleGapsAreDeterministicPerSeed)
+{
+    auto gaps = [](std::uint64_t seed) {
+        TraceBuilder b{Random(seed)};
+        IdleSpec idle;
+        idle.coldFraction = 0.5;
+        b.setIdle(idle);
+        std::vector<double> out;
+        for (const Request &r : b.chatbotFirstTurn(64))
+            out.push_back(r.idleGapSec);
+        return out;
+    };
+    EXPECT_EQ(gaps(11), gaps(11));
+    EXPECT_NE(gaps(11), gaps(12));
+}
+
+TEST(TraceBuilder, IdleGapsRespectFractionAndFloor)
+{
+    TraceBuilder b(Random(9));
+    IdleSpec idle;
+    idle.coldFraction = 0.5;
+    idle.meanIdleSec = 100.0;
+    idle.minIdleSec = 30.0;
+    b.setIdle(idle);
+    std::size_t cold = 0;
+    auto trace = b.chatbotFirstTurn(400);
+    for (const Request &r : trace) {
+        if (r.idleGapSec > 0.0) {
+            ++cold;
+            EXPECT_GE(r.idleGapSec, idle.minIdleSec);
+        }
+    }
+    // ~50% of users go idle, loosely checked.
+    EXPECT_GT(cold, trace.size() / 4);
+    EXPECT_LT(cold, 3 * trace.size() / 4);
+    // Follow-ups are stamped from the same policy.
+    Request f = b.chatbotFollowUp(0, 1, 0, 500);
+    EXPECT_TRUE(f.idleGapSec == 0.0 || f.idleGapSec >= 30.0);
+}
+
+TEST(TraceBuilder, IdleStampingKeepsContentStreamsAligned)
+{
+    // Same seed, different cold fractions: every draw is burned
+    // whether or not a user goes idle, so prompts, outputs and
+    // arrivals are identical — only the stamped gaps differ.
+    auto build = [](double coldFraction) {
+        TraceBuilder b(Random(21));
+        IdleSpec idle;
+        idle.coldFraction = coldFraction;
+        b.setIdle(idle);
+        return b.chatbotFirstTurn(64);
+    };
+    auto some = build(0.3);
+    auto all = build(1.0);
+    ASSERT_EQ(some.size(), all.size());
+    for (std::size_t i = 0; i < some.size(); ++i) {
+        EXPECT_EQ(some[i].promptTokens, all[i].promptTokens);
+        EXPECT_EQ(some[i].maxNewTokens, all[i].maxNewTokens);
+        EXPECT_EQ(some[i].arrival, all[i].arrival);
+        // Every request the sparse run marks cold carries the exact
+        // gap the dense run drew for it.
+        if (some[i].idleGapSec > 0.0) {
+            EXPECT_DOUBLE_EQ(some[i].idleGapSec, all[i].idleGapSec);
+        }
+        EXPECT_GT(all[i].idleGapSec, 0.0);
+    }
+}

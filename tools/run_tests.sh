@@ -9,8 +9,8 @@
 #   tools/run_tests.sh -R Staging    # extra args forwarded to ctest
 #
 # --sanitize (or --tsan) and --bench-smoke compose (in that order):
-# the chaos, overload and cluster-prefix smoke runs then execute
-# under the sanitizers too.
+# the chaos, overload, cluster-prefix and tiering smoke runs then
+# execute under the sanitizers too.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -42,4 +42,5 @@ if [[ "$bench_smoke" == 1 ]]; then
     "$build/bench/seed_robustness" --smoke
     "$build/bench/abl_overload" --smoke
     "$build/bench/abl_cluster_prefix" --smoke
+    "$build/bench/abl_tiering" --smoke
 fi
