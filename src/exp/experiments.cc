@@ -586,6 +586,8 @@ runPrefixAblation(const PrefixAblationConfig &cfg)
     engineCfg.prefixCache = cfg.prefixCache;
     engineCfg.maxCacheShare = cfg.maxCacheShare;
     engineCfg.prefixEviction = cfg.eviction;
+    engineCfg.kvPrecision = cfg.kvPrecision;
+    engineCfg.sparseReadFraction = cfg.sparseReadFraction;
     serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
                                std::move(policy), *backend, engineCfg);
     Producer producer = makeProducer(tb, producerGpu,
@@ -644,6 +646,8 @@ runClusterPrefix(const ClusterPrefixConfig &cfg)
         engineCfg.prefixEviction = cfg.eviction;
         engineCfg.clusterPrefix = cfg.registry;
         engineCfg.clusterBorrowMaxBlocks = cfg.borrowMaxBlocks;
+        engineCfg.kvPrecision = cfg.kvPrecision;
+        engineCfg.sparseReadFraction = cfg.sparseReadFraction;
         engines.push_back(std::make_unique<serve::VllmEngine>(
             tb.server(), gpu, spec,
             std::make_unique<serve::CfsPolicy>(), backend, engineCfg));
@@ -901,6 +905,9 @@ runOverload(const OverloadRunConfig &cfg)
         engineCfg.admission = ac;
         engineCfg.brownout = overload::BrownoutConfig{};
     }
+    if (cfg.precisionGovernor)
+        engineCfg.precisionGovernor =
+            overload::KvPrecisionGovernorConfig{};
     serve::VllmEngine consumer(tb.server(), consumerGpu, consumerSpec,
                                std::move(policy), *backend, engineCfg);
     if (cfg.traceLog)
@@ -1004,6 +1011,11 @@ runOverload(const OverloadRunConfig &cfg)
             bc->timeAtLevel(overload::BrownoutLevel::RejectNew,
                             tb.sim().now());
         res.secondsDegraded = ticksToSec(degraded);
+    }
+    if (const auto *pg = consumer.precisionGovernor()) {
+        res.precisionReconfigs = pg->stats().reconfigurations;
+        res.precisionDemotedPayloads = pg->stats().demotedPayloads;
+        res.precisionSavedBytes = pg->stats().savedBytes;
     }
     return res;
 }

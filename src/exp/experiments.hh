@@ -276,6 +276,11 @@ struct PrefixAblationConfig
     std::uint32_t numGroups = 2;
     std::string consumerModel = "Codellama-34B";
     std::string producerModel = "Kandinsky";
+    /** KV storage precision (fp16 = exact legacy behaviour). */
+    model::KvPrecision kvPrecision = model::KvPrecision::Fp16;
+    /** Sparse-attention fraction of resident KV read per decode
+     *  step (1.0 = dense, exact legacy behaviour). */
+    double sparseReadFraction = 1.0;
     std::uint64_t seed = 1;
     double maxSimSeconds = 8000.0;
 };
@@ -333,6 +338,11 @@ struct ClusterPrefixConfig
     /** Arrivals later than chaosAtSec - chaosDrainSec avoid gpu 0,
      *  so the dying engine is idle when its memory goes dark. */
     double chaosDrainSec = 30.0;
+    /** KV storage precision on every engine (fp16 = legacy). */
+    model::KvPrecision kvPrecision = model::KvPrecision::Fp16;
+    /** Sparse-attention read fraction; < 1.0 also raises the
+     *  borrow-vs-copy crossover (borrowed chains cost less). */
+    double sparseReadFraction = 1.0;
     std::string consumerModel = "Codellama-34B";
     std::uint64_t seed = 1;
     double maxSimSeconds = 8000.0;
@@ -423,6 +433,10 @@ struct OverloadRunConfig
     double bestEffortFraction = 0.2;
     /** Admission safety factor (prediction pessimism). */
     double safetyFactor = 1.2;
+    /** Pressure-driven KV precision governor (quantize-before-evict):
+     *  demotes cold KV leaving HBM to narrower precision as the pool
+     *  drains / the brownout ladder escalates. */
+    bool precisionGovernor = false;
     std::string consumerModel = "Codellama-34B";
     std::string producerModel = "Kandinsky";
     std::uint64_t seed = 1;
@@ -458,6 +472,10 @@ struct OverloadRunResult
     /** Brownout ladder activity (zero when uncontrolled). */
     std::uint64_t brownoutTransitions = 0;
     std::uint64_t brownoutEscalations = 0;
+    /** KV precision governor activity (zero when disabled). */
+    std::uint64_t precisionReconfigs = 0;
+    std::uint64_t precisionDemotedPayloads = 0;
+    std::uint64_t precisionSavedBytes = 0;
     /** Seconds spent at or above ForceDramOffload. */
     double secondsDegraded = 0.0;
     /** Byte-identity violations on the offload path (must be 0). */

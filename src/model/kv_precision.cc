@@ -1,0 +1,65 @@
+#include "model/kv_precision.hh"
+
+#include "sim/logging.hh"
+
+namespace aqua::model {
+
+using aqua::sim::panic;
+
+const char *kvPrecisionName(KvPrecision p)
+{
+    switch (p) {
+    case KvPrecision::Fp16: return "fp16";
+    case KvPrecision::Fp8: return "fp8";
+    case KvPrecision::Int4: return "int4";
+    }
+    panic("invalid KvPrecision value");
+}
+
+KvPrecision kvPrecisionByName(const std::string &name)
+{
+    if (name == "fp16")
+        return KvPrecision::Fp16;
+    if (name == "fp8")
+        return KvPrecision::Fp8;
+    if (name == "int4")
+        return KvPrecision::Int4;
+    panic("unknown KV precision: %s", name.c_str());
+}
+
+std::uint32_t kvPrecisionDivisor(KvPrecision p)
+{
+    switch (p) {
+    case KvPrecision::Fp16: return 1;
+    case KvPrecision::Fp8: return 2;
+    case KvPrecision::Int4: return 4;
+    }
+    panic("invalid KvPrecision value");
+}
+
+std::uint64_t scaleKvBytes(std::uint64_t fp16Bytes, KvPrecision p)
+{
+    return fp16Bytes / kvPrecisionDivisor(p);
+}
+
+std::uint64_t rescaleKvBytes(std::uint64_t bytes, KvPrecision from,
+                             KvPrecision to)
+{
+    // Widen to fp16 first so the result is exact for any from/to pair.
+    return bytes * kvPrecisionDivisor(from) / kvPrecisionDivisor(to);
+}
+
+double kvDequantOverhead(KvPrecision p)
+{
+    // Calibrated loosely to QServe's reported dequant cost: per-byte
+    // unpack work grows as elements get narrower, but stays well under
+    // the 2-4x byte savings.
+    switch (p) {
+    case KvPrecision::Fp16: return 0.0;
+    case KvPrecision::Fp8: return 0.15;
+    case KvPrecision::Int4: return 0.30;
+    }
+    panic("invalid KvPrecision value");
+}
+
+} // namespace aqua::model

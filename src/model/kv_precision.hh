@@ -1,0 +1,70 @@
+/**
+ * @file
+ * KV-cache numeric precision: the bytes-per-element attribute that
+ * reprices every offload decision.
+ *
+ * QServe/Omniserve-class engines store KV at 8- or 4-bit precision,
+ * shrinking the cache 2-4x; since AQUA's whole economy is KV bytes
+ * moved over ranked paths (HBM > NVLink > PCIe > SSD), precision
+ * scales everything downstream of ModelSpec::kvBytesPerToken() —
+ * block sizes, staging descriptors, swap/park payloads, registry
+ * publishes — and smaller effective transfer sizes land *lower* on
+ * the hw::Link bw(s) ramp, which is the real, modeled cost of
+ * quantizing. The compute-side cost (per-byte dequantization work in
+ * the attention kernels) is modeled in PerfModel.
+ */
+
+#ifndef AQUA_MODEL_KV_PRECISION_HH
+#define AQUA_MODEL_KV_PRECISION_HH
+
+#include <cstdint>
+#include <string>
+
+namespace aqua::model {
+
+/** KV-cache element precision, widest first. Order is meaningful:
+ *  comparisons use > to mean "stored smaller than". */
+enum class KvPrecision : std::uint8_t
+{
+    /** 16-bit elements (the fp16 baseline every preset assumes). */
+    Fp16 = 0,
+    /** 8-bit elements (2x smaller). */
+    Fp8 = 1,
+    /** 4-bit elements (4x smaller; QServe's KV4). */
+    Int4 = 2,
+};
+
+/** Number of precisions (for per-precision accounting arrays). */
+inline constexpr std::size_t numKvPrecisions = 3;
+
+/** Stable lowercase name, e.g. "fp8". */
+const char *kvPrecisionName(KvPrecision p);
+
+/** Look up a precision by name; panics on unknown names. */
+KvPrecision kvPrecisionByName(const std::string &name);
+
+/** How many times smaller than fp16 elements of @p p are. */
+std::uint32_t kvPrecisionDivisor(KvPrecision p);
+
+/**
+ * Scale an fp16 KV byte count to @p p. Exact: fp16 KV footprints are
+ * multiples of 4 bytes (2 tensors x 2 bytes per element), so the
+ * division never truncates for whole-token counts.
+ */
+std::uint64_t scaleKvBytes(std::uint64_t fp16Bytes, KvPrecision p);
+
+/** Rescale a KV byte count from one precision to another (exact). */
+std::uint64_t rescaleKvBytes(std::uint64_t bytes, KvPrecision from,
+                             KvPrecision to);
+
+/**
+ * Dequantization compute overhead: extra elementwise work per KV byte
+ * *touched* by a decode step (or restored by a swap-in), expressed as
+ * a fraction of the time those bytes take to stream through HBM.
+ * Zero at fp16; quantization is not a free lunch.
+ */
+double kvDequantOverhead(KvPrecision p);
+
+} // namespace aqua::model
+
+#endif // AQUA_MODEL_KV_PRECISION_HH

@@ -42,9 +42,19 @@ ModelSpec::activeWeightBytes() const
 std::uint64_t
 ModelSpec::kvBytesPerToken() const
 {
+    return kvBytesPerTokenAt(kvPrecision);
+}
+
+std::uint64_t
+ModelSpec::kvBytesPerTokenAt(KvPrecision p) const
+{
     if (!isText())
         return 0;
-    return std::uint64_t(2) * nLayers * nKvHeads * headDim * bytesPerParam;
+    // The fp16 footprint is 2 tensors x 2 bytes per element, so the
+    // precision divisor (<= 4) divides it exactly.
+    std::uint64_t fp16 =
+        std::uint64_t(2) * nLayers * nKvHeads * headDim * bytesPerParam;
+    return scaleKvBytes(fp16, p);
 }
 
 std::uint64_t

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "model/kv_precision.hh"
+
 namespace aqua::model {
 
 /** Output modality of a generative model. */
@@ -74,6 +76,14 @@ struct ModelSpec
     /** Fixed runtime overhead (CUDA context, framework buffers). */
     std::uint64_t runtimeOverheadBytes = 0;
 
+    /**
+     * Precision the KV cache is *served* at. Scales every byte count
+     * derived from kvBytesPerToken(): block sizes, staging transfers,
+     * swap/park payloads, registry publishes. Weights stay at
+     * bytesPerParam; only KV narrows.
+     */
+    KvPrecision kvPrecision = KvPrecision::Fp16;
+
     /** Bytes of model weights. */
     std::uint64_t weightBytes() const;
 
@@ -84,10 +94,14 @@ struct ModelSpec
     std::uint64_t activeWeightBytes() const;
 
     /**
-     * KV-cache bytes per token: 2 (K and V) x layers x kvHeads x
-     * headDim x bytesPerParam. Zero for non-text models.
+     * KV-cache bytes per token at the serving precision: 2 (K and V)
+     * x layers x kvHeads x headDim x bytesPerParam, divided by the
+     * kvPrecision element width. Zero for non-text models.
      */
     std::uint64_t kvBytesPerToken() const;
+
+    /** KV-cache bytes per token if stored at precision @p p. */
+    std::uint64_t kvBytesPerTokenAt(KvPrecision p) const;
 
     /** KV-cache bytes of a sequence of @p tokens tokens. */
     std::uint64_t kvBytes(std::uint64_t tokens) const;

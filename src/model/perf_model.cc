@@ -23,6 +23,41 @@ PerfModel::PerfModel(const ModelSpec &model, const hw::GpuSpec &gpu)
     computeScale = referenceFlops / gpu.fp16Flops;
 }
 
+void
+PerfModel::setSparseReadFraction(double fraction)
+{
+    if (fraction <= 0.0 || fraction > 1.0)
+        panic("sparseReadFraction %f outside (0, 1]", fraction);
+    sparseRead = fraction;
+}
+
+Tick
+PerfModel::dequantTime(std::uint64_t kvBytes) const
+{
+    return dequantTimeAt(kvBytes, spec.kvPrecision);
+}
+
+Tick
+PerfModel::quantizeTime(std::uint64_t kvBytes) const
+{
+    // Quantize and dequantize are the same elementwise pass in
+    // opposite directions; model them with one cost.
+    return dequantTimeAt(kvBytes, spec.kvPrecision);
+}
+
+Tick
+PerfModel::dequantTimeAt(std::uint64_t kvBytes, KvPrecision p) const
+{
+    double overhead = kvDequantOverhead(p);
+    if (overhead <= 0.0 || kvBytes == 0)
+        return 0;
+    // Overhead is a fraction of the time those bytes take to stream
+    // through HBM at math precision.
+    double stream_sec =
+        static_cast<double>(kvBytes) / gpu.hbmBandwidth;
+    return secToTicks(overhead * stream_sec);
+}
+
 Tick
 PerfModel::prefillTime(std::uint64_t promptTokens) const
 {
@@ -58,11 +93,20 @@ PerfModel::decodeStepTime(std::uint64_t batchSize,
         static_cast<double>(spec.weightBytes()),
         static_cast<double>(spec.activeWeightBytes()) *
             static_cast<double>(batchSize));
-    double bytes =
-        weight_traffic + static_cast<double>(kvBytesResident);
+    // Sparse attention reads only a fraction of the resident KV.
+    double kv_traffic =
+        static_cast<double>(kvBytesResident) * sparseRead;
+    double bytes = weight_traffic + kv_traffic;
     double memory_sec = bytes / gpu.hbmBandwidth;
-    return gpu.kernelLaunchOverhead +
-           secToTicks(std::max(compute_sec, memory_sec));
+    Tick t = gpu.kernelLaunchOverhead +
+             secToTicks(std::max(compute_sec, memory_sec));
+    // Quantized KV pays an elementwise dequant pass over the bytes
+    // actually read; it does not hide under the roofline max because
+    // it serializes with the attention kernels.
+    double overhead = kvDequantOverhead(spec.kvPrecision);
+    if (overhead > 0.0 && kv_traffic > 0.0)
+        t += secToTicks(overhead * kv_traffic / gpu.hbmBandwidth);
+    return t;
 }
 
 Tick

@@ -34,6 +34,17 @@ class PerfModel
     const ModelSpec &model() const { return spec; }
 
     /**
+     * Fraction of the resident KV cache a decode step actually reads
+     * (1.0 = dense attention). Sparse-attention kernels touch only
+     * the top-scoring pages, so decode's memory traffic — and the
+     * per-step cost of *borrowed* remote KV — scales with this.
+     */
+    double sparseReadFraction() const { return sparseRead; }
+
+    /** Set the sparse-read fraction; clamped to (0, 1]. */
+    void setSparseReadFraction(double fraction);
+
+    /**
      * Prefill (prompt-processing) time for @p promptTokens tokens,
      * compute-bound at 2 FLOPs per parameter per token.
      */
@@ -47,6 +58,20 @@ class PerfModel
      */
     aqua::sim::Tick decodeStepTime(std::uint64_t batchSize,
                                    std::uint64_t kvBytesResident) const;
+
+    /**
+     * Extra compute time to dequantize @p kvBytes of stored KV into
+     * math precision (e.g. restoring a quantized swap/park payload).
+     * Zero at fp16.
+     */
+    aqua::sim::Tick dequantTime(std::uint64_t kvBytes) const;
+
+    /** Same cost model for quantizing KV on its way out of HBM. */
+    aqua::sim::Tick quantizeTime(std::uint64_t kvBytes) const;
+
+    /** dequantTime() for bytes stored at an explicit precision. */
+    aqua::sim::Tick dequantTimeAt(std::uint64_t kvBytes,
+                                  KvPrecision p) const;
 
     /**
      * One full generation iteration of a compute-bound image/audio
@@ -73,6 +98,8 @@ class PerfModel
     hw::GpuSpec gpu;
     /** Scale from the reference A100 to this GPU's compute. */
     double computeScale;
+    /** Fraction of resident KV read per decode step (1.0 = dense). */
+    double sparseRead = 1.0;
 };
 
 } // namespace aqua::model

@@ -8,12 +8,24 @@ namespace aqua::serve {
 
 using namespace aqua::sim;
 
+namespace {
+
+model::ModelSpec
+applyKvConfig(model::ModelSpec spec, const FlexGenConfig &cfg)
+{
+    spec.kvPrecision = cfg.kvPrecision;
+    return spec;
+}
+
+} // anonymous namespace
+
 FlexGenEngine::FlexGenEngine(hw::Server &server, hw::GpuId gpu,
                              const model::ModelSpec &modelSpec,
                              OffloadBackend &backend,
                              FlexGenConfig config)
-    : server(server), myGpu(gpu), spec(modelSpec),
-      perf(modelSpec, server.gpu(gpu).spec()), cfg(config),
+    : server(server), myGpu(gpu),
+      spec(applyKvConfig(modelSpec, config)),
+      perf(spec, server.gpu(gpu).spec()), cfg(config),
       backend(backend), tokens("tokens")
 {
     if (!spec.isText())

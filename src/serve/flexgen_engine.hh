@@ -68,6 +68,14 @@ struct FlexGenConfig
      * prompt is eventually served.
      */
     std::optional<overload::AdmissionConfig> admission;
+    /**
+     * Precision the streamed KV is stored at (QServe-style quantized
+     * KV). FlexGen's whole cost is KV bytes over the offload link, so
+     * narrower KV directly scales every streaming window — at the
+     * price of per-step dequant compute in the perf model. Fp16 is
+     * the exact legacy behaviour.
+     */
+    model::KvPrecision kvPrecision = model::KvPrecision::Fp16;
 };
 
 /**

@@ -9,21 +9,27 @@ using aqua::sim::panic;
 
 namespace {
 
+/**
+ * The one precision-aware sizing helper: bytes per token at the
+ * model's serving precision. Block sizing and transfer sizing both
+ * derive from this so they can never drift apart.
+ */
 std::uint64_t
-blockBytesFor(const model::ModelSpec &model, std::uint32_t blockTokens)
+tokenBytesFor(const model::ModelSpec &model)
 {
     if (!model.isText())
         panic("KvCache: %s is not a text model", model.name.c_str());
-    return static_cast<std::uint64_t>(blockTokens) *
-           model.kvBytesPerToken();
+    return model.kvBytesPerToken();
 }
 
 } // anonymous namespace
 
 KvCache::KvCache(hw::Gpu &gpu, const model::ModelSpec &model,
                  std::uint64_t poolBytes, std::uint32_t blockTokens)
-    : gpu(gpu), blockTokens(blockTokens), reservedBytes(poolBytes),
-      blocks(poolBytes, blockBytesFor(model, blockTokens)),
+    : gpu(gpu), blockTokens(blockTokens),
+      tokenBytes(tokenBytesFor(model)), reservedBytes(poolBytes),
+      blocks(poolBytes,
+             static_cast<std::uint64_t>(blockTokens) * tokenBytes),
       index(blockTokens)
 {
     region = gpu.hbm().allocate(poolBytes);
@@ -49,7 +55,7 @@ KvCache::blocksForTokens(std::uint64_t tokens) const
 std::uint64_t
 KvCache::kvBytes(std::uint64_t tokens) const
 {
-    return tokens * (blocks.blockSize() / blockTokens);
+    return tokens * tokenBytes;
 }
 
 bool

@@ -11,6 +11,7 @@
 
 #include "hw/gpu.hh"
 #include "mem/block_allocator.hh"
+#include "model/kv_precision.hh"
 #include "serve/offload_backend.hh"
 #include "workload/request.hh"
 
@@ -55,6 +56,11 @@ struct Sequence
      *  backend). Set when brownout's offload circuit breaker diverted
      *  the swap to the fallback DRAM backend. */
     OffloadBackend *swapBackend = nullptr;
+
+    /** Precision the swapped private tail was quantized to on its way
+     *  out (quantize-before-evict). Serving precision = no demotion;
+     *  narrower payloads pay a dequant pass on swap-in. */
+    model::KvPrecision swapPrecision = model::KvPrecision::Fp16;
 
     /** Whether the sequence holds a pin on its LoRA adapter. */
     bool adapterHeld = false;

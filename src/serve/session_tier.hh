@@ -66,6 +66,10 @@ class SessionTier
      * against @p prefillTime (the roofline cost of re-prefilling the
      * parked context) and start the prefetch stream if it wins.
      *
+     * @param streamOverhead Extra compute the streamed copy costs
+     *        before it is usable (e.g. dequantizing a parked copy
+     *        stored below the serving precision); counts against
+     *        streaming in the crossover.
      * @retval true Streaming; @p done fires when the stream lands (or
      *         winds down cancelled). The parked entry is consumed.
      * @retval false Recompute: nothing parked, the device is down, or
@@ -75,7 +79,8 @@ class SessionTier
     virtual bool beginResume(std::uint64_t sessionKey,
                              aqua::sim::Tick now,
                              aqua::sim::Tick prefillTime,
-                             ResumeCallback done) = 0;
+                             ResumeCallback done,
+                             aqua::sim::Tick streamOverhead = 0) = 0;
 
     /**
      * Predictor miss: the resuming request was shed (or the session

@@ -13,13 +13,16 @@ VllmEngine::VllmEngine(hw::Server &server, hw::GpuId gpu,
                        std::unique_ptr<SchedulerPolicy> schedPolicy,
                        OffloadBackend &backend, VllmEngineConfig config,
                        std::vector<model::LoraAdapter> adapters)
-    : server(server), myGpu(gpu), spec(modelSpec),
-      perf(modelSpec, server.gpu(gpu).spec()), cfg(config),
+    : server(server), myGpu(gpu),
+      spec(applyKvConfig(modelSpec, config)),
+      perf(spec, server.gpu(gpu).spec()), cfg(config),
       policy(std::move(schedPolicy)), backend(backend),
       tokens("tokens"), freeMem("free_memory")
 {
     if (!spec.isText())
         panic("VllmEngine: %s is not a text model", spec.name.c_str());
+    // Validates the range; 1.0 (dense) leaves the model untouched.
+    perf.setSparseReadFraction(cfg.sparseReadFraction);
     hw::Gpu &dev = server.gpu(gpu);
 
     std::uint64_t base = spec.weightBytes() + spec.runtimeOverheadBytes;
@@ -65,6 +68,19 @@ VllmEngine::VllmEngine(hw::Server &server, hw::GpuId gpu,
         brownout = std::make_unique<overload::BrownoutController>(
             *cfg.brownout);
     }
+    if (cfg.precisionGovernor) {
+        precisionGov =
+            std::make_unique<overload::KvPrecisionGovernor>(
+                *cfg.precisionGovernor, spec.kvPrecision);
+    }
+}
+
+model::ModelSpec
+VllmEngine::applyKvConfig(model::ModelSpec spec,
+                          const VllmEngineConfig &cfg)
+{
+    spec.kvPrecision = cfg.kvPrecision;
+    return spec;
 }
 
 VllmEngine::~VllmEngine()
@@ -143,6 +159,8 @@ VllmEngine::setTraceLog(trace::TraceLog *log)
     tracer = log;
     if (brownout)
         brownout->setTraceLog(log);
+    if (precisionGov)
+        precisionGov->setTraceLog(log);
 }
 
 void
@@ -220,6 +238,16 @@ VllmEngine::maybeBeginResume(Sequence *s)
         return;
     }
     Tick now = server.simulation().now();
+    // A quantized parked copy streams fewer bytes but pays a dequant
+    // pass on arrival; fold that into the crossover so recompute wins
+    // when dequant erodes the streaming advantage.
+    Tick streamOverhead = 0;
+    auto pp = parkPrecisions.find(key);
+    if (pp != parkPrecisions.end() &&
+        pp->second != spec.kvPrecision) {
+        streamOverhead =
+            perf.dequantTimeAt(kv->kvBytes(usable), pp->second);
+    }
     // Stream-vs-recompute crossover: the tier compares the prefetch
     // makespan against what re-prefilling the parked context costs at
     // the roofline rate. Streaming starts immediately so the windows
@@ -240,7 +268,8 @@ VllmEngine::maybeBeginResume(Sequence *s)
             }
             needResched = true;
             scheduleStep(server.simulation().now());
-        });
+        },
+        streamOverhead);
     if (streaming)
         s->resumePending = true;
     else
@@ -489,7 +518,15 @@ VllmEngine::tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
     }
 
     Tick now = server.simulation().now();
-    if (localFull == 0 && rl.blocks <= cfg.clusterBorrowMaxBlocks) {
+    // Sparse attention reprices borrow-vs-copy: each decode step reads
+    // only a fraction of the borrowed lead over the peer link, so
+    // proportionally longer chains are worth serving in place.
+    std::uint64_t borrowCap = cfg.clusterBorrowMaxBlocks;
+    if (cfg.sparseReadFraction < 1.0) {
+        borrowCap = static_cast<std::uint64_t>(
+            static_cast<double>(borrowCap) / cfg.sparseReadFraction);
+    }
+    if (localFull == 0 && rl.blocks <= borrowCap) {
         // Short chain: serve the lead in place from the home GPU.
         // The lease holds until the sequence releases it.
         if (!acq.blocks.empty()) {
@@ -794,14 +831,31 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
         }
     }
     std::uint64_t tailBytes = bytes - groupBytes;
+    // Quantize-before-evict: under memory pressure the governor
+    // demotes the *private* tail below the serving precision before
+    // it leaves HBM. Shared-group copies stay at serving precision —
+    // other borrowers restore from them without a dequant pass.
+    model::KvPrecision cold = coldPrecision();
+    std::uint64_t storedTail = tailBytes;
+    Tick quantReady = 0;
+    if (cold != spec.kvPrecision && tailBytes > 0) {
+        storedTail =
+            model::rescaleKvBytes(tailBytes, spec.kvPrecision, cold);
+        // The quantization kernel runs before the bytes can stage out.
+        quantReady = server.simulation().now() +
+                     perf.dequantTimeAt(tailBytes, cold);
+        if (precisionGov)
+            precisionGov->notePayload(tailBytes, storedTail);
+    }
+    s->swapPrecision = cold;
     s->swapHandle = OffloadBackend::Handle{};
     s->swapBackend = nullptr;
-    if (tailBytes > 0) {
-        auto handle = target.alloc(tailBytes);
+    if (storedTail > 0) {
+        auto handle = target.alloc(storedTail);
         if (!handle && usingFallback) {
             // Fallback full: fail back to the primary path rather
             // than dropping the sequence.
-            handle = backend.alloc(tailBytes);
+            handle = backend.alloc(storedTail);
             usingFallback = false;
         }
         if (!handle) {
@@ -810,11 +864,11 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
                   static_cast<unsigned long long>(s->request.id));
         }
         OffloadBackend &dest = usingFallback ? target : backend;
-        hw::TransferTiming t =
-            dest.write(*handle, tailBytes, s->blocks.size() - lead);
+        hw::TransferTiming t = dest.write(
+            *handle, storedTail, s->blocks.size() - lead, quantReady);
         if (t.complete > transfersDone)
             transfersDone = t.complete;
-        nWriteBytes += tailBytes;
+        nWriteBytes += storedTail;
         s->swapHandle = *handle;
         if (usingFallback) {
             s->swapBackend = &target;
@@ -829,7 +883,7 @@ VllmEngine::swapOutSeq(Sequence *s, Tick &transfersDone)
             OffloadBackend &holder =
                 s->swapBackend ? *s->swapBackend : backend;
             if (holder.name() == "dram")
-                sessionTier->noteOffloaded(s->request.id, tailBytes,
+                sessionTier->noteOffloaded(s->request.id, storedTail,
                                            server.simulation().now());
         }
     }
@@ -896,8 +950,18 @@ VllmEngine::swapInSeq(Sequence *s, Tick &transfersDone)
         hw::TransferTiming t =
             holder.read(s->swapHandle, s->swapHandle.bytes,
                         need - s->swapSharedBlocks);
-        if (t.complete > transfersDone)
-            transfersDone = t.complete;
+        Tick restored = t.complete;
+        // A demoted tail streamed fewer bytes but must be dequantized
+        // back to the serving precision before decode can touch it.
+        if (s->swapPrecision != spec.kvPrecision) {
+            std::uint64_t servingBytes = model::rescaleKvBytes(
+                s->swapHandle.bytes, s->swapPrecision,
+                spec.kvPrecision);
+            restored +=
+                perf.dequantTimeAt(servingBytes, s->swapPrecision);
+        }
+        if (restored > transfersDone)
+            transfersDone = restored;
         nReadBytes += s->swapHandle.bytes;
         if (sessionTier)
             sessionTier->forgetOffloaded(
@@ -907,6 +971,7 @@ VllmEngine::swapInSeq(Sequence *s, Tick &transfersDone)
         holder.free(s->swapHandle);
         s->swapHandle = OffloadBackend::Handle{};
         s->swapBackend = nullptr;
+        s->swapPrecision = spec.kvPrecision;
     }
 
     s->blocks = std::move(resident);
@@ -1053,11 +1118,20 @@ VllmEngine::finishSeq(Sequence *s, Tick when)
     // predictor (the user is gone long enough that the prefix cache
     // will have evicted this context by the time they return).
     if (sessionTier && s->request.idleGapSec > 0.0) {
-        if (sessionTier->park(s->request.userId,
-                              kv->kvBytes(s->kvTokens()),
+        // Parked KV is cold by definition: quantize it to the
+        // governor's cold precision on the way down the tiers.
+        model::KvPrecision cold = coldPrecision();
+        std::uint64_t servingBytes = kv->kvBytes(s->kvTokens());
+        std::uint64_t storedBytes = model::rescaleKvBytes(
+            servingBytes, spec.kvPrecision, cold);
+        if (sessionTier->park(s->request.userId, storedBytes,
                               static_cast<std::uint32_t>(s->kvTokens()),
-                              s->request.idleGapSec, when))
+                              s->request.idleGapSec, when)) {
             ++nParks;
+            parkPrecisions[s->request.userId] = cold;
+            if (cold != spec.kvPrecision && precisionGov)
+                precisionGov->notePayload(servingBytes, storedBytes);
+        }
     }
     // Leave the conversation's KV behind as cache: a follow-up turn
     // that re-sends this context will match it block for block.
@@ -1129,32 +1203,44 @@ VllmEngine::shedSeq(Sequence *s, overload::ShedReason reason,
 void
 VllmEngine::updateBrownout(Tick now)
 {
-    if (!brownout)
+    if (!brownout && !precisionGov)
         return;
-    overload::BrownoutSignals sig;
-    sig.now = now;
-    // Under CFS, overload does not pool in `waiting` (fresh arrivals
-    // carry the lowest vruntime and admit immediately); it shows up as
-    // a growing swapped set time-sharing the batch. Both are queued
-    // work awaiting GPU service.
-    sig.queueDepth = waiting.size() + swapped.size();
-    sig.queueDelaySec = oldestWaitingSec(now);
-    sig.freePoolFraction =
+    double freeFrac =
         kv->totalBlocks() > 0
             ? static_cast<double>(kv->availableBlocks()) /
                   static_cast<double>(kv->totalBlocks())
             : 1.0;
-    // Offload-path pressure: this GPU is reclaiming its own lease
-    // (producer role), or the backend recently executed a
-    // reclaim-driven evacuation off the donor (consumer role).
-    bool reclaiming = aquaLib && aquaLib->reclaimInProgress();
-    Tick lastEvac = backend.lastEvacuationAt();
-    bool recentEvac =
-        lastEvac != 0 &&
-        now < lastEvac + brownout->config().evacPressureWindow;
-    sig.reclaimPressure = reclaiming || recentEvac;
-    sig.linkHealth = server.topology().peerLink().degradation();
-    brownout->update(sig);
+    if (brownout) {
+        overload::BrownoutSignals sig;
+        sig.now = now;
+        // Under CFS, overload does not pool in `waiting` (fresh
+        // arrivals carry the lowest vruntime and admit immediately);
+        // it shows up as a growing swapped set time-sharing the
+        // batch. Both are queued work awaiting GPU service.
+        sig.queueDepth = waiting.size() + swapped.size();
+        sig.queueDelaySec = oldestWaitingSec(now);
+        sig.freePoolFraction = freeFrac;
+        // Offload-path pressure: this GPU is reclaiming its own lease
+        // (producer role), or the backend recently executed a
+        // reclaim-driven evacuation off the donor (consumer role).
+        bool reclaiming = aquaLib && aquaLib->reclaimInProgress();
+        Tick lastEvac = backend.lastEvacuationAt();
+        bool recentEvac =
+            lastEvac != 0 &&
+            now < lastEvac + brownout->config().evacPressureWindow;
+        sig.reclaimPressure = reclaiming || recentEvac;
+        sig.linkHealth = server.topology().peerLink().degradation();
+        brownout->update(sig);
+    }
+    // The precision governor reads the same pressure view: quantize
+    // cold KV harder as the pool empties or the ladder climbs.
+    if (precisionGov) {
+        precisionGov->update(freeFrac,
+                             brownout
+                                 ? brownout->level()
+                                 : overload::BrownoutLevel::Normal,
+                             now);
+    }
 }
 
 void
@@ -1209,6 +1295,13 @@ VllmEngine::swapTarget()
     if (fallback && brownout && brownout->forceDramOffload())
         return *fallback;
     return backend;
+}
+
+model::KvPrecision
+VllmEngine::coldPrecision() const
+{
+    return precisionGov ? precisionGov->coldPrecision()
+                        : spec.kvPrecision;
 }
 
 double
@@ -1399,9 +1492,16 @@ VllmEngine::step()
             Tick t = perf.decodeStepTime(batch.size(), residentKv);
             // Borrowed leads are attended out of their home GPUs'
             // HBM: charge the peer-link read on top of the compute.
+            // Sparse attention touches only a fraction of the lead.
             if (remoteKv > 0) {
-                t += server.topology().peerTransferDuration(remoteKv);
-                prefixStats.remoteDecodeReadBytes += remoteKv;
+                std::uint64_t readKv = remoteKv;
+                if (cfg.sparseReadFraction < 1.0) {
+                    readKv = static_cast<std::uint64_t>(
+                        static_cast<double>(remoteKv) *
+                        cfg.sparseReadFraction);
+                }
+                t += server.topology().peerTransferDuration(readKv);
+                prefixStats.remoteDecodeReadBytes += readKv;
             }
             completion = server.gpu(myGpu).submitComputeAfter(
                 transfersDone, t);

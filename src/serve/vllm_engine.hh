@@ -29,6 +29,7 @@
 #include "model/perf_model.hh"
 #include "overload/admission.hh"
 #include "overload/brownout.hh"
+#include "overload/kv_precision_governor.hh"
 #include "serve/kv_cache.hh"
 #include "serve/lora_cache.hh"
 #include "serve/offload_backend.hh"
@@ -134,6 +135,30 @@ struct VllmEngineConfig
      * off.
      */
     std::optional<overload::BrownoutConfig> brownout;
+    /**
+     * Precision the KV cache is served at (QServe-style quantized KV).
+     * Scales block sizes, swap/park payloads, staging transfers and
+     * registry streams — smaller transfers land lower on the link
+     * bandwidth ramp — at the cost of a per-step dequant pass in the
+     * perf model. Fp16 (the default) is the exact pre-quantization
+     * behaviour.
+     */
+    model::KvPrecision kvPrecision = model::KvPrecision::Fp16;
+    /**
+     * Fraction of resident KV each decode step reads (sparse
+     * attention). Scales decode's KV memory traffic and the per-step
+     * peer-read charge of borrowed remote leads — which also raises
+     * the borrow-vs-copy crossover (clusterBorrowMaxBlocks is divided
+     * by this). 1.0 (default) = dense reads, exact legacy behaviour.
+     */
+    double sparseReadFraction = 1.0;
+    /**
+     * Pressure-driven cold-KV precision demotion
+     * (quantize-before-evict): under memory pressure, swap-out tails
+     * and parked sessions are quantized below the serving precision
+     * before leaving HBM. nullopt = off.
+     */
+    std::optional<overload::KvPrecisionGovernorConfig> precisionGovernor;
 };
 
 /** Sharing-path counters kept by the engine (all zero when off). */
@@ -326,6 +351,12 @@ class VllmEngine
     {
         return brownout.get();
     }
+    /** Cold-KV precision governor (null unless configured). */
+    const overload::KvPrecisionGovernor *
+    precisionGovernor() const
+    {
+        return precisionGov.get();
+    }
     /** Admission queue delay (admit - arrival, seconds) of every
      *  admitted request. */
     const stats::Summary &queueDelay() const { return queueDelays; }
@@ -396,6 +427,15 @@ class VllmEngine
     /** Backend a swap-out should target right now (the fallback when
      *  the circuit breaker is open). */
     OffloadBackend &swapTarget();
+
+    /** Precision KV leaving HBM is quantized to right now (the
+     *  serving precision unless the governor is demoting). */
+    model::KvPrecision coldPrecision() const;
+
+    /** The served ModelSpec with the config's KV precision applied
+     *  (run before perf/kv are constructed from it). */
+    static model::ModelSpec applyKvConfig(model::ModelSpec spec,
+                                          const VllmEngineConfig &cfg);
 
     /** Age of the oldest waiting request, seconds. */
     double oldestWaitingSec(aqua::sim::Tick now) const;
@@ -506,6 +546,9 @@ class VllmEngine
 
     std::unique_ptr<overload::AdmissionController> admission;
     std::unique_ptr<overload::BrownoutController> brownout;
+    std::unique_ptr<overload::KvPrecisionGovernor> precisionGov;
+    /** Precision each user's parked KV was stored at (tier path). */
+    std::map<std::uint64_t, model::KvPrecision> parkPrecisions;
 
     /** Weights + runtime overhead reservation. */
     std::optional<aqua::mem::Region> weightsRegion;

@@ -56,7 +56,8 @@ ParkAgent::parkedTokens(std::uint64_t sessionKey) const
 
 bool
 ParkAgent::beginResume(std::uint64_t sessionKey, Tick now,
-                       Tick prefillTime, ResumeCallback done)
+                       Tick prefillTime, ResumeCallback done,
+                       Tick streamOverhead)
 {
     auto it = sessions.find(sessionKey);
     if (it == sessions.end() || it->second.stream != 0)
@@ -64,9 +65,11 @@ ParkAgent::beginResume(std::uint64_t sessionKey, Tick now,
     std::uint64_t bytes = it->second.handle.bytes;
     // The crossover check sees the device as it is *now*: degradation
     // inflates the estimate (and failure forces recompute), so a
-    // mid-incident resume naturally falls back to re-prefilling.
+    // mid-incident resume naturally falls back to re-prefilling. A
+    // quantized parked copy streams fewer bytes but adds its dequant
+    // pass as streamOverhead.
     Tick estimate = pipe.estimate(bytes);
-    if (mgr.decideResume(estimate, prefillTime) ==
+    if (mgr.decideResume(estimate, prefillTime, streamOverhead) ==
         ResumeDecision::Recompute) {
         dropParked(sessionKey);
         return false;

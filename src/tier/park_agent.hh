@@ -53,8 +53,8 @@ class ParkAgent : public serve::SessionTier
               aqua::sim::Tick now) override;
     std::uint32_t parkedTokens(std::uint64_t sessionKey) const override;
     bool beginResume(std::uint64_t sessionKey, aqua::sim::Tick now,
-                     aqua::sim::Tick prefillTime,
-                     ResumeCallback done) override;
+                     aqua::sim::Tick prefillTime, ResumeCallback done,
+                     aqua::sim::Tick streamOverhead = 0) override;
     void cancelResume(std::uint64_t sessionKey) override;
 
     serve::OffloadBackend &demotionStore() override { return store; }

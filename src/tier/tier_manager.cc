@@ -133,10 +133,12 @@ TierManager::markPromoted(std::uint64_t key, Tick now)
 }
 
 ResumeDecision
-TierManager::decideResume(Tick streamEstimate, Tick prefillTime)
+TierManager::decideResume(Tick streamEstimate, Tick prefillTime,
+                          Tick streamOverhead)
 {
     bool stream = !ssd.failed() &&
-        static_cast<double>(streamEstimate) * cfg.resumeSafetyFactor <
+        static_cast<double>(streamEstimate + streamOverhead) *
+                cfg.resumeSafetyFactor <
             static_cast<double>(prefillTime);
     if (stream)
         ++counters.streamResumes;

@@ -129,11 +129,15 @@ class TierManager
 
     /**
      * Stream-vs-recompute crossover: stream when the device is
-     * healthy and streamEstimate * resumeSafetyFactor beats the
-     * roofline prefill time.
+     * healthy and (streamEstimate + streamOverhead) *
+     * resumeSafetyFactor beats the roofline prefill time.
+     * @p streamOverhead is post-arrival work the streamed copy still
+     * needs (e.g. dequantizing a quantized parked payload) — it makes
+     * quantized parks cheaper to move but not free to use.
      */
     ResumeDecision decideResume(aqua::sim::Tick streamEstimate,
-                                aqua::sim::Tick prefillTime);
+                                aqua::sim::Tick prefillTime,
+                                aqua::sim::Tick streamOverhead = 0);
 
   private:
     struct Item

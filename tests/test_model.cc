@@ -28,6 +28,38 @@ TEST(ModelSpec, KvBytesPerTokenGeometry)
               2u * 48 * 56 * 128 * 2); // 1376256, MHA
 }
 
+TEST(ModelSpec, KvBytesPerTokenAtEveryPrecision)
+{
+    // GQA presets, hand-computed geometry at each precision: the fp16
+    // count is 2 (K,V) x layers x kvHeads x headDim x 2 bytes, and
+    // fp8/int4 divide it exactly by 2/4 (no rounding residue).
+    ModelSpec mistral = mistral7b();
+    EXPECT_EQ(mistral.kvBytesPerTokenAt(KvPrecision::Fp16),
+              2u * 32 * 8 * 128 * 2); // 131072
+    EXPECT_EQ(mistral.kvBytesPerTokenAt(KvPrecision::Fp8), 65536u);
+    EXPECT_EQ(mistral.kvBytesPerTokenAt(KvPrecision::Int4), 32768u);
+
+    // Mixtral's KV geometry matches Mistral-7B (the experts multiply
+    // the FFN weights, not the attention cache).
+    ModelSpec mixtral = mixtral8x7b();
+    EXPECT_EQ(mixtral.kvBytesPerTokenAt(KvPrecision::Fp16), 131072u);
+    EXPECT_EQ(mixtral.kvBytesPerTokenAt(KvPrecision::Fp8), 65536u);
+    EXPECT_EQ(mixtral.kvBytesPerTokenAt(KvPrecision::Int4), 32768u);
+
+    ModelSpec code = codellama34b();
+    EXPECT_EQ(code.kvBytesPerTokenAt(KvPrecision::Fp16),
+              2u * 48 * 8 * 128 * 2); // 196608
+    EXPECT_EQ(code.kvBytesPerTokenAt(KvPrecision::Fp8), 98304u);
+    EXPECT_EQ(code.kvBytesPerTokenAt(KvPrecision::Int4), 49152u);
+
+    // kvBytesPerToken() follows the spec's configured precision, and
+    // every derived byte count scales with it.
+    EXPECT_EQ(mistral.kvPrecision, KvPrecision::Fp16);
+    mistral.kvPrecision = KvPrecision::Int4;
+    EXPECT_EQ(mistral.kvBytesPerToken(), 32768u);
+    EXPECT_EQ(mistral.kvBytes(100), 3276800u);
+}
+
 TEST(ModelSpec, WeightBytes)
 {
     EXPECT_EQ(opt30b().weightBytes(), std::uint64_t(60e9));

@@ -17,6 +17,8 @@
 #include <memory>
 
 #include "exp/testbed.hh"
+#include "model/model_spec.hh"
+#include "serve/kv_cache.hh"
 #include "serve/uvm_backend.hh"
 #include "tier/ssd_backend.hh"
 
@@ -174,6 +176,60 @@ TYPED_TEST(OffloadConformance, RespondStagedNameContract)
     EXPECT_EQ(this->backend->lastEvacuationAt(), Tick(0));
     // staged() is a pure capability flag; calling it must be safe.
     (void)this->backend->staged();
+}
+
+TYPED_TEST(OffloadConformance, QuantizedRoundTripMovesScaledBytes)
+{
+    // Non-fp16 contract: offloading a KV payload at fp8/int4 moves
+    // exactly the precision-scaled byte count — no rounding residue
+    // (the fp16 count is divisible by 4) — and the logical content
+    // signature the byte-identity checks compare is computed over
+    // token ids, so it is invariant under precision rescaling.
+    const model::ModelSpec spec = model::mistral7b();
+    constexpr std::uint64_t tokens = 4096;
+    const std::uint64_t fp16Bytes = spec.kvBytes(tokens);
+    serve::TokenFn tok = [](std::uint64_t i) { return i * 2654435761u; };
+    const std::uint64_t sigBefore =
+        serve::KvCache::contentSig(tok, 0, tokens);
+
+    Tick lastDuration = 0;
+    bool first = true;
+    for (model::KvPrecision p :
+         {model::KvPrecision::Fp16, model::KvPrecision::Fp8,
+          model::KvPrecision::Int4}) {
+        std::uint64_t scaled = model::scaleKvBytes(fp16Bytes, p);
+        EXPECT_EQ(scaled * model::kvPrecisionDivisor(p), fp16Bytes);
+        EXPECT_EQ(model::rescaleKvBytes(scaled, p,
+                                        model::KvPrecision::Fp16),
+                  fp16Bytes);
+
+        auto handle = this->backend->alloc(scaled);
+        ASSERT_TRUE(handle);
+        EXPECT_EQ(handle->bytes, scaled);
+        hw::TransferTiming w = this->backend->write(*handle, scaled, 4);
+        EXPECT_GE(w.complete, w.start);
+        hw::TransferTiming r =
+            this->backend->read(*handle, scaled, 4, w.complete);
+        EXPECT_GE(r.start, w.complete);
+        // Narrower KV is strictly cheaper to move on the link-based
+        // backends. Not on the SSD: with the chunk count fixed, a
+        // smaller payload means smaller per-chunk accesses, which land
+        // lower on the drive's sequential-vs-random ramp — quantizing
+        // can genuinely cost media time there. The repriced offload
+        // decisions must see that, so the contract only pins the
+        // direction where the ramp keeps it monotone.
+        Tick duration = w.complete - w.start;
+        if (!first && this->backend->name() != "ssd")
+            EXPECT_LT(duration, lastDuration);
+        lastDuration = duration;
+        first = false;
+        this->backend->free(*handle);
+
+        // The restore hands back the same logical tokens: the
+        // signature recomputed after the round trip matches.
+        EXPECT_EQ(serve::KvCache::contentSig(tok, 0, tokens),
+                  sigBefore);
+    }
 }
 
 TYPED_TEST(OffloadConformance, DegradedTransportSlowsTransfers)

@@ -43,4 +43,5 @@ if [[ "$bench_smoke" == 1 ]]; then
     "$build/bench/abl_overload" --smoke
     "$build/bench/abl_cluster_prefix" --smoke
     "$build/bench/abl_tiering" --smoke
+    "$build/bench/abl_kv_quant" --smoke
 fi
