@@ -31,7 +31,10 @@ AquaLib::AquaLib(hw::Server &server, hw::GpuId gpu,
                  std::unique_ptr<Informer> informer)
     : server(server), myGpu(gpu), service(service), cfg(config),
       policy(std::move(informer)),
-      engine(server, gpu, config.staging)
+      engine(server, gpu, config.staging),
+      jitterRng(config.jitterSeed ^
+                (0x9e3779b97f4a7c15ull *
+                 (static_cast<std::uint64_t>(gpu) + 1)))
 {
 }
 
@@ -84,7 +87,19 @@ AquaLib::tryCall(const std::string &route, Value body)
             return out;
         }
         ++counters.restRetries;
-        out.penalty += cfg.restBackoffBase << attempt;
+        Tick backoff = cfg.restBackoffBase << attempt;
+        if (cfg.retryJitter > 0.0) {
+            // Scale by a seeded uniform in [1-j, 1+j). The draw is
+            // skipped entirely at j == 0 so the stream — and with it
+            // every jitter-free trace — stays untouched.
+            double j = cfg.retryJitter;
+            double scale = 1.0 - j + 2.0 * j * jitterRng.uniform();
+            backoff = static_cast<Tick>(
+                static_cast<double>(backoff) * scale);
+            if (backoff == 0)
+                backoff = 1;
+        }
+        out.penalty += backoff;
     }
 }
 
@@ -329,6 +344,30 @@ AquaLib::executeOrder(const MigrationOrder &order)
             t.dramRegion.reset();
         }
     }
+    // End-to-end integrity: the payload's signature is verified on
+    // arrival. A hit means a link flipped bits in flight
+    // (payload_corrupt); the source still holds a good copy, so one
+    // retransmission over the same route repairs it.
+    if (topo.drawPayloadCorruption()) {
+        ++counters.corruptionsDetected;
+        Value det;
+        det["tensor"] = static_cast<std::int64_t>(order.tensor);
+        det["path"] = "migration";
+        traceEvent("corruption_detected", std::move(det));
+        hw::GpuId src = order.to.placement == Placement::HostDram
+                            ? order.from.gpu : hw::hostDramId;
+        hw::GpuId dst = order.to.placement == Placement::HostDram
+                            ? hw::hostDramId : order.to.gpu;
+        hw::TransferTiming redo = topo.copy(src, dst, order.bytes, {},
+                                            timing.complete);
+        timing.complete = redo.complete;
+        ++counters.corruptionsRepaired;
+        Value rep;
+        rep["tensor"] = static_cast<std::int64_t>(order.tensor);
+        rep["path"] = "migration";
+        traceEvent("corruption_repaired", std::move(rep));
+    }
+
     t.location = order.to;
     ++t.generation;
     ++counters.migrations;
@@ -449,6 +488,45 @@ void
 AquaLib::startHeartbeats(Tick until)
 {
     scheduleHeartbeat(until);
+}
+
+bool
+AquaLib::resyncWithCoordinator()
+{
+    if (failedFlag)
+        return false;
+    Value req;
+    req["gpu"] = myGpu;
+    if (donated && !reclaiming)
+        req["lease_bytes"] = static_cast<std::int64_t>(leaseBytes);
+    json::Array held;
+    for (const auto &[id, t] : tensors) {
+        Value e;
+        e["id"] = static_cast<std::int64_t>(id);
+        e["bytes"] = static_cast<std::int64_t>(t.bytes);
+        e["placement"] =
+            t.location.placement == Placement::PeerGpu ? "peer"
+                                                       : "dram";
+        e["gpu"] = t.location.gpu;
+        held.push_back(std::move(e));
+    }
+    req["tensors"] = std::move(held);
+    CallOutcome out = tryCall("POST /resync", std::move(req));
+    if (!out.resp.ok())
+        return false;
+    // The coordinator's tensor map now reflects this survivor's
+    // ground truth, including any migration whose ack was lost with
+    // the crash — pending re-deliveries would only confuse it.
+    unackedMoves.clear();
+    ++counters.resyncs;
+    Value ev;
+    ev["adopted"] = out.resp.body.getInt("adopted", 0);
+    ev["relocated"] = out.resp.body.getInt("relocated", 0);
+    ev["confirmed"] = out.resp.body.getInt("confirmed", 0);
+    ev["lease_adopted"] =
+        out.resp.body.getBool("lease_adopted", false);
+    traceEvent("resync", std::move(ev));
+    return true;
 }
 
 std::int64_t

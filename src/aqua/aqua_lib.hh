@@ -38,6 +38,7 @@
 #include "aqua/types.hh"
 #include "hw/server.hh"
 #include "mem/region_allocator.hh"
+#include "sim/random.hh"
 #include "sim/ticks.hh"
 #include "trace/trace.hh"
 
@@ -60,6 +61,16 @@ struct AquaLibConfig
      * by re-entering the event queue.
      */
     aqua::sim::Tick restBackoffBase = 500 * aqua::sim::nsPerUs;
+    /**
+     * Retry-backoff jitter fraction in [0, 1): each backoff is scaled
+     * by a seeded uniform draw in [1-j, 1+j), decorrelating the retry
+     * storms of many instances hammering a recovering coordinator. 0
+     * (the default) skips the draw entirely, so jitter-free runs stay
+     * bit-identical to pre-jitter traces.
+     */
+    double retryJitter = 0.0;
+    /** Seed of the jitter stream (mixed with the GPU id). */
+    std::uint64_t jitterSeed = 0;
     /** Producer heartbeat period (startHeartbeats()). */
     aqua::sim::Tick heartbeatInterval = 5 * aqua::sim::nsPerMs;
     /**
@@ -95,6 +106,12 @@ struct AquaLibStats
     std::uint64_t prefixCalls = 0;
     /** Bytes of home-chain KV streamed in from peer GPUs. */
     std::uint64_t prefixRemoteReadBytes = 0;
+    /** Successful /resync round trips after a coordinator restart. */
+    std::uint64_t resyncs = 0;
+    /** Migration payloads whose signature check failed on arrival. */
+    std::uint64_t corruptionsDetected = 0;
+    /** Detected corruptions repaired by retransmission. */
+    std::uint64_t corruptionsRepaired = 0;
 };
 
 /**
@@ -347,6 +364,18 @@ class AquaLib
      */
     void startHeartbeats(aqua::sim::Tick until);
 
+    /**
+     * Re-assert this instance's ground truth to a freshly restarted
+     * coordinator (POST /resync): the lease it still holds and every
+     * tensor it owns, at the location the *survivor* believes. The
+     * coordinator adopts records its replayed journal lost and clears
+     * stale in-flight migration state, so pending /done_moving acks
+     * are dropped as moot.
+     *
+     * @return false when the coordinator stayed unreachable.
+     */
+    bool resyncWithCoordinator();
+
   private:
     struct TensorRec
     {
@@ -426,6 +455,9 @@ class AquaLib
 
     /** Software-dead flag (fault injection). */
     bool failedFlag = false;
+    /** Seeded backoff-jitter stream (see AquaLibConfig::retryJitter);
+     *  never advanced while the jitter fraction is 0. */
+    aqua::sim::Random jitterRng;
     /** /done_moving acks that failed delivery; re-sent by respond(). */
     std::vector<MigrationOrder> unackedMoves;
 

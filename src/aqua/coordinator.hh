@@ -26,7 +26,12 @@
 
 #include "aqua/types.hh"
 #include "hw/gpu.hh"
+#include "json/json.hh"
 #include "sim/ticks.hh"
+
+namespace aqua::recovery {
+class StateJournal;
+} // namespace aqua::recovery
 
 namespace aqua::core {
 
@@ -239,6 +244,91 @@ class Coordinator
     std::uint64_t bytesOnProducers() const;
     std::uint64_t bytesInDram() const;
 
+    //
+    // Crash recovery (src/recovery). Every durable mutation is written
+    // through the attached journal; a cold restart restores the
+    // snapshot, replays the pending tail, then reconciles against
+    // survivor resync reports.
+    //
+
+    /** Attach (or detach, with nullptr) the write-ahead journal. */
+    void attachJournal(aqua::recovery::StateJournal *j);
+
+    /** Full-state export, suitable as a journal snapshot. */
+    json::Value exportState() const;
+
+    /** Drop all state; the coordinator restarts cold. The attached
+     *  journal and its contents survive (they are the durable media). */
+    void reset();
+
+    /** Restore a full-state export taken by exportState(). */
+    void restoreState(const json::Value &snapshot);
+
+    /** Re-apply one journaled mutation (replay; never re-journaled). */
+    void applyJournalRecord(const std::string &op,
+                            const json::Value &fields);
+
+    /** One tensor a survivor reports holding, with where it lives. */
+    struct SurvivorTensor
+    {
+        TensorId id = invalidTensor;
+        std::uint64_t bytes = 0;
+        Location location;
+    };
+
+    struct ResyncSummary
+    {
+        /** Tensors the journal had lost; re-created from the report. */
+        std::size_t adopted = 0;
+        /** Tensors whose journaled location disagreed; survivor wins. */
+        std::size_t relocated = 0;
+        /** Tensors the journal already agreed on. */
+        std::size_t confirmed = 0;
+        /** Lease bytes raised to match the survivor's view. */
+        bool leaseAdopted = false;
+    };
+
+    /**
+     * /resync: one survivor re-asserts its state after a coordinator
+     * restart. The survivor is ground truth — it physically holds the
+     * bytes — so unknown tensors are adopted, disagreeing locations
+     * corrected, and any journaled in-flight migration for a reported
+     * tensor cleared (the survivor re-drives it via /respond).
+     * @p leaseBytes re-asserts a donor lease (producers report it;
+     * pure consumers pass nullopt).
+     */
+    ResyncSummary resync(hw::GpuId gpu,
+                         std::optional<std::uint64_t> leaseBytes,
+                         const std::vector<SurvivorTensor> &held,
+                         aqua::sim::Tick now);
+
+    struct OrphanSweep
+    {
+        /** Tensors of non-reporting consumers, journaled as lost. */
+        std::size_t droppedTensors = 0;
+        std::uint64_t droppedBytes = 0;
+        /** Producers that never resynced; leases marked dead. */
+        std::size_t deadProducers = 0;
+    };
+
+    /**
+     * After every survivor resynced, drop state owned by GPUs that
+     * never reported: their tensors are journaled-lost (the consumer
+     * recomputes on return) and their leases marked dead so resident
+     * tensors evacuate as emergencies.
+     */
+    OrphanSweep sweepOrphans(const std::vector<hw::GpuId> &reporters,
+                             aqua::sim::Tick now);
+
+    /**
+     * Global safety audit: per-producer used-byte accounting must
+     * equal the sum of resident + inbound-migrating tensor bytes, no
+     * tensor may sit on an unknown producer, and no lease may be
+     * oversubscribed (double-granted). Returns human-readable
+     * violations; empty = consistent.
+     */
+    std::vector<std::string> auditInvariants() const;
+
   private:
     struct TensorState
     {
@@ -252,6 +342,12 @@ class Coordinator
 
     Allocation allocateLocked(hw::GpuId consumer, std::uint64_t bytes);
     std::vector<hw::GpuId> expireLeasesLocked(aqua::sim::Tick now);
+    void applyJournalRecordLocked(const std::string &op,
+                                  const json::Value &fields);
+    /** Journal one mutation (no-op without an attached journal). */
+    void jlog(const char *op, json::Value fields);
+    json::Value exportStateLocked() const;
+    void eraseTensorLocked(TensorId id);
 
     mutable std::mutex mtx;
     TensorId nextTensor = 1;
@@ -260,6 +356,7 @@ class Coordinator
     std::map<hw::GpuId, ProducerState> producers;
     std::map<hw::GpuId, hw::GpuId> assignments;
     std::map<TensorId, TensorState> tensors;
+    aqua::recovery::StateJournal *journal = nullptr;
 };
 
 } // namespace aqua::core

@@ -277,6 +277,39 @@ CoordinatorRestService::CoordinatorRestService(Coordinator &coordinator)
         return badRequest("release_lease: unreachable");
     });
 
+    _router.route("POST /resync", [this](const Value &req) {
+        std::int64_t gpu = req.getInt("gpu", hw::hostDramId);
+        if (gpu < 0)
+            return badRequest("resync needs gpu");
+        std::optional<std::uint64_t> leaseBytes;
+        if (const Value *lb = req.find("lease_bytes"))
+            leaseBytes = static_cast<std::uint64_t>(lb->asInt());
+        std::vector<Coordinator::SurvivorTensor> held;
+        if (const Value *arr = req.find("tensors")) {
+            for (const Value &e : arr->asArray()) {
+                Coordinator::SurvivorTensor st;
+                st.id = static_cast<TensorId>(e.getInt("id", 0));
+                st.bytes =
+                    static_cast<std::uint64_t>(e.getInt("bytes", 0));
+                if (e.getString("placement", "dram") == "peer") {
+                    st.location.placement = Placement::PeerGpu;
+                    st.location.gpu = static_cast<hw::GpuId>(
+                        e.getInt("gpu", hw::hostDramId));
+                }
+                held.push_back(st);
+            }
+        }
+        Coordinator::ResyncSummary sum =
+            coord.resync(static_cast<hw::GpuId>(gpu), leaseBytes,
+                         held, bodyNow(req));
+        Value body;
+        body["adopted"] = static_cast<std::uint64_t>(sum.adopted);
+        body["relocated"] = static_cast<std::uint64_t>(sum.relocated);
+        body["confirmed"] = static_cast<std::uint64_t>(sum.confirmed);
+        body["lease_adopted"] = sum.leaseAdopted;
+        return okBody(std::move(body));
+    });
+
     _router.route("POST /assign", [this](const Value &req) {
         std::int64_t consumer = req.getInt("consumer", hw::hostDramId);
         std::int64_t producer = req.getInt("producer", hw::hostDramId);

@@ -145,6 +145,11 @@ class RestRouter
  *  - POST /release_lease    {"gpu": id}
  *        409 while tensors still occupy the lease
  *  - POST /assign           {"consumer": id, "producer": id}
+ *  - POST /resync           {"gpu": id, "lease_bytes"?: n,
+ *                            "tensors": [{"id", "bytes",
+ *                                         "placement", "gpu"}]}
+ *        survivor re-asserts held state after a coordinator restart
+ *        -> {"adopted", "relocated", "confirmed", "lease_adopted"}
  */
 class CoordinatorRestService
 {

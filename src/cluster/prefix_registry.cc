@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "recovery/state_journal.hh"
+#include "sim/logging.hh"
+
 namespace aqua::cluster {
 
 using aqua::sim::Tick;
@@ -10,6 +13,13 @@ bool
 PrefixRegistry::gpuAlive(hw::GpuId gpu) const
 {
     return !alive || alive(gpu);
+}
+
+void
+PrefixRegistry::jlog(const char *op, json::Value fields)
+{
+    if (journal)
+        journal->append(op, std::move(fields));
 }
 
 void
@@ -54,6 +64,15 @@ PrefixRegistry::publish(hw::GpuId gpu, std::uint64_t key,
         chain.home = gpu;
         chain.publishers = 1;
         traceChain(now, "registry_home", chain);
+        json::Value f;
+        f["key"] = key;
+        f["verify"] = verify;
+        f["blocks"] = blocks;
+        f["tokens"] = tokens;
+        f["bytes"] = bytes;
+        f["chain_sig"] = chainSig;
+        f["home"] = gpu;
+        jlog("home", std::move(f));
         chains.emplace(key, std::move(chain));
         return {PublishRole::Home, gpu};
     }
@@ -69,6 +88,10 @@ PrefixRegistry::publish(hw::GpuId gpu, std::uint64_t key,
         chain.replicas.push_back(gpu);
         ++chain.publishers;
         ++counters.replicaPublishes;
+        json::Value f;
+        f["key"] = key;
+        f["gpu"] = gpu;
+        jlog("replica", std::move(f));
     }
     return {PublishRole::Replica, chain.home};
 }
@@ -140,6 +163,11 @@ PrefixRegistry::pin(hw::GpuId consumer, std::uint64_t key,
     chain.pins.emplace(id, consumer);
     pinChain.emplace(id, chain.key);
     ++counters.pins;
+    json::Value f;
+    f["pin"] = id;
+    f["key"] = chain.key;
+    f["gpu"] = consumer;
+    jlog("pin", std::move(f));
     return {true, id, chain.home};
 }
 
@@ -153,6 +181,9 @@ PrefixRegistry::unpin(std::uint64_t pin, Tick now)
     std::uint64_t key = ref->second;
     pinChain.erase(ref);
     ++counters.unpins;
+    json::Value f;
+    f["pin"] = pin;
+    jlog("unpin", std::move(f));
     auto it = chains.find(key);
     if (it == chains.end())
         return;
@@ -193,12 +224,19 @@ PrefixRegistry::promoteOrInvalidate(Chain &chain, Tick now)
         ++counters.promotions;
         traceChain(now, "registry_promote", chain);
         traceChain(now, "registry_home", chain);
+        json::Value f;
+        f["key"] = chain.key;
+        f["home"] = next;
+        jlog("promote", std::move(f));
         return true;
     }
     ++counters.invalidations;
     traceChain(now, "registry_unhome", chain);
     traceChain(now, "registry_invalidate", chain);
     std::uint64_t key = chain.key;
+    json::Value f;
+    f["key"] = key;
+    jlog("invalidate", std::move(f));
     chains.erase(key);
     return false;
 }
@@ -218,6 +256,10 @@ PrefixRegistry::evictNotify(hw::GpuId gpu, std::uint64_t key,
         if (pos != chain.replicas.end()) {
             chain.replicas.erase(pos);
             --chain.publishers;
+            json::Value f;
+            f["key"] = chain.key;
+            f["gpu"] = gpu;
+            jlog("replica_drop", std::move(f));
         }
         return EvictAction::Ignored;
     }
@@ -246,6 +288,9 @@ PrefixRegistry::onGpuFailed(hw::GpuId gpu, Tick now)
         std::uint64_t key = ref->second;
         pinChain.erase(ref);
         ++counters.brokenPins;
+        json::Value jf;
+        jf["pin"] = id;
+        jlog("unpin", std::move(jf));
         auto it = chains.find(key);
         if (it == chains.end())
             continue;
@@ -265,6 +310,10 @@ PrefixRegistry::onGpuFailed(hw::GpuId gpu, Tick now)
         if (pos != chain.replicas.end()) {
             chain.replicas.erase(pos);
             --chain.publishers;
+            json::Value f;
+            f["key"] = key;
+            f["gpu"] = gpu;
+            jlog("replica_drop", std::move(f));
         }
         if (chain.home == gpu)
             homed.push_back(key);
@@ -321,6 +370,269 @@ PrefixRegistry::chainRefs(std::uint64_t key) const
         return 0;
     return it->second.publishers +
            static_cast<std::uint32_t>(it->second.pins.size());
+}
+
+//
+// Crash recovery.
+//
+
+void
+PrefixRegistry::attachJournal(aqua::recovery::StateJournal *j)
+{
+    journal = j;
+    if (journal)
+        journal->setSnapshotProvider([this] { return exportState(); });
+}
+
+json::Value
+PrefixRegistry::exportState() const
+{
+    json::Value v;
+    v["next_pin"] = nextPin;
+    json::Array arr;
+    // Deterministic snapshot order despite the unordered map: sort by
+    // key so twin runs produce byte-identical journals.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(chains.size());
+    for (const auto &[key, chain] : chains)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t key : keys) {
+        const Chain &c = chains.at(key);
+        json::Value e;
+        e["key"] = c.key;
+        e["verify"] = c.verify;
+        e["blocks"] = c.blocks;
+        e["tokens"] = c.tokens;
+        e["bytes"] = c.bytes;
+        e["chain_sig"] = c.chainSig;
+        e["home"] = c.home;
+        e["publishers"] = c.publishers;
+        json::Array reps;
+        for (hw::GpuId r : c.replicas)
+            reps.push_back(json::Value(r));
+        e["replicas"] = json::Value(std::move(reps));
+        json::Array pins;
+        for (const auto &[id, consumer] : c.pins) {
+            json::Value p;
+            p["id"] = id;
+            p["gpu"] = consumer;
+            pins.push_back(std::move(p));
+        }
+        e["pins"] = json::Value(std::move(pins));
+        arr.push_back(std::move(e));
+    }
+    v["chains"] = json::Value(std::move(arr));
+    return v;
+}
+
+void
+PrefixRegistry::reset()
+{
+    chains.clear();
+    pinChain.clear();
+    nextPin = 1;
+}
+
+void
+PrefixRegistry::restoreState(const json::Value &snapshot)
+{
+    nextPin = static_cast<std::uint64_t>(
+        snapshot.getInt("next_pin", 1));
+    if (const json::Value *arr = snapshot.find("chains")) {
+        for (const json::Value &e : arr->asArray()) {
+            Chain c;
+            c.key = static_cast<std::uint64_t>(e.getInt("key", 0));
+            c.verify =
+                static_cast<std::uint64_t>(e.getInt("verify", 0));
+            c.blocks =
+                static_cast<std::uint32_t>(e.getInt("blocks", 0));
+            c.tokens =
+                static_cast<std::uint64_t>(e.getInt("tokens", 0));
+            c.bytes = static_cast<std::uint64_t>(e.getInt("bytes", 0));
+            c.chainSig =
+                static_cast<std::uint64_t>(e.getInt("chain_sig", 0));
+            c.home = static_cast<hw::GpuId>(e.getInt("home", 0));
+            c.publishers =
+                static_cast<std::uint32_t>(e.getInt("publishers", 1));
+            if (const json::Value *reps = e.find("replicas"))
+                for (const json::Value &r : reps->asArray())
+                    c.replicas.push_back(
+                        static_cast<hw::GpuId>(r.asInt()));
+            if (const json::Value *pins = e.find("pins")) {
+                for (const json::Value &p : pins->asArray()) {
+                    std::uint64_t id = static_cast<std::uint64_t>(
+                        p.getInt("id", 0));
+                    c.pins.emplace(id, static_cast<hw::GpuId>(
+                                           p.getInt("gpu", 0)));
+                    pinChain.emplace(id, c.key);
+                }
+            }
+            chains.emplace(c.key, std::move(c));
+        }
+    }
+}
+
+void
+PrefixRegistry::applyJournalRecord(const std::string &op,
+                                   const json::Value &f)
+{
+    std::uint64_t key = static_cast<std::uint64_t>(f.getInt("key", 0));
+    if (op == "home") {
+        Chain c;
+        c.key = key;
+        c.verify = static_cast<std::uint64_t>(f.getInt("verify", 0));
+        c.blocks = static_cast<std::uint32_t>(f.getInt("blocks", 0));
+        c.tokens = static_cast<std::uint64_t>(f.getInt("tokens", 0));
+        c.bytes = static_cast<std::uint64_t>(f.getInt("bytes", 0));
+        c.chainSig =
+            static_cast<std::uint64_t>(f.getInt("chain_sig", 0));
+        c.home = static_cast<hw::GpuId>(f.getInt("home", 0));
+        c.publishers = 1;
+        chains[key] = std::move(c);
+    } else if (op == "replica") {
+        auto it = chains.find(key);
+        if (it != chains.end()) {
+            it->second.replicas.push_back(
+                static_cast<hw::GpuId>(f.getInt("gpu", 0)));
+            ++it->second.publishers;
+        }
+    } else if (op == "replica_drop") {
+        auto it = chains.find(key);
+        if (it != chains.end()) {
+            Chain &c = it->second;
+            auto pos = std::find(
+                c.replicas.begin(), c.replicas.end(),
+                static_cast<hw::GpuId>(f.getInt("gpu", 0)));
+            if (pos != c.replicas.end()) {
+                c.replicas.erase(pos);
+                --c.publishers;
+            }
+        }
+    } else if (op == "promote") {
+        auto it = chains.find(key);
+        if (it != chains.end()) {
+            Chain &c = it->second;
+            breakPins(c);
+            // Live promotion pops (and discards) replicas from the
+            // front until one accepts; replay replicates that walk.
+            hw::GpuId home =
+                static_cast<hw::GpuId>(f.getInt("home", 0));
+            while (!c.replicas.empty()) {
+                hw::GpuId next = c.replicas.front();
+                c.replicas.erase(c.replicas.begin());
+                --c.publishers;
+                if (next == home)
+                    break;
+            }
+            c.home = home;
+        }
+    } else if (op == "invalidate") {
+        auto it = chains.find(key);
+        if (it != chains.end()) {
+            breakPins(it->second);
+            chains.erase(it);
+        }
+    } else if (op == "pin") {
+        auto it = chains.find(key);
+        std::uint64_t id =
+            static_cast<std::uint64_t>(f.getInt("pin", 0));
+        if (it != chains.end()) {
+            it->second.pins.emplace(
+                id, static_cast<hw::GpuId>(f.getInt("gpu", 0)));
+            pinChain.emplace(id, key);
+        }
+        nextPin = std::max(nextPin, id + 1);
+    } else if (op == "unpin") {
+        std::uint64_t id =
+            static_cast<std::uint64_t>(f.getInt("pin", 0));
+        auto ref = pinChain.find(id);
+        if (ref != pinChain.end()) {
+            auto it = chains.find(ref->second);
+            if (it != chains.end())
+                it->second.pins.erase(id);
+            pinChain.erase(ref);
+        }
+    } else {
+        aqua::sim::panic(
+            "PrefixRegistry::applyJournalRecord: unknown op '%s'",
+            op.c_str());
+    }
+}
+
+PrefixRegistry::ResyncSummary
+PrefixRegistry::resyncSurvivors(Tick now)
+{
+    ResyncSummary out;
+    std::vector<std::uint64_t> keys;
+    keys.reserve(chains.size());
+    for (const auto &[key, chain] : chains)
+        keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (std::uint64_t key : keys) {
+        auto it = chains.find(key);
+        if (it == chains.end())
+            continue; // erased by an earlier invalidation
+        Chain &chain = it->second;
+        bool confirmed = false;
+        if (gpuAlive(chain.home)) {
+            auto agent = agents.find(chain.home);
+            if (agent != agents.end()) {
+                // Residency probe: releasing a pin the engine does not
+                // hold is a no-op, so the (false) call answers "is the
+                // chain still resident" without perturbing engine pin
+                // counts — and reconciles away any engine-side pin
+                // whose journal record was lost with the crash. The
+                // journaled pin state is then re-asserted exactly
+                // once. A refusal means the chain was evicted inside
+                // the crash window.
+                confirmed = agent->second.setPinned(chain.key, false);
+                if (confirmed && !chain.pins.empty())
+                    confirmed =
+                        agent->second.setPinned(chain.key, true);
+            }
+        }
+        if (confirmed) {
+            ++out.verified;
+            continue;
+        }
+        if (promoteOrInvalidate(chain, now))
+            ++out.rehomed;
+        else
+            ++out.invalidated;
+    }
+    return out;
+}
+
+std::vector<std::string>
+PrefixRegistry::auditInvariants() const
+{
+    std::vector<std::string> violations;
+    for (const auto &[key, chain] : chains) {
+        if (chain.pins.empty())
+            continue;
+        if (!gpuAlive(chain.home))
+            violations.push_back(
+                "chain " + std::to_string(key) + " has " +
+                std::to_string(chain.pins.size()) +
+                " active pins but its home gpu" +
+                std::to_string(chain.home) + " is dead");
+        else if (agents.find(chain.home) == agents.end())
+            violations.push_back(
+                "chain " + std::to_string(key) +
+                " has active pins but no agent for home gpu" +
+                std::to_string(chain.home));
+    }
+    for (const auto &[id, key] : pinChain) {
+        auto it = chains.find(key);
+        if (it == chains.end() ||
+            it->second.pins.find(id) == it->second.pins.end())
+            violations.push_back("pin " + std::to_string(id) +
+                                 " dangles: chain " +
+                                 std::to_string(key) +
+                                 " no longer tracks it");
+    }
+    return violations;
 }
 
 } // namespace aqua::cluster

@@ -27,8 +27,13 @@
 #include <vector>
 
 #include "hw/gpu.hh"
+#include "json/json.hh"
 #include "sim/simulation.hh"
 #include "trace/trace.hh"
+
+namespace aqua::recovery {
+class StateJournal;
+} // namespace aqua::recovery
 
 namespace aqua::cluster {
 
@@ -213,6 +218,61 @@ class PrefixRegistry
     /** Cluster-wide publish refcount of a chain (0 = unknown). */
     std::uint32_t chainRefs(std::uint64_t key) const;
 
+    //
+    // Crash recovery (src/recovery).
+    //
+
+    /** Attach (or detach, with nullptr) the write-ahead journal. */
+    void attachJournal(aqua::recovery::StateJournal *j);
+
+    /** Full-state export, suitable as a journal snapshot. */
+    json::Value exportState() const;
+
+    /** Drop all chain/pin state; agents, liveness oracle, tracer and
+     *  stats counters survive (they are process-local wiring). */
+    void reset();
+
+    /** Restore a full-state export taken by exportState(). */
+    void restoreState(const json::Value &snapshot);
+
+    /** Re-apply one journaled mutation (replay; never re-journaled). */
+    void applyJournalRecord(const std::string &op,
+                            const json::Value &fields);
+
+    /**
+     * Freeze mutating REST traffic while a resync is in flight:
+     * registry_rest maps a frozen registry to a retryable 503, so
+     * engine evictNotify/publish calls racing the coordinator restart
+     * back off instead of mutating half-restored state.
+     */
+    void setFrozen(bool f) { frozenFlag = f; }
+    bool frozen() const { return frozenFlag; }
+
+    struct ResyncSummary
+    {
+        /** Chains whose home re-confirmed residency. */
+        std::size_t verified = 0;
+        /** Orphaned homes promoted from a replica (Harvest-style). */
+        std::size_t rehomed = 0;
+        /** Chains with no surviving copy; consumers recompute. */
+        std::size_t invalidated = 0;
+    };
+
+    /**
+     * After journal replay, re-verify every chain against the engines
+     * that survived: each home must re-confirm residency (re-asserting
+     * its pin state); homes that vanished with the crash window are
+     * promoted from a replica or invalidated to recompute.
+     */
+    ResyncSummary resyncSurvivors(aqua::sim::Tick now);
+
+    /**
+     * Pin-residency audit for the chaos harness: every chain with
+     * active pins must have a live, registered home. Returns
+     * human-readable violations; empty = consistent.
+     */
+    std::vector<std::string> auditInvariants() const;
+
   private:
     struct Chain
     {
@@ -238,6 +298,8 @@ class PrefixRegistry
     void breakPins(Chain &chain);
     void traceChain(aqua::sim::Tick now, const char *category,
                     const Chain &chain);
+    /** Journal one mutation (no-op without an attached journal). */
+    void jlog(const char *op, json::Value fields);
 
     std::unordered_map<std::uint64_t, Chain> chains;
     std::unordered_map<std::uint64_t, std::uint64_t> pinChain;
@@ -247,6 +309,8 @@ class PrefixRegistry
     std::uint64_t keyMask = ~0ull;
     std::uint64_t nextPin = 1;
     PrefixRegistryStats counters;
+    aqua::recovery::StateJournal *journal = nullptr;
+    bool frozenFlag = false;
 };
 
 } // namespace aqua::cluster

@@ -28,6 +28,23 @@ okBody(json::Object body)
     return r;
 }
 
+/**
+ * While the registry resyncs after a coordinator crash its chain maps
+ * are half-restored; mutating them (an evictNotify racing teardown
+ * used to trip internal asserts) must fail *retryably* so AquaLib's
+ * backoff re-delivers once recovery completes.
+ */
+RestResponse
+resyncing()
+{
+    RestResponse r;
+    r.status = RestStatus::ServiceUnavailable;
+    json::Object out;
+    out["error"] = "registry resyncing after coordinator restart";
+    r.body = json::Value(std::move(out));
+    return r;
+}
+
 } // anonymous namespace
 
 const char *
@@ -58,6 +75,8 @@ bindClusterRoutes(core::RestRouter &router, PrefixRegistry &registry)
     router.route(
         "POST /prefix/publish",
         [&registry](const json::Value &body) {
+            if (registry.frozen())
+                return resyncing();
             PublishResult res = registry.publish(
                 static_cast<hw::GpuId>(body.getInt("gpu", -1)),
                 asU64(body, "key"), asU64(body, "verify"),
@@ -107,6 +126,8 @@ bindClusterRoutes(core::RestRouter &router, PrefixRegistry &registry)
     router.route(
         "POST /prefix/pin",
         [&registry](const json::Value &body) {
+            if (registry.frozen())
+                return resyncing();
             PinResult res = registry.pin(
                 static_cast<hw::GpuId>(body.getInt("gpu", -1)),
                 asU64(body, "key"), asU64(body, "verify"),
@@ -127,6 +148,8 @@ bindClusterRoutes(core::RestRouter &router, PrefixRegistry &registry)
 
     router.route("POST /prefix/unpin",
                  [&registry](const json::Value &body) {
+                     if (registry.frozen())
+                         return resyncing();
                      registry.unpin(asU64(body, "pin"),
                                     bodyNow(body));
                      return okBody({});
@@ -135,6 +158,8 @@ bindClusterRoutes(core::RestRouter &router, PrefixRegistry &registry)
     router.route(
         "POST /prefix/evict_notify",
         [&registry](const json::Value &body) {
+            if (registry.frozen())
+                return resyncing();
             EvictAction action = registry.evictNotify(
                 static_cast<hw::GpuId>(body.getInt("gpu", -1)),
                 asU64(body, "key"), asU64(body, "verify"),

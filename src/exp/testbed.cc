@@ -73,4 +73,22 @@ Testbed::makePrefixRegistry()
     return *registry;
 }
 
+recovery::RecoveryManager &
+Testbed::makeRecovery()
+{
+    if (!recoveryMgr) {
+        coordJournal = std::make_unique<recovery::StateJournal>();
+        recoveryMgr = std::make_unique<recovery::RecoveryManager>(
+            *simulation, coord, *coordJournal);
+        if (registry) {
+            registryJournal =
+                std::make_unique<recovery::StateJournal>();
+            recoveryMgr->attachRegistry(*registry, *registryJournal);
+        }
+    }
+    for (; survivorsRegistered < libs.size(); ++survivorsRegistered)
+        recoveryMgr->registerSurvivor(*libs[survivorsRegistered]);
+    return *recoveryMgr;
+}
+
 } // namespace aqua::exp

@@ -19,6 +19,8 @@
 #include "aqua/rest.hh"
 #include "cluster/prefix_registry.hh"
 #include "hw/server.hh"
+#include "recovery/recovery_manager.hh"
+#include "recovery/state_journal.hh"
 #include "serve/offload_backend.hh"
 #include "sim/simulation.hh"
 #include "tier/ssd_backend.hh"
@@ -80,6 +82,32 @@ class Testbed
      */
     cluster::PrefixRegistry &makePrefixRegistry();
 
+    /**
+     * Create (and own) the crash-recovery stack: one StateJournal for
+     * the coordinator (and one for the prefix registry when
+     * makePrefixRegistry() was called first) plus the RecoveryManager
+     * that replays them after a coordinator_crash fault. Every
+     * AquaLib created so far — and any created later this call is
+     * repeated after — is registered as a resync survivor on the
+     * first call. Idempotent: repeat calls return the same instance
+     * (and register any libs created since).
+     */
+    recovery::RecoveryManager &makeRecovery();
+
+    /** The coordinator's journal once makeRecovery() ran; else null.
+     *  Benches compact it to model a flushed steady-state checkpoint. */
+    recovery::StateJournal *coordinatorJournal()
+    {
+        return coordJournal.get();
+    }
+
+    /** The prefix registry's journal once makeRecovery() attached it
+     *  (makePrefixRegistry() first); else null. */
+    recovery::StateJournal *prefixRegistryJournal()
+    {
+        return registryJournal.get();
+    }
+
   private:
     std::unique_ptr<aqua::sim::Simulation> simulation;
     std::unique_ptr<hw::Server> srv;
@@ -88,6 +116,11 @@ class Testbed
     std::unique_ptr<cluster::PrefixRegistry> registry;
     std::vector<std::unique_ptr<core::AquaLib>> libs;
     std::vector<std::unique_ptr<serve::OffloadBackend>> backends;
+    std::unique_ptr<recovery::StateJournal> coordJournal;
+    std::unique_ptr<recovery::StateJournal> registryJournal;
+    std::unique_ptr<recovery::RecoveryManager> recoveryMgr;
+    /** Libs already registered as resync survivors. */
+    std::size_t survivorsRegistered = 0;
 };
 
 /**

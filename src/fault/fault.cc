@@ -29,6 +29,12 @@ faultKindName(FaultKind kind)
         return "ssd_degrade";
       case FaultKind::SsdFail:
         return "ssd_fail";
+      case FaultKind::CoordinatorCrash:
+        return "coordinator_crash";
+      case FaultKind::PayloadCorrupt:
+        return "payload_corrupt";
+      case FaultKind::SsdBitrot:
+        return "ssd_bitrot";
     }
     return "unknown";
 }
@@ -40,7 +46,8 @@ faultKindFromName(const std::string &name)
          {FaultKind::GpuFail, FaultKind::LinkDegrade,
           FaultKind::CoordinatorOutage, FaultKind::MessageDrop,
           FaultKind::MessageDelay, FaultKind::SsdDegrade,
-          FaultKind::SsdFail}) {
+          FaultKind::SsdFail, FaultKind::CoordinatorCrash,
+          FaultKind::PayloadCorrupt, FaultKind::SsdBitrot}) {
         if (name == faultKindName(kind))
             return kind;
     }
@@ -76,6 +83,13 @@ FaultSpec::toJson() const
         v["factor"] = factor;
         break;
       case FaultKind::SsdFail:
+        break;
+      case FaultKind::CoordinatorCrash:
+        v["lose_tail"] = static_cast<std::int64_t>(loseTail);
+        break;
+      case FaultKind::PayloadCorrupt:
+      case FaultKind::SsdBitrot:
+        v["probability"] = probability;
         break;
     }
     return v;
@@ -208,6 +222,33 @@ FaultPlan::fromJson(const Value &v)
           case FaultKind::SsdFail:
             // Like gpu_fail, duration 0 = the drive never comes back.
             break;
+          case FaultKind::CoordinatorCrash:
+            // The restart is the interesting part: a crash that never
+            // recovers is just a permanent outage.
+            if (f.duration == 0)
+                return parseError(
+                    at + ": coordinator_crash needs duration_ns");
+            f.loseTail = static_cast<std::uint32_t>(
+                entry.getInt("lose_tail", 0));
+            break;
+          case FaultKind::PayloadCorrupt:
+            f.probability = entry.getDouble("probability", 1.0);
+            if (f.probability <= 0.0 || f.probability > 1.0)
+                return parseError(at +
+                                  ": probability must be in (0, 1]");
+            if (f.duration == 0)
+                return parseError(
+                    at + ": payload_corrupt needs duration_ns");
+            break;
+          case FaultKind::SsdBitrot:
+            f.probability = entry.getDouble("probability", 1.0);
+            if (f.probability <= 0.0 || f.probability > 1.0)
+                return parseError(at +
+                                  ": probability must be in (0, 1]");
+            if (f.duration == 0)
+                return parseError(at +
+                                  ": ssd_bitrot needs duration_ns");
+            break;
         }
         out.faults.push_back(f);
     }
@@ -301,6 +342,34 @@ FaultPlan::random(std::uint64_t seed, const ChaosConfig &cfg)
         f.at = when();
         f.duration = length(cfg.meanDelayTime);
         f.delay = cfg.messageDelay;
+        plan.add(f);
+    }
+    for (std::uint32_t i = 0; i < cfg.crashes; ++i) {
+        FaultSpec f;
+        f.kind = FaultKind::CoordinatorCrash;
+        f.at = when();
+        Tick d = length(cfg.meanCrashTime);
+        f.duration = d > 0 ? d : 1; // a crash always restarts
+        f.loseTail = static_cast<std::uint32_t>(rng.uniformInt(
+            0, static_cast<std::int64_t>(cfg.crashLoseTail)));
+        plan.add(f);
+    }
+    for (std::uint32_t i = 0; i < cfg.corruptWindows; ++i) {
+        FaultSpec f;
+        f.kind = FaultKind::PayloadCorrupt;
+        f.at = when();
+        Tick d = length(cfg.meanCorruptTime);
+        f.duration = d > 0 ? d : 1;
+        f.probability = cfg.corruptProbability;
+        plan.add(f);
+    }
+    for (std::uint32_t i = 0; i < cfg.bitrotWindows; ++i) {
+        FaultSpec f;
+        f.kind = FaultKind::SsdBitrot;
+        f.at = when();
+        Tick d = length(cfg.meanBitrotTime);
+        f.duration = d > 0 ? d : 1;
+        f.probability = cfg.bitrotProbability;
         plan.add(f);
     }
     return plan;
@@ -423,6 +492,23 @@ FaultInjector::inject(std::uint64_t faultId, const FaultSpec &f)
       case FaultKind::SsdFail:
         topo.markSsdFailed(true);
         break;
+      case FaultKind::CoordinatorCrash:
+        // The coordinator process is gone from this instant: its
+        // in-memory maps no longer exist, and every REST call in the
+        // window is rejected retryably. The recovery layer (the crash
+        // hook) freezes dependent services until the restart resyncs.
+        ++counters.coordinatorCrashes;
+        crashStart = f.at;
+        crashEnd = f.at + f.duration;
+        if (crashHook)
+            crashHook(sim.now());
+        break;
+      case FaultKind::PayloadCorrupt:
+        topo.setPayloadCorruption(f.probability);
+        break;
+      case FaultKind::SsdBitrot:
+        topo.setSsdBitrot(f.probability);
+        break;
     }
     if (f.duration == 0)
         return; // permanent fault: no recovery event
@@ -460,6 +546,18 @@ FaultInjector::recover(std::uint64_t faultId, const FaultSpec &f)
       case FaultKind::SsdFail:
         topo.markSsdFailed(false);
         break;
+      case FaultKind::CoordinatorCrash:
+        // Cold restart: replay journal minus the lost tail, then
+        // resync against the survivors (RecoveryManager's job).
+        if (restartHook)
+            restartHook(sim.now(), f.loseTail);
+        break;
+      case FaultKind::PayloadCorrupt:
+        topo.setPayloadCorruption(0.0);
+        break;
+      case FaultKind::SsdBitrot:
+        topo.setSsdBitrot(0.0);
+        break;
     }
     traceFault("fault_recover", faultId, f);
 }
@@ -475,6 +573,13 @@ FaultInjector::onDispatch(const std::string &route, const Value &body)
     Tick now = static_cast<Tick>(
         body.getInt("now", static_cast<std::int64_t>(sim.now())));
     (void)route;
+    if (now >= crashStart && now < crashEnd) {
+        ++counters.rejectedDuringCrash;
+        fate.fate = core::DispatchFault::Fate::Reject;
+        fate.status = core::RestStatus::ServiceUnavailable;
+        fate.reason = "injected coordinator crash";
+        return fate;
+    }
     if (now >= outageStart && now < outageEnd) {
         ++counters.rejectedDuringOutage;
         fate.fate = core::DispatchFault::Fate::Reject;

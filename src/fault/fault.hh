@@ -38,6 +38,14 @@
  *  |                    | drive's bandwidth ramp               |
  *  | ssd_fail           | drive offline; tier accesses panic,  |
  *  |                    | resumes fall back to recompute       |
+ *  | coordinator_crash  | coordinator process dies and loses   |
+ *  |                    | in-memory state; restarts cold from  |
+ *  |                    | its journal and resyncs survivors    |
+ *  | payload_corrupt    | in-flight link payload corruption;   |
+ *  |                    | signature checks fail at read time   |
+ *  | ssd_bitrot         | at-rest media corruption; stored     |
+ *  |                    | copies damaged, repair needs a       |
+ *  |                    | replica or recompute                 |
  */
 
 #ifndef AQUA_FAULT_FAULT_HH
@@ -73,6 +81,9 @@ enum class FaultKind
     MessageDelay,
     SsdDegrade,
     SsdFail,
+    CoordinatorCrash,
+    PayloadCorrupt,
+    SsdBitrot,
 };
 
 /** Wire name of a fault kind (e.g. "gpu_fail"). */
@@ -113,10 +124,18 @@ struct FaultSpec
     /** LinkDegrade: number of degrade/recover cycles (a flap). */
     std::uint32_t flaps = 1;
 
-    /** MessageDrop: per-call drop probability. */
+    /** MessageDrop / PayloadCorrupt / SsdBitrot: per-call drop or
+     *  per-payload corruption probability. */
     double probability = 1.0;
     /** MessageDelay: extra latency added to each call. */
     aqua::sim::Tick delay = 0;
+
+    /**
+     * CoordinatorCrash: journal records lost with the crash — the
+     * unflushed tail that never reached stable storage. Replay alone
+     * cannot see these mutations; survivor resync must reconcile them.
+     */
+    std::uint32_t loseTail = 0;
 
     json::Value toJson() const;
 };
@@ -171,6 +190,25 @@ struct ChaosConfig
     aqua::sim::Tick messageDelay = 1 * aqua::sim::nsPerMs;
     /** Mean delay-window length; exponential. */
     aqua::sim::Tick meanDelayTime = 5 * aqua::sim::nsPerMs;
+    /** Number of coordinator crash/restart cycles. */
+    std::uint32_t crashes = 0;
+    /** Mean crash (dead-coordinator) length; exponential. */
+    aqua::sim::Tick meanCrashTime = 2 * aqua::sim::nsPerMs;
+    /** Max journal-tail records lost per crash (uniform in
+     *  [0, max]). */
+    std::uint32_t crashLoseTail = 0;
+    /** Number of payload-corruption windows. */
+    std::uint32_t corruptWindows = 0;
+    /** Per-payload corruption probability inside a window. */
+    double corruptProbability = 0.05;
+    /** Mean corruption-window length; exponential. */
+    aqua::sim::Tick meanCorruptTime = 5 * aqua::sim::nsPerMs;
+    /** Number of SSD bitrot windows. */
+    std::uint32_t bitrotWindows = 0;
+    /** Per-read bitrot probability inside a window. */
+    double bitrotProbability = 0.05;
+    /** Mean bitrot-window length; exponential. */
+    aqua::sim::Tick meanBitrotTime = 5 * aqua::sim::nsPerMs;
 };
 
 /**
@@ -228,6 +266,8 @@ struct FaultInjectorStats
     std::uint64_t droppedMessages = 0;
     std::uint64_t delayedMessages = 0;
     std::uint64_t rejectedDuringOutage = 0;
+    std::uint64_t rejectedDuringCrash = 0;
+    std::uint64_t coordinatorCrashes = 0;
 };
 
 /**
@@ -276,6 +316,23 @@ class FaultInjector
     }
 
     /**
+     * Hooks for coordinator_crash faults. @p onCrash fires when the
+     * coordinator process dies (its in-memory state is gone from that
+     * instant; every REST call in the crash window sees a retryable
+     * 503). @p onRestart fires when it comes back cold: the recovery
+     * layer replays the journal — minus @p loseTail unflushed tail
+     * records — and resyncs against the survivors.
+     */
+    void setCoordinatorCrashHooks(
+        std::function<void(aqua::sim::Tick)> onCrash,
+        std::function<void(aqua::sim::Tick, std::uint32_t loseTail)>
+            onRestart)
+    {
+        crashHook = std::move(onCrash);
+        restartHook = std::move(onRestart);
+    }
+
+    /**
      * Schedule every fault of @p plan on the event queue and install
      * the REST fault hook. May be called once per injector.
      */
@@ -286,7 +343,14 @@ class FaultInjector
     /** Whether a coordinator outage window is open at @p now. */
     bool coordinatorUnavailable(aqua::sim::Tick now) const
     {
-        return now >= outageStart && now < outageEnd;
+        return (now >= outageStart && now < outageEnd) ||
+               (now >= crashStart && now < crashEnd);
+    }
+
+    /** Whether a coordinator crash window is open at @p now. */
+    bool coordinatorCrashed(aqua::sim::Tick now) const
+    {
+        return now >= crashStart && now < crashEnd;
     }
 
   private:
@@ -303,12 +367,15 @@ class FaultInjector
     core::RestRouter &router;
     trace::TraceLog *tracer = nullptr;
     std::function<void(hw::GpuId)> gpuFailObserver;
+    std::function<void(aqua::sim::Tick)> crashHook;
+    std::function<void(aqua::sim::Tick, std::uint32_t)> restartHook;
     std::map<hw::GpuId, core::AquaLib *> libs;
     aqua::sim::Random rng;
     bool armed = false;
 
     // Active coordinator-path fault windows (absolute ticks).
     aqua::sim::Tick outageStart = 0, outageEnd = 0;
+    aqua::sim::Tick crashStart = 0, crashEnd = 0;
     aqua::sim::Tick dropStart = 0, dropEnd = 0;
     double dropProbability = 0.0;
     aqua::sim::Tick delayStart = 0, delayEnd = 0;

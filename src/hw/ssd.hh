@@ -28,6 +28,7 @@
 #include "hw/gpu.hh"
 #include "hw/link.hh"
 #include "mem/region_allocator.hh"
+#include "sim/random.hh"
 #include "sim/ticks.hh"
 
 namespace aqua::hw {
@@ -135,6 +136,34 @@ class Ssd
     /** Total bytes written to media. */
     std::uint64_t bytesWritten() const { return _bytesWritten; }
 
+    /**
+     * At-rest bitrot (ssd_bitrot fault): each read-side integrity
+     * draw flips with this probability while the fault window is
+     * open. 0 (the default) disables the model and never advances
+     * the dedicated RNG, keeping fault-free runs bit-identical.
+     */
+    void setBitrot(double p) { bitrotP = p; }
+    double bitrot() const { return bitrotP; }
+
+    /**
+     * One integrity draw for a payload read back from media. Unlike a
+     * link corruption, a hit means the *stored* copy is damaged:
+     * retransmission cannot repair it, the reader must fall back to a
+     * replica or recompute.
+     */
+    bool
+    drawBitrot()
+    {
+        if (bitrotP <= 0.0 || !bitrotRng.bernoulli(bitrotP))
+            return false;
+        ++_bitrotHits;
+        return true;
+    }
+
+    /** Bitrot corruptions injected so far (chaos-harness ground
+     *  truth). */
+    std::uint64_t bitrotCorruptions() const { return _bitrotHits; }
+
   private:
     /** Spread @p count accesses of @p duration over the channels. */
     aqua::sim::Tick occupyChannels(aqua::sim::Tick perAccess,
@@ -150,6 +179,10 @@ class Ssd
     bool _failed = false;
     std::uint64_t _bytesRead = 0;
     std::uint64_t _bytesWritten = 0;
+    double bitrotP = 0.0;
+    /** Dedicated stream (see Topology::corruptRng). */
+    aqua::sim::Random bitrotRng{0xb17a07d5a4e5eed5ull};
+    std::uint64_t _bitrotHits = 0;
 };
 
 } // namespace aqua::hw

@@ -18,6 +18,7 @@
 #include "hw/gpu.hh"
 #include "hw/link.hh"
 #include "hw/ssd.hh"
+#include "sim/random.hh"
 #include "sim/simulation.hh"
 
 namespace aqua::hw {
@@ -158,6 +159,43 @@ class Topology
     /** Whether a GPU is currently marked failed (memory dark). */
     bool gpuFailed(GpuId gpu) const;
 
+    /**
+     * In-flight payload corruption (payload_corrupt fault): each
+     * link-payload integrity draw flips with this probability while
+     * the fault window is open. 0 (the default) disables the model —
+     * and the dedicated RNG is never advanced, so fault-free runs stay
+     * bit-identical.
+     */
+    void setPayloadCorruption(double p) { corruptP = p; }
+    double payloadCorruption() const { return corruptP; }
+
+    /**
+     * One end-to-end integrity draw for a payload that crossed a
+     * link. Consumers (engine read paths, AquaLib migrations) call
+     * this once per verified payload; a true return means the FNV-1a
+     * signature check fails and the reader must repair or recompute.
+     */
+    bool
+    drawPayloadCorruption()
+    {
+        if (corruptP <= 0.0 || !corruptRng.bernoulli(corruptP))
+            return false;
+        ++_payloadCorruptions;
+        return true;
+    }
+
+    /** Corrupted payloads injected so far (ground truth for the
+     *  chaos harness's zero-silent-corruption conservation check). */
+    std::uint64_t payloadCorruptions() const { return _payloadCorruptions; }
+
+    /** At-rest bitrot probability on the attached SSD (ssd_bitrot). */
+    void
+    setSsdBitrot(double p)
+    {
+        if (_ssd)
+            _ssd->setBitrot(p);
+    }
+
   private:
     /** Validate an endpoint id; panics on garbage. */
     void checkEndpoint(GpuId id) const;
@@ -181,6 +219,11 @@ class Topology
     std::uint64_t _peerBytes = 0;
     std::uint64_t _hostBytes = 0;
     std::vector<bool> failed;
+    double corruptP = 0.0;
+    /** Dedicated stream so corruption draws never perturb the
+     *  simulation's other randomness (twin-run determinism). */
+    aqua::sim::Random corruptRng{0xc0de5eed1badf00dull};
+    std::uint64_t _payloadCorruptions = 0;
 };
 
 } // namespace aqua::hw

@@ -1,0 +1,178 @@
+#include "recovery/recovery_manager.hh"
+
+#include <utility>
+
+namespace aqua::recovery {
+
+using aqua::sim::Tick;
+using json::Value;
+
+RecoveryManager::RecoveryManager(aqua::sim::Simulation &sim,
+                                 core::Coordinator &coord,
+                                 StateJournal &coordJournal)
+    : sim(sim), coord(coord), coordJournal(coordJournal)
+{
+    coord.attachJournal(&coordJournal);
+}
+
+void
+RecoveryManager::attachRegistry(cluster::PrefixRegistry &reg,
+                                StateJournal &journal)
+{
+    registry = &reg;
+    registryJournal = &journal;
+    reg.attachJournal(&journal);
+}
+
+void
+RecoveryManager::registerSurvivor(core::AquaLib &lib)
+{
+    survivors.push_back(&lib);
+}
+
+void
+RecoveryManager::wire(fault::FaultInjector &injector)
+{
+    injector.setCoordinatorCrashHooks(
+        [this](Tick now) { onCoordinatorCrash(now); },
+        [this](Tick now, std::uint32_t loseTail) {
+            onCoordinatorRestart(now, loseTail);
+        });
+}
+
+void
+RecoveryManager::trace(const char *category, Value fields)
+{
+    if (tracer)
+        tracer->emit(sim.now(), category, std::move(fields));
+}
+
+std::size_t
+RecoveryManager::replayCoordinator()
+{
+    coord.reset();
+    if (coordJournal.snapshot())
+        coord.restoreState(*coordJournal.snapshot());
+    const auto &tail = coordJournal.pending();
+    for (const JournalRecord &r : tail)
+        coord.applyJournalRecord(r.op, r.fields);
+    return tail.size();
+}
+
+std::size_t
+RecoveryManager::replayRegistry()
+{
+    if (!registry || !registryJournal)
+        return 0;
+    registry->reset();
+    if (registryJournal->snapshot())
+        registry->restoreState(*registryJournal->snapshot());
+    const auto &tail = registryJournal->pending();
+    for (const JournalRecord &r : tail)
+        registry->applyJournalRecord(r.op, r.fields);
+    return tail.size();
+}
+
+void
+RecoveryManager::onCoordinatorCrash(Tick now)
+{
+    ++counters.crashes;
+    // Mutating registry traffic racing the dead coordinator must back
+    // off retryably, not assert on half-torn-down state.
+    if (registry)
+        registry->setFrozen(true);
+    Value ev;
+    ev["crash"] = static_cast<std::int64_t>(counters.crashes);
+    ev["pending_records"] =
+        static_cast<std::int64_t>(coordJournal.pending().size());
+    trace("recovery_freeze", std::move(ev));
+    (void)now;
+}
+
+void
+RecoveryManager::onCoordinatorRestart(Tick now,
+                                      std::uint32_t loseTail)
+{
+    ++counters.restarts;
+
+    // The crash loses the unflushed journal tail: the newest records
+    // never reached durable media. Survivor resync below is what
+    // makes that loss safe.
+    if (loseTail > 0) {
+        std::uint64_t before = coordJournal.stats().droppedRecords;
+        coordJournal.dropTail(loseTail);
+        counters.droppedRecords +=
+            coordJournal.stats().droppedRecords - before;
+        if (registryJournal) {
+            before = registryJournal->stats().droppedRecords;
+            registryJournal->dropTail(loseTail);
+            counters.droppedRecords +=
+                registryJournal->stats().droppedRecords - before;
+        }
+    }
+
+    // Cold restart: snapshot + tail replay rebuilds both services.
+    std::size_t replayed = replayCoordinator() + replayRegistry();
+    counters.replayedRecords += replayed;
+    {
+        Value ev;
+        ev["replayed"] = static_cast<std::int64_t>(replayed);
+        ev["lost_tail"] = static_cast<std::int64_t>(loseTail);
+        trace("recovery_replay", std::move(ev));
+    }
+
+    // Survivor resync: every live AquaLib re-asserts its lease and
+    // tensor ground truth; what replay missed (the lost tail) is
+    // adopted from these reports.
+    std::vector<hw::GpuId> reporters;
+    for (core::AquaLib *lib : survivors) {
+        if (lib->isFailed()) {
+            ++counters.survivorsUnreachable;
+            continue;
+        }
+        if (lib->resyncWithCoordinator()) {
+            ++counters.survivorsResynced;
+            reporters.push_back(lib->gpuId());
+        } else {
+            ++counters.survivorsUnreachable;
+        }
+    }
+
+    // Whatever no survivor re-reported is gone with its owner: sweep
+    // the tensors so accounting matches reality, and mark silent
+    // producers for urgent reclaim.
+    core::Coordinator::OrphanSweep sweep =
+        coord.sweepOrphans(reporters, now);
+    counters.orphanedTensors += sweep.droppedTensors;
+    counters.orphanedBytes += sweep.droppedBytes;
+
+    // Prefix chains re-verify against their home engines; orphaned
+    // homes promote a replica (Harvest-style) or invalidate so
+    // consumers recompute instead of reading ghost blocks.
+    if (registry) {
+        cluster::PrefixRegistry::ResyncSummary rs =
+            registry->resyncSurvivors(now);
+        counters.chainsVerified += rs.verified;
+        counters.chainsRehomed += rs.rehomed;
+        counters.chainsInvalidated += rs.invalidated;
+        registry->setFrozen(false);
+    }
+
+    // Fold the post-recovery state into a fresh snapshot: the next
+    // crash replays from here instead of re-walking the resync.
+    coordJournal.compact();
+    if (registryJournal)
+        registryJournal->compact();
+
+    Value ev;
+    ev["restart"] = static_cast<std::int64_t>(counters.restarts);
+    ev["survivors"] =
+        static_cast<std::int64_t>(counters.survivorsResynced);
+    ev["orphaned_tensors"] =
+        static_cast<std::int64_t>(sweep.droppedTensors);
+    ev["orphaned_bytes"] =
+        static_cast<std::int64_t>(sweep.droppedBytes);
+    trace("recovery_complete", std::move(ev));
+}
+
+} // namespace aqua::recovery

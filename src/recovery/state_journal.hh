@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Append-only, snapshot-compacted journal of durable control-plane
+ * mutations.
+ *
+ * The coordinator and the cluster prefix registry write every durable
+ * state change through a StateJournal. A crashed coordinator restarts
+ * cold and rebuilds its maps by restoring the latest snapshot and
+ * replaying the pending tail; the journal is the only thing that
+ * survives a coordinator_crash fault.
+ *
+ * Compaction: once the pending tail grows past compactEvery records,
+ * the journal asks its owner (via the snapshot provider) for a full
+ * state export, stores it as the new snapshot, and drops the tail.
+ * This bounds replay time the same way a real write-ahead log's
+ * checkpointing does.
+ *
+ * dropTail() models the crash losing the last few *unflushed* records
+ * — the window between the owner's in-memory append and the durable
+ * media. Resync against survivor reports is what makes that loss safe.
+ */
+
+#ifndef AQUA_RECOVERY_STATE_JOURNAL_HH
+#define AQUA_RECOVERY_STATE_JOURNAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "json/json.hh"
+
+namespace aqua::recovery {
+
+/** One durable mutation: an op tag plus its outcome fields. */
+struct JournalRecord
+{
+    std::string op;
+    json::Value fields;
+};
+
+struct StateJournalConfig
+{
+    /** Pending records that trigger auto-compaction (0 = never). */
+    std::size_t compactEvery = 256;
+};
+
+struct StateJournalStats
+{
+    std::uint64_t appends = 0;
+    std::uint64_t compactions = 0;
+    /** Records folded into snapshots by compaction. */
+    std::uint64_t compactedRecords = 0;
+    /** Records lost to dropTail() (simulated unflushed tail). */
+    std::uint64_t droppedRecords = 0;
+};
+
+class StateJournal
+{
+  public:
+    explicit StateJournal(StateJournalConfig cfg = {}) : cfg(cfg) {}
+
+    StateJournal(const StateJournal &) = delete;
+    StateJournal &operator=(const StateJournal &) = delete;
+
+    /**
+     * Install the owner's full-state exporter. Compaction calls it to
+     * fold the pending tail into a fresh snapshot; without a provider
+     * the journal never compacts (the tail just grows).
+     */
+    void
+    setSnapshotProvider(std::function<json::Value()> provider)
+    {
+        snapshotFn = std::move(provider);
+    }
+
+    /** Append one durable mutation; may trigger auto-compaction. */
+    void
+    append(const std::string &op, json::Value fields)
+    {
+        tail.push_back(JournalRecord{op, std::move(fields)});
+        ++counters.appends;
+        if (cfg.compactEvery > 0 && snapshotFn &&
+            tail.size() >= cfg.compactEvery)
+            compact();
+    }
+
+    /** Fold the pending tail into a fresh snapshot now. */
+    void
+    compact()
+    {
+        if (!snapshotFn)
+            return;
+        snap = snapshotFn();
+        counters.compactedRecords += tail.size();
+        tail.clear();
+        ++counters.compactions;
+    }
+
+    /**
+     * Chaos knob: lose the newest @p n pending records, as a crash
+     * would lose the unflushed tail of a real log.
+     */
+    void
+    dropTail(std::size_t n)
+    {
+        std::size_t drop = std::min(n, tail.size());
+        tail.resize(tail.size() - drop);
+        counters.droppedRecords += drop;
+    }
+
+    /** Latest compacted snapshot, if any. */
+    const std::optional<json::Value> &snapshot() const { return snap; }
+
+    /** Records appended since the last compaction, oldest first. */
+    const std::vector<JournalRecord> &pending() const { return tail; }
+
+    const StateJournalStats &stats() const { return counters; }
+
+  private:
+    StateJournalConfig cfg;
+    std::function<json::Value()> snapshotFn;
+    std::optional<json::Value> snap;
+    std::vector<JournalRecord> tail;
+    StateJournalStats counters;
+};
+
+} // namespace aqua::recovery
+
+#endif // AQUA_RECOVERY_STATE_JOURNAL_HH

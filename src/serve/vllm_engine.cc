@@ -259,8 +259,29 @@ VllmEngine::maybeBeginResume(Sequence *s)
             if (s->state != Sequence::State::Waiting)
                 return; // shed while the stream was in flight
             if (streamed) {
-                s->resumedTokens = usable;
-                ++nStreamResumes;
+                // Signature-verify the streamed KV on arrival. A hit
+                // means the *stored* copy rotted on media
+                // (ssd_bitrot): re-reading returns the same damaged
+                // bytes, so the stream is discarded and this turn
+                // re-prefills from the prompt.
+                hw::Ssd *drive = server.topology().ssd();
+                if (drive && drive->drawBitrot()) {
+                    ++integrity.detected;
+                    ++integrity.recomputeFallbacks;
+                    if (tracer) {
+                        json::Value f;
+                        f["request"] = static_cast<std::int64_t>(
+                            s->request.id);
+                        f["path"] = "ssd_resume";
+                        tracer->emit(server.simulation().now(),
+                                     "corruption_recompute",
+                                     std::move(f));
+                    }
+                    ++nRecomputeResumes;
+                } else {
+                    s->resumedTokens = usable;
+                    ++nStreamResumes;
+                }
             } else {
                 // Cancelled mid-stream (device degradation/failure):
                 // fall back to a full re-prefill.
@@ -542,6 +563,33 @@ VllmEngine::tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
         prefixStats.remoteHitBlocks += rl.blocks;
         ++prefixStats.borrowAdmissions;
         ++prefixStats.registryHits;
+        // Integrity draw on the admission probe read. A link hit is
+        // always repairable here: the pinned home copy is intact, so
+        // one retransmission over NVLink clears it.
+        if (server.topology().drawPayloadCorruption()) {
+            ++integrity.detected;
+            if (tracer) {
+                json::Value f;
+                f["request"] =
+                    static_cast<std::int64_t>(s->request.id);
+                f["path"] = "prefix_borrow";
+                tracer->emit(now, "corruption_detected",
+                             std::move(f));
+            }
+            hw::TransferTiming redo = clusterLib->readPeerPrefix(
+                pinr.home, kv->kvBytes(rl.tokens), rl.blocks, now);
+            if (redo.complete > transfersDone)
+                transfersDone = redo.complete;
+            ++integrity.repairedRetransmit;
+            if (tracer) {
+                json::Value f;
+                f["request"] =
+                    static_cast<std::int64_t>(s->request.id);
+                f["path"] = "prefix_borrow";
+                tracer->emit(now, "corruption_repaired",
+                             std::move(f));
+            }
+        }
         return;
     }
 
@@ -564,6 +612,28 @@ VllmEngine::tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
         kv->kvBytes(std::uint64_t(missing) * cfg.blockTokens);
     hw::TransferTiming t =
         clusterLib->readPeerPrefix(pinr.home, bytes, missing, now);
+    // Verify the streamed copy's signatures before admitting it. A
+    // hit is in-flight link corruption (the pinned home copy is still
+    // good), so one retransmission repairs it; the lease simply holds
+    // a little longer.
+    if (server.topology().drawPayloadCorruption()) {
+        ++integrity.detected;
+        if (tracer) {
+            json::Value f;
+            f["request"] = static_cast<std::int64_t>(s->request.id);
+            f["path"] = "prefix_copy";
+            tracer->emit(now, "corruption_detected", std::move(f));
+        }
+        t = clusterLib->readPeerPrefix(pinr.home, bytes, missing,
+                                       t.complete);
+        ++integrity.repairedRetransmit;
+        if (tracer) {
+            json::Value f;
+            f["request"] = static_cast<std::int64_t>(s->request.id);
+            f["path"] = "prefix_copy";
+            tracer->emit(now, "corruption_repaired", std::move(f));
+        }
+    }
     if (t.complete > transfersDone)
         transfersDone = t.complete;
     for (std::size_t i = 0; i < fresh->size(); ++i) {
@@ -963,6 +1033,78 @@ VllmEngine::swapInSeq(Sequence *s, Tick &transfersDone)
         if (restored > transfersDone)
             transfersDone = restored;
         nReadBytes += s->swapHandle.bytes;
+        // Signature-verify the restored tail before decode touches
+        // it. Which fault applies depends on where the bytes lived: a
+        // DRAM/peer payload corrupted in flight (payload_corrupt)
+        // re-reads cleanly from the intact backend copy, while a tail
+        // demoted to the SSD can have rotted at rest (ssd_bitrot) —
+        // the stored copy itself is damaged, so re-reading returns
+        // the same bad bytes and the sequence must drop its KV and
+        // recompute.
+        bool onSsd = holder.name() == "ssd";
+        hw::Ssd *drive = server.topology().ssd();
+        if (onSsd && drive && drive->drawBitrot()) {
+            ++integrity.detected;
+            ++integrity.recomputeFallbacks;
+            if (tracer) {
+                json::Value f;
+                f["request"] =
+                    static_cast<std::int64_t>(s->request.id);
+                f["path"] = "swap_in";
+                tracer->emit(server.simulation().now(),
+                             "corruption_recompute", std::move(f));
+            }
+            if (sessionTier)
+                sessionTier->forgetOffloaded(
+                    s->request.id,
+                    &holder == &sessionTier->demotionStore(),
+                    server.simulation().now());
+            holder.free(s->swapHandle);
+            s->swapHandle = OffloadBackend::Handle{};
+            s->swapBackend = nullptr;
+            s->swapPrecision = spec.kvPrecision;
+            if (!resident.empty())
+                kv->freeBlocks(resident);
+            kv->freeBlocks(*blocks);
+            releaseSwapGroup(s);
+            s->prefilled = false;
+            s->prefilledTokens = 0;
+            s->state = Sequence::State::Waiting;
+            removeFrom(swapped, s);
+            waiting.push_back(s);
+            ++nRecomputes;
+            needResched = true;
+            // The abort consumed backend work (the read happened);
+            // report progress so the scheduler's transfer window
+            // stays honest.
+            return true;
+        }
+        if (!onSsd && server.topology().drawPayloadCorruption()) {
+            ++integrity.detected;
+            if (tracer) {
+                json::Value f;
+                f["request"] =
+                    static_cast<std::int64_t>(s->request.id);
+                f["path"] = "swap_in";
+                tracer->emit(server.simulation().now(),
+                             "corruption_detected", std::move(f));
+            }
+            hw::TransferTiming rt =
+                holder.read(s->swapHandle, s->swapHandle.bytes,
+                            need - s->swapSharedBlocks);
+            if (rt.complete > transfersDone)
+                transfersDone = rt.complete;
+            nReadBytes += s->swapHandle.bytes;
+            ++integrity.repairedRetransmit;
+            if (tracer) {
+                json::Value f;
+                f["request"] =
+                    static_cast<std::int64_t>(s->request.id);
+                f["path"] = "swap_in";
+                tracer->emit(server.simulation().now(),
+                             "corruption_repaired", std::move(f));
+            }
+        }
         if (sessionTier)
             sessionTier->forgetOffloaded(
                 s->request.id,

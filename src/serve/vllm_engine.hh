@@ -211,6 +211,23 @@ struct PrefixCacheEngineStats
 };
 
 /**
+ * Read-path integrity counters (payload_corrupt / ssd_bitrot faults).
+ * Every KV payload entering HBM — swap-in, peer prefix stream, SSD
+ * resume — is signature-verified on arrival; these count the
+ * detections and which recovery path cleared them. All zero in
+ * fault-free runs.
+ */
+struct IntegrityEngineStats
+{
+    /** Signature mismatches caught at read time. */
+    std::uint64_t detected = 0;
+    /** Repaired by re-reading (link corruption: source still good). */
+    std::uint64_t repairedRetransmit = 0;
+    /** Unrepairable (at-rest bitrot): KV dropped and recomputed. */
+    std::uint64_t recomputeFallbacks = 0;
+};
+
+/**
  * The serving engine.
  */
 class VllmEngine
@@ -366,6 +383,13 @@ class VllmEngine
     prefixEngineStats() const
     {
         return prefixStats;
+    }
+
+    /** Read-path integrity counters (zero in fault-free runs). */
+    const IntegrityEngineStats &
+    integrityStats() const
+    {
+        return integrity;
     }
 
     /** Bytes written to / read from the offload backend (swaps). */
@@ -599,6 +623,7 @@ class VllmEngine
     std::set<std::uint64_t> collisionChains;
 
     PrefixCacheEngineStats prefixStats;
+    IntegrityEngineStats integrity;
     std::uint64_t nWriteBytes = 0;
     std::uint64_t nReadBytes = 0;
 

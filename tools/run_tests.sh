@@ -6,17 +6,19 @@
 #   tools/run_tests.sh --sanitize    # ASan+UBSan build in build-asan/
 #   tools/run_tests.sh --tsan        # TSan build in build-tsan/
 #   tools/run_tests.sh --bench-smoke # + chaos/overload/cluster smoke
+#   tools/run_tests.sh --chaos-smoke # + bounded-seed chaos-soak run
 #   tools/run_tests.sh -R Staging    # extra args forwarded to ctest
 #
-# --sanitize (or --tsan) and --bench-smoke compose (in that order):
-# the chaos, overload, cluster-prefix and tiering smoke runs then
-# execute under the sanitizers too.
+# --sanitize (or --tsan) and --bench-smoke / --chaos-smoke compose
+# (in that order): the chaos, overload, cluster-prefix and tiering
+# smoke runs then execute under the sanitizers too.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="$repo/build"
 cmake_args=()
 bench_smoke=0
+chaos_smoke=0
 
 if [[ "${1:-}" == "--sanitize" ]]; then
     shift
@@ -33,6 +35,10 @@ if [[ "${1:-}" == "--bench-smoke" ]]; then
     shift
     bench_smoke=1
 fi
+if [[ "${1:-}" == "--chaos-smoke" ]]; then
+    shift
+    chaos_smoke=1
+fi
 
 cmake -B "$build" -S "$repo" "${cmake_args[@]}"
 cmake --build "$build" -j "$(nproc)"
@@ -44,4 +50,8 @@ if [[ "$bench_smoke" == 1 ]]; then
     "$build/bench/abl_cluster_prefix" --smoke
     "$build/bench/abl_tiering" --smoke
     "$build/bench/abl_kv_quant" --smoke
+fi
+
+if [[ "$chaos_smoke" == 1 ]]; then
+    (cd "$build" && ./bench/abl_chaos_soak --smoke)
 fi
