@@ -70,6 +70,8 @@ cellJson(const exp::ClusterPrefixResult &r)
     o["hit_tokens_remote_peer"] =
         static_cast<std::int64_t>(r.hitTokensRemote);
     o["hit_tokens_dram"] = static_cast<std::int64_t>(r.hitTokensDram);
+    o["hit_tokens_remote_server"] =
+        static_cast<std::int64_t>(r.hitTokensRemoteServer);
     o["sig_mismatches"] = static_cast<std::int64_t>(r.sigMismatches);
     o["cluster_sig_mismatches"] =
         static_cast<std::int64_t>(r.clusterSigMismatches);

@@ -110,10 +110,12 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(pc.cowForks),
                 static_cast<unsigned long long>(pc.sigMismatches));
     std::printf("hit origin: %llu tokens local HBM, %llu remote "
-                "peer, %llu host DRAM\n",
+                "peer, %llu host DRAM, %llu remote server\n",
                 static_cast<unsigned long long>(pc.hitTokensLocal),
                 static_cast<unsigned long long>(pc.hitTokensRemote),
-                static_cast<unsigned long long>(pc.hitTokensDram));
+                static_cast<unsigned long long>(pc.hitTokensDram),
+                static_cast<unsigned long long>(
+                    pc.hitTokensRemoteServer));
 
     bench::JsonReporter report("chatbot");
     report.set("users", users).set("turns", turns);
@@ -148,6 +150,8 @@ main(int argc, char **argv)
         static_cast<std::int64_t>(pc.hitTokensRemote);
     prefix["hit_tokens_dram"] =
         static_cast<std::int64_t>(pc.hitTokensDram);
+    prefix["hit_tokens_remote_server"] =
+        static_cast<std::int64_t>(pc.hitTokensRemoteServer);
     report.set("prefix_cache", std::move(prefix));
     report.write();
     return 0;

@@ -771,4 +771,100 @@ AquaLib::readPeerPrefix(hw::GpuId home, std::uint64_t bytes,
     return total;
 }
 
+AquaLib::FederationLookupOutcome
+AquaLib::federationLookup(
+    const std::vector<PrefixCandidate> &candidates)
+{
+    ++counters.federationCalls;
+    json::Array list;
+    for (const PrefixCandidate &c : candidates) {
+        Value cand;
+        cand["key"] = static_cast<std::int64_t>(c.key);
+        cand["verify"] = static_cast<std::int64_t>(c.verify);
+        cand["blocks"] = static_cast<std::int64_t>(c.blocks);
+        list.push_back(std::move(cand));
+    }
+    Value req;
+    req["gpu"] = myGpu;
+    req["candidates"] = std::move(list);
+    CallOutcome out =
+        tryCall("POST /federation/lookup", std::move(req));
+    FederationLookupOutcome res;
+    if (!out.resp.ok() || !out.resp.body.getBool("found", false))
+        return res;
+    const json::Value *entry = out.resp.body.find("entry");
+    if (entry == nullptr)
+        return res;
+    res.found = true;
+    res.chain.key =
+        static_cast<std::uint64_t>(entry->getInt("key", 0));
+    res.chain.verify =
+        static_cast<std::uint64_t>(entry->getInt("verify", 0));
+    res.chain.blocks =
+        static_cast<std::uint32_t>(entry->getInt("blocks", 0));
+    res.chain.tokens =
+        static_cast<std::uint64_t>(entry->getInt("tokens", 0));
+    res.chain.bytes =
+        static_cast<std::uint64_t>(entry->getInt("bytes", 0));
+    res.chain.chainSig =
+        static_cast<std::uint64_t>(entry->getInt("chain_sig", 0));
+    res.chain.homeServer =
+        static_cast<std::uint32_t>(entry->getInt("server", 0));
+    return res;
+}
+
+AquaLib::FederationFetchOutcome
+AquaLib::federationFetch(const FederationChain &c)
+{
+    ++counters.federationCalls;
+    Value req;
+    req["key"] = static_cast<std::int64_t>(c.key);
+    req["verify"] = static_cast<std::int64_t>(c.verify);
+    req["blocks"] = static_cast<std::int64_t>(c.blocks);
+    req["tokens"] = static_cast<std::int64_t>(c.tokens);
+    req["bytes"] = static_cast<std::int64_t>(c.bytes);
+    req["chain_sig"] = static_cast<std::int64_t>(c.chainSig);
+    req["server"] = static_cast<std::int64_t>(c.homeServer);
+    CallOutcome out =
+        tryCall("POST /federation/fetch", std::move(req));
+    FederationFetchOutcome res;
+    if (!out.resp.ok()) {
+        res.reason = "unreachable";
+        return res;
+    }
+    if (!out.resp.body.getBool("ok", false)) {
+        res.reason = out.resp.body.getString("reason", "refused");
+        return res;
+    }
+    res.ok = true;
+    res.ticket = static_cast<std::uint64_t>(
+        out.resp.body.getInt("ticket", 0));
+    res.homeGpu = static_cast<hw::GpuId>(
+        out.resp.body.getInt("home_gpu", hw::hostDramId));
+    res.homeServer = static_cast<std::uint32_t>(
+        out.resp.body.getInt("home_server", 0));
+    res.blocks = static_cast<std::uint32_t>(
+        out.resp.body.getInt("blocks", 0));
+    res.tokens = static_cast<std::uint64_t>(
+        out.resp.body.getInt("tokens", 0));
+    res.bytes = static_cast<std::uint64_t>(
+        out.resp.body.getInt("bytes", 0));
+    res.chainSig = static_cast<std::uint64_t>(
+        out.resp.body.getInt("chain_sig", 0));
+    return res;
+}
+
+bool
+AquaLib::federationFetchDone(std::uint32_t homeServer,
+                             std::uint64_t ticket)
+{
+    ++counters.federationCalls;
+    Value req;
+    req["home_server"] = static_cast<std::int64_t>(homeServer);
+    req["ticket"] = static_cast<std::int64_t>(ticket);
+    CallOutcome out =
+        tryCall("POST /federation/fetch_done", std::move(req));
+    return out.resp.ok() && out.resp.body.getBool("valid", false);
+}
+
 } // namespace aqua::core

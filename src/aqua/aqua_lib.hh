@@ -106,6 +106,8 @@ struct AquaLibStats
     std::uint64_t prefixCalls = 0;
     /** Bytes of home-chain KV streamed in from peer GPUs. */
     std::uint64_t prefixRemoteReadBytes = 0;
+    /** Cross-server federation calls (lookup/fetch/fetch_done). */
+    std::uint64_t federationCalls = 0;
     /** Successful /resync round trips after a coordinator restart. */
     std::uint64_t resyncs = 0;
     /** Migration payloads whose signature check failed on arrival. */
@@ -300,6 +302,58 @@ class AquaLib
                                       std::uint64_t bytes,
                                       std::uint64_t nChunks,
                                       aqua::sim::Tick earliest = 0);
+
+    //
+    // Cross-server prefix federation (southbound /federation routes;
+    // present only when the coordinator runs a FederationDirectory).
+    //
+
+    /** One remote chain advert as the engine sees it. */
+    struct FederationChain
+    {
+        std::uint64_t key = 0;
+        std::uint64_t verify = 0;
+        std::uint32_t blocks = 0;
+        std::uint64_t tokens = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t chainSig = 0;
+        /** Home (origin) server on the fabric. */
+        std::uint32_t homeServer = 0;
+    };
+
+    struct FederationLookupOutcome
+    {
+        bool found = false;
+        FederationChain chain;
+    };
+
+    struct FederationFetchOutcome
+    {
+        bool ok = false;
+        /** "cap", "stale", "unreachable", ... when !ok. */
+        std::string reason;
+        std::uint64_t ticket = 0;
+        hw::GpuId homeGpu = hw::hostDramId;
+        std::uint32_t homeServer = 0;
+        std::uint32_t blocks = 0;
+        std::uint64_t tokens = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t chainSig = 0;
+    };
+
+    /** POST /federation/lookup: longest live remote advert matching
+     *  one of @p candidates. found=false covers misses and outages. */
+    FederationLookupOutcome
+    federationLookup(const std::vector<PrefixCandidate> &candidates);
+
+    /** POST /federation/fetch: ask @p chain's home server to admit a
+     *  cross-server stream (cap- and staleness-checked there). */
+    FederationFetchOutcome federationFetch(const FederationChain &c);
+
+    /** POST /federation/fetch_done: close the stream's ticket;
+     *  @return whether the streamed payload is trustworthy. */
+    bool federationFetchDone(std::uint32_t homeServer,
+                             std::uint64_t ticket);
 
     //
     // Producer control loop (northbound interface).

@@ -74,6 +74,9 @@ PrefixRegistry::publish(hw::GpuId gpu, std::uint64_t key,
         f["home"] = gpu;
         jlog("home", std::move(f));
         chains.emplace(key, std::move(chain));
+        if (observer.published)
+            observer.published(key, verify, blocks, tokens, bytes,
+                               chainSig);
         return {PublishRole::Home, gpu};
     }
     Chain &chain = it->second;
@@ -131,6 +134,27 @@ PrefixRegistry::lookup(hw::GpuId gpu,
     }
     ++counters.misses;
     return {};
+}
+
+LookupResult
+PrefixRegistry::peek(std::uint64_t key, std::uint64_t verify) const
+{
+    auto it = chains.find(key & keyMask);
+    if (it == chains.end() || it->second.verify != verify)
+        return {};
+    const Chain &chain = it->second;
+    if (!gpuAlive(chain.home))
+        return {};
+    LookupResult r;
+    r.found = true;
+    r.key = chain.key;
+    r.verify = chain.verify;
+    r.home = chain.home;
+    r.blocks = chain.blocks;
+    r.tokens = chain.tokens;
+    r.bytes = chain.bytes;
+    r.chainSig = chain.chainSig;
+    return r;
 }
 
 PinResult
@@ -238,6 +262,8 @@ PrefixRegistry::promoteOrInvalidate(Chain &chain, Tick now)
     f["key"] = key;
     jlog("invalidate", std::move(f));
     chains.erase(key);
+    if (observer.invalidated)
+        observer.invalidated(key);
     return false;
 }
 

@@ -101,6 +101,27 @@ struct PinResult
     hw::GpuId home = hw::hostDramId;
 };
 
+/**
+ * Observer of the registry's chain lifecycle, for services layered on
+ * top of it (the cross-server federation directory advertises local
+ * home chains to peers and must tombstone them the instant they stop
+ * being servable). Fired on live mutations only — journal replay and
+ * snapshot restore stay silent, since a recovering observer replays
+ * its own journal.
+ */
+struct ChainObserver
+{
+    /** A chain gained a home on this server (first publish, or a
+     *  fresh publisher taking over from a dead home). */
+    std::function<void(std::uint64_t key, std::uint64_t verify,
+                       std::uint32_t blocks, std::uint64_t tokens,
+                       std::uint64_t bytes, std::uint64_t chainSig)>
+        published;
+    /** The chain lost its last local copy (evict/failure with no
+     *  replica left): it is no longer servable from this server. */
+    std::function<void(std::uint64_t key)> invalidated;
+};
+
 /** What evictNotify() did about the chain. */
 enum class EvictAction
 {
@@ -198,6 +219,20 @@ class PrefixRegistry
 
     /** Optional event log (registry_home/unhome, promote, ...). */
     void setTraceLog(trace::TraceLog *log) { tracer = log; }
+
+    /** Install (or clear, with {}) the chain lifecycle observer. */
+    void setChainObserver(ChainObserver obs)
+    {
+        observer = std::move(obs);
+    }
+
+    /**
+     * Side-effect-free probe of one chain: no stats, no promotion of
+     * a dead home. Used by the federation's home-side fetch
+     * validation, which must not mutate registry state while merely
+     * checking that an in-flight stream's source is still intact.
+     */
+    LookupResult peek(std::uint64_t key, std::uint64_t verify) const;
 
     /**
      * Test hook: AND every primary key with @p mask to force
@@ -304,6 +339,7 @@ class PrefixRegistry
     std::unordered_map<std::uint64_t, Chain> chains;
     std::unordered_map<std::uint64_t, std::uint64_t> pinChain;
     std::map<hw::GpuId, RegistryAgent> agents;
+    ChainObserver observer;
     std::function<bool(hw::GpuId)> alive;
     trace::TraceLog *tracer = nullptr;
     std::uint64_t keyMask = ~0ull;

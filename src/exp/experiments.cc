@@ -141,6 +141,7 @@ prefixReportFrom(const serve::VllmEngine &engine)
     r.hitTokensLocal = es.hitTokensLocal;
     r.hitTokensRemote = es.hitTokensRemote;
     r.hitTokensDram = es.hitTokensDram;
+    r.hitTokensRemoteServer = es.hitTokensRemoteServer;
     return r;
 }
 
@@ -805,6 +806,7 @@ runClusterPrefix(const ClusterPrefixConfig &cfg)
         result.hitTokensLocal += es.hitTokensLocal;
         result.hitTokensRemote += es.hitTokensRemote;
         result.hitTokensDram += es.hitTokensDram;
+        result.hitTokensRemoteServer += es.hitTokensRemoteServer;
         tokens += engine->totalTokens();
     }
     sortById(result.metrics);
@@ -858,6 +860,274 @@ runClusterPrefix(const ClusterPrefixConfig &cfg)
     }
 
     double elapsed = ticksToSec(tb.sim().now());
+    result.elapsedSec = elapsed;
+    result.tokensPerSec =
+        elapsed > 0.0 ? static_cast<double>(tokens) / elapsed : 0.0;
+    return result;
+}
+
+FederationRunResult
+runFederation(const FederationRunConfig &cfg)
+{
+    std::size_t n = std::max<std::size_t>(2, cfg.servers);
+    MultiServerCluster cluster(n, std::max<std::size_t>(
+                                      2, cfg.gpusPerServer),
+                               cfg.seed, cfg.fabric);
+    ModelSpec spec = presetByName(cfg.consumerModel);
+
+    // Every server runs its own prefix registry (the per-domain silo)
+    // regardless of federation: the baseline is siloed registries, the
+    // treatment adds the cross-server directory layer on top.
+    std::vector<cluster::PrefixRegistry *> registries;
+    for (std::size_t i = 0; i < n; ++i) {
+        registries.push_back(&cluster.server(i).makePrefixRegistry());
+        if (cfg.traceLog)
+            registries.back()->setTraceLog(cfg.traceLog);
+    }
+    if (cfg.federation) {
+        federation::DirectoryConfig base;
+        base.maxRemoteConsumers = cfg.maxRemoteConsumers;
+        cluster.makeFederation(base);
+        if (cfg.traceLog)
+            for (std::size_t i = 0; i < n; ++i)
+                cluster.directory(i).setTraceLog(cfg.traceLog);
+        cluster.startAntiEntropy(secToTicks(cfg.maxSimSeconds));
+    }
+    if (cfg.fabricDegradation < 1.0)
+        cluster.fabric().setDegradation(cfg.fabricDegradation);
+
+    // One consumer engine per server, on its gpu 0.
+    std::vector<std::unique_ptr<serve::VllmEngine>> engines;
+    std::vector<core::AquaLib *> engineLibs;
+    for (std::size_t i = 0; i < n; ++i) {
+        Testbed &tb = cluster.server(i);
+        serve::DramBackend &backend = tb.makeDramBackend(0);
+        serve::VllmEngineConfig engineCfg;
+        engineCfg.prefixCache = true;
+        engineCfg.clusterPrefix = true;
+        engineCfg.clusterBorrowMaxBlocks = cfg.borrowMaxBlocks;
+        engineCfg.kvPrecision = cfg.kvPrecision;
+        engineCfg.federation = cfg.federation;
+        engineCfg.federationSafetyFactor = cfg.federationSafetyFactor;
+        engines.push_back(std::make_unique<serve::VllmEngine>(
+            tb.server(), 0, spec,
+            std::make_unique<serve::CfsPolicy>(), backend, engineCfg));
+        core::AquaLib &lib = tb.makeAquaLib(0);
+        engineLibs.push_back(&lib);
+        engines.back()->attachClusterPrefix(registries[i], &lib);
+        if (cfg.federation)
+            engines.back()->attachFederation(
+                &cluster.fabric(), static_cast<std::uint32_t>(i),
+                &lib);
+        if (cfg.traceLog)
+            engines.back()->setTraceLog(cfg.traceLog);
+    }
+
+    // The chaos cell kills the origin server's home GPU — server 0's
+    // gpu 0, where the first request lands — once the drain margin has
+    // idled its engine, and degrades the fabric for a window that
+    // overlaps in-flight federation streams.
+    Tick chaosAt = secToTicks(cfg.chaosAtSec);
+    Tick avoidServer0After =
+        cfg.chaosAtSec > cfg.chaosDrainSec
+            ? secToTicks(cfg.chaosAtSec - cfg.chaosDrainSec)
+            : 0;
+    bool chaos = cfg.chaos;
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (chaos) {
+        Testbed &tb0 = cluster.server(0);
+        inj = std::make_unique<fault::FaultInjector>(
+            cluster.sim(), tb0.server().topology(),
+            tb0.rest().router());
+        inj->registerLib(*engineLibs[0]);
+        inj->attachFabric(&cluster.fabric());
+        if (cfg.traceLog)
+            inj->setTraceLog(cfg.traceLog);
+        cluster::PrefixRegistry *reg0 = registries[0];
+        inj->setGpuFailObserver([&cluster, reg0](hw::GpuId gpu) {
+            reg0->onGpuFailed(gpu, cluster.sim().now());
+        });
+        fault::FaultPlan plan;
+        fault::FaultSpec kill;
+        kill.kind = fault::FaultKind::GpuFail;
+        kill.at = chaosAt;
+        kill.duration = 0; // permanent
+        kill.gpu = 0;
+        kill.grace = msToTicks(200.0);
+        plan.add(kill);
+        fault::FaultSpec degrade;
+        degrade.kind = fault::FaultKind::LinkDegrade;
+        degrade.link = fault::FaultLink::Fabric;
+        degrade.at = secToTicks(cfg.fabricDegradeAtSec);
+        degrade.duration = secToTicks(cfg.fabricDegradeForSec);
+        degrade.factor = cfg.fabricDegradeFactor;
+        plan.add(degrade);
+        inj->arm(plan);
+    }
+
+    auto engineFor = [&](std::size_t idx, Tick arrival) {
+        std::size_t e = idx % n;
+        if (chaos && arrival >= avoidServer0After && e == 0)
+            e = 1 + idx % (n - 1);
+        return e;
+    };
+
+    std::size_t expected = 0;
+    std::uint64_t promptTotal = 0;
+    std::uint64_t tailTotal = 0;
+    auto traces = std::make_shared<workload::TraceBuilder>(
+        cluster.sim().makeRandom());
+
+    if (cfg.chatbot) {
+        auto turnOf = std::make_shared<std::map<std::uint64_t,
+                                                std::uint32_t>>();
+        auto userOf = std::make_shared<std::map<std::uint64_t,
+                                                std::uint32_t>>();
+        auto promptOf = std::make_shared<std::map<std::uint64_t,
+                                                  std::uint32_t>>();
+        std::vector<workload::Request> first =
+            traces->chatbotFirstTurn(cfg.users, 0, cfg.prefixTokens);
+        for (const workload::Request &r : first) {
+            (*turnOf)[r.id] = 0;
+            (*userOf)[r.id] = r.userId;
+            (*promptOf)[r.id] = r.promptTokens;
+            promptTotal += r.promptTokens;
+            tailTotal += r.promptTokens > cfg.prefixTokens
+                             ? r.promptTokens - cfg.prefixTokens
+                             : 0;
+            serve::VllmEngine &eng =
+                *engines[engineFor(r.userId, r.arrival)];
+            cluster.sim().queue().schedule(r.arrival, [&eng, r] {
+                eng.submit(r);
+            });
+        }
+        std::uint32_t turns = cfg.turns;
+        std::uint32_t sysTokens = cfg.prefixTokens;
+        // Each completion issues the user's next turn on a different
+        // *server*, so the re-sent history is only reachable through
+        // the federation directory (the per-server registries have
+        // never seen it).
+        auto followUp = [&, traces, turnOf, userOf, promptOf, sysTokens,
+                         turns](const workload::RequestMetrics &m) {
+            std::uint32_t turn = (*turnOf)[m.id];
+            std::uint32_t user = (*userOf)[m.id];
+            if (turn + 1 >= turns)
+                return;
+            std::uint32_t history =
+                (*promptOf)[m.id] + m.tokensGenerated;
+            workload::Request next = traces->chatbotFollowUp(
+                user, turn + 1, cluster.sim().now(), history,
+                sysTokens);
+            (*turnOf)[next.id] = turn + 1;
+            (*userOf)[next.id] = user;
+            (*promptOf)[next.id] = next.promptTokens;
+            promptTotal += next.promptTokens;
+            tailTotal += next.promptTokens > sysTokens
+                             ? next.promptTokens - sysTokens
+                             : 0;
+            serve::VllmEngine &eng = *engines[engineFor(
+                std::size_t(user) + turn + 1, next.arrival)];
+            cluster.sim().queue().schedule(next.arrival, [&eng, next] {
+                eng.submit(next);
+            });
+        };
+        for (auto &engine : engines)
+            engine->onComplete(followUp);
+        expected = std::size_t(cfg.users) * cfg.turns;
+    } else {
+        std::vector<workload::Request> trace = traces->sharedPrefix(
+            cfg.ratePerSec, cfg.numRequests, cfg.prefixTokens,
+            cfg.numGroups);
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            const workload::Request &r = trace[i];
+            promptTotal += r.promptTokens;
+            tailTotal += r.promptTokens > r.prefixTokens
+                             ? r.promptTokens - r.prefixTokens
+                             : 0;
+            serve::VllmEngine &eng = *engines[engineFor(i, r.arrival)];
+            cluster.sim().queue().schedule(r.arrival, [&eng, r] {
+                eng.submit(r);
+            });
+        }
+        expected = trace.size();
+    }
+
+    runUntilDone(cluster.sim(), cfg.maxSimSeconds, [&] {
+        std::size_t done = 0;
+        for (const auto &engine : engines)
+            done += engine->finished().size();
+        return done >= expected;
+    });
+
+    FederationRunResult result;
+    std::uint64_t tokens = 0;
+    for (const auto &engine : engines) {
+        for (const workload::RequestMetrics &m : engine->finished())
+            result.metrics.push_back(m);
+        const serve::PrefixCacheEngineStats &es =
+            engine->prefixEngineStats();
+        result.cachedTokens += es.cachedTokens;
+        result.hitTokensLocal += es.hitTokensLocal;
+        result.hitTokensRemote += es.hitTokensRemote;
+        result.hitTokensDram += es.hitTokensDram;
+        result.hitTokensRemoteServer += es.hitTokensRemoteServer;
+        result.sigMismatches += es.sigMismatches;
+        result.clusterSigMismatches += es.clusterSigMismatches;
+        result.fedHits += es.fedHits;
+        result.fedMisses += es.fedMisses;
+        result.fedStreamDecisions += es.fedStreamDecisions;
+        result.fedRecomputeDecisions += es.fedRecomputeDecisions;
+        result.fedFetchRefusals += es.fedFetchRefusals;
+        result.fedStreamsCompleted += es.fedStreamsCompleted;
+        result.fedStreamsInvalidated += es.fedStreamsInvalidated;
+        result.fedStreamBytes += es.fedStreamBytes;
+        tokens += engine->totalTokens();
+    }
+    sortById(result.metrics);
+    result.unfinished = expected > result.metrics.size()
+                            ? expected - result.metrics.size()
+                            : 0;
+    result.promptTokens = promptTotal;
+    result.tailTokens = tailTotal;
+    result.aggregateHitRate =
+        promptTotal > 0
+            ? static_cast<double>(result.cachedTokens) / promptTotal
+            : 0.0;
+
+    if (cfg.federation) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const federation::DirectoryStats &ds =
+                cluster.directory(i).stats();
+            result.dirAdvertsPublished += ds.advertsPublished;
+            result.dirTombstones += ds.tombstones;
+            result.dirAdvertsApplied += ds.advertsApplied;
+            result.dirAdvertsDropped += ds.advertsDropped;
+            result.dirAntiEntropyRounds += ds.antiEntropyRounds;
+            result.dirFetchGrants += ds.fetchGrants;
+            result.dirFetchCapRejects += ds.fetchCapRejects;
+            result.dirFetchValidated += ds.fetchValidated;
+            result.dirFetchInvalidated += ds.fetchInvalidated;
+        }
+    }
+    const hw::FabricStats &fs = cluster.fabric().stats();
+    result.fabricTransfers = fs.transfers;
+    result.fabricBytesMoved = fs.bytesMoved;
+    result.fabricQueueTicks = fs.queueTicks;
+
+    // Timing-free output digest: federation (and its faults) may only
+    // change where prefill KV comes from, never what gets generated.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    for (const workload::RequestMetrics &m : result.metrics) {
+        mix(m.id);
+        mix(m.tokensGenerated);
+    }
+    result.outputDigest = h;
+
+    double elapsed = ticksToSec(cluster.sim().now());
     result.elapsedSec = elapsed;
     result.tokensPerSec =
         elapsed > 0.0 ? static_cast<double>(tokens) / elapsed : 0.0;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "hw/fabric.hh"
 #include "model/model_spec.hh"
 #include "placer/placer.hh"
 #include "serve/prefix_index.hh"
@@ -226,10 +227,12 @@ struct PrefixCacheReport
     /** Byte-identity violations across offload round trips. */
     std::uint64_t sigMismatches = 0;
     /** Prefix-hit tokens by origin (satellite of the cluster
-     *  registry: local HBM vs a peer GPU's copy vs host DRAM). */
+     *  registry: local HBM vs a peer GPU's copy vs host DRAM vs a
+     *  chain streamed from another server over the fabric). */
     std::uint64_t hitTokensLocal = 0;
     std::uint64_t hitTokensRemote = 0;
     std::uint64_t hitTokensDram = 0;
+    std::uint64_t hitTokensRemoteServer = 0;
 };
 
 struct ChatbotResult
@@ -379,6 +382,7 @@ struct ClusterPrefixResult
     std::uint64_t hitTokensLocal = 0;
     std::uint64_t hitTokensRemote = 0;
     std::uint64_t hitTokensDram = 0;
+    std::uint64_t hitTokensRemoteServer = 0;
 
     /** Preamble KV bytes resident across all engines at the end. */
     std::uint64_t residentPrefixBytes = 0;
@@ -402,6 +406,130 @@ struct ClusterPrefixResult
 };
 
 ClusterPrefixResult runClusterPrefix(const ClusterPrefixConfig &cfg);
+
+//
+// Cross-server prefix federation: N servers (one consumer engine
+// each) on a shared fabric serve traffic opening with the same hot
+// preamble. Without federation every server re-prefills the preamble
+// from scratch; with it the first server's copy is advertised through
+// the federation directories and each other server streams it over
+// the fabric at most once (the stream-vs-recompute cost model may
+// instead choose local re-prefill when the wire is degraded or
+// congested). The chaos variant kills the origin server's home GPU
+// and degrades the fabric mid-run.
+//
+
+struct FederationRunConfig
+{
+    /** Servers on the fabric (one consumer engine each, on gpu 0). */
+    std::size_t servers = 3;
+    std::size_t gpusPerServer = 2;
+    /** false = siloed per-server registries (the baseline). */
+    bool federation = true;
+    /** true = multi-turn chatbot whose turns hop servers, so the
+     *  re-sent history is only reachable through federation. */
+    bool chatbot = false;
+    double ratePerSec = 3.0;
+    std::size_t numRequests = 36;
+    /** Shared preamble (system prompt) length, tokens. */
+    std::uint32_t prefixTokens = 768;
+    /** Distinct preambles in play. */
+    std::uint32_t numGroups = 1;
+    /** Chatbot users and turns (chatbot = true). */
+    std::uint32_t users = 9;
+    std::uint32_t turns = 3;
+    /** Cluster-registry borrow cap inside each server. */
+    std::uint32_t borrowMaxBlocks = 4;
+    /** Per-home admission cap on concurrent remote consumers. */
+    std::uint32_t maxRemoteConsumers = 2;
+    /** Cost-model margin: stream only when safetyFactor x estimate
+     *  beats local re-prefill. */
+    double federationSafetyFactor = 1.2;
+    /** Static wire degradation applied before the run, in (0, 1];
+     *  the cost-model sweep's knob. */
+    double fabricDegradation = 1.0;
+    hw::FabricConfig fabric;
+    /** Chaos: kill the origin server's home GPU permanently and
+     *  degrade the fabric for a window mid-run. */
+    bool chaos = false;
+    double chaosAtSec = 20.0;
+    /** Arrivals later than chaosAtSec - chaosDrainSec avoid the dying
+     *  server, so its engine is idle when the GPU goes dark. */
+    double chaosDrainSec = 15.0;
+    double fabricDegradeAtSec = 4.0;
+    double fabricDegradeForSec = 30.0;
+    double fabricDegradeFactor = 0.05;
+    /** KV storage precision on every engine (fp16 = legacy). */
+    model::KvPrecision kvPrecision = model::KvPrecision::Fp16;
+    std::string consumerModel = "Codellama-34B";
+    std::uint64_t seed = 1;
+    double maxSimSeconds = 8000.0;
+    /** Optional external log capturing fault/federation events. */
+    trace::TraceLog *traceLog = nullptr;
+};
+
+struct FederationRunResult
+{
+    /** All finished metrics across servers, id order. */
+    std::vector<workload::RequestMetrics> metrics;
+    /** Requests submitted but never finished (must be 0). */
+    std::uint64_t unfinished = 0;
+
+    std::uint64_t promptTokens = 0;
+    /** Prompt tokens outside the shared preamble (per-request tails;
+     *  promptTokens - tailTokens - cachedTokens bounds the preamble
+     *  tokens actually re-prefilled across the cluster). */
+    std::uint64_t tailTokens = 0;
+    std::uint64_t cachedTokens = 0;
+    double aggregateHitRate = 0.0;
+    /** Prefix-hit tokens by origin, summed over servers. */
+    std::uint64_t hitTokensLocal = 0;
+    std::uint64_t hitTokensRemote = 0;
+    std::uint64_t hitTokensDram = 0;
+    std::uint64_t hitTokensRemoteServer = 0;
+    /** Byte-identity violations (must be 0). */
+    std::uint64_t sigMismatches = 0;
+    std::uint64_t clusterSigMismatches = 0;
+
+    /** Engine-side federation counters, summed over servers. */
+    std::uint64_t fedHits = 0;
+    std::uint64_t fedMisses = 0;
+    std::uint64_t fedStreamDecisions = 0;
+    std::uint64_t fedRecomputeDecisions = 0;
+    std::uint64_t fedFetchRefusals = 0;
+    std::uint64_t fedStreamsCompleted = 0;
+    std::uint64_t fedStreamsInvalidated = 0;
+    std::uint64_t fedStreamBytes = 0;
+
+    /** Directory counters, summed over servers. */
+    std::uint64_t dirAdvertsPublished = 0;
+    std::uint64_t dirTombstones = 0;
+    std::uint64_t dirAdvertsApplied = 0;
+    std::uint64_t dirAdvertsDropped = 0;
+    std::uint64_t dirAntiEntropyRounds = 0;
+    std::uint64_t dirFetchGrants = 0;
+    std::uint64_t dirFetchCapRejects = 0;
+    std::uint64_t dirFetchValidated = 0;
+    std::uint64_t dirFetchInvalidated = 0;
+
+    /** Fabric counters. */
+    std::uint64_t fabricTransfers = 0;
+    std::uint64_t fabricBytesMoved = 0;
+    std::uint64_t fabricQueueTicks = 0;
+
+    /**
+     * FNV digest over the finished requests' (id, tokensGenerated),
+     * id order. Output equivalence is timing-free: a fault-free
+     * federated run must digest identically to the same run with
+     * federation disabled, and to its chaos twin.
+     */
+    std::uint64_t outputDigest = 0;
+
+    double tokensPerSec = 0.0;
+    double elapsedSec = 0.0;
+};
+
+FederationRunResult runFederation(const FederationRunConfig &cfg);
 
 //
 // Overload control: deadline-stamped bursty traffic at a load

@@ -18,6 +18,8 @@
 #include "aqua/informer.hh"
 #include "aqua/rest.hh"
 #include "cluster/prefix_registry.hh"
+#include "federation/directory.hh"
+#include "hw/fabric.hh"
 #include "hw/server.hh"
 #include "recovery/recovery_manager.hh"
 #include "recovery/state_journal.hh"
@@ -27,6 +29,8 @@
 #include "workload/request.hh"
 
 namespace aqua::exp {
+
+class MultiServerCluster;
 
 /**
  * One simulated server with its AQUA control plane.
@@ -42,7 +46,26 @@ class Testbed
     Testbed(std::size_t numGpus, hw::TopologyKind kind,
             std::uint64_t seed = 1);
 
-    aqua::sim::Simulation &sim() { return *simulation; }
+    /**
+     * Join an externally owned simulation instead of creating one:
+     * multiple servers on one clock, as MultiServerCluster builds.
+     */
+    Testbed(aqua::sim::Simulation &sharedSim, std::size_t numGpus,
+            hw::TopologyKind kind);
+
+    /**
+     * Build a cluster of @p nServers identical servers on one shared
+     * simulation, connected by an inter-server hw::Fabric. Call
+     * makeFederation() on the result to stand up the prefix
+     * federation control plane.
+     */
+    static std::unique_ptr<MultiServerCluster>
+    makeMultiServerCluster(std::size_t nServers,
+                           std::size_t gpusPerServer,
+                           std::uint64_t seed = 1,
+                           hw::FabricConfig fabricConfig = {});
+
+    aqua::sim::Simulation &sim() { return *simRef; }
     hw::Server &server() { return *srv; }
     core::Coordinator &coordinator() { return coord; }
     core::CoordinatorRestService &rest() { return *restService; }
@@ -109,7 +132,10 @@ class Testbed
     }
 
   private:
+    /** Owned when the single-server ctor ran; null on a shared sim. */
     std::unique_ptr<aqua::sim::Simulation> simulation;
+    /** The clock in use, owned or shared. */
+    aqua::sim::Simulation *simRef = nullptr;
     std::unique_ptr<hw::Server> srv;
     core::Coordinator coord;
     std::unique_ptr<core::CoordinatorRestService> restService;
@@ -121,6 +147,52 @@ class Testbed
     std::unique_ptr<recovery::RecoveryManager> recoveryMgr;
     /** Libs already registered as resync survivors. */
     std::size_t survivorsRegistered = 0;
+};
+
+/**
+ * A cluster of Testbed servers on one shared simulation clock,
+ * connected by an inter-server hw::Fabric. makeFederation() stands up
+ * the cross-server prefix federation control plane: one directory per
+ * server observing that server's prefix registry, gossip peering
+ * between every pair, and the /federation routes bound on every
+ * coordinator router so peer faults (outage, coordinator_crash)
+ * apply to federation traffic too.
+ */
+class MultiServerCluster
+{
+  public:
+    MultiServerCluster(std::size_t nServers, std::size_t gpusPerServer,
+                       std::uint64_t seed = 1,
+                       hw::FabricConfig fabricConfig = {});
+
+    MultiServerCluster(const MultiServerCluster &) = delete;
+    MultiServerCluster &operator=(const MultiServerCluster &) = delete;
+
+    aqua::sim::Simulation &sim() { return *simulation; }
+    std::size_t size() const { return servers.size(); }
+    Testbed &server(std::size_t i) { return *servers.at(i); }
+    hw::Fabric &fabric() { return *wire; }
+
+    /**
+     * Stand up per-server prefix registries (makePrefixRegistry) and
+     * federation directories, peer every pair both ways and bind the
+     * /federation routes on each coordinator router. @p base supplies
+     * shared tunables; serverId is overwritten per server. Idempotent.
+     */
+    void makeFederation(federation::DirectoryConfig base = {});
+
+    /** Server @p i's directory; panics before makeFederation(). */
+    federation::FederationDirectory &directory(std::size_t i);
+
+    /** Arm every directory's periodic anti-entropy until @p until. */
+    void startAntiEntropy(aqua::sim::Tick until);
+
+  private:
+    std::unique_ptr<aqua::sim::Simulation> simulation;
+    std::vector<std::unique_ptr<Testbed>> servers;
+    std::unique_ptr<hw::Fabric> wire;
+    std::vector<std::unique_ptr<federation::FederationDirectory>>
+        directories;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "aqua/aqua_lib.hh"
+#include "hw/fabric.hh"
 #include "sim/logging.hh"
 
 namespace aqua::fault {
@@ -67,7 +68,9 @@ FaultSpec::toJson() const
         v["grace_ns"] = static_cast<std::int64_t>(grace);
         break;
       case FaultKind::LinkDegrade:
-        v["link"] = link == FaultLink::Nvlink ? "nvlink" : "pcie";
+        v["link"] = link == FaultLink::Nvlink   ? "nvlink"
+                    : link == FaultLink::Pcie   ? "pcie"
+                                                : "fabric";
         v["factor"] = factor;
         v["flaps"] = static_cast<std::int64_t>(flaps);
         break;
@@ -173,8 +176,11 @@ FaultPlan::fromJson(const Value &v)
                 f.link = FaultLink::Nvlink;
             } else if (link == "pcie") {
                 f.link = FaultLink::Pcie;
+            } else if (link == "fabric") {
+                f.link = FaultLink::Fabric;
             } else {
-                return parseError(at + ": link must be nvlink|pcie");
+                return parseError(
+                    at + ": link must be nvlink|pcie|fabric");
             }
             f.factor = entry.getDouble("factor", 1.0);
             if (f.factor <= 0.0 || f.factor > 1.0)
@@ -467,10 +473,16 @@ FaultInjector::inject(std::uint64_t faultId, const FaultSpec &f)
         break;
       }
       case FaultKind::LinkDegrade:
-        if (f.link == FaultLink::Nvlink)
+        if (f.link == FaultLink::Nvlink) {
             topo.degradePeerLink(f.factor);
-        else
+        } else if (f.link == FaultLink::Pcie) {
             topo.degradeHostLink(f.factor);
+        } else {
+            if (!fabric)
+                panic("link_degrade on the fabric needs "
+                      "FaultInjector::attachFabric");
+            fabric->setDegradation(f.factor);
+        }
         break;
       case FaultKind::CoordinatorOutage:
         outageStart = f.at;
@@ -530,10 +542,13 @@ FaultInjector::recover(std::uint64_t faultId, const FaultSpec &f)
         break;
       }
       case FaultKind::LinkDegrade:
-        if (f.link == FaultLink::Nvlink)
+        if (f.link == FaultLink::Nvlink) {
             topo.degradePeerLink(1.0);
-        else
+        } else if (f.link == FaultLink::Pcie) {
             topo.degradeHostLink(1.0);
+        } else if (fabric) {
+            fabric->setDegradation(1.0);
+        }
         break;
       case FaultKind::CoordinatorOutage:
       case FaultKind::MessageDrop:

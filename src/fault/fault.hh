@@ -69,6 +69,10 @@ namespace aqua::core {
 class AquaLib;
 }
 
+namespace aqua::hw {
+class Fabric;
+}
+
 namespace aqua::fault {
 
 /** The typed faults the injector knows how to apply. */
@@ -92,8 +96,9 @@ const char *faultKindName(FaultKind kind);
 /** Parse a wire name; nullopt for unknown names. */
 std::optional<FaultKind> faultKindFromName(const std::string &name);
 
-/** Which link a LinkDegrade fault hits. */
-enum class FaultLink { Nvlink, Pcie };
+/** Which link a LinkDegrade fault hits. Fabric targets the
+ *  inter-server fabric (requires FaultInjector::attachFabric). */
+enum class FaultLink { Nvlink, Pcie, Fabric };
 
 /** One scheduled fault. */
 struct FaultSpec
@@ -304,6 +309,10 @@ class FaultInjector
     /** Register a per-GPU AquaLib so gpu_fail faults can reach it. */
     void registerLib(core::AquaLib &lib);
 
+    /** Attach the inter-server fabric so link_degrade faults with
+     *  link=fabric can reach it (nullptr detaches). Not owned. */
+    void attachFabric(hw::Fabric *fab) { fabric = fab; }
+
     /**
      * Called when a gpu_fail fault's grace window closes and the
      * GPU's memory goes dark (after Topology::markGpuFailed). Lets
@@ -365,6 +374,7 @@ class FaultInjector
     aqua::sim::Simulation &sim;
     hw::Topology &topo;
     core::RestRouter &router;
+    hw::Fabric *fabric = nullptr;
     trace::TraceLog *tracer = nullptr;
     std::function<void(hw::GpuId)> gpuFailObserver;
     std::function<void(aqua::sim::Tick)> crashHook;

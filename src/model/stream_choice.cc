@@ -1,0 +1,15 @@
+#include "model/stream_choice.hh"
+
+namespace aqua::model {
+
+bool
+streamBeatsRecompute(aqua::sim::Tick streamEstimate,
+                     aqua::sim::Tick streamOverhead,
+                     aqua::sim::Tick prefillTime, double safetyFactor)
+{
+    return static_cast<double>(streamEstimate + streamOverhead) *
+               safetyFactor <
+           static_cast<double>(prefillTime);
+}
+
+} // namespace aqua::model

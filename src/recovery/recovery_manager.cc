@@ -25,6 +25,15 @@ RecoveryManager::attachRegistry(cluster::PrefixRegistry &reg,
 }
 
 void
+RecoveryManager::attachFederation(federation::FederationDirectory &dir,
+                                  StateJournal &journal)
+{
+    federationDir = &dir;
+    federationJournal = &journal;
+    dir.attachJournal(&journal);
+}
+
+void
 RecoveryManager::registerSurvivor(core::AquaLib &lib)
 {
     survivors.push_back(&lib);
@@ -73,6 +82,20 @@ RecoveryManager::replayRegistry()
     return tail.size();
 }
 
+std::size_t
+RecoveryManager::replayFederation()
+{
+    if (!federationDir || !federationJournal)
+        return 0;
+    federationDir->reset();
+    if (federationJournal->snapshot())
+        federationDir->restoreState(*federationJournal->snapshot());
+    const auto &tail = federationJournal->pending();
+    for (const JournalRecord &r : tail)
+        federationDir->applyJournalRecord(r.op, r.fields);
+    return tail.size();
+}
+
 void
 RecoveryManager::onCoordinatorCrash(Tick now)
 {
@@ -81,6 +104,8 @@ RecoveryManager::onCoordinatorCrash(Tick now)
     // off retryably, not assert on half-torn-down state.
     if (registry)
         registry->setFrozen(true);
+    if (federationDir)
+        federationDir->setFrozen(true);
     Value ev;
     ev["crash"] = static_cast<std::int64_t>(counters.crashes);
     ev["pending_records"] =
@@ -109,10 +134,17 @@ RecoveryManager::onCoordinatorRestart(Tick now,
             counters.droppedRecords +=
                 registryJournal->stats().droppedRecords - before;
         }
+        if (federationJournal) {
+            before = federationJournal->stats().droppedRecords;
+            federationJournal->dropTail(loseTail);
+            counters.droppedRecords +=
+                federationJournal->stats().droppedRecords - before;
+        }
     }
 
-    // Cold restart: snapshot + tail replay rebuilds both services.
-    std::size_t replayed = replayCoordinator() + replayRegistry();
+    // Cold restart: snapshot + tail replay rebuilds the services.
+    std::size_t replayed =
+        replayCoordinator() + replayRegistry() + replayFederation();
     counters.replayedRecords += replayed;
     {
         Value ev;
@@ -158,11 +190,19 @@ RecoveryManager::onCoordinatorRestart(Tick now,
         registry->setFrozen(false);
     }
 
+    // The federation directory thaws last: its local adverts replayed
+    // from the journal; remote views are soft state the peers'
+    // anti-entropy rounds re-converge once we answer routes again.
+    if (federationDir)
+        federationDir->setFrozen(false);
+
     // Fold the post-recovery state into a fresh snapshot: the next
     // crash replays from here instead of re-walking the resync.
     coordJournal.compact();
     if (registryJournal)
         registryJournal->compact();
+    if (federationJournal)
+        federationJournal->compact();
 
     Value ev;
     ev["restart"] = static_cast<std::int64_t>(counters.restarts);

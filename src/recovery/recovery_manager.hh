@@ -37,6 +37,7 @@
 #include "aqua/coordinator.hh"
 #include "cluster/prefix_registry.hh"
 #include "fault/fault.hh"
+#include "federation/directory.hh"
 #include "recovery/state_journal.hh"
 #include "sim/simulation.hh"
 #include "trace/trace.hh"
@@ -100,6 +101,16 @@ class RecoveryManager
                         StateJournal &registryJournal);
 
     /**
+     * Attach the domain's federation directory and its journal; the
+     * directory is coordinator-hosted like the registry, so one crash
+     * takes out all three. Local adverts replay from the journal;
+     * remote views are soft state repaired by the peers' anti-entropy
+     * rounds after the thaw.
+     */
+    void attachFederation(federation::FederationDirectory &directory,
+                          StateJournal &directoryJournal);
+
+    /**
      * Register a per-GPU AquaLib as a resync participant. Instances
      * flagged failed at restart time are skipped (their tensors get
      * swept as orphans if nothing else reports them).
@@ -127,12 +138,15 @@ class RecoveryManager
     /** Restore one journal into its owner; returns replayed count. */
     std::size_t replayCoordinator();
     std::size_t replayRegistry();
+    std::size_t replayFederation();
 
     aqua::sim::Simulation &sim;
     core::Coordinator &coord;
     StateJournal &coordJournal;
     cluster::PrefixRegistry *registry = nullptr;
     StateJournal *registryJournal = nullptr;
+    federation::FederationDirectory *federationDir = nullptr;
+    StateJournal *federationJournal = nullptr;
     std::vector<core::AquaLib *> survivors;
     trace::TraceLog *tracer = nullptr;
     RecoveryStats counters;

@@ -40,6 +40,9 @@ enum class BlockOrigin : std::uint8_t
     RemotePeer,
     /** Restored from a DRAM/offload backend on swap-in. */
     Dram,
+    /** Streamed from another server's home copy over the
+     *  inter-server fabric (prefix federation). */
+    RemoteServer,
 };
 
 /**

@@ -116,6 +116,27 @@ struct Sequence
     /** Registry lease id held on the home chain (0 = none). */
     std::uint64_t remotePin = 0;
 
+    //
+    // Cross-server federation state (zero when federation is off).
+    // A fetched chain streams over the inter-server fabric while the
+    // sequence waits; the validated tokens are applied as
+    // pre-prefilled context at the next admission.
+    //
+
+    /** A cross-server KV stream is in flight; admission waits for
+     *  its completion (validated or cancelled to recompute). */
+    bool fedPending = false;
+
+    /** Context tokens a validated stream delivered; applied as
+     *  pre-prefilled tokens at the next admission. */
+    std::uint32_t fedTokens = 0;
+
+    /** Open fetch ticket on the home server (0 = none). */
+    std::uint64_t fedTicket = 0;
+
+    /** Home server of the in-flight fetch on the fabric. */
+    std::uint32_t fedHomeServer = 0;
+
     workload::RequestMetrics metrics;
 
     /** Tokens whose KV the sequence holds (prompt + generated). */

@@ -154,6 +154,24 @@ VllmEngine::attachClusterPrefix(cluster::PrefixRegistry *registry,
 }
 
 void
+VllmEngine::attachFederation(hw::Fabric *fabric,
+                             std::uint32_t serverIndex,
+                             core::AquaLib *lib)
+{
+    fedFabric = fabric;
+    fedServer = serverIndex;
+    fedLib = lib;
+    if (!fedFabric || !fedLib) {
+        fedCost.reset();
+        return;
+    }
+    federation::FederationCostConfig fc;
+    fc.safetyFactor = cfg.federationSafetyFactor;
+    fedCost = std::make_unique<federation::FederationCostModel>(
+        *fedFabric, perf, fc);
+}
+
+void
 VllmEngine::setTraceLog(trace::TraceLog *log)
 {
     tracer = log;
@@ -214,6 +232,7 @@ VllmEngine::submit(const workload::Request &request)
         }
     }
     maybeBeginResume(raw);
+    maybeBeginFederationFetch(raw);
     needResched = true;
     scheduleStep(server.simulation().now());
 }
@@ -295,6 +314,116 @@ VllmEngine::maybeBeginResume(Sequence *s)
         s->resumePending = true;
     else
         ++nRecomputeResumes;
+}
+
+void
+VllmEngine::maybeBeginFederationFetch(Sequence *s)
+{
+    if (!fedEnabled() || !cfg.prefixCache || s->resumePending ||
+        s->fedPending || s->prefilledTokens > 0)
+        return;
+    std::vector<core::AquaLib::PrefixCandidate> cands =
+        prefixCandidates(s, 0);
+    if (cands.empty())
+        return;
+    // Escalation order: the scale-up domain first — a chain homed on
+    // any GPU here streams over NVLink at admission — and only a
+    // domain-wide miss consults the federation directory.
+    if (clusterLib->prefixLookup(cands).found)
+        return;
+    core::AquaLib::FederationLookupOutcome fl =
+        fedLib->federationLookup(cands);
+    if (!fl.found) {
+        ++prefixStats.fedMisses;
+        return;
+    }
+    ++prefixStats.fedHits;
+    // Trust nothing across the fabric: the advertised chain's content
+    // signature must match this request's own tokens.
+    TokenFn tok = tokenFnFor(s->request);
+    std::uint64_t wantSig = KvCache::contentSig(
+        tok, 0, fl.chain.blocks * cfg.blockTokens);
+    if (wantSig != fl.chain.chainSig) {
+        ++prefixStats.clusterSigMismatches;
+        return;
+    }
+    // Stream-vs-recompute, priced at the fabric's current state
+    // (degradation, queue backlog) and the chain's wire bytes.
+    federation::FederationDecision verdict = fedCost->decide(
+        fl.chain.homeServer, fedServer, fl.chain.bytes,
+        fl.chain.tokens, spec.kvPrecision);
+    if (!verdict.stream) {
+        ++prefixStats.fedRecomputeDecisions;
+        if (tracer) {
+            json::Value f;
+            f["request"] = static_cast<std::int64_t>(s->request.id);
+            f["stream_estimate"] =
+                static_cast<std::int64_t>(verdict.streamEstimate);
+            f["prefill_estimate"] =
+                static_cast<std::int64_t>(verdict.prefillEstimate);
+            tracer->emit(server.simulation().now(), "fed_recompute",
+                         std::move(f));
+        }
+        return;
+    }
+    ++prefixStats.fedStreamDecisions;
+    // Home-side admission: the Harvest-style cap bounds concurrent
+    // remote consumers per home, and staleness is re-checked there.
+    core::AquaLib::FederationFetchOutcome grant =
+        fedLib->federationFetch(fl.chain);
+    if (!grant.ok) {
+        ++prefixStats.fedFetchRefusals;
+        return;
+    }
+    Tick now = server.simulation().now();
+    s->fedPending = true;
+    s->fedTicket = grant.ticket;
+    s->fedHomeServer = grant.homeServer;
+    std::uint32_t tokens = static_cast<std::uint32_t>(grant.tokens);
+    std::uint64_t bytes = grant.bytes;
+    if (tracer) {
+        json::Value f;
+        f["request"] = static_cast<std::int64_t>(s->request.id);
+        f["home_server"] =
+            static_cast<std::int64_t>(grant.homeServer);
+        f["tokens"] = static_cast<std::int64_t>(tokens);
+        f["bytes"] = static_cast<std::int64_t>(bytes);
+        tracer->emit(now, "fed_stream_begin", std::move(f));
+    }
+    fedFabric->streamKv(
+        grant.homeServer, grant.homeGpu, fedServer, myGpu, bytes,
+        [this, s, tokens, bytes] {
+            s->fedPending = false;
+            // Close the ticket whatever happens next: it frees the
+            // home's admission slot and reports payload validity (the
+            // chain may have been evicted or its home lost while the
+            // stream was on the wire).
+            bool valid = fedLib && fedLib->federationFetchDone(
+                                       s->fedHomeServer, s->fedTicket);
+            s->fedTicket = 0;
+            if (s->state == Sequence::State::Waiting) {
+                if (valid) {
+                    s->fedTokens = tokens;
+                    ++prefixStats.fedStreamsCompleted;
+                    prefixStats.fedStreamBytes += bytes;
+                } else {
+                    // Cancel to recompute: the payload is worthless,
+                    // the request simply re-prefills from its prompt.
+                    ++prefixStats.fedStreamsInvalidated;
+                }
+            }
+            if (tracer) {
+                json::Value f;
+                f["request"] =
+                    static_cast<std::int64_t>(s->request.id);
+                f["valid"] = valid;
+                tracer->emit(server.simulation().now(),
+                             "fed_stream_end", std::move(f));
+            }
+            needResched = true;
+            scheduleStep(server.simulation().now());
+        },
+        now);
 }
 
 void
@@ -467,17 +596,16 @@ VllmEngine::chainBoundaries(const Sequence *s, std::size_t maxBlocks,
     return out;
 }
 
-void
-VllmEngine::tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
-                            Tick &transfersDone)
+std::vector<core::AquaLib::PrefixCandidate>
+VllmEngine::prefixCandidates(const Sequence *s,
+                             std::size_t localFull) const
 {
+    std::vector<core::AquaLib::PrefixCandidate> cands;
     std::uint64_t match = s->kvTokens() > 0 ? s->kvTokens() - 1 : 0;
     std::size_t wantFull =
         static_cast<std::size_t>(match / cfg.blockTokens);
-    std::size_t localFull =
-        acq.blocks.size() - (acq.partialTokens > 0 ? 1 : 0);
     if (wantFull <= localFull)
-        return;
+        return cands;
 
     TokenFn tok = tokenFnFor(s->request);
     // Candidate boundaries, longest first. Conversation streams scan
@@ -486,7 +614,6 @@ VllmEngine::tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
     // boundary can match anything cluster-wide.
     std::vector<PrefixIndex::ChainKeys> keys =
         kv->prefixChainKeysUpTo(tok, wantFull);
-    std::vector<core::AquaLib::PrefixCandidate> cands;
     if (s->request.contentStream != 0) {
         constexpr std::size_t kMaxCandidates = 64;
         for (std::size_t b = wantFull;
@@ -509,8 +636,20 @@ VllmEngine::tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
                              static_cast<std::uint32_t>(preamble)});
         }
     }
+    return cands;
+}
+
+void
+VllmEngine::tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
+                            Tick &transfersDone)
+{
+    std::size_t localFull =
+        acq.blocks.size() - (acq.partialTokens > 0 ? 1 : 0);
+    std::vector<core::AquaLib::PrefixCandidate> cands =
+        prefixCandidates(s, localFull);
     if (cands.empty())
         return;
+    TokenFn tok = tokenFnFor(s->request);
 
     core::AquaLib::PrefixLookupOutcome rl =
         clusterLib->prefixLookup(cands);
@@ -744,6 +883,7 @@ VllmEngine::countPrefixHit(const Sequence *s,
     std::uint64_t local = 0;
     std::uint64_t remote = 0;
     std::uint64_t dram = 0;
+    std::uint64_t remoteServer = 0;
     std::uint64_t covered = 0;
     for (std::size_t i = 0;
          i < acq.blocks.size() && covered < acq.tokens; ++i) {
@@ -759,6 +899,9 @@ VllmEngine::countPrefixHit(const Sequence *s,
           case BlockOrigin::Dram:
             dram += tk;
             break;
+          case BlockOrigin::RemoteServer:
+            remoteServer += tk;
+            break;
         }
         covered += tk;
     }
@@ -767,6 +910,7 @@ VllmEngine::countPrefixHit(const Sequence *s,
     prefixStats.hitTokensLocal += local;
     prefixStats.hitTokensRemote += remote;
     prefixStats.hitTokensDram += dram;
+    prefixStats.hitTokensRemoteServer += remoteServer;
     if (tracer) {
         json::Value f;
         f["request"] = static_cast<std::int64_t>(s->request.id);
@@ -774,6 +918,8 @@ VllmEngine::countPrefixHit(const Sequence *s,
         f["local"] = static_cast<std::int64_t>(local);
         f["remote_peer"] = static_cast<std::int64_t>(remote);
         f["dram"] = static_cast<std::int64_t>(dram);
+        f["remote_server"] =
+            static_cast<std::int64_t>(remoteServer);
         tracer->emit(server.simulation().now(), "prefix_hit",
                      std::move(f));
     }
@@ -1158,6 +1304,10 @@ VllmEngine::admitSeq(Sequence *s, Tick &transfersDone)
     // reschedules.
     if (s->resumePending)
         return false;
+    // A cross-server federation stream is still on the fabric: hold
+    // the sequence in waiting; its completion callback reschedules.
+    if (s->fedPending)
+        return false;
     // Completed resume stream: the restored context counts as already
     // prefilled (its KV arrives in the blocks allocated below), so
     // only the new turn's tail is computed.
@@ -1165,6 +1315,16 @@ VllmEngine::admitSeq(Sequence *s, Tick &transfersDone)
         s->prefilledTokens = s->resumedTokens;
         s->cachedTokens = s->resumedTokens;
         s->resumedTokens = 0;
+    }
+    // Completed (and validated) federation stream: the fetched chain
+    // counts as already prefilled; its blocks are tagged below so hit
+    // accounting attributes the tokens to the remote server.
+    std::uint32_t fedApplied = 0;
+    if (s->fedTokens > 0 && s->prefilledTokens == 0) {
+        fedApplied = s->fedTokens;
+        s->prefilledTokens = s->fedTokens;
+        s->cachedTokens = s->fedTokens;
+        s->fedTokens = 0;
     }
     // Adapter residency comes first: a missing adapter stalls the
     // iteration for its load (vLLM loads adapters synchronously).
@@ -1237,6 +1397,32 @@ VllmEngine::admitSeq(Sequence *s, Tick &transfersDone)
     }
     s->blocks = std::move(acq.blocks);
     s->blocks.insert(s->blocks.end(), blocks->begin(), blocks->end());
+    if (fedApplied > 0) {
+        // The fetched chain's KV landed in the leading blocks; tag
+        // them so hit accounting (and any later local reuse after
+        // publishSeq) knows the content crossed the fabric.
+        std::uint64_t covered = 0;
+        for (aqua::mem::BlockId id : s->blocks) {
+            if (covered >= fedApplied)
+                break;
+            kv->setBlockOrigin(id, BlockOrigin::RemoteServer);
+            covered += cfg.blockTokens;
+        }
+        prefixStats.cachedTokens += fedApplied;
+        prefixStats.hitTokensRemoteServer += fedApplied;
+        if (tracer) {
+            json::Value f;
+            f["request"] = static_cast<std::int64_t>(s->request.id);
+            f["tokens"] = static_cast<std::int64_t>(fedApplied);
+            f["local"] = 0;
+            f["remote_peer"] = 0;
+            f["dram"] = 0;
+            f["remote_server"] =
+                static_cast<std::int64_t>(fedApplied);
+            tracer->emit(server.simulation().now(), "prefix_hit",
+                         std::move(f));
+        }
+    }
     s->state = Sequence::State::Running;
     removeFrom(waiting, s);
     running.push_back(s);

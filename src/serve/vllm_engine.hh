@@ -26,6 +26,8 @@
 
 #include "aqua/aqua_lib.hh"
 #include "cluster/prefix_registry.hh"
+#include "federation/cost_model.hh"
+#include "hw/fabric.hh"
 #include "model/perf_model.hh"
 #include "overload/admission.hh"
 #include "overload/brownout.hh"
@@ -123,6 +125,22 @@ struct VllmEngineConfig
      */
     std::uint32_t clusterBorrowMaxBlocks = 4;
     /**
+     * Cross-server prefix federation: on a scale-up-domain miss,
+     * consult the coordinator's federation directory for a chain
+     * homed on another server and stream it over the inter-server
+     * fabric when the cost model says that beats re-prefilling
+     * locally. The lookup order is local registry, then federation
+     * directory, then recompute. Requires attachFederation() and the
+     * cluster prefix path (cfg.clusterPrefix). Off by default.
+     */
+    bool federation = false;
+    /**
+     * Safety factor the federation cost model applies to the streamed
+     * side of the crossover; > 1 biases toward recompute when the
+     * estimates are close.
+     */
+    double federationSafetyFactor = 1.2;
+    /**
      * Deadline-aware admission control: shed waiting requests whose
      * predicted completion already misses their deadline instead of
      * serving them late (goodput over throughput). nullopt = off.
@@ -208,6 +226,26 @@ struct PrefixCacheEngineStats
     std::uint64_t hitTokensLocal = 0;
     std::uint64_t hitTokensRemote = 0;
     std::uint64_t hitTokensDram = 0;
+    std::uint64_t hitTokensRemoteServer = 0;
+
+    //
+    // Cross-server federation path (zero unless cfg.federation).
+    //
+
+    /** Directory lookups that found a live remote-server advert. */
+    std::uint64_t fedHits = 0;
+    std::uint64_t fedMisses = 0;
+    /** Cost-model verdicts: stream the copy / re-prefill locally. */
+    std::uint64_t fedStreamDecisions = 0;
+    std::uint64_t fedRecomputeDecisions = 0;
+    /** Fetches the home refused (admission cap, stale, outage). */
+    std::uint64_t fedFetchRefusals = 0;
+    /** Completed streams by validation outcome: an invalidated
+     *  stream's payload is discarded and the request re-prefills. */
+    std::uint64_t fedStreamsCompleted = 0;
+    std::uint64_t fedStreamsInvalidated = 0;
+    /** Bytes streamed in over the inter-server fabric. */
+    std::uint64_t fedStreamBytes = 0;
 };
 
 /**
@@ -270,6 +308,19 @@ class VllmEngine
      */
     void attachClusterPrefix(cluster::PrefixRegistry *registry,
                              core::AquaLib *lib);
+
+    /**
+     * Attach the inter-server fabric for cross-server prefix
+     * federation: @p fabric carries the KV streams, @p serverIndex is
+     * this engine's server on it, and @p lib carries the southbound
+     * /federation REST access (normally the same AquaLib as the
+     * cluster path). Enables the federation admission path when
+     * cfg.federation is set; requires attachClusterPrefix(). All
+     * non-owning; must outlive the engine.
+     */
+    void attachFederation(hw::Fabric *fabric,
+                          std::uint32_t serverIndex,
+                          core::AquaLib *lib);
 
     /**
      * Trace overload-control events ("shed", "brownout_level") into
@@ -528,11 +579,35 @@ class VllmEngine
                                              std::size_t maxBlocks,
                                              bool atFinish) const;
 
+    /** Candidate chain boundaries of @p s's context covering more
+     *  than @p localFull blocks, longest first (dense scan for
+     *  conversation streams, plus the declared preamble). */
+    std::vector<core::AquaLib::PrefixCandidate>
+    prefixCandidates(const Sequence *s, std::size_t localFull) const;
+
     /** Registry remote-read path for an admission whose local prefix
      *  match fell short: lookup, signature check, pin, then stream a
      *  local copy or borrow the home's blocks in place. */
     void tryRemotePrefix(Sequence *s, KvCache::PrefixAcquire &acq,
                          aqua::sim::Tick &transfersDone);
+
+    //
+    // Cross-server federation (active only with cfg.federation and
+    // attachFederation()).
+    //
+
+    bool
+    fedEnabled() const
+    {
+        return cfg.federation && fedFabric && fedLib &&
+               clusterEnabled();
+    }
+
+    /** Try to start a cross-server prefix stream for a fresh arrival
+     *  whose chain no GPU in this scale-up domain holds: directory
+     *  lookup, signature check, cost-model verdict, home admission,
+     *  then the fabric stream (validated on completion). */
+    void maybeBeginFederationFetch(Sequence *s);
 
     /** Release a borrowed remote lead (unpin the registry lease). */
     void releaseRemoteLead(Sequence *s);
@@ -614,6 +689,11 @@ class VllmEngine
 
     cluster::PrefixRegistry *clusterReg = nullptr;
     core::AquaLib *clusterLib = nullptr;
+    hw::Fabric *fedFabric = nullptr;
+    core::AquaLib *fedLib = nullptr;
+    /** This engine's server index on the fabric. */
+    std::uint32_t fedServer = 0;
+    std::unique_ptr<federation::FederationCostModel> fedCost;
     /** Chains this engine homes (pinned on registry demand). */
     std::map<std::uint64_t, ClusterChain> homeChains;
     /** Chains homed elsewhere that this engine could adopt. */

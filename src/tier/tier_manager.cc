@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "model/stream_choice.hh"
 #include "sim/logging.hh"
 
 namespace aqua::tier {
@@ -137,9 +138,9 @@ TierManager::decideResume(Tick streamEstimate, Tick prefillTime,
                           Tick streamOverhead)
 {
     bool stream = !ssd.failed() &&
-        static_cast<double>(streamEstimate + streamOverhead) *
-                cfg.resumeSafetyFactor <
-            static_cast<double>(prefillTime);
+        model::streamBeatsRecompute(streamEstimate, streamOverhead,
+                                    prefillTime,
+                                    cfg.resumeSafetyFactor);
     if (stream)
         ++counters.streamResumes;
     else

@@ -50,6 +50,7 @@ if [[ "$bench_smoke" == 1 ]]; then
     "$build/bench/abl_cluster_prefix" --smoke
     "$build/bench/abl_tiering" --smoke
     "$build/bench/abl_kv_quant" --smoke
+    "$build/bench/abl_federation" --smoke
 fi
 
 if [[ "$chaos_smoke" == 1 ]]; then
